@@ -1,0 +1,64 @@
+//! E9 — the linear baselines: buy-the-database and generic Yao over the
+//! whole database, versus the sublinear weighted-sum protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spfe::core::{baseline, stats, Statistic};
+use spfe::transport::Transcript;
+use spfe_bench::{field_for, make_db, make_indices, Bench};
+use std::hint::black_box;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let m = 4;
+    let mut group = c.benchmark_group("crossover");
+    group.sample_size(10);
+    for n in [256usize, 1_024, 4_096] {
+        let db = make_db(n, 60);
+        let indices = make_indices(n, m);
+        let field = field_for(n, m, 60);
+
+        group.bench_with_input(BenchmarkId::new("spfe_weighted_sum", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(stats::weighted_sum(
+                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &[1, 1, 1, 1], field,
+                    &mut b.rng,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("buy_database", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(baseline::buy_the_database(
+                    &mut t,
+                    &db,
+                    &indices,
+                    &Statistic::Sum,
+                ))
+            })
+        });
+    }
+    // Generic Yao only at small n (it is the Ω(n) strawman).
+    for n in [64usize, 256] {
+        let db = make_db(n, 60);
+        let indices = make_indices(n, m);
+        group.bench_with_input(BenchmarkId::new("generic_yao", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(baseline::generic_yao(
+                    &mut t,
+                    &b.group,
+                    &db,
+                    &indices,
+                    6,
+                    &Statistic::Sum,
+                    &mut b.rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

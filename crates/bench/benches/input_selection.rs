@@ -1,0 +1,57 @@
+//! E4 + E5 — the three §3.3 input-selection protocols across m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spfe::core::input_select;
+use spfe::transport::Transcript;
+use spfe_bench::{field_for, make_db, make_indices, Bench};
+use std::hint::black_box;
+
+fn bench_input_selection(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let n = 1_024;
+    let db = make_db(n, 500);
+    let field = field_for(n, 16, 500);
+    let mut group = c.benchmark_group("input_selection");
+    group.sample_size(10);
+
+    for m in [4usize, 16] {
+        let indices = make_indices(n, m);
+        group.bench_with_input(BenchmarkId::new("select1", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(input_select::select1(
+                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, field, &mut b.rng,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("select2_v1", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(input_select::select2_v1(
+                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, field, &mut b.rng,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("select2_v2", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(input_select::select2_v2(
+                    &mut t, &b.group, &b.pk, &b.sk, &b.spk, &b.ssk, &db, &indices, field,
+                    &mut b.rng,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("select3", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(input_select::select3(
+                    &mut t, &b.group, &b.pk, &b.sk, &b.spk, &b.ssk, &db, &indices, 16, &mut b.rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_input_selection);
+criterion_main!(benches);

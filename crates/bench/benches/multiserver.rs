@@ -1,0 +1,82 @@
+//! E2 — Theorem 2: the §3.1 multi-server protocol across database sizes,
+//! privacy thresholds, and function representations (sum vs formula).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spfe::circuits::formula::{BinOp, Formula};
+use spfe::core::multiserver::{self, MsFunction, MultiServerParams};
+use spfe::math::Fp64;
+use spfe::transport::Transcript;
+use spfe_bench::{field_for, make_db, make_indices, Bench};
+use std::hint::black_box;
+
+fn bench_sum_scaling(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let mut group = c.benchmark_group("multiserver_sum");
+    group.sample_size(10);
+    for n in [256usize, 4_096, 65_536] {
+        let db = make_db(n, 1_000);
+        let indices = make_indices(n, 4);
+        let field = field_for(n, 4, 1_000);
+        let params = MultiServerParams::new(n, 1, field, MsFunction::Sum { m: 4 });
+        let k = params.num_servers();
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(k);
+                black_box(multiserver::run(
+                    &mut t, &params, &db, &indices, Some(7), &mut b.rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_privacy_threshold(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let n = 4_096;
+    let db = make_db(n, 1_000);
+    let indices = make_indices(n, 4);
+    let field = field_for(n, 4, 1_000);
+    let mut group = c.benchmark_group("multiserver_threshold");
+    group.sample_size(10);
+    for t_priv in [1usize, 2, 4] {
+        let params = MultiServerParams::new(n, t_priv, field, MsFunction::Sum { m: 4 });
+        let k = params.num_servers();
+        group.bench_with_input(BenchmarkId::new("t", t_priv), &t_priv, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(k);
+                black_box(multiserver::run(
+                    &mut t, &params, &db, &indices, None, &mut b.rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_formula(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let n = 1_024;
+    let db: Vec<u64> = (0..n as u64).map(|i| (i % 2 == 0) as u64).collect();
+    let field = Fp64::at_least(1 << 20);
+    let mut group = c.benchmark_group("multiserver_formula");
+    group.sample_size(10);
+    for s in [2usize, 4] {
+        let phi = Formula::balanced(BinOp::And, s);
+        let indices = make_indices(n, s);
+        let params = MultiServerParams::new(n, 1, field, MsFunction::Formula(phi));
+        let k = params.num_servers();
+        group.bench_with_input(BenchmarkId::new("formula_size", s), &s, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(k);
+                black_box(multiserver::run(
+                    &mut t, &params, &db, &indices, None, &mut b.rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sum_scaling, bench_privacy_threshold, bench_formula);
+criterion_main!(benches);

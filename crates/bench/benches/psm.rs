@@ -1,0 +1,96 @@
+//! E3 — PSM protocols (§3.2): sum-PSM, Yao-PSM, BP-PSM, and the complete
+//! PSM-based SPFE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spfe::circuits::builders::sum_circuit;
+use spfe::circuits::BranchingProgram;
+use spfe::core::psm_spfe;
+use spfe::math::Fp64;
+use spfe::mpc::psm;
+use spfe::pir::poly_it::PolyItParams;
+use spfe::transport::Transcript;
+use spfe_bench::{make_db, make_indices, Bench};
+use std::hint::black_box;
+
+fn bench_psm_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psm_primitives");
+    let seed = [7u8; 32];
+
+    group.bench_function("sum_psm_m8", |bench| {
+        bench.iter(|| {
+            let msgs: Vec<u64> = (0..8)
+                .map(|j| psm::sum::player_message(j, 8, j as u64 * 3, 1 << 20, seed))
+                .collect();
+            black_box(psm::sum::referee(&msgs, 1 << 20))
+        })
+    });
+
+    let circuit = sum_circuit(4, 8);
+    group.bench_function("yao_psm_garble_m4", |bench| {
+        bench.iter(|| black_box(psm::yao::p0_message(&circuit, seed)))
+    });
+
+    let f = Fp64::new(1_000_003).unwrap();
+    let bp = BranchingProgram::parity(6);
+    group.bench_function("bp_psm_parity6", |bench| {
+        bench.iter(|| {
+            let rand = psm::bp::common_randomness(&bp, 6, f, seed);
+            let mut msgs = vec![psm::bp::p0_message(&bp, f, &rand)];
+            for j in 0..6 {
+                msgs.push(psm::bp::player_message(&bp, f, &rand, j, &[(j, j % 2 == 0)]));
+            }
+            black_box(psm::bp::referee(&bp, f, &msgs))
+        })
+    });
+    group.finish();
+}
+
+fn bench_psm_spfe(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let mut group = c.benchmark_group("psm_spfe");
+    group.sample_size(10);
+    for n in [256usize, 1_024] {
+        let db = make_db(n, 256);
+        let indices = make_indices(n, 4);
+        let circuit = sum_circuit(4, 8);
+        group.bench_with_input(BenchmarkId::new("yao_psm_n", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(psm_spfe::run_yao_psm(
+                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &circuit, 8, &mut b.rng,
+                ))
+            })
+        });
+    }
+
+    // The perfectly secure multi-server variants.
+    let n = 1_024;
+    let field = Fp64::at_least(1 << 20);
+    let db = make_db(n, 1_000);
+    let indices = make_indices(n, 4);
+    let params = PolyItParams::new(n, 1, field);
+    let k = params.num_servers();
+    group.bench_function("sum_psm_multiserver", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(k);
+            black_box(psm_spfe::run_sum_psm(
+                &mut t, &params, &db, &indices, 0xAB, &mut b.rng,
+            ))
+        })
+    });
+
+    let bool_db: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+    let bp = BranchingProgram::and_of(4);
+    group.bench_function("bp_psm_multiserver", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(k);
+            black_box(psm_spfe::run_bp_psm(
+                &mut t, &params, &bp, &bool_db, &indices, 0xCD, &mut b.rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_psm_primitives, bench_psm_spfe);
+criterion_main!(benches);

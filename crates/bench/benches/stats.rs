@@ -1,0 +1,90 @@
+//! E6 + E7 + E8 — the §4 statistical protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spfe::core::{input_select, stats};
+use spfe::transport::Transcript;
+use spfe_bench::{field_for, make_db, make_indices, Bench};
+use std::hint::black_box;
+
+fn bench_weighted_sum(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let m = 4;
+    let weights = [1u64, 2, 3, 4];
+    let mut group = c.benchmark_group("weighted_sum");
+    group.sample_size(10);
+    for n in [1_024usize, 4_096, 16_384] {
+        let db = make_db(n, 1_000);
+        let indices = make_indices(n, m);
+        let field = field_for(n, 10 * m, 1_000);
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                black_box(stats::weighted_sum(
+                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &weights, field, &mut b.rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_package(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let n = 2_048;
+    let m = 4;
+    let db = make_db(n, 300);
+    let sq: Vec<u64> = db.iter().map(|&v| v * v).collect();
+    let indices = make_indices(n, m);
+    let field = field_for(n, m, 90_000);
+    let mut group = c.benchmark_group("avg_var");
+    group.sample_size(10);
+    group.bench_function("package", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(1);
+            black_box(stats::average_and_variance(
+                &mut t, &b.group, &b.pk, &b.sk, &db, &sq, &indices, field, &mut b.rng,
+            ))
+        })
+    });
+    group.bench_function("two_runs", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(1);
+            let w = vec![1u64; m];
+            black_box(stats::weighted_sum(
+                &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &w, field, &mut b.rng,
+            ));
+            black_box(stats::weighted_sum(
+                &mut t, &b.group, &b.pk, &b.sk, &sq, &indices, &w, field, &mut b.rng,
+            ));
+        })
+    });
+    group.finish();
+}
+
+fn bench_frequency(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let n = 1_024;
+    let db = make_db(n, 50);
+    let field = field_for(n, 16, 50);
+    let keyword = db[7];
+    let mut group = c.benchmark_group("frequency");
+    group.sample_size(10);
+    for m in [4usize, 16] {
+        let indices = make_indices(n, m);
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut t = Transcript::new(1);
+                let shares = input_select::select1(
+                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, field, &mut b.rng,
+                );
+                black_box(stats::frequency(
+                    &mut t, &b.pk, &b.sk, &shares, keyword, &mut b.rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_sum, bench_package, bench_frequency);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E1 — Table 1: wall-clock benchmarks of the five single-server SPFE
+//! constructions computing the same private sum.
+//!
+//! Communication columns come from the `spfe-tables` harness; this bench
+//! provides the computation column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spfe::circuits::builders::sum_circuit;
+use spfe::core::{psm_spfe, two_phase, Statistic};
+use spfe::transport::Transcript;
+use spfe_bench::{field_for, make_db, make_indices, Bench};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut b = Bench::new();
+    let n = 256;
+    let m = 4;
+    let db = make_db(n, 256);
+    let indices = make_indices(n, m);
+    let field = field_for(n, m, 256);
+    let circuit = sum_circuit(m, 8);
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("s3.2_psm", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(1);
+            black_box(psm_spfe::run_yao_psm(
+                &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &circuit, 8, &mut b.rng,
+            ))
+        })
+    });
+
+    group.bench_function("s3.3.1_select1_yao", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(1);
+            black_box(two_phase::run_select1_yao(
+                &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &Statistic::Sum, field, &mut b.rng,
+            ))
+        })
+    });
+
+    group.bench_function("s3.3.2v1_polymask_yao", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(1);
+            black_box(two_phase::run_select2v1_yao(
+                &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &Statistic::Sum, field, &mut b.rng,
+            ))
+        })
+    });
+
+    group.bench_function("s3.3.2v2_polymask_yao", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(1);
+            black_box(two_phase::run_select2v2_yao(
+                &mut t, &b.group, &b.pk, &b.sk, &b.spk, &b.ssk, &db, &indices, &Statistic::Sum,
+                field, &mut b.rng,
+            ))
+        })
+    });
+
+    group.bench_function("s3.3.3_encdb_arith", |bench| {
+        bench.iter(|| {
+            let mut t = Transcript::new(1);
+            black_box(two_phase::run_select3_arith(
+                &mut t, &b.group, &b.pk, &b.sk, &b.spk, &b.ssk, &db, &indices, &Statistic::Sum,
+                &mut b.rng,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

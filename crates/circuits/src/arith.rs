@@ -1,0 +1,368 @@
+//! Arithmetic circuits over a ring `Z_u`.
+//!
+//! The §3.3.4 light-weight secure protocol evaluates `f` represented as an
+//! arithmetic circuit over a (possibly large) modulus — the paper's
+//! "efficient scalability to arithmetic circuits" column of Table 1. This
+//! module provides the circuit representation, a plaintext evaluator, and
+//! the metrics (multiplicative size and depth) that drive that protocol's
+//! round/communication costs.
+
+use spfe_math::modular::{mod_add, mod_mul, mod_sub};
+use spfe_math::Nat;
+
+/// Identifier of an arithmetic wire.
+pub type AWireId = usize;
+
+/// An arithmetic gate over `Z_u`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AGate {
+    /// Circuit input (with input index).
+    Input(usize),
+    /// A public constant.
+    Const(Nat),
+    /// Addition mod `u`.
+    Add(AWireId, AWireId),
+    /// Subtraction mod `u`.
+    Sub(AWireId, AWireId),
+    /// Multiplication mod `u` (the expensive gate: interactive in §3.3.4).
+    Mul(AWireId, AWireId),
+    /// Multiplication by a public constant (free for the server in §3.3.4).
+    MulConst(AWireId, Nat),
+}
+
+/// An arithmetic circuit over `Z_u`.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_circuits::arith::ArithCircuitBuilder;
+/// use spfe_math::Nat;
+/// let mut b = ArithCircuitBuilder::new(Nat::from(97u64));
+/// let x = b.input();
+/// let y = b.input();
+/// let xy = b.mul(x, y);
+/// let out = b.add_const(xy, Nat::from(5u64));
+/// b.output(out);
+/// let c = b.build();
+/// let r = c.evaluate(&[Nat::from(6u64), Nat::from(7u64)]);
+/// assert_eq!(r, vec![Nat::from(47u64)]); // 42 + 5
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArithCircuit {
+    gates: Vec<AGate>,
+    outputs: Vec<AWireId>,
+    num_inputs: usize,
+    modulus: Nat,
+}
+
+impl ArithCircuit {
+    /// The ring modulus `u`.
+    pub fn modulus(&self) -> &Nat {
+        &self.modulus
+    }
+
+    /// Gates in topological order.
+    pub fn gates(&self) -> &[AGate] {
+        &self.gates
+    }
+
+    /// Output wires.
+    pub fn outputs(&self) -> &[AWireId] {
+        &self.outputs
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of `Mul` gates (each costs one interaction round trip in the
+    /// §3.3.4 protocol).
+    pub fn mul_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, AGate::Mul(..)))
+            .count()
+    }
+
+    /// Multiplicative depth — the §3.3.4 protocol's round complexity is
+    /// proportional to this.
+    pub fn mul_depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[i] = match g {
+                AGate::Input(_) | AGate::Const(_) => 0,
+                AGate::Add(a, b) | AGate::Sub(a, b) => depth[*a].max(depth[*b]),
+                AGate::MulConst(a, _) => depth[*a],
+                AGate::Mul(a, b) => depth[*a].max(depth[*b]) + 1,
+            };
+        }
+        self.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0)
+    }
+
+    /// Plaintext evaluation (inputs are reduced mod `u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input-count mismatch.
+    pub fn evaluate(&self, inputs: &[Nat]) -> Vec<Nat> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong input count");
+        let u = &self.modulus;
+        let mut vals: Vec<Nat> = Vec::with_capacity(self.gates.len());
+        for g in &self.gates {
+            let v = match g {
+                AGate::Input(idx) => inputs[*idx].rem(u),
+                AGate::Const(c) => c.rem(u),
+                AGate::Add(a, b) => mod_add(&vals[*a], &vals[*b], u),
+                AGate::Sub(a, b) => mod_sub(&vals[*a], &vals[*b], u),
+                AGate::Mul(a, b) => mod_mul(&vals[*a], &vals[*b], u),
+                AGate::MulConst(a, c) => mod_mul(&vals[*a], &c.rem(u), u),
+            };
+            vals.push(v);
+        }
+        self.outputs.iter().map(|&o| vals[o].clone()).collect()
+    }
+}
+
+/// Builder for [`ArithCircuit`].
+#[derive(Debug)]
+pub struct ArithCircuitBuilder {
+    gates: Vec<AGate>,
+    outputs: Vec<AWireId>,
+    num_inputs: usize,
+    modulus: Nat,
+}
+
+impl ArithCircuitBuilder {
+    /// Creates a builder over `Z_u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u < 2`.
+    pub fn new(modulus: Nat) -> Self {
+        assert!(modulus >= Nat::from(2u64), "modulus must be >= 2");
+        ArithCircuitBuilder {
+            gates: Vec::new(),
+            outputs: Vec::new(),
+            num_inputs: 0,
+            modulus,
+        }
+    }
+
+    fn push(&mut self, g: AGate) -> AWireId {
+        self.gates.push(g);
+        self.gates.len() - 1
+    }
+
+    fn check(&self, w: AWireId) {
+        assert!(w < self.gates.len(), "wire {w} does not exist yet");
+    }
+
+    /// Adds a fresh input wire.
+    pub fn input(&mut self) -> AWireId {
+        let idx = self.num_inputs;
+        self.num_inputs += 1;
+        self.push(AGate::Input(idx))
+    }
+
+    /// Adds `n` fresh input wires.
+    pub fn inputs(&mut self, n: usize) -> Vec<AWireId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Adds a constant wire.
+    pub fn constant(&mut self, c: Nat) -> AWireId {
+        self.push(AGate::Const(c))
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: AWireId, b: AWireId) -> AWireId {
+        self.check(a);
+        self.check(b);
+        self.push(AGate::Add(a, b))
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: AWireId, b: AWireId) -> AWireId {
+        self.check(a);
+        self.check(b);
+        self.push(AGate::Sub(a, b))
+    }
+
+    /// `a · b`.
+    pub fn mul(&mut self, a: AWireId, b: AWireId) -> AWireId {
+        self.check(a);
+        self.check(b);
+        self.push(AGate::Mul(a, b))
+    }
+
+    /// `c · a` for public `c`.
+    pub fn mul_const(&mut self, a: AWireId, c: Nat) -> AWireId {
+        self.check(a);
+        self.push(AGate::MulConst(a, c))
+    }
+
+    /// `a + c` for public `c`.
+    pub fn add_const(&mut self, a: AWireId, c: Nat) -> AWireId {
+        let cw = self.constant(c);
+        self.add(a, cw)
+    }
+
+    /// Marks an output wire.
+    pub fn output(&mut self, w: AWireId) {
+        self.check(w);
+        self.outputs.push(w);
+    }
+
+    /// Finalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no outputs were marked.
+    pub fn build(self) -> ArithCircuit {
+        assert!(!self.outputs.is_empty(), "circuit has no outputs");
+        ArithCircuit {
+            gates: self.gates,
+            outputs: self.outputs,
+            num_inputs: self.num_inputs,
+            modulus: self.modulus,
+        }
+    }
+}
+
+/// The sum circuit `Σ x_i mod u` over `m` inputs (zero `Mul` gates — the
+/// arithmetic representation the paper contrasts with Boolean circuits).
+pub fn arith_sum_circuit(m: usize, modulus: Nat) -> ArithCircuit {
+    assert!(m > 0);
+    let mut b = ArithCircuitBuilder::new(modulus);
+    let ins = b.inputs(m);
+    let mut acc = ins[0];
+    for &w in &ins[1..] {
+        acc = b.add(acc, w);
+    }
+    b.output(acc);
+    b.build()
+}
+
+/// Sum + sum-of-squares over `m` inputs (two outputs; `m` `Mul` gates,
+/// multiplicative depth 1) — the arithmetic form of the §4
+/// "average + variance package".
+pub fn arith_sum_and_squares_circuit(m: usize, modulus: Nat) -> ArithCircuit {
+    assert!(m > 0);
+    let mut b = ArithCircuitBuilder::new(modulus);
+    let ins = b.inputs(m);
+    let mut sum = ins[0];
+    for &w in &ins[1..] {
+        sum = b.add(sum, w);
+    }
+    let mut sq_acc: Option<AWireId> = None;
+    for &w in &ins {
+        let sq = b.mul(w, w);
+        sq_acc = Some(match sq_acc {
+            None => sq,
+            Some(prev) => b.add(prev, sq),
+        });
+    }
+    b.output(sum);
+    b.output(sq_acc.unwrap());
+    b.build()
+}
+
+/// Inner product `Σ c_i·x_i mod u` with public coefficients (zero `Mul`
+/// gates) — the weighted-sum function of §4.
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty.
+pub fn arith_weighted_sum_circuit(coeffs: &[Nat], modulus: Nat) -> ArithCircuit {
+    assert!(!coeffs.is_empty());
+    let mut b = ArithCircuitBuilder::new(modulus);
+    let ins = b.inputs(coeffs.len());
+    let mut acc: Option<AWireId> = None;
+    for (&w, c) in ins.iter().zip(coeffs) {
+        let t = b.mul_const(w, c.clone());
+        acc = Some(match acc {
+            None => t,
+            Some(prev) => b.add(prev, t),
+        });
+    }
+    b.output(acc.unwrap());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nats(vals: &[u64]) -> Vec<Nat> {
+        vals.iter().map(|&v| Nat::from(v)).collect()
+    }
+
+    #[test]
+    fn evaluator_basic_ops() {
+        let mut b = ArithCircuitBuilder::new(Nat::from(100u64));
+        let x = b.input();
+        let y = b.input();
+        let s = b.add(x, y);
+        let d = b.sub(x, y);
+        let p = b.mul(x, y);
+        let c = b.mul_const(x, Nat::from(3u64));
+        for w in [s, d, p, c] {
+            b.output(w);
+        }
+        let circ = b.build();
+        let out = circ.evaluate(&nats(&[7, 9]));
+        assert_eq!(out, nats(&[16, 98, 63, 21])); // 7-9 = -2 ≡ 98 mod 100
+    }
+
+    #[test]
+    fn metrics() {
+        let c = arith_sum_and_squares_circuit(4, Nat::from(1_000_003u64));
+        assert_eq!(c.mul_count(), 4);
+        assert_eq!(c.mul_depth(), 1);
+        let s = arith_sum_circuit(10, Nat::from(101u64));
+        assert_eq!(s.mul_count(), 0);
+        assert_eq!(s.mul_depth(), 0);
+    }
+
+    #[test]
+    fn sum_circuit_wraps() {
+        let c = arith_sum_circuit(3, Nat::from(10u64));
+        assert_eq!(c.evaluate(&nats(&[7, 8, 9])), nats(&[4]));
+    }
+
+    #[test]
+    fn sum_and_squares_values() {
+        let c = arith_sum_and_squares_circuit(3, Nat::from(1_000_000u64));
+        let out = c.evaluate(&nats(&[10, 20, 30]));
+        assert_eq!(out, nats(&[60, 1400]));
+    }
+
+    #[test]
+    fn weighted_sum_values() {
+        let c = arith_weighted_sum_circuit(&nats(&[2, 0, 5]), Nat::from(1_000_000u64));
+        assert_eq!(c.evaluate(&nats(&[3, 99, 4])), nats(&[26]));
+    }
+
+    #[test]
+    fn deep_multiplication_depth() {
+        // x^8 by repeated squaring: depth 3, count 3.
+        let mut b = ArithCircuitBuilder::new(Nat::from(1_000_003u64));
+        let x = b.input();
+        let x2 = b.mul(x, x);
+        let x4 = b.mul(x2, x2);
+        let x8 = b.mul(x4, x4);
+        b.output(x8);
+        let c = b.build();
+        assert_eq!(c.mul_depth(), 3);
+        assert_eq!(c.mul_count(), 3);
+        assert_eq!(c.evaluate(&nats(&[3]))[0], Nat::from(6561u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn input_count_checked() {
+        let c = arith_sum_circuit(2, Nat::from(7u64));
+        let _ = c.evaluate(&nats(&[1]));
+    }
+}

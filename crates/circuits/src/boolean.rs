@@ -1,0 +1,484 @@
+//! Boolean circuits: the representation of the client's function `f` used by
+//! the generic protocols.
+//!
+//! The paper measures generic-MPC costs in terms of `C_f`, the size of a
+//! Boolean circuit computing `f` (Table 1). This module provides a gate DAG
+//! with an evaluator and the size/depth metrics those cost formulas refer
+//! to; `spfe-mpc` garbles these circuits (Yao), and `builders` constructs
+//! the statistical functions of §4 as circuits.
+
+/// Identifier of a wire (the output of a gate or an input).
+pub type WireId = usize;
+
+/// A single gate in the DAG. Inputs must precede the gate (wires are
+/// topologically ordered by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// A circuit input wire (with its input index).
+    Input(usize),
+    /// Constant false/true.
+    Const(bool),
+    /// XOR of two wires ("free" under garbling).
+    Xor(WireId, WireId),
+    /// AND of two wires.
+    And(WireId, WireId),
+    /// OR of two wires.
+    Or(WireId, WireId),
+    /// NOT of a wire.
+    Not(WireId),
+}
+
+/// A Boolean circuit: a topologically ordered gate list plus output wires.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_circuits::boolean::CircuitBuilder;
+/// let mut b = CircuitBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let z = b.and(x, y);
+/// b.output(z);
+/// let c = b.build();
+/// assert_eq!(c.evaluate(&[true, true]), vec![true]);
+/// assert_eq!(c.evaluate(&[true, false]), vec![false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+    num_inputs: usize,
+}
+
+impl Circuit {
+    /// The gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The output wires.
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// Number of input wires.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Total number of wires.
+    pub fn num_wires(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Total gate count excluding inputs and constants — the paper's `C_f`.
+    pub fn size(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g, Gate::Input(_) | Gate::Const(_)))
+            .count()
+    }
+
+    /// Number of AND/OR gates (the expensive gates under garbling; XOR and
+    /// NOT are free).
+    pub fn nonlinear_size(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::And(..) | Gate::Or(..)))
+            .count()
+    }
+
+    /// Multiplicative depth (longest input→output path counting AND/OR).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[i] = match *g {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(a) => depth[a],
+                Gate::Xor(a, b) => depth[a].max(depth[b]),
+                Gate::And(a, b) | Gate::Or(a, b) => depth[a].max(depth[b]) + 1,
+            };
+        }
+        self.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0)
+    }
+
+    /// Evaluates the circuit in the clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs()`.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong input count");
+        let mut vals = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            vals[i] = match *g {
+                Gate::Input(idx) => inputs[idx],
+                Gate::Const(c) => c,
+                Gate::Xor(a, b) => vals[a] ^ vals[b],
+                Gate::And(a, b) => vals[a] & vals[b],
+                Gate::Or(a, b) => vals[a] | vals[b],
+                Gate::Not(a) => !vals[a],
+            };
+        }
+        self.outputs.iter().map(|&o| vals[o]).collect()
+    }
+
+    /// Evaluates with `u64`-packed little-endian output interpretation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 64 outputs or on input-count mismatch.
+    pub fn evaluate_to_u64(&self, inputs: &[bool]) -> u64 {
+        let out = self.evaluate(inputs);
+        assert!(out.len() <= 64);
+        out.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    }
+}
+
+/// Incremental builder for [`Circuit`].
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    gates: Vec<Gate>,
+    outputs: Vec<WireId>,
+    num_inputs: usize,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, g: Gate) -> WireId {
+        self.gates.push(g);
+        self.gates.len() - 1
+    }
+
+    /// Adds a fresh input wire.
+    pub fn input(&mut self) -> WireId {
+        let idx = self.num_inputs;
+        self.num_inputs += 1;
+        self.push(Gate::Input(idx))
+    }
+
+    /// Adds `n` fresh input wires.
+    pub fn inputs(&mut self, n: usize) -> Vec<WireId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Adds a constant wire.
+    pub fn constant(&mut self, v: bool) -> WireId {
+        self.push(Gate::Const(v))
+    }
+
+    /// `a XOR b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// `a AND b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::And(a, b))
+    }
+
+    /// `a OR b`.
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        self.check(a);
+        self.check(b);
+        self.push(Gate::Or(a, b))
+    }
+
+    /// `NOT a`.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.check(a);
+        self.push(Gate::Not(a))
+    }
+
+    /// Marks a wire as an output (order of calls = output order).
+    pub fn output(&mut self, w: WireId) {
+        self.check(w);
+        self.outputs.push(w);
+    }
+
+    fn check(&self, w: WireId) {
+        assert!(w < self.gates.len(), "wire {w} does not exist yet");
+    }
+
+    /// Full adder: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, a: WireId, b: WireId, cin: WireId) -> (WireId, WireId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let t1 = self.and(axb, cin);
+        let t2 = self.and(a, b);
+        let carry = self.or(t1, t2);
+        (sum, carry)
+    }
+
+    /// Ripple-carry addition of two little-endian bit vectors of equal width,
+    /// producing `width + 1` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or are zero.
+    pub fn add_words(&mut self, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = self.constant(false);
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, c) = self.full_adder(x, y, carry);
+            out.push(s);
+            carry = c;
+        }
+        out.push(carry);
+        out
+    }
+
+    /// Ripple-borrow subtraction `a - b` over equal widths, returning
+    /// `(difference, borrow_out)`; the difference is correct mod `2^width`
+    /// and `borrow_out` is set iff `a < b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or are zero.
+    pub fn sub_words(&mut self, a: &[WireId], b: &[WireId]) -> (Vec<WireId>, WireId) {
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = self.constant(false);
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.xor(x, y);
+            let diff = self.xor(xy, borrow);
+            // borrow_out = (¬x & y) | (borrow & ¬(x ^ y))
+            let nx = self.not(x);
+            let t1 = self.and(nx, y);
+            let nxy = self.not(xy);
+            let t2 = self.and(borrow, nxy);
+            borrow = self.or(t1, t2);
+            out.push(diff);
+        }
+        (out, borrow)
+    }
+
+    /// Modular addition `(a + b) mod p` for canonical inputs `a, b < p`,
+    /// where `p` is a public constant. Output has `a.len()` bits.
+    ///
+    /// Used to reconstruct `x = a + b (mod p)` from the additive shares
+    /// produced by the paper's input-selection protocols before applying
+    /// `f` inside the garbled circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ, are zero, or `p` does not fit the width.
+    pub fn add_mod_words(&mut self, a: &[WireId], b: &[WireId], p: u64) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len());
+        let w = a.len();
+        assert!(w > 0 && w < 63, "width out of range");
+        assert!(p >= 1 && p <= (1u64 << w), "modulus does not fit width");
+        let s = self.add_words(a, b); // w + 1 bits
+        let p_wires: Vec<WireId> = (0..w + 1)
+            .map(|i| self.constant((p >> i) & 1 == 1))
+            .collect();
+        let (d, borrow) = self.sub_words(&s, &p_wires);
+        // borrow == 1 ⇔ s < p ⇔ keep s; else keep s − p.
+        let sel = self.mux_words(borrow, &d, &s);
+        sel[..w].to_vec()
+    }
+
+    /// Equality of two equal-width words (single output bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or are zero.
+    pub fn eq_words(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        let mut acc = None;
+        for (&x, &y) in a.iter().zip(b) {
+            let x_eq_y = {
+                let t = self.xor(x, y);
+                self.not(t)
+            };
+            acc = Some(match acc {
+                None => x_eq_y,
+                Some(prev) => self.and(prev, x_eq_y),
+            });
+        }
+        acc.unwrap()
+    }
+
+    /// `a < b` for equal-width unsigned little-endian words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or are zero.
+    pub fn lt_words(&mut self, a: &[WireId], b: &[WireId]) -> WireId {
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        // From LSB up: lt = (¬a & b) | ((a == b) & lt_prev)
+        let mut lt = self.constant(false);
+        for (&x, &y) in a.iter().zip(b) {
+            let nx = self.not(x);
+            let x_lt_y = self.and(nx, y);
+            let t = self.xor(x, y);
+            let x_eq_y = self.not(t);
+            let keep = self.and(x_eq_y, lt);
+            lt = self.or(x_lt_y, keep);
+        }
+        lt
+    }
+
+    /// 2-to-1 multiplexer per bit: `sel ? b : a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mux_words(&mut self, sel: WireId, a: &[WireId], b: &[WireId]) -> Vec<WireId> {
+        assert_eq!(a.len(), b.len());
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                // x ^ (sel & (x ^ y))
+                let d = self.xor(x, y);
+                let sd = self.and(sel, d);
+                self.xor(x, sd)
+            })
+            .collect()
+    }
+
+    /// Finalizes the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no outputs were marked.
+    pub fn build(self) -> Circuit {
+        assert!(!self.outputs.is_empty(), "circuit has no outputs");
+        Circuit {
+            gates: self.gates,
+            outputs: self.outputs,
+            num_inputs: self.num_inputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn gate_semantics() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let and = b.and(x, y);
+        let or = b.or(x, y);
+        let xor = b.xor(x, y);
+        let not = b.not(x);
+        for w in [and, or, xor, not] {
+            b.output(w);
+        }
+        let c = b.build();
+        for (xv, yv) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c.evaluate(&[xv, yv]);
+            assert_eq!(out, vec![xv & yv, xv | yv, xv ^ yv, !xv]);
+        }
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let mut b = CircuitBuilder::new();
+        let a_w = b.inputs(4);
+        let b_w = b.inputs(4);
+        let sum = b.add_words(&a_w, &b_w);
+        for w in sum {
+            b.output(w);
+        }
+        let c = b.build();
+        for a in 0u64..16 {
+            for bb in 0u64..16 {
+                let mut input = bits(a, 4);
+                input.extend(bits(bb, 4));
+                assert_eq!(c.evaluate_to_u64(&input), a + bb, "a={a} b={bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_exhaustive_3bit() {
+        let mut b = CircuitBuilder::new();
+        let a_w = b.inputs(3);
+        let b_w = b.inputs(3);
+        let lt = b.lt_words(&a_w, &b_w);
+        let eq = b.eq_words(&a_w, &b_w);
+        b.output(lt);
+        b.output(eq);
+        let c = b.build();
+        for a in 0u64..8 {
+            for bb in 0u64..8 {
+                let mut input = bits(a, 3);
+                input.extend(bits(bb, 3));
+                let out = c.evaluate(&input);
+                assert_eq!(out[0], a < bb, "lt a={a} b={bb}");
+                assert_eq!(out[1], a == bb, "eq a={a} b={bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut b = CircuitBuilder::new();
+        let sel = b.input();
+        let a_w = b.inputs(2);
+        let b_w = b.inputs(2);
+        let out = b.mux_words(sel, &a_w, &b_w);
+        for w in out {
+            b.output(w);
+        }
+        let c = b.build();
+        // sel=0 picks a (=2), sel=1 picks b (=1).
+        assert_eq!(c.evaluate_to_u64(&[false, false, true, true, false]), 2);
+        assert_eq!(c.evaluate_to_u64(&[true, false, true, true, false]), 1);
+    }
+
+    #[test]
+    fn metrics() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let a = b.and(x, y);
+        let n = b.not(a);
+        let o = b.xor(n, x);
+        b.output(o);
+        let c = b.build();
+        assert_eq!(c.size(), 3); // and + not + xor
+        assert_eq!(c.nonlinear_size(), 1); // and only
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.num_inputs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_reference_rejected() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input();
+        let _ = b.and(x, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outputs")]
+    fn empty_outputs_rejected() {
+        let mut b = CircuitBuilder::new();
+        b.input();
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,485 @@
+//! Branching programs and the path-counting determinant lemma.
+//!
+//! The perfectly secure PSM protocol of ref. \[30\] (Ishai–Kushilevitz), which
+//! Corollary 4(2) plugs into the SPFE construction, works on functions
+//! represented as *branching programs*: DAGs whose edges are guarded by
+//! input literals, where `f(x)` is the number of start→accept paths (mod p).
+//!
+//! The key algebraic fact (implemented by [`BranchingProgram::path_matrix`]
+//! and validated in tests): order the `s` nodes topologically, let `A(x)` be
+//! the adjacency matrix, and let `M(x)` be `I − A(x)` with its last row and
+//! first column deleted. Then `M(x)` has 1s on its subdiagonal, 0s below,
+//! and
+//!
+//! ```text
+//! #paths(start → accept)  =  (−1)^{s−1} · det M(x)   (mod p)
+//! ```
+//!
+//! Moreover each entry of `M(x)` is an affine function of a *single* input
+//! variable — which is exactly what the PSM randomization needs (see
+//! `spfe_mpc::psm`).
+
+use spfe_math::{Fp64, Mat};
+
+/// Guard on a branching-program edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Edge always active (weight 1).
+    Always,
+    /// Active iff input `var` equals `value`.
+    Var {
+        /// Input variable index.
+        var: usize,
+        /// Required value.
+        value: bool,
+    },
+}
+
+/// An edge `from → to` with a guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node (must precede `to` in topological order).
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Activation guard.
+    pub guard: Guard,
+}
+
+/// A (counting, mod-p) branching program.
+///
+/// Nodes `0..size` are topologically ordered; node `0` is the start and
+/// `size-1` the accept node. `f(x)` = number of active start→accept paths.
+/// For *deterministic* BPs this count is 0 or 1 and equals the accepted
+/// predicate.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_circuits::bp::BranchingProgram;
+/// let bp = BranchingProgram::parity(3); // x0 ⊕ x1 ⊕ x2
+/// assert_eq!(bp.count_paths(&[true, false, true]), 0);
+/// assert_eq!(bp.count_paths(&[true, false, false]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchingProgram {
+    size: usize,
+    num_vars: usize,
+    edges: Vec<Edge>,
+}
+
+impl BranchingProgram {
+    /// Creates a BP, validating topological order and variable indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 2`, an edge violates `from < to`, or a guard names
+    /// a variable `>= num_vars`.
+    pub fn new(size: usize, num_vars: usize, edges: Vec<Edge>) -> Self {
+        assert!(size >= 2, "BP needs at least start and accept nodes");
+        for e in &edges {
+            assert!(e.from < e.to, "edges must go forward in topological order");
+            assert!(e.to < size, "edge target out of range");
+            if let Guard::Var { var, .. } = e.guard {
+                assert!(var < num_vars, "guard variable out of range");
+            }
+        }
+        BranchingProgram {
+            size,
+            num_vars,
+            edges,
+        }
+    }
+
+    /// Number of nodes (the paper's BP size `B_f`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of input variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Counts active start→accept paths by dynamic programming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars`.
+    pub fn count_paths(&self, x: &[bool]) -> u64 {
+        assert_eq!(x.len(), self.num_vars);
+        let mut paths = vec![0u64; self.size];
+        paths[0] = 1;
+        // Edges grouped implicitly by topological order of `from`.
+        let mut sorted = self.edges.clone();
+        sorted.sort_by_key(|e| e.from);
+        for e in &sorted {
+            let active = match e.guard {
+                Guard::Always => true,
+                Guard::Var { var, value } => x[var] == value,
+            };
+            if active {
+                paths[e.to] = paths[e.to].saturating_add(paths[e.from]);
+            }
+        }
+        paths[self.size - 1]
+    }
+
+    /// Evaluates as a Boolean predicate: `count_paths(x) mod 2 == 1` over
+    /// GF(2), or non-zero over larger fields for deterministic BPs.
+    pub fn accepts(&self, x: &[bool]) -> bool {
+        self.count_paths(x) % 2 == 1
+    }
+
+    /// The matrix `M(x)`: `I − A(x)` with the last row and first column
+    /// deleted — an `(s−1)×(s−1)` matrix with 1s on the subdiagonal, 0s
+    /// below it, and `det M(x) = (−1)^{s−1}·#paths(x)` over the field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars`.
+    pub fn path_matrix(&self, x: &[bool], f: Fp64) -> Mat {
+        assert_eq!(x.len(), self.num_vars);
+        let d = self.size - 1;
+        let mut m = Mat::zero(d, d, f);
+        // Subdiagonal ones from the identity part: M[i][j] = (I−A)[i][j+1].
+        for i in 1..d {
+            m.set(i, i - 1, 1);
+        }
+        for e in &self.edges {
+            let active = match e.guard {
+                Guard::Always => true,
+                Guard::Var { var, value } => x[var] == value,
+            };
+            if active && e.from < d && e.to >= 1 {
+                let (r, c) = (e.from, e.to - 1);
+                let cur = m.get(r, c);
+                m.set(r, c, f.sub(cur, 1)); // −A contribution
+            }
+        }
+        m
+    }
+
+    /// Decomposes `M(x)` as `M_const + Σ_j x_j · M_j` (each entry affine in
+    /// a single variable) — the form consumed by the PSM players, where
+    /// player `j` holds only `x_j`.
+    ///
+    /// Returns `(M_const, [M_1 … M_num_vars])`.
+    pub fn affine_matrices(&self, f: Fp64) -> (Mat, Vec<Mat>) {
+        let d = self.size - 1;
+        let mut m_const = Mat::zero(d, d, f);
+        for i in 1..d {
+            m_const.set(i, i - 1, 1);
+        }
+        let mut m_vars = vec![Mat::zero(d, d, f); self.num_vars];
+        for e in &self.edges {
+            if e.from >= d || e.to < 1 {
+                continue;
+            }
+            let (r, c) = (e.from, e.to - 1);
+            match e.guard {
+                Guard::Always => {
+                    let cur = m_const.get(r, c);
+                    m_const.set(r, c, f.sub(cur, 1));
+                }
+                Guard::Var { var, value: true } => {
+                    // weight x_j: contributes −x_j.
+                    let cur = m_vars[var].get(r, c);
+                    m_vars[var].set(r, c, f.sub(cur, 1));
+                }
+                Guard::Var { var, value: false } => {
+                    // weight (1 − x_j): contributes −1 + x_j.
+                    let cur = m_const.get(r, c);
+                    m_const.set(r, c, f.sub(cur, 1));
+                    let cur = m_vars[var].get(r, c);
+                    m_vars[var].set(r, c, f.add(cur, 1));
+                }
+            }
+        }
+        (m_const, m_vars)
+    }
+
+    /// The parity (XOR) BP over `n` variables: 2 nodes per level tracking the
+    /// running parity; size `2n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn parity(n: usize) -> Self {
+        assert!(n > 0);
+        // Level i (0-based) nodes: even-parity node and odd-parity node.
+        // Node layout: 0 = start (even, level 0); for levels 1..n: nodes
+        // 2i-1 (even) and 2i (odd); accept = node for odd parity at level n…
+        // except we want a single accept node = last node. Use: accept is
+        // the odd node of the final level, placed last.
+        let node_even = |level: usize| if level == 0 { 0 } else { 2 * level - 1 };
+        let node_odd = |level: usize, n: usize| {
+            if level == n {
+                2 * n // accept placed last
+            } else {
+                2 * level
+            }
+        };
+        let size = 2 * n + 1;
+        let mut edges = Vec::new();
+        for lvl in 0..n {
+            let var = lvl;
+            let e = node_even(lvl);
+            let o = if lvl == 0 { None } else { Some(node_odd(lvl, n)) };
+            // From even-parity node:
+            edges.push(Edge {
+                from: e,
+                to: node_even(lvl + 1),
+                guard: Guard::Var { var, value: false },
+            });
+            edges.push(Edge {
+                from: e,
+                to: node_odd(lvl + 1, n),
+                guard: Guard::Var { var, value: true },
+            });
+            // From odd-parity node (absent at level 0):
+            if let Some(o) = o {
+                edges.push(Edge {
+                    from: o,
+                    to: node_odd(lvl + 1, n),
+                    guard: Guard::Var { var, value: false },
+                });
+                edges.push(Edge {
+                    from: o,
+                    to: node_even(lvl + 1),
+                    guard: Guard::Var { var, value: true },
+                });
+            }
+        }
+        // Re-sort node indices: ensure all edges go forward. node_even(l)=2l−1,
+        // node_odd(l)=2l for l<n; both > nodes of level l−1. Accept 2n > all.
+        BranchingProgram::new(size, n, edges)
+    }
+
+    /// The AND BP over `n` variables: a single chain; size `n + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn and_of(n: usize) -> Self {
+        assert!(n > 0);
+        let edges = (0..n)
+            .map(|i| Edge {
+                from: i,
+                to: i + 1,
+                guard: Guard::Var {
+                    var: i,
+                    value: true,
+                },
+            })
+            .collect();
+        BranchingProgram::new(n + 1, n, edges)
+    }
+
+    /// The OR BP over `n` variables (deterministic: first satisfied literal
+    /// routes to accept); size `n + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn or_of(n: usize) -> Self {
+        assert!(n > 0);
+        // Nodes 0..n: "all previous vars false"; node n+1 = accept.
+        // From node i: x_i=1 → accept; x_i=0 → node i+1 (or dead-end at i=n−1
+        // via node n which has no outgoing edges).
+        let accept = n + 1;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push(Edge {
+                from: i,
+                to: accept,
+                guard: Guard::Var {
+                    var: i,
+                    value: true,
+                },
+            });
+            edges.push(Edge {
+                from: i,
+                to: i + 1,
+                guard: Guard::Var {
+                    var: i,
+                    value: false,
+                },
+            });
+        }
+        BranchingProgram::new(n + 2, n, edges)
+    }
+
+    /// BP testing equality of the `w`-bit input (vars `0..w`) with the
+    /// constant `keyword`; size `w + 1`. Used for §4 frequency counting in
+    /// the BP/PSM pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w == 0`.
+    pub fn equals_const(w: usize, keyword: u64) -> Self {
+        assert!(w > 0);
+        let edges = (0..w)
+            .map(|i| Edge {
+                from: i,
+                to: i + 1,
+                guard: Guard::Var {
+                    var: i,
+                    value: (keyword >> i) & 1 == 1,
+                },
+            })
+            .collect();
+        BranchingProgram::new(w + 1, w, edges)
+    }
+}
+
+/// Number of start→accept paths computed from the determinant identity —
+/// used to cross-validate [`BranchingProgram::count_paths`].
+pub fn paths_via_det(bp: &BranchingProgram, x: &[bool], f: Fp64) -> u64 {
+    let m = bp.path_matrix(x, f);
+    let det = m.det();
+    // (−1)^{s−1} · det
+    if (bp.size() - 1) % 2 == 1 {
+        f.neg(det)
+    } else {
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Fp64 {
+        Fp64::new(1_000_003).unwrap()
+    }
+
+    fn all_inputs(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0u32..(1 << n)).map(move |bits| (0..n).map(|i| (bits >> i) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn and_bp_exhaustive() {
+        for n in 1..=4 {
+            let bp = BranchingProgram::and_of(n);
+            for x in all_inputs(n) {
+                let expect = x.iter().all(|&b| b) as u64;
+                assert_eq!(bp.count_paths(&x), expect, "n={n} x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_bp_exhaustive() {
+        for n in 1..=4 {
+            let bp = BranchingProgram::or_of(n);
+            for x in all_inputs(n) {
+                let expect = x.iter().any(|&b| b) as u64;
+                assert_eq!(bp.count_paths(&x), expect, "n={n} x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_bp_exhaustive() {
+        for n in 1..=5 {
+            let bp = BranchingProgram::parity(n);
+            for x in all_inputs(n) {
+                let expect = (x.iter().filter(|&&b| b).count() % 2) as u64;
+                assert_eq!(bp.count_paths(&x), expect, "n={n} x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn equals_const_exhaustive() {
+        let bp = BranchingProgram::equals_const(4, 0b1010);
+        for x in all_inputs(4) {
+            let v: u64 = x
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b as u64) << i)
+                .sum();
+            assert_eq!(bp.count_paths(&x), (v == 0b1010) as u64);
+        }
+    }
+
+    #[test]
+    fn determinant_lemma_matches_path_count() {
+        let f = field();
+        for bp in [
+            BranchingProgram::and_of(3),
+            BranchingProgram::or_of(3),
+            BranchingProgram::parity(4),
+            BranchingProgram::equals_const(3, 5),
+        ] {
+            for x in all_inputs(bp.num_vars()) {
+                assert_eq!(
+                    paths_via_det(&bp, &x, f),
+                    bp.count_paths(&x) % f.modulus(),
+                    "bp size={} x={x:?}",
+                    bp.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_matrix_shape_invariants() {
+        let f = field();
+        let bp = BranchingProgram::parity(3);
+        let m = bp.path_matrix(&[true, false, true], f);
+        let d = bp.size() - 1;
+        assert_eq!((m.num_rows(), m.num_cols()), (d, d));
+        // 1s on subdiagonal, 0 below.
+        for i in 0..d {
+            for j in 0..d {
+                if i == j + 1 {
+                    assert_eq!(m.get(i, j), 1, "subdiagonal ({i},{j})");
+                } else if i > j + 1 {
+                    assert_eq!(m.get(i, j), 0, "below subdiagonal ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_decomposition_matches_path_matrix() {
+        let f = field();
+        for bp in [
+            BranchingProgram::or_of(3),
+            BranchingProgram::parity(3),
+            BranchingProgram::and_of(4),
+        ] {
+            let (m0, mv) = bp.affine_matrices(f);
+            for x in all_inputs(bp.num_vars()) {
+                let mut acc = m0.clone();
+                for (j, mj) in mv.iter().enumerate() {
+                    if x[j] {
+                        acc = acc.add(mj);
+                    }
+                }
+                assert_eq!(acc, bp.path_matrix(&x, f), "x={x:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forward")]
+    fn backward_edge_rejected() {
+        let _ = BranchingProgram::new(
+            3,
+            1,
+            vec![Edge {
+                from: 2,
+                to: 1,
+                guard: Guard::Always,
+            }],
+        );
+    }
+}

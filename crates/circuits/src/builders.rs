@@ -1,0 +1,684 @@
+//! Circuit constructions for the statistical functions of §4.
+//!
+//! These produce the Boolean circuits `C_f` consumed by the Yao-based MPC
+//! phase: sums (→ average), sums of squares (→ variance), keyword-frequency
+//! counts, threshold counts, and maxima over the `m` selected items.
+
+use crate::boolean::{Circuit, CircuitBuilder, WireId};
+
+/// Bits needed to represent values `0..=max`.
+pub fn bits_for(max: u64) -> usize {
+    (64 - max.leading_zeros()).max(1) as usize
+}
+
+/// Output width of the balanced-tree sum of `m` words of `w` bits — the
+/// layout contract between the circuit builders and output decoders.
+pub fn tree_sum_width(w: usize, m: usize) -> usize {
+    if m <= 1 {
+        w
+    } else {
+        w + bits_for(m as u64 - 1)
+    }
+}
+
+/// Splits flat input wires into `m` words of `width` bits each.
+fn word_inputs(b: &mut CircuitBuilder, m: usize, width: usize) -> Vec<Vec<WireId>> {
+    (0..m).map(|_| b.inputs(width)).collect()
+}
+
+/// Zero-extends a word to `target` bits.
+fn zext(b: &mut CircuitBuilder, w: &[WireId], target: usize) -> Vec<WireId> {
+    let mut out = w.to_vec();
+    while out.len() < target {
+        out.push(b.constant(false));
+    }
+    out
+}
+
+/// Adds two words of possibly different widths, producing
+/// `max(len)+1` bits.
+fn add_any(b: &mut CircuitBuilder, x: &[WireId], y: &[WireId]) -> Vec<WireId> {
+    let w = x.len().max(y.len());
+    let xx = zext(b, x, w);
+    let yy = zext(b, y, w);
+    b.add_words(&xx, &yy)
+}
+
+/// Builds the sum circuit: `m` unsigned `width`-bit inputs, output their
+/// exact sum (`width + ⌈log₂ m⌉` bits) — the paper's canonical statistic.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_circuits::builders::sum_circuit;
+/// let c = sum_circuit(3, 4);
+/// // inputs are little-endian per word: 3 + 5 + 15 = 23
+/// let mut input = Vec::new();
+/// for v in [3u64, 5, 15] {
+///     for i in 0..4 { input.push((v >> i) & 1 == 1); }
+/// }
+/// assert_eq!(c.evaluate_to_u64(&input), 23);
+/// ```
+pub fn sum_circuit(m: usize, width: usize) -> Circuit {
+    assert!(m > 0 && width > 0);
+    let mut b = CircuitBuilder::new();
+    let words = word_inputs(&mut b, m, width);
+    let sum = tree_sum(&mut b, &words);
+    for w in sum {
+        b.output(w);
+    }
+    b.build()
+}
+
+/// Balanced-tree sum of words (minimizes depth).
+fn tree_sum(b: &mut CircuitBuilder, words: &[Vec<WireId>]) -> Vec<WireId> {
+    match words.len() {
+        0 => unreachable!("tree_sum of zero words"),
+        1 => words[0].clone(),
+        _ => {
+            let mid = words.len() / 2;
+            let left = tree_sum(b, &words[..mid]);
+            let right = tree_sum(b, &words[mid..]);
+            add_any(b, &left, &right)
+        }
+    }
+}
+
+/// Square of a word via schoolbook partial products (`width²` AND gates),
+/// producing `2·width` bits.
+fn square_word(b: &mut CircuitBuilder, x: &[WireId]) -> Vec<WireId> {
+    let w = x.len();
+    let mut acc: Option<Vec<WireId>> = None;
+    for (i, &xi) in x.iter().enumerate() {
+        // Partial product x * x_i, shifted left by i.
+        let mut pp: Vec<WireId> = Vec::with_capacity(w + i);
+        for _ in 0..i {
+            pp.push(b.constant(false));
+        }
+        for &xj in x {
+            pp.push(b.and(xi, xj));
+        }
+        acc = Some(match acc {
+            None => pp,
+            Some(prev) => {
+                let mut s = add_any(b, &prev, &pp);
+                s.truncate(2 * w);
+                s
+            }
+        });
+    }
+    let mut out = acc.unwrap();
+    out.truncate(2 * w);
+    out
+}
+
+/// Builds the sum-of-squares circuit: `m` `width`-bit inputs →
+/// `Σ x_i²` (`2·width + ⌈log₂ m⌉` bits). Together with [`sum_circuit`] this
+/// is the paper's §4 "package combination of average and variance".
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `width == 0`.
+pub fn sum_of_squares_circuit(m: usize, width: usize) -> Circuit {
+    assert!(m > 0 && width > 0);
+    let mut b = CircuitBuilder::new();
+    let words = word_inputs(&mut b, m, width);
+    let squares: Vec<Vec<WireId>> = words.iter().map(|w| square_word(&mut b, w)).collect();
+    let sum = tree_sum(&mut b, &squares);
+    for w in sum {
+        b.output(w);
+    }
+    b.build()
+}
+
+/// Builds the frequency circuit of §4: counts how many of the `m`
+/// `width`-bit inputs equal the public keyword `w` (output
+/// `⌈log₂(m+1)⌉` bits).
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `width == 0`, or the keyword needs more than
+/// `width` bits.
+pub fn frequency_circuit(m: usize, width: usize, keyword: u64) -> Circuit {
+    assert!(m > 0 && width > 0);
+    assert!(bits_for(keyword) <= width, "keyword wider than items");
+    let mut b = CircuitBuilder::new();
+    let words = word_inputs(&mut b, m, width);
+    let kw: Vec<WireId> = (0..width)
+        .map(|i| b.constant((keyword >> i) & 1 == 1))
+        .collect();
+    let flags: Vec<Vec<WireId>> = words
+        .iter()
+        .map(|w| vec![b.eq_words(w, &kw)])
+        .collect();
+    let count = tree_sum(&mut b, &flags);
+    for w in count {
+        b.output(w);
+    }
+    b.build()
+}
+
+/// Builds a threshold-count circuit: counts inputs strictly less than the
+/// public `threshold` — e.g. "how many selected salaries fall below T".
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `width == 0`, or the threshold needs more than
+/// `width` bits.
+pub fn count_below_circuit(m: usize, width: usize, threshold: u64) -> Circuit {
+    assert!(m > 0 && width > 0);
+    assert!(bits_for(threshold) <= width);
+    let mut b = CircuitBuilder::new();
+    let words = word_inputs(&mut b, m, width);
+    let th: Vec<WireId> = (0..width)
+        .map(|i| b.constant((threshold >> i) & 1 == 1))
+        .collect();
+    let flags: Vec<Vec<WireId>> = words
+        .iter()
+        .map(|w| vec![b.lt_words(w, &th)])
+        .collect();
+    let count = tree_sum(&mut b, &flags);
+    for w in count {
+        b.output(w);
+    }
+    b.build()
+}
+
+/// Builds the maximum circuit over `m` `width`-bit inputs.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `width == 0`.
+pub fn max_circuit(m: usize, width: usize) -> Circuit {
+    assert!(m > 0 && width > 0);
+    let mut b = CircuitBuilder::new();
+    let words = word_inputs(&mut b, m, width);
+    let mut best = words[0].clone();
+    for w in &words[1..] {
+        let lt = b.lt_words(&best, w);
+        best = b.mux_words(lt, &best, w);
+    }
+    for w in best {
+        b.output(w);
+    }
+    b.build()
+}
+
+/// Share-reconstructing sum circuit for the §3.3 two-phase SPFE protocols:
+/// inputs are the server's `m` shares `a_j` followed by the client's `m`
+/// shares `b_j` (each `w = bits(p−1)` bits, canonical mod `p`); the circuit
+/// reconstructs `x_j = a_j + b_j mod p` and outputs `Σ_j x_j mod p`.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `p < 2`.
+pub fn share_sum_mod_circuit(m: usize, p: u64) -> Circuit {
+    assert!(m > 0 && p >= 2);
+    let w = bits_for(p - 1);
+    let mut b = CircuitBuilder::new();
+    let a_words = word_inputs(&mut b, m, w);
+    let b_words = word_inputs(&mut b, m, w);
+    let xs: Vec<Vec<WireId>> = a_words
+        .iter()
+        .zip(&b_words)
+        .map(|(aw, bw)| b.add_mod_words(aw, bw, p))
+        .collect();
+    let mut acc = xs[0].clone();
+    for x in &xs[1..] {
+        acc = b.add_mod_words(&acc, x, p);
+    }
+    for wire in acc {
+        b.output(wire);
+    }
+    b.build()
+}
+
+/// Share-reconstructing frequency circuit: reconstructs `x_j = a_j + b_j
+/// mod p` then counts occurrences of `keyword` (see
+/// [`frequency_circuit`]).
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `p < 2`, or the keyword is not below `p`.
+pub fn share_frequency_circuit(m: usize, p: u64, keyword: u64) -> Circuit {
+    assert!(m > 0 && p >= 2 && keyword < p);
+    let w = bits_for(p - 1);
+    let mut b = CircuitBuilder::new();
+    let a_words = word_inputs(&mut b, m, w);
+    let b_words = word_inputs(&mut b, m, w);
+    let kw: Vec<WireId> = (0..w)
+        .map(|i| b.constant((keyword >> i) & 1 == 1))
+        .collect();
+    let flags: Vec<Vec<WireId>> = a_words
+        .iter()
+        .zip(&b_words)
+        .map(|(aw, bw)| {
+            let x = b.add_mod_words(aw, bw, p);
+            vec![b.eq_words(&x, &kw)]
+        })
+        .collect();
+    let count = tree_sum(&mut b, &flags);
+    for wire in count {
+        b.output(wire);
+    }
+    b.build()
+}
+
+/// Share-reconstructing sum + sum-of-squares circuit: reconstructs
+/// `x_j = a_j + b_j mod p`, outputs `Σ x_j` (exact integer,
+/// `w + ⌈log₂ m⌉` bits) followed by `Σ x_j²` (exact, `2w + ⌈log₂ m⌉`
+/// bits) — the §4 average+variance package in its generic-MPC form.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `p < 2`.
+pub fn share_sum_and_squares_circuit(m: usize, p: u64) -> Circuit {
+    assert!(m > 0 && p >= 2);
+    let w = bits_for(p - 1);
+    let mut b = CircuitBuilder::new();
+    let a_words = word_inputs(&mut b, m, w);
+    let b_words = word_inputs(&mut b, m, w);
+    let xs: Vec<Vec<WireId>> = a_words
+        .iter()
+        .zip(&b_words)
+        .map(|(aw, bw)| b.add_mod_words(aw, bw, p))
+        .collect();
+    let total = tree_sum(&mut b, &xs);
+    let squares: Vec<Vec<WireId>> = xs.iter().map(|x| square_word(&mut b, x)).collect();
+    let sq_total = tree_sum(&mut b, &squares);
+    for wire in total {
+        b.output(wire);
+    }
+    for wire in sq_total {
+        b.output(wire);
+    }
+    b.build()
+}
+
+/// Share-reconstructing threshold-count circuit: counts reconstructed
+/// values strictly below `threshold`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `p < 2`, or `threshold >= p`.
+pub fn share_count_below_circuit(m: usize, p: u64, threshold: u64) -> Circuit {
+    assert!(m > 0 && p >= 2 && threshold < p);
+    let w = bits_for(p - 1);
+    let mut b = CircuitBuilder::new();
+    let a_words = word_inputs(&mut b, m, w);
+    let b_words = word_inputs(&mut b, m, w);
+    let th: Vec<WireId> = (0..w)
+        .map(|i| b.constant((threshold >> i) & 1 == 1))
+        .collect();
+    let flags: Vec<Vec<WireId>> = a_words
+        .iter()
+        .zip(&b_words)
+        .map(|(aw, bw)| {
+            let x = b.add_mod_words(aw, bw, p);
+            vec![b.lt_words(&x, &th)]
+        })
+        .collect();
+    let count = tree_sum(&mut b, &flags);
+    for wire in count {
+        b.output(wire);
+    }
+    b.build()
+}
+
+/// Compare-exchange: returns `(min, max)` of two words.
+fn compare_exchange(
+    b: &mut CircuitBuilder,
+    x: &[WireId],
+    y: &[WireId],
+) -> (Vec<WireId>, Vec<WireId>) {
+    let y_lt_x = b.lt_words(y, x);
+    let lo = b.mux_words(y_lt_x, x, y); // y < x ? y : x
+    let hi = b.mux_words(y_lt_x, y, x);
+    (lo, hi)
+}
+
+/// Sorts `words` ascending with Batcher's odd-even merge sort
+/// (`O(m log² m)` comparators, data-oblivious — exactly what a garbled
+/// circuit needs).
+pub fn sort_words(b: &mut CircuitBuilder, words: &mut Vec<Vec<WireId>>) {
+    let m = words.len();
+    if m < 2 {
+        return;
+    }
+    // Iterative Batcher odd-even mergesort for arbitrary m: compare (i, j)
+    // pairs from the classic p/k/j loop.
+    let mut p = 1usize;
+    while p < m {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < m {
+                for i in 0..k.min(m - j - k) {
+                    let a = i + j;
+                    let bb = i + j + k;
+                    if a / (2 * p) == bb / (2 * p) {
+                        let (lo, hi) = compare_exchange(b, &words[a], &words[bb]);
+                        words[a] = lo;
+                        words[bb] = hi;
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+}
+
+/// Builds the median circuit over `m` `width`-bit inputs: sorts with a
+/// Batcher network and outputs element `⌊m/2⌋` (the upper median).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `width == 0`.
+pub fn median_circuit(m: usize, width: usize) -> Circuit {
+    assert!(m > 0 && width > 0);
+    let mut b = CircuitBuilder::new();
+    let mut words = word_inputs(&mut b, m, width);
+    sort_words(&mut b, &mut words);
+    for &wire in &words[m / 2] {
+        b.output(wire);
+    }
+    b.build()
+}
+
+/// Share-reconstructing median circuit: reconstructs `x_j = a_j + b_j
+/// mod p`, sorts, outputs the upper median.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `p < 2`.
+pub fn share_median_circuit(m: usize, p: u64) -> Circuit {
+    assert!(m > 0 && p >= 2);
+    let w = bits_for(p - 1);
+    let mut b = CircuitBuilder::new();
+    let a_words = word_inputs(&mut b, m, w);
+    let b_words = word_inputs(&mut b, m, w);
+    let mut xs: Vec<Vec<WireId>> = a_words
+        .iter()
+        .zip(&b_words)
+        .map(|(aw, bw)| b.add_mod_words(aw, bw, p))
+        .collect();
+    sort_words(&mut b, &mut xs);
+    for &wire in &xs[m / 2] {
+        b.output(wire);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfe_math::{RandomSource, XorShiftRng};
+
+    fn pack(vals: &[u64], width: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(vals.len() * width);
+        for &v in vals {
+            for i in 0..width {
+                out.push((v >> i) & 1 == 1);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn bits_for_known() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn sum_circuit_random() {
+        let mut rng = XorShiftRng::new(1);
+        for (m, width) in [(1usize, 4usize), (2, 8), (5, 6), (16, 3)] {
+            let c = sum_circuit(m, width);
+            for _ in 0..10 {
+                let vals: Vec<u64> = (0..m).map(|_| rng.next_below(1 << width)).collect();
+                let expect: u64 = vals.iter().sum();
+                assert_eq!(c.evaluate_to_u64(&pack(&vals, width)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_of_squares_random() {
+        let mut rng = XorShiftRng::new(2);
+        let (m, width) = (4usize, 5usize);
+        let c = sum_of_squares_circuit(m, width);
+        for _ in 0..10 {
+            let vals: Vec<u64> = (0..m).map(|_| rng.next_below(1 << width)).collect();
+            let expect: u64 = vals.iter().map(|&v| v * v).sum();
+            assert_eq!(c.evaluate_to_u64(&pack(&vals, width)), expect, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn square_word_exhaustive_4bit() {
+        let mut b = CircuitBuilder::new();
+        let x = b.inputs(4);
+        let sq = square_word(&mut b, &x);
+        for w in sq {
+            b.output(w);
+        }
+        let c = b.build();
+        for v in 0u64..16 {
+            assert_eq!(c.evaluate_to_u64(&pack(&[v], 4)), v * v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn frequency_counts_matches() {
+        let c = frequency_circuit(5, 4, 7);
+        let vals = [7u64, 3, 7, 7, 1];
+        assert_eq!(c.evaluate_to_u64(&pack(&vals, 4)), 3);
+        let none = [0u64, 1, 2, 3, 4];
+        assert_eq!(c.evaluate_to_u64(&pack(&none, 4)), 0);
+        let all = [7u64; 5];
+        assert_eq!(c.evaluate_to_u64(&pack(&all, 4)), 5);
+    }
+
+    #[test]
+    fn count_below_matches() {
+        let c = count_below_circuit(6, 5, 10);
+        let vals = [0u64, 9, 10, 11, 31, 5];
+        let expect = vals.iter().filter(|&&v| v < 10).count() as u64;
+        assert_eq!(c.evaluate_to_u64(&pack(&vals, 5)), expect);
+    }
+
+    #[test]
+    fn max_circuit_random() {
+        let mut rng = XorShiftRng::new(3);
+        let c = max_circuit(7, 6);
+        for _ in 0..10 {
+            let vals: Vec<u64> = (0..7).map(|_| rng.next_below(1 << 6)).collect();
+            let expect = *vals.iter().max().unwrap();
+            assert_eq!(c.evaluate_to_u64(&pack(&vals, 6)), expect, "{vals:?}");
+        }
+    }
+
+    #[test]
+    fn circuit_sizes_scale_linearly_in_m() {
+        // Sum circuit size is O(m·width) — the C_f in Table 1's cost rows.
+        let s8 = sum_circuit(8, 8).size();
+        let s16 = sum_circuit(16, 8).size();
+        let s32 = sum_circuit(32, 8).size();
+        assert!(s16 > s8 && s32 > s16);
+        assert!(s32 < 5 * s8, "sum circuit grew superlinearly");
+    }
+
+    #[test]
+    #[should_panic(expected = "keyword wider")]
+    fn oversized_keyword_rejected() {
+        let _ = frequency_circuit(2, 3, 9);
+    }
+
+    #[test]
+    fn sorting_network_sorts_all_sizes() {
+        let mut rng = XorShiftRng::new(11);
+        for m in 1..=9usize {
+            let w = 5;
+            let mut b = CircuitBuilder::new();
+            let mut words = (0..m).map(|_| b.inputs(w)).collect::<Vec<_>>();
+            sort_words(&mut b, &mut words);
+            for word in &words {
+                for &wire in word {
+                    b.output(wire);
+                }
+            }
+            let c = b.build();
+            for _ in 0..20 {
+                let vals: Vec<u64> = (0..m).map(|_| rng.next_below(1 << w)).collect();
+                let out = c.evaluate(&pack(&vals, w));
+                let got: Vec<u64> = (0..m)
+                    .map(|j| {
+                        (0..w)
+                            .map(|i| (out[j * w + i] as u64) << i)
+                            .sum::<u64>()
+                    })
+                    .collect();
+                let mut expect = vals.clone();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "m={m} vals={vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn median_circuit_matches_reference() {
+        let mut rng = XorShiftRng::new(12);
+        for m in [1usize, 2, 3, 5, 8] {
+            let c = median_circuit(m, 6);
+            for _ in 0..10 {
+                let vals: Vec<u64> = (0..m).map(|_| rng.next_below(1 << 6)).collect();
+                let mut sorted = vals.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    c.evaluate_to_u64(&pack(&vals, 6)),
+                    sorted[m / 2],
+                    "m={m} vals={vals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn share_median_circuit_reconstructs() {
+        let mut rng = XorShiftRng::new(13);
+        let p = 31u64;
+        let m = 5;
+        let c = share_median_circuit(m, p);
+        let w = bits_for(p - 1);
+        for _ in 0..10 {
+            let xs: Vec<u64> = (0..m).map(|_| rng.next_below(p)).collect();
+            let a: Vec<u64> = (0..m).map(|_| rng.next_below(p)).collect();
+            let b: Vec<u64> = xs.iter().zip(&a).map(|(&x, &av)| (x + p - av) % p).collect();
+            let mut input = pack(&a, w);
+            input.extend(pack(&b, w));
+            let mut sorted = xs.clone();
+            sorted.sort_unstable();
+            assert_eq!(c.evaluate_to_u64(&input), sorted[m / 2], "{xs:?}");
+        }
+    }
+
+    #[test]
+    fn sub_words_exhaustive_3bit() {
+        let mut b = CircuitBuilder::new();
+        let aw = b.inputs(3);
+        let bw = b.inputs(3);
+        let (d, borrow) = b.sub_words(&aw, &bw);
+        for w in d {
+            b.output(w);
+        }
+        b.output(borrow);
+        let c = b.build();
+        for a in 0u64..8 {
+            for bb in 0u64..8 {
+                let mut input = pack(&[a], 3);
+                input.extend(pack(&[bb], 3));
+                let out = c.evaluate(&input);
+                let diff: u64 = out[..3]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (x as u64) << i)
+                    .sum();
+                assert_eq!(diff, a.wrapping_sub(bb) & 7, "a={a} b={bb}");
+                assert_eq!(out[3], a < bb, "borrow a={a} b={bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_mod_words_exhaustive() {
+        for p in [5u64, 7, 8] {
+            let w = bits_for(p - 1);
+            let mut b = CircuitBuilder::new();
+            let aw = b.inputs(w);
+            let bw = b.inputs(w);
+            let s = b.add_mod_words(&aw, &bw, p);
+            for wire in s {
+                b.output(wire);
+            }
+            let c = b.build();
+            for a in 0..p {
+                for bb in 0..p {
+                    let mut input = pack(&[a], w);
+                    input.extend(pack(&[bb], w));
+                    assert_eq!(c.evaluate_to_u64(&input), (a + bb) % p, "p={p} a={a} b={bb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn share_sum_mod_circuit_random() {
+        let mut rng = XorShiftRng::new(7);
+        let p = 101u64;
+        let m = 4;
+        let c = share_sum_mod_circuit(m, p);
+        let w = bits_for(p - 1);
+        for _ in 0..10 {
+            let xs: Vec<u64> = (0..m).map(|_| rng.next_below(p)).collect();
+            let a_shares: Vec<u64> = (0..m).map(|_| rng.next_below(p)).collect();
+            let b_shares: Vec<u64> = xs
+                .iter()
+                .zip(&a_shares)
+                .map(|(&x, &a)| (x + p - a) % p)
+                .collect();
+            let mut input = pack(&a_shares, w);
+            input.extend(pack(&b_shares, w));
+            let expect = xs.iter().sum::<u64>() % p;
+            assert_eq!(c.evaluate_to_u64(&input), expect);
+        }
+    }
+
+    #[test]
+    fn share_frequency_circuit_counts() {
+        let p = 11u64;
+        let m = 3;
+        let keyword = 4u64;
+        let c = share_frequency_circuit(m, p, keyword);
+        let w = bits_for(p - 1);
+        let xs = [4u64, 9, 4];
+        let a_shares = [3u64, 10, 0];
+        let b_shares: Vec<u64> = xs
+            .iter()
+            .zip(&a_shares)
+            .map(|(&x, &a)| (x + p - a) % p)
+            .collect();
+        let mut input = pack(a_shares.as_ref(), w);
+        input.extend(pack(&b_shares, w));
+        assert_eq!(c.evaluate_to_u64(&input), 2);
+    }
+}

@@ -1,0 +1,445 @@
+//! Boolean formulas and their arithmetization — the §3.1 construction.
+//!
+//! The multi-server protocol expresses `f` as a multivariate polynomial `P`
+//! over a field `F`, in the bits of the client's `m` selected indices:
+//!
+//! * each leaf of the formula names an argument slot `j ∈ [m]` and becomes
+//!   the database selector polynomial
+//!   `P₀(y₁…y_ℓ) = Σ_i x_i · Π_k (y_k if i(k)=1 else 1-y_k)` of degree `ℓ`;
+//! * each binary gate `g` becomes its natural degree-2 polynomial `Q_g`
+//!   (e.g. `AND(φ,ψ) = φ·ψ`, `OR = φ+ψ-φψ`, `XOR = φ+ψ-2φψ`).
+//!
+//! The total degree of `P` is at most `ℓ·s` where `s` is the number of
+//! leaves — the quantity that determines the server count `k = t·ℓ·s + 1`
+//! in Theorem 2.
+//!
+//! `P` is *evaluated implicitly* (gate by gate over field values), which
+//! costs `O(n·ℓ)` per leaf; the explicit expansion to an
+//! `MPoly` is provided for validation on small
+//! instances.
+
+use spfe_math::{Fp64, MPoly};
+
+/// Binary gate operations available in formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// Logical XOR.
+    Xor,
+    /// Logical NAND.
+    Nand,
+    /// Logical NOR.
+    Nor,
+}
+
+impl BinOp {
+    /// Boolean semantics.
+    pub fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Nand => !(a & b),
+            BinOp::Nor => !(a | b),
+        }
+    }
+
+    /// The natural degree-2 gate polynomial `Q_g` over a field.
+    pub fn arithmetize(self, f: Fp64, a: u64, b: u64) -> u64 {
+        let ab = f.mul(a, b);
+        match self {
+            BinOp::And => ab,
+            BinOp::Or => f.sub(f.add(a, b), ab),
+            BinOp::Xor => f.sub(f.add(a, b), f.mul(2 % f.modulus(), ab)),
+            BinOp::Nand => f.sub(1, ab),
+            BinOp::Nor => f.sub(1, f.sub(f.add(a, b), ab)),
+        }
+    }
+}
+
+/// A Boolean formula over `m` argument slots.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_circuits::formula::{Formula, BinOp};
+/// // (arg0 AND arg1) XOR arg2
+/// let f = Formula::gate(
+///     BinOp::Xor,
+///     Formula::gate(BinOp::And, Formula::leaf(0), Formula::leaf(1)),
+///     Formula::leaf(2),
+/// );
+/// assert_eq!(f.size(), 3); // three leaves
+/// assert!(f.evaluate(&[true, true, false]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// The `j`-th selected data item.
+    Leaf(usize),
+    /// A binary gate over two subformulas.
+    Gate(BinOp, Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// A leaf referencing argument slot `j`.
+    pub fn leaf(j: usize) -> Self {
+        Formula::Leaf(j)
+    }
+
+    /// A binary gate node.
+    pub fn gate(op: BinOp, left: Formula, right: Formula) -> Self {
+        Formula::Gate(op, Box::new(left), Box::new(right))
+    }
+
+    /// A negation node.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(inner: Formula) -> Self {
+        Formula::Not(Box::new(inner))
+    }
+
+    /// A balanced tree combining leaves `0..m` with `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn balanced(op: BinOp, m: usize) -> Self {
+        assert!(m > 0);
+        fn rec(op: BinOp, lo: usize, hi: usize) -> Formula {
+            if hi - lo == 1 {
+                Formula::Leaf(lo)
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                Formula::gate(op, rec(op, lo, mid), rec(op, mid, hi))
+            }
+        }
+        rec(op, 0, m)
+    }
+
+    /// The paper's formula size `s`: the number of leaves.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Leaf(_) => 1,
+            Formula::Gate(_, l, r) => l.size() + r.size(),
+            Formula::Not(inner) => inner.size(),
+        }
+    }
+
+    /// The number of argument slots `m` (one more than the largest slot).
+    pub fn arity(&self) -> usize {
+        match self {
+            Formula::Leaf(j) => j + 1,
+            Formula::Gate(_, l, r) => l.arity().max(r.arity()),
+            Formula::Not(inner) => inner.arity(),
+        }
+    }
+
+    /// Degree of the arithmetization when each leaf has degree `leaf_deg`
+    /// (`= ℓ = ⌈log₂ n⌉` for the selector polynomial): `deg(P) ≤ ℓ·s`.
+    pub fn degree_bound(&self, leaf_deg: usize) -> usize {
+        match self {
+            Formula::Leaf(_) => leaf_deg,
+            Formula::Gate(_, l, r) => l.degree_bound(leaf_deg) + r.degree_bound(leaf_deg),
+            Formula::Not(inner) => inner.degree_bound(leaf_deg),
+        }
+    }
+
+    /// Boolean evaluation on concrete arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` is shorter than the arity.
+    pub fn evaluate(&self, args: &[bool]) -> bool {
+        match self {
+            Formula::Leaf(j) => args[*j],
+            Formula::Gate(op, l, r) => op.apply(l.evaluate(args), r.evaluate(args)),
+            Formula::Not(inner) => !inner.evaluate(args),
+        }
+    }
+
+    /// Arithmetized evaluation: applies the gate polynomials to field values
+    /// standing for the leaf values (one value per argument slot).
+    ///
+    /// On 0/1 inputs this agrees with [`Formula::evaluate`]; on arbitrary
+    /// field points it is the low-degree extension the §3.1 protocol
+    /// evaluates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_values` is shorter than the arity.
+    pub fn arithmetized_eval(&self, f: Fp64, leaf_values: &[u64]) -> u64 {
+        match self {
+            Formula::Leaf(j) => leaf_values[*j],
+            Formula::Gate(op, l, r) => op.arithmetize(
+                f,
+                l.arithmetized_eval(f, leaf_values),
+                r.arithmetized_eval(f, leaf_values),
+            ),
+            Formula::Not(inner) => f.sub(1, inner.arithmetized_eval(f, leaf_values)),
+        }
+    }
+}
+
+/// Number of index bits `ℓ = ⌈log₂ n⌉` for a database of `n ≥ 1` items.
+pub fn index_bits(n: usize) -> usize {
+    assert!(n >= 1);
+    (usize::BITS - (n - 1).leading_zeros()).max(1) as usize
+}
+
+/// Encodes index `i` as its `ℓ` bits (little-endian) embedded in the field.
+pub fn encode_index(i: usize, ell: usize) -> Vec<u64> {
+    (0..ell).map(|k| ((i >> k) & 1) as u64).collect()
+}
+
+/// Evaluates the database selector polynomial
+/// `P₀(y) = Σ_i x_i · Π_k (y_k if i(k)=1 else 1-y_k)`
+/// at an arbitrary field point `y ∈ F^ℓ` — the implicit leaf evaluation of
+/// §3.1, costing `O(n·ℓ)` field operations.
+///
+/// # Panics
+///
+/// Panics if `2^{y.len()} < db.len()`.
+pub fn selector_eval(db: &[u64], y: &[u64], f: Fp64) -> u64 {
+    let ell = y.len();
+    assert!(
+        ell >= index_bits(db.len().max(1)),
+        "too few index bits for the database"
+    );
+    let y: Vec<u64> = y.iter().map(|&v| f.from_u64(v)).collect();
+    let not_y: Vec<u64> = y.iter().map(|&v| f.sub(1, v)).collect();
+    let mut acc = 0u64;
+    for (i, &xi) in db.iter().enumerate() {
+        if xi == 0 {
+            continue;
+        }
+        let mut chi = f.from_u64(xi);
+        for k in 0..ell {
+            let factor = if (i >> k) & 1 == 1 { y[k] } else { not_y[k] };
+            chi = f.mul(chi, factor);
+            if chi == 0 {
+                break;
+            }
+        }
+        acc = f.add(acc, chi);
+    }
+    acc
+}
+
+/// Explicitly expands the selector polynomial `P₀` for slot variables
+/// `[var_base, var_base + ℓ)` of an `num_vars`-variable polynomial ring —
+/// exponential in `ℓ`; for validation on small instances only.
+pub fn selector_mpoly(db: &[u64], ell: usize, var_base: usize, num_vars: usize, f: Fp64) -> MPoly {
+    let mut acc = MPoly::zero(num_vars, f);
+    for (i, &xi) in db.iter().enumerate() {
+        if xi == 0 {
+            continue;
+        }
+        let mut term = MPoly::constant(xi, num_vars, f);
+        for k in 0..ell {
+            let yk = MPoly::var(var_base + k, num_vars, f);
+            let factor = if (i >> k) & 1 == 1 {
+                yk
+            } else {
+                MPoly::constant(1, num_vars, f).sub(&yk)
+            };
+            term = term.mul(&factor);
+        }
+        acc = acc.add(&term);
+    }
+    acc
+}
+
+/// Explicitly compiles a formula over a database into the multivariate
+/// polynomial `P ∈ F[y₁ … y_{m·ℓ}]` of §3.1 (slot `j` owns variables
+/// `[j·ℓ, (j+1)·ℓ)`). Exponential in `ℓ`; for validation on small instances.
+pub fn compile_formula_mpoly(formula: &Formula, db: &[u64], ell: usize, f: Fp64) -> MPoly {
+    let m = formula.arity();
+    let num_vars = m * ell;
+    fn rec(node: &Formula, db: &[u64], ell: usize, num_vars: usize, f: Fp64) -> MPoly {
+        match node {
+            Formula::Leaf(j) => selector_mpoly(db, ell, j * ell, num_vars, f),
+            Formula::Not(inner) => {
+                MPoly::constant(1, num_vars, f).sub(&rec(inner, db, ell, num_vars, f))
+            }
+            Formula::Gate(op, l, r) => {
+                let a = rec(l, db, ell, num_vars, f);
+                let b = rec(r, db, ell, num_vars, f);
+                let ab = a.mul(&b);
+                match op {
+                    BinOp::And => ab,
+                    BinOp::Or => a.add(&b).sub(&ab),
+                    BinOp::Xor => a.add(&b).sub(&ab.scale(2)),
+                    BinOp::Nand => MPoly::constant(1, num_vars, f).sub(&ab),
+                    BinOp::Nor => MPoly::constant(1, num_vars, f).sub(&a.add(&b).sub(&ab)),
+                }
+            }
+        }
+    }
+    rec(formula, db, ell, num_vars, f)
+}
+
+/// Evaluates the §3.1 polynomial `P` implicitly at a point
+/// `y = (y_1 … y_m) ∈ (F^ℓ)^m` (one ℓ-vector per slot): each slot's selector
+/// is evaluated by [`selector_eval`], then combined through the gate
+/// polynomials.
+///
+/// # Panics
+///
+/// Panics if `slot_points.len()` is smaller than the formula's arity.
+pub fn eval_formula_poly(formula: &Formula, db: &[u64], slot_points: &[Vec<u64>], f: Fp64) -> u64 {
+    assert!(slot_points.len() >= formula.arity());
+    let leaf_values: Vec<u64> = slot_points
+        .iter()
+        .map(|y| selector_eval(db, y, f))
+        .collect();
+    formula.arithmetized_eval(f, &leaf_values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfe_math::{RandomSource, XorShiftRng};
+
+    fn field() -> Fp64 {
+        Fp64::new(1_000_003).unwrap()
+    }
+
+    #[test]
+    fn index_bits_known() {
+        assert_eq!(index_bits(1), 1);
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(8), 3);
+        assert_eq!(index_bits(9), 4);
+        assert_eq!(index_bits(1024), 10);
+    }
+
+    #[test]
+    fn selector_recovers_database_entries() {
+        let f = field();
+        let db = [5u64, 9, 2, 7, 0, 3];
+        let ell = index_bits(db.len());
+        for (i, &x) in db.iter().enumerate() {
+            assert_eq!(selector_eval(&db, &encode_index(i, ell), f), x, "i={i}");
+        }
+    }
+
+    #[test]
+    fn selector_mpoly_matches_implicit() {
+        let f = field();
+        let db = [1u64, 4, 2, 8];
+        let ell = 2;
+        let p = selector_mpoly(&db, ell, 0, 2, f);
+        let mut rng = XorShiftRng::new(5);
+        for _ in 0..20 {
+            let y = [rng.next_below(1_000_003), rng.next_below(1_000_003)];
+            assert_eq!(p.eval(&y), selector_eval(&db, &y, f));
+        }
+        // Degree ℓ as claimed.
+        assert_eq!(p.total_degree(), ell);
+    }
+
+    #[test]
+    fn formula_metrics() {
+        let phi = Formula::balanced(BinOp::And, 4);
+        assert_eq!(phi.size(), 4);
+        assert_eq!(phi.arity(), 4);
+        assert_eq!(phi.degree_bound(3), 12); // ℓ·s
+        let with_not = Formula::not(phi);
+        assert_eq!(with_not.size(), 4);
+    }
+
+    #[test]
+    fn arithmetization_agrees_on_boolean_inputs() {
+        let f = field();
+        let phi = Formula::gate(
+            BinOp::Xor,
+            Formula::gate(BinOp::And, Formula::leaf(0), Formula::leaf(1)),
+            Formula::not(Formula::gate(BinOp::Or, Formula::leaf(2), Formula::leaf(0))),
+        );
+        for bits in 0u32..8 {
+            let args: Vec<bool> = (0..3).map(|i| (bits >> i) & 1 == 1).collect();
+            let vals: Vec<u64> = args.iter().map(|&b| b as u64).collect();
+            assert_eq!(
+                phi.arithmetized_eval(f, &vals),
+                phi.evaluate(&args) as u64,
+                "bits={bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_binops_arithmetize_correctly() {
+        let f = field();
+        for op in [BinOp::And, BinOp::Or, BinOp::Xor, BinOp::Nand, BinOp::Nor] {
+            for a in [false, true] {
+                for b in [false, true] {
+                    assert_eq!(
+                        op.arithmetize(f, a as u64, b as u64),
+                        op.apply(a, b) as u64,
+                        "{op:?} {a} {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_mpoly_matches_implicit_eval() {
+        // The §3.1 claim: the explicit P and the implicit evaluation agree
+        // on arbitrary field points, and deg(P) ≤ ℓ·s.
+        let f = field();
+        let db = [1u64, 0, 1, 1]; // Boolean database
+        let ell = 2;
+        let phi = Formula::gate(
+            BinOp::And,
+            Formula::leaf(0),
+            Formula::gate(BinOp::Xor, Formula::leaf(1), Formula::leaf(0)),
+        );
+        let p = compile_formula_mpoly(&phi, &db, ell, f);
+        assert!(p.total_degree() <= phi.degree_bound(ell));
+        let mut rng = XorShiftRng::new(77);
+        for _ in 0..20 {
+            let pts: Vec<Vec<u64>> = (0..phi.arity())
+                .map(|_| (0..ell).map(|_| rng.next_below(1_000_003)).collect())
+                .collect();
+            let flat: Vec<u64> = pts.iter().flatten().copied().collect();
+            assert_eq!(p.eval(&flat), eval_formula_poly(&phi, &db, &pts, f));
+        }
+    }
+
+    #[test]
+    fn formula_poly_on_encoded_indices_computes_f() {
+        // P(i₁(1)…i_m(ℓ)) = f(x_{i₁},…,x_{i_m}) — the §3.1 correctness claim.
+        let f = field();
+        let db = [1u64, 0, 1, 1, 0, 1, 0, 0];
+        let ell = index_bits(db.len());
+        let phi = Formula::gate(
+            BinOp::Or,
+            Formula::gate(BinOp::And, Formula::leaf(0), Formula::leaf(1)),
+            Formula::leaf(2),
+        );
+        for (i0, i1, i2) in [(0usize, 1usize, 4usize), (2, 3, 7), (5, 5, 6), (7, 0, 3)] {
+            let pts = vec![
+                encode_index(i0, ell),
+                encode_index(i1, ell),
+                encode_index(i2, ell),
+            ];
+            let expect = phi.evaluate(&[db[i0] == 1, db[i1] == 1, db[i2] == 1]) as u64;
+            assert_eq!(eval_formula_poly(&phi, &db, &pts, f), expect);
+        }
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let phi = Formula::balanced(BinOp::Or, 7);
+        assert_eq!(phi.size(), 7);
+        let args = [false, false, false, false, false, false, true];
+        assert!(phi.evaluate(&args));
+        assert!(!phi.evaluate(&[false; 7]));
+    }
+}

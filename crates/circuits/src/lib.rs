@@ -1,0 +1,27 @@
+//! # spfe-circuits
+//!
+//! Function representations for the SPFE protocols:
+//!
+//! * [`boolean`] — Boolean circuit DAGs (`C_f` in Table 1), with builders;
+//! * [`builders`] — the §4 statistical functions as circuits (sum, sum of
+//!   squares, frequency, threshold count, max);
+//! * [`formula`] — Boolean formulas and the §3.1 arithmetization into
+//!   multivariate polynomials (selector polynomial `P₀`, gate polynomials
+//!   `Q_g`, implicit evaluation, and an explicit compiler for validation);
+//! * [`arith`] — arithmetic circuits over `Z_u` (§3.3.4);
+//! * [`bp`] — branching programs (`B_f`) and the path-counting determinant
+//!   lemma behind the perfect PSM protocol of Corollary 4(2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod boolean;
+pub mod bp;
+pub mod builders;
+pub mod formula;
+
+pub use arith::{ArithCircuit, ArithCircuitBuilder};
+pub use boolean::{Circuit, CircuitBuilder, Gate, WireId};
+pub use bp::{BranchingProgram, Edge, Guard};
+pub use formula::{BinOp, Formula};

@@ -1,0 +1,285 @@
+//! Databases and synthetic workload generators.
+//!
+//! The paper's motivating application (§1): a database with *public*
+//! attributes (zip code) and *private* values (salary, age). The client
+//! selects a sample using the public part and privately computes statistics
+//! over the private part. Since the motivating third-party databases are
+//! proprietary, the generators here produce synthetic equivalents whose
+//! only protocol-relevant properties — size `n` and value range — are
+//! swept by the benchmarks (DESIGN.md §4, substitution 3).
+
+use spfe_math::RandomSource;
+
+/// A database of `n` private values with optional public attributes.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_core::database::Database;
+/// use spfe_math::XorShiftRng;
+/// let mut rng = XorShiftRng::new(1);
+/// let db = Database::census(100, &mut rng);
+/// assert_eq!(db.len(), 100);
+/// let sample = db.select_by_zip(db.public()[3].zip_code);
+/// assert!(!sample.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Database {
+    values: Vec<u64>,
+    public: Vec<PublicRecord>,
+    max_value: u64,
+}
+
+/// The public attributes of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicRecord {
+    /// Public zip code (5 digits).
+    pub zip_code: u32,
+    /// Public age bracket (0–15).
+    pub age_bracket: u8,
+}
+
+impl Database {
+    /// Wraps raw values (no public attributes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: Vec<u64>) -> Self {
+        assert!(!values.is_empty(), "empty database");
+        let max_value = *values.iter().max().unwrap();
+        let public = (0..values.len())
+            .map(|i| PublicRecord {
+                zip_code: (i % 100) as u32,
+                age_bracket: (i % 16) as u8,
+            })
+            .collect();
+        Database {
+            values,
+            public,
+            max_value,
+        }
+    }
+
+    /// Uniformly random values in `[0, max)`.
+    pub fn uniform<R: RandomSource + ?Sized>(n: usize, max: u64, rng: &mut R) -> Self {
+        assert!(n > 0 && max > 0);
+        Database::from_values((0..n).map(|_| rng.next_below(max)).collect())
+    }
+
+    /// Zipf-distributed values over `[1, max]` with exponent ~1 — a
+    /// heavy-tailed workload (e.g. purchase counts).
+    pub fn zipf<R: RandomSource + ?Sized>(n: usize, max: u64, rng: &mut R) -> Self {
+        assert!(n > 0 && max > 1);
+        let values = (0..n)
+            .map(|_| {
+                // Inverse-CDF sampling for P(v) ∝ 1/v over [1, max]:
+                // v = max^u for u uniform in (0, 1].
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = (max as f64).powf(u.max(1e-12));
+                (v as u64).clamp(1, max)
+            })
+            .collect();
+        Database::from_values(values)
+    }
+
+    /// A census-style database: salaries (log-normal-ish) keyed by zip code
+    /// and age bracket — the paper's running example.
+    pub fn census<R: RandomSource + ?Sized>(n: usize, rng: &mut R) -> Self {
+        assert!(n > 0);
+        let mut values = Vec::with_capacity(n);
+        let mut public = Vec::with_capacity(n);
+        for _ in 0..n {
+            let zip = 10_000 + rng.next_below(90_000) as u32;
+            let age = rng.next_below(16) as u8;
+            // Salary: base by age bracket + multiplicative noise.
+            let base = 20_000 + 5_000 * age as u64;
+            let noise = 50 + rng.next_below(150); // 0.5x – 2.0x in percent
+            values.push(base * noise / 100);
+            public.push(PublicRecord {
+                zip_code: zip,
+                age_bracket: age,
+            });
+        }
+        let max_value = *values.iter().max().unwrap();
+        Database {
+            values,
+            public,
+            max_value,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The private values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The public attributes.
+    pub fn public(&self) -> &[PublicRecord] {
+        &self.public
+    }
+
+    /// Largest private value (used to size fields/moduli).
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// The element-wise squared database `x' = (x₁², …)` kept by the server
+    /// for the §4 average+variance package.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any square overflows `u64`.
+    pub fn squared(&self) -> Vec<u64> {
+        self.values
+            .iter()
+            .map(|&v| v.checked_mul(v).expect("square overflows u64"))
+            .collect()
+    }
+
+    /// Indices of records in a zip code — how a client would select its
+    /// sample from public data.
+    pub fn select_by_zip(&self, zip: u32) -> Vec<usize> {
+        self.public
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.zip_code == zip)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of records in an age bracket.
+    pub fn select_by_age(&self, bracket: u8) -> Vec<usize> {
+        self.public
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.age_bracket == bracket)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A prime modulus large enough for sums of `m` values plus the
+    /// database index space — the field `F` the §3/§4 protocols compute in.
+    pub fn field_for_sums(&self, m: usize) -> spfe_math::Fp64 {
+        let bound = (self.max_value.max(1))
+            .saturating_mul(m as u64)
+            .max(self.values.len() as u64)
+            + 1;
+        spfe_math::Fp64::at_least(bound)
+    }
+}
+
+/// Clear-text reference statistics, used as ground truth in tests and
+/// experiment reports.
+pub mod reference {
+    /// Sum of the selected values.
+    pub fn sum(values: &[u64], indices: &[usize]) -> u64 {
+        indices.iter().map(|&i| values[i]).sum()
+    }
+
+    /// Mean (floor) of the selected values.
+    pub fn mean(values: &[u64], indices: &[usize]) -> u64 {
+        sum(values, indices) / indices.len() as u64
+    }
+
+    /// Population variance ×(m²) as integers: `m·Σx² − (Σx)²` (avoids
+    /// fractions; the client rescales).
+    pub fn variance_numerator(values: &[u64], indices: &[usize]) -> u64 {
+        let m = indices.len() as u64;
+        let s: u64 = sum(values, indices);
+        let sq: u64 = indices.iter().map(|&i| values[i] * values[i]).sum();
+        m * sq - s * s
+    }
+
+    /// Number of selected values equal to the keyword.
+    pub fn frequency(values: &[u64], indices: &[usize], keyword: u64) -> u64 {
+        indices.iter().filter(|&&i| values[i] == keyword).count() as u64
+    }
+
+    /// Weighted sum with the given coefficients.
+    pub fn weighted_sum(values: &[u64], indices: &[usize], weights: &[u64]) -> u64 {
+        indices
+            .iter()
+            .zip(weights)
+            .map(|(&i, &w)| values[i] * w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfe_math::XorShiftRng;
+
+    #[test]
+    fn uniform_values_in_range() {
+        let mut rng = XorShiftRng::new(1);
+        let db = Database::uniform(500, 1000, &mut rng);
+        assert_eq!(db.len(), 500);
+        assert!(db.values().iter().all(|&v| v < 1000));
+        assert!(db.max_value() < 1000);
+    }
+
+    #[test]
+    fn zipf_is_heavy_tailed() {
+        let mut rng = XorShiftRng::new(2);
+        let db = Database::zipf(2000, 1_000_000, &mut rng);
+        let small = db.values().iter().filter(|&&v| v < 1000).count();
+        let large = db.values().iter().filter(|&&v| v >= 100_000).count();
+        assert!(small > large, "zipf should concentrate on small values");
+        assert!(large > 0, "but the tail must exist");
+    }
+
+    #[test]
+    fn census_selection_consistency() {
+        let mut rng = XorShiftRng::new(3);
+        let db = Database::census(300, &mut rng);
+        let bracket = db.public()[0].age_bracket;
+        let sel = db.select_by_age(bracket);
+        assert!(sel.contains(&0));
+        for &i in &sel {
+            assert_eq!(db.public()[i].age_bracket, bracket);
+        }
+    }
+
+    #[test]
+    fn squared_database() {
+        let db = Database::from_values(vec![3, 5, 7]);
+        assert_eq!(db.squared(), vec![9, 25, 49]);
+    }
+
+    #[test]
+    fn field_for_sums_covers_worst_case() {
+        let db = Database::from_values(vec![100, 999, 5]);
+        let f = db.field_for_sums(10);
+        assert!(f.modulus() > 9_990);
+    }
+
+    #[test]
+    fn reference_statistics() {
+        let vals = vec![10u64, 20, 30, 20];
+        let idx = vec![0usize, 1, 3];
+        assert_eq!(reference::sum(&vals, &idx), 50);
+        assert_eq!(reference::mean(&vals, &idx), 16);
+        assert_eq!(reference::frequency(&vals, &idx, 20), 2);
+        assert_eq!(reference::weighted_sum(&vals, &idx, &[1, 2, 3]), 110);
+        // m·Σx² − (Σx)² = 3·(100+400+400) − 2500 = 200
+        assert_eq!(reference::variance_numerator(&vals, &idx), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn empty_rejected() {
+        let _ = Database::from_values(vec![]);
+    }
+}

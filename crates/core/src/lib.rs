@@ -1,0 +1,33 @@
+//! # spfe-core
+//!
+//! The paper's contribution: selective private function evaluation (SPFE)
+//! protocols, reproduced in full.
+//!
+//! * [`multiserver`] — §3.1, multivariate-polynomial SPFE (Theorem 2);
+//! * [`psm_spfe`] — §3.2, one-round PSM+SPIR SPFE (Theorem 3, Corollary 4);
+//! * [`input_select`] + [`two_phase`] — §3.3, the three input-selection
+//!   reductions composed with Yao / §3.3.4 arithmetic MPC phases;
+//! * [`statistic`], [`stats`] — the §4 private-statistics suite (sum,
+//!   average+variance package, weighted sum, frequency);
+//! * [`baseline`] — the linear-communication baselines SPFE is measured
+//!   against (buy-the-database, generic Yao over the whole database);
+//! * [`security`], [`database`] — the security taxonomy (Table 1 metadata)
+//!   and synthetic workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod database;
+pub mod input_select;
+pub mod multiserver;
+pub mod psm_spfe;
+pub mod security;
+pub mod statistic;
+pub mod stats;
+pub mod two_phase;
+pub mod universal;
+
+pub use database::Database;
+pub use security::{ClientPrivacy, ProtocolMeta, SecurityLevel};
+pub use statistic::Statistic;

@@ -1,0 +1,221 @@
+//! The statistical functions of §4 as pluggable `f`'s.
+//!
+//! A [`Statistic`] knows how to render itself as the share-reconstructing
+//! Boolean circuit consumed by the Yao MPC phase, as an arithmetic circuit
+//! for the §3.3.4 phase (when `f` is arithmetic-representable), and how to
+//! decode/verify results against clear-text evaluation.
+
+use spfe_circuits::arith::{ArithCircuit, ArithCircuitBuilder};
+use spfe_circuits::boolean::Circuit;
+use spfe_circuits::builders::{
+    bits_for, share_count_below_circuit, share_frequency_circuit, share_median_circuit,
+    share_sum_and_squares_circuit, share_sum_mod_circuit, tree_sum_width,
+};
+use spfe_math::Nat;
+
+/// A statistic over the `m` selected items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statistic {
+    /// `Σ x_j` (the paper's canonical statistic; yields the average).
+    Sum,
+    /// `(Σ x_j, Σ x_j²)` — the average+variance package of §4.
+    SumAndSquares,
+    /// Number of selected items equal to `keyword` (§4 frequency).
+    Frequency {
+        /// The keyword searched for.
+        keyword: u64,
+    },
+    /// Number of selected items strictly below `threshold`.
+    CountBelow {
+        /// The threshold.
+        threshold: u64,
+    },
+    /// The (upper) median of the selected items — computed by a
+    /// data-oblivious Batcher sorting network inside the MPC phase.
+    Median,
+}
+
+impl Statistic {
+    /// Number of output values.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            Statistic::SumAndSquares => 2,
+            _ => 1,
+        }
+    }
+
+    /// True iff representable as a (low-degree) arithmetic circuit —
+    /// Table 1's scalability column applies to these.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, Statistic::Sum | Statistic::SumAndSquares)
+    }
+
+    /// The share-reconstructing Boolean circuit for the Yao phase: inputs
+    /// are `m` server shares then `m` client shares, each `bits(p−1)` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a keyword/threshold does not fit below `p`.
+    pub fn share_circuit(&self, m: usize, p: u64) -> Circuit {
+        match self {
+            Statistic::Sum => share_sum_mod_circuit(m, p),
+            Statistic::SumAndSquares => share_sum_and_squares_circuit(m, p),
+            Statistic::Frequency { keyword } => share_frequency_circuit(m, p, *keyword),
+            Statistic::CountBelow { threshold } => share_count_below_circuit(m, p, *threshold),
+            Statistic::Median => share_median_circuit(m, p),
+        }
+    }
+
+    /// The arithmetic circuit for the §3.3.4 phase: inputs are `m` client
+    /// mask-negations then `m` server blinded values; the circuit first
+    /// reconstructs `x_j` by addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the statistic is not arithmetic-representable.
+    pub fn share_arith_circuit(&self, m: usize, ring: Nat) -> ArithCircuit {
+        assert!(
+            self.is_arithmetic(),
+            "{self:?} has no arithmetic-circuit representation"
+        );
+        let mut b = ArithCircuitBuilder::new(ring);
+        let client_ins = b.inputs(m);
+        let server_ins = b.inputs(m);
+        let xs: Vec<_> = client_ins
+            .iter()
+            .zip(&server_ins)
+            .map(|(&c, &s)| b.add(c, s))
+            .collect();
+        let mut sum = xs[0];
+        for &x in &xs[1..] {
+            sum = b.add(sum, x);
+        }
+        b.output(sum);
+        if matches!(self, Statistic::SumAndSquares) {
+            let mut sq_sum = None;
+            for &x in &xs {
+                let sq = b.mul(x, x);
+                sq_sum = Some(match sq_sum {
+                    None => sq,
+                    Some(prev) => b.add(prev, sq),
+                });
+            }
+            b.output(sq_sum.unwrap());
+        }
+        b.build()
+    }
+
+    /// Splits the Yao phase's output bits into the statistic's values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit count mismatches the circuit's output layout.
+    pub fn decode_bits(&self, bits: &[bool], m: usize, p: u64) -> Vec<u64> {
+        let w = bits_for(p - 1);
+        let take = |range: std::ops::Range<usize>| -> u64 {
+            bits[range]
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+        };
+        match self {
+            Statistic::Sum => {
+                assert_eq!(bits.len(), w);
+                vec![take(0..w)]
+            }
+            Statistic::SumAndSquares => {
+                let sum_w = tree_sum_width(w, m);
+                let sq_w = tree_sum_width(2 * w, m);
+                assert_eq!(bits.len(), sum_w + sq_w, "output layout mismatch");
+                vec![take(0..sum_w), take(sum_w..bits.len())]
+            }
+            Statistic::Frequency { .. } | Statistic::CountBelow { .. } => {
+                vec![take(0..bits.len())]
+            }
+            Statistic::Median => {
+                assert_eq!(bits.len(), w);
+                vec![take(0..w)]
+            }
+        }
+    }
+
+    /// Clear-text evaluation (ground truth), modulo `p` where the circuit
+    /// reduces.
+    pub fn clear_eval(&self, values: &[u64], indices: &[usize], p: u64) -> Vec<u64> {
+        let xs: Vec<u64> = indices.iter().map(|&i| values[i] % p).collect();
+        match self {
+            Statistic::Sum => vec![xs.iter().fold(0u64, |a, &x| (a + x) % p)],
+            Statistic::SumAndSquares => vec![
+                xs.iter().sum::<u64>(),
+                xs.iter().map(|&x| x * x).sum::<u64>(),
+            ],
+            Statistic::Frequency { keyword } => {
+                vec![xs.iter().filter(|&&x| x == *keyword).count() as u64]
+            }
+            Statistic::CountBelow { threshold } => {
+                vec![xs.iter().filter(|&&x| x < *threshold).count() as u64]
+            }
+            Statistic::Median => {
+                let mut sorted = xs.clone();
+                sorted.sort_unstable();
+                vec![sorted[sorted.len() / 2]]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_counts() {
+        assert_eq!(Statistic::Sum.num_outputs(), 1);
+        assert_eq!(Statistic::SumAndSquares.num_outputs(), 2);
+    }
+
+    #[test]
+    fn arithmetic_representability() {
+        assert!(Statistic::Sum.is_arithmetic());
+        assert!(Statistic::SumAndSquares.is_arithmetic());
+        assert!(!Statistic::Frequency { keyword: 3 }.is_arithmetic());
+        assert!(!Statistic::CountBelow { threshold: 3 }.is_arithmetic());
+        assert!(!Statistic::Median.is_arithmetic());
+    }
+
+    #[test]
+    #[should_panic(expected = "no arithmetic-circuit representation")]
+    fn frequency_has_no_arith_circuit() {
+        let _ = Statistic::Frequency { keyword: 1 }.share_arith_circuit(2, Nat::from(97u64));
+    }
+
+    #[test]
+    fn arith_circuit_shapes() {
+        let sum = Statistic::Sum.share_arith_circuit(3, Nat::from(1_000_003u64));
+        assert_eq!(sum.mul_count(), 0);
+        assert_eq!(sum.num_inputs(), 6);
+        let ss = Statistic::SumAndSquares.share_arith_circuit(3, Nat::from(1_000_003u64));
+        assert_eq!(ss.mul_count(), 3);
+        assert_eq!(ss.mul_depth(), 1);
+    }
+
+    #[test]
+    fn clear_eval_ground_truth() {
+        let vals = [5u64, 9, 5, 2];
+        let idx = [0usize, 1, 2];
+        assert_eq!(Statistic::Sum.clear_eval(&vals, &idx, 1 << 20), vec![19]);
+        assert_eq!(
+            Statistic::SumAndSquares.clear_eval(&vals, &idx, 1 << 20),
+            vec![19, 131]
+        );
+        assert_eq!(
+            Statistic::Frequency { keyword: 5 }.clear_eval(&vals, &idx, 1 << 20),
+            vec![2]
+        );
+        assert_eq!(
+            Statistic::CountBelow { threshold: 6 }.clear_eval(&vals, &idx, 1 << 20),
+            vec![2]
+        );
+        assert_eq!(Statistic::Median.clear_eval(&vals, &idx, 1 << 20), vec![5]);
+    }
+}

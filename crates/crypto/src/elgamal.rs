@@ -1,0 +1,386 @@
+//! Exponential ElGamal over a Schnorr group.
+//!
+//! Encrypts `m` as `(g^r, g^m · y^r)` in the order-`q` subgroup of `Z_p^*`
+//! for a safe prime `p = 2q + 1`. Multiplying ciphertexts adds plaintexts in
+//! the exponent, so the scheme is additively homomorphic for plaintexts
+//! bounded by a decryption bound `B` (decryption solves a discrete log by
+//! baby-step/giant-step in `O(√B)`).
+//!
+//! This is the "small-modulus homomorphic encryption" the paper appeals to
+//! in §3.3.2 ("since F can be chosen to be roughly of size n, the exponents
+//! can be made small").
+
+use crate::hom::{HomomorphicPk, HomomorphicSk};
+use spfe_math::prime::gen_safe_prime;
+use spfe_math::{Montgomery, Nat, RandomSource};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An ElGamal ciphertext `(a, b) = (g^r, g^m y^r)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElGamalCt {
+    pub(crate) a: Nat,
+    pub(crate) b: Nat,
+}
+
+/// A Schnorr group: the order-`q` subgroup of `Z_p^*` for safe prime `p = 2q+1`.
+#[derive(Clone)]
+pub struct SchnorrGroup {
+    p: Nat,
+    q: Nat,
+    g: Nat,
+    mont: Arc<Montgomery>,
+}
+
+impl std::fmt::Debug for SchnorrGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchnorrGroup")
+            .field("p_bits", &self.p.bit_len())
+            .finish()
+    }
+}
+
+impl SchnorrGroup {
+    /// Generates a fresh group with a `bits`-bit safe prime.
+    pub fn generate<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        let (p, q) = gen_safe_prime(bits, rng);
+        let mont = Arc::new(Montgomery::new(p.clone()));
+        // g = h² for random h ≠ ±1 generates the order-q subgroup.
+        let g = loop {
+            let h = Nat::random_below(rng, &p);
+            let g = mont.pow(&h, &Nat::from(2u64));
+            if !g.is_one() && !g.is_zero() {
+                break g;
+            }
+        };
+        SchnorrGroup { p, q, g, mont }
+    }
+
+    /// The RFC 3526 1536-bit MODP group (generator 2 squared to land in the
+    /// prime-order subgroup) — a realistic-size group with no generation cost.
+    pub fn rfc3526_1536() -> Self {
+        let p = Nat::from_hex(concat!(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08",
+            "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B",
+            "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9",
+            "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6",
+            "49286651ECE45B3DC2007CB8A163BF0598DA48361C55D39A69163FA8",
+            "FD24CF5F83655D23DCA3AD961C62F356208552BB9ED529077096966D",
+            "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+        ))
+        .expect("valid hex");
+        let q = p.sub(&Nat::one()).shr(1);
+        let mont = Arc::new(Montgomery::new(p.clone()));
+        let g = Nat::from(4u64); // 2² generates the order-q subgroup
+        SchnorrGroup { p, q, g, mont }
+    }
+
+    /// Derives a "nothing-up-my-sleeve" subgroup element from a label: the
+    /// square of a hash-derived residue. No party knows its discrete log,
+    /// which lets protocols (e.g. the Naor–Pinkas OT) use a public constant
+    /// in place of a sender-chosen setup message, saving half a round.
+    pub fn hash_to_group(&self, label: &[u8]) -> Nat {
+        let mut counter = 0u64;
+        loop {
+            let digest = crate::sha256::prf(
+                &self.p.to_be_bytes(),
+                b"spfe-hash-to-group",
+                &[label, &counter.to_le_bytes()].concat(),
+            );
+            let candidate = Nat::from_be_bytes(&digest).rem(&self.p);
+            let sq = self.pow(&candidate, &Nat::from(2u64));
+            if !sq.is_zero() && !sq.is_one() {
+                return sq;
+            }
+            counter += 1;
+        }
+    }
+
+    /// The prime modulus `p`.
+    pub fn p(&self) -> &Nat {
+        &self.p
+    }
+
+    /// The subgroup order `q`.
+    pub fn q(&self) -> &Nat {
+        &self.q
+    }
+
+    /// The subgroup generator `g`.
+    pub fn g(&self) -> &Nat {
+        &self.g
+    }
+
+    /// `base^e mod p`.
+    pub fn pow(&self, base: &Nat, e: &Nat) -> Nat {
+        self.mont.pow(base, e)
+    }
+
+    /// `a * b mod p`.
+    pub fn mul(&self, a: &Nat, b: &Nat) -> Nat {
+        a.mul(b).rem(&self.p)
+    }
+
+    /// `a^{-1} mod p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not invertible.
+    pub fn inv(&self, a: &Nat) -> Nat {
+        spfe_math::modular::mod_inv(a, &self.p).expect("non-invertible group element")
+    }
+
+    /// Uniformly random exponent in `[0, q)`.
+    pub fn random_exponent<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Nat {
+        Nat::random_below(rng, &self.q)
+    }
+
+    /// Serialized size of one group element.
+    pub fn element_bytes(&self) -> usize {
+        self.p.bit_len().div_ceil(8)
+    }
+}
+
+/// Exponential-ElGamal public key.
+#[derive(Clone)]
+pub struct ElGamalPk {
+    group: SchnorrGroup,
+    y: Nat,
+    /// Decryption bound: plaintexts must lie in `[0, bound)`.
+    bound: u64,
+    bound_nat: Nat,
+}
+
+impl std::fmt::Debug for ElGamalPk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElGamalPk")
+            .field("p_bits", &self.group.p.bit_len())
+            .field("bound", &self.bound)
+            .finish()
+    }
+}
+
+/// Exponential-ElGamal secret key.
+#[derive(Clone)]
+pub struct ElGamalSk {
+    pk: ElGamalPk,
+    x: Nat,
+}
+
+impl std::fmt::Debug for ElGamalSk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElGamalSk").finish_non_exhaustive()
+    }
+}
+
+impl ElGamalPk {
+    /// The underlying group.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+}
+
+/// Generates an exponential-ElGamal key pair over `group` with plaintexts in
+/// `[0, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn elgamal_keygen<R: RandomSource + ?Sized>(
+    group: SchnorrGroup,
+    bound: u64,
+    rng: &mut R,
+) -> (ElGamalPk, ElGamalSk) {
+    assert!(bound > 0);
+    let x = group.random_exponent(rng);
+    let y = group.pow(&group.g, &x);
+    let pk = ElGamalPk {
+        group,
+        y,
+        bound,
+        bound_nat: Nat::from(bound),
+    };
+    let sk = ElGamalSk { pk: pk.clone(), x };
+    (pk, sk)
+}
+
+impl HomomorphicPk for ElGamalPk {
+    type Ciphertext = ElGamalCt;
+
+    fn plaintext_modulus(&self) -> &Nat {
+        // Plaintexts are exponents; homomorphic sums are exact integers as
+        // long as they stay below the decryption bound.
+        &self.bound_nat
+    }
+
+    fn encrypt<R: RandomSource + ?Sized>(&self, m: &Nat, rng: &mut R) -> ElGamalCt {
+        let g = &self.group;
+        let r = g.random_exponent(rng);
+        let a = g.pow(&g.g, &r);
+        let gm = g.pow(&g.g, &m.rem(&g.q));
+        let b = g.mul(&gm, &g.pow(&self.y, &r));
+        ElGamalCt { a, b }
+    }
+
+    fn add(&self, a: &ElGamalCt, b: &ElGamalCt) -> ElGamalCt {
+        let g = &self.group;
+        ElGamalCt {
+            a: g.mul(&a.a, &b.a),
+            b: g.mul(&a.b, &b.b),
+        }
+    }
+
+    fn mul_const(&self, a: &ElGamalCt, c: &Nat) -> ElGamalCt {
+        let g = &self.group;
+        let c = c.rem(&g.q);
+        ElGamalCt {
+            a: g.pow(&a.a, &c),
+            b: g.pow(&a.b, &c),
+        }
+    }
+
+    fn rerandomize<R: RandomSource + ?Sized>(&self, a: &ElGamalCt, rng: &mut R) -> ElGamalCt {
+        self.add(a, &self.encrypt(&Nat::zero(), rng))
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        2 * self.group.element_bytes()
+    }
+
+    fn ciphertext_to_bytes(&self, ct: &ElGamalCt) -> Vec<u8> {
+        let w = self.group.element_bytes();
+        let mut out = ct.a.to_le_bytes_padded(w);
+        out.extend(ct.b.to_le_bytes_padded(w));
+        out
+    }
+
+    fn ciphertext_from_bytes(&self, bytes: &[u8]) -> Option<ElGamalCt> {
+        let w = self.group.element_bytes();
+        if bytes.len() != 2 * w {
+            return None;
+        }
+        let a = Nat::from_le_bytes(&bytes[..w]);
+        let b = Nat::from_le_bytes(&bytes[w..]);
+        if a >= *self.group.p() || b >= *self.group.p() {
+            return None;
+        }
+        Some(ElGamalCt { a, b })
+    }
+}
+
+impl HomomorphicSk<ElGamalPk> for ElGamalSk {
+    /// Decrypts by recovering `g^m` and solving the discrete log with
+    /// baby-step/giant-step over `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plaintext is out of range (homomorphic overflow).
+    fn decrypt(&self, ct: &ElGamalCt) -> Nat {
+        let g = &self.pk.group;
+        let s = g.pow(&ct.a, &self.x);
+        let gm = g.mul(&ct.b, &g.inv(&s));
+        let m = bsgs(g, &gm, self.pk.bound).expect("plaintext exceeded decryption bound");
+        Nat::from(m)
+    }
+}
+
+/// Baby-step/giant-step: finds `m ∈ [0, bound)` with `g^m = target`.
+fn bsgs(group: &SchnorrGroup, target: &Nat, bound: u64) -> Option<u64> {
+    let step = (bound as f64).sqrt().ceil() as u64 + 1;
+    // Baby steps: g^j for j in [0, step).
+    let mut table: HashMap<Vec<u8>, u64> = HashMap::with_capacity(step as usize);
+    let mut cur = Nat::one();
+    for j in 0..step {
+        table.entry(cur.to_be_bytes()).or_insert(j);
+        cur = group.mul(&cur, &group.g);
+    }
+    // Giant steps: target · (g^-step)^i.
+    let giant = group.inv(&group.pow(&group.g, &Nat::from(step)));
+    let mut gamma = target.clone();
+    for i in 0..=step {
+        if let Some(&j) = table.get(&gamma.to_be_bytes()) {
+            let m = i * step + j;
+            if m < bound {
+                return Some(m);
+            }
+        }
+        gamma = group.mul(&gamma, &giant);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chacha::ChaChaRng;
+
+    fn setup() -> (ElGamalPk, ElGamalSk, ChaChaRng) {
+        let mut rng = ChaChaRng::from_u64_seed(0xE16A);
+        let group = SchnorrGroup::generate(96, &mut rng);
+        let (pk, sk) = elgamal_keygen(group, 1 << 20, &mut rng);
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        let (pk, sk, mut rng) = setup();
+        for v in [0u64, 1, 2, 1000, (1 << 20) - 1] {
+            let ct = pk.encrypt(&Nat::from(v), &mut rng);
+            assert_eq!(sk.decrypt(&ct), Nat::from(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let (pk, sk, mut rng) = setup();
+        let ct = pk.add(
+            &pk.encrypt(&Nat::from(123u64), &mut rng),
+            &pk.encrypt(&Nat::from(456u64), &mut rng),
+        );
+        assert_eq!(sk.decrypt(&ct), Nat::from(579u64));
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let (pk, sk, mut rng) = setup();
+        let ct = pk.mul_const(&pk.encrypt(&Nat::from(100u64), &mut rng), &Nat::from(37u64));
+        assert_eq!(sk.decrypt(&ct), Nat::from(3700u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "decryption bound")]
+    fn overflow_panics() {
+        let (pk, sk, mut rng) = setup();
+        let big = pk.encrypt(&Nat::from(1u64 << 21), &mut rng);
+        let _ = sk.decrypt(&big);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (pk, sk, mut rng) = setup();
+        let ct = pk.encrypt(&Nat::from(777u64), &mut rng);
+        let bytes = pk.ciphertext_to_bytes(&ct);
+        assert_eq!(bytes.len(), pk.ciphertext_bytes());
+        assert_eq!(
+            sk.decrypt(&pk.ciphertext_from_bytes(&bytes).unwrap()),
+            Nat::from(777u64)
+        );
+    }
+
+    #[test]
+    fn rfc3526_group_is_well_formed() {
+        let g = SchnorrGroup::rfc3526_1536();
+        // g^q == 1 (generator is in the order-q subgroup).
+        assert!(g.pow(g.g(), g.q()).is_one());
+        assert_eq!(g.element_bytes(), 192);
+    }
+
+    #[test]
+    fn rerandomize_fresh() {
+        let (pk, sk, mut rng) = setup();
+        let ct = pk.encrypt(&Nat::from(5u64), &mut rng);
+        let r = pk.rerandomize(&ct, &mut rng);
+        assert_ne!(r, ct);
+        assert_eq!(sk.decrypt(&r), Nat::from(5u64));
+    }
+}

@@ -1,0 +1,234 @@
+//! The Goldwasser–Micali cryptosystem (ref. \[29\] of the paper).
+//!
+//! The paper's running example of homomorphic encryption with plaintext
+//! group `G = Z_2`: `E(a) · E(b) = E(a ⊕ b)`. A plaintext bit is encoded as
+//! the quadratic residuosity of the ciphertext modulo `n = p·q`.
+
+use crate::hom::{HomomorphicPk, HomomorphicScheme, HomomorphicSk};
+use spfe_math::modular::{jacobi, mod_pow};
+use spfe_math::prime::gen_blum_prime;
+use spfe_math::{Nat, RandomSource};
+
+/// A GM ciphertext: a residue mod `n` with Jacobi symbol `+1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmCt(pub(crate) Nat);
+
+/// Goldwasser–Micali public key `(n, z)` with `z` a quadratic non-residue of
+/// Jacobi symbol `+1`.
+#[derive(Clone)]
+pub struct GmPk {
+    n: Nat,
+    z: Nat,
+    ct_bytes: usize,
+    /// Cached constant 2 = plaintext modulus.
+    two: Nat,
+}
+
+impl std::fmt::Debug for GmPk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GmPk")
+            .field("n_bits", &self.n.bit_len())
+            .finish()
+    }
+}
+
+/// Goldwasser–Micali secret key (the factorization).
+#[derive(Clone)]
+pub struct GmSk {
+    p: Nat,
+}
+
+impl std::fmt::Debug for GmSk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GmSk")
+            .field("p_bits", &self.p.bit_len())
+            .finish()
+    }
+}
+
+impl GmPk {
+    /// The modulus `n`.
+    pub fn n(&self) -> &Nat {
+        &self.n
+    }
+}
+
+impl HomomorphicPk for GmPk {
+    type Ciphertext = GmCt;
+
+    fn plaintext_modulus(&self) -> &Nat {
+        &self.two
+    }
+
+    fn encrypt<R: RandomSource + ?Sized>(&self, m: &Nat, rng: &mut R) -> GmCt {
+        let bit = m.bit(0);
+        loop {
+            let r = Nat::random_below(rng, &self.n);
+            if r.is_zero() || !spfe_math::modular::gcd(&r, &self.n).is_one() {
+                continue;
+            }
+            let r2 = r.square().rem(&self.n);
+            let ct = if bit { r2.mul(&self.z).rem(&self.n) } else { r2 };
+            return GmCt(ct);
+        }
+    }
+
+    fn add(&self, a: &GmCt, b: &GmCt) -> GmCt {
+        GmCt(a.0.mul(&b.0).rem(&self.n))
+    }
+
+    fn mul_const(&self, a: &GmCt, c: &Nat) -> GmCt {
+        // Over Z_2 the only scalars are 0 and 1.
+        if c.bit(0) {
+            a.clone()
+        } else {
+            GmCt(Nat::one())
+        }
+    }
+
+    fn rerandomize<R: RandomSource + ?Sized>(&self, a: &GmCt, rng: &mut R) -> GmCt {
+        let zero = self.encrypt(&Nat::zero(), rng);
+        self.add(a, &zero)
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.ct_bytes
+    }
+
+    fn ciphertext_to_bytes(&self, ct: &GmCt) -> Vec<u8> {
+        ct.0.to_le_bytes_padded(self.ct_bytes)
+    }
+
+    fn ciphertext_from_bytes(&self, bytes: &[u8]) -> Option<GmCt> {
+        if bytes.len() != self.ct_bytes {
+            return None;
+        }
+        let v = Nat::from_le_bytes(bytes);
+        if v >= self.n || v.is_zero() {
+            return None;
+        }
+        Some(GmCt(v))
+    }
+}
+
+impl HomomorphicSk<GmPk> for GmSk {
+    fn decrypt(&self, ct: &GmCt) -> Nat {
+        // Legendre symbol via Euler's criterion mod p.
+        let e = mod_pow(&ct.0, &self.p.sub(&Nat::one()).shr(1), &self.p);
+        if e.is_one() {
+            Nat::zero()
+        } else {
+            Nat::one()
+        }
+    }
+}
+
+/// Marker type implementing [`HomomorphicScheme`] for Goldwasser–Micali.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldwasserMicali;
+
+impl HomomorphicScheme for GoldwasserMicali {
+    type Pk = GmPk;
+    type Sk = GmSk;
+
+    /// Generates a GM key pair with an approximately `bits`-bit Blum modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 16`.
+    fn keygen<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> (GmPk, GmSk) {
+        assert!(bits >= 16);
+        let p = gen_blum_prime(bits / 2, rng);
+        let q = loop {
+            let q = gen_blum_prime(bits - bits / 2, rng);
+            if q != p {
+                break q;
+            }
+        };
+        let n = p.mul(&q);
+        // For Blum primes, z = n - 1 ≡ -1 is a QNR mod both p and q with
+        // Jacobi symbol (+1) mod n.
+        let z = n.sub(&Nat::one());
+        debug_assert_eq!(jacobi(&z, &n), 1);
+        let ct_bytes = n.bit_len().div_ceil(8);
+        (
+            GmPk {
+                n,
+                z,
+                ct_bytes,
+                two: Nat::from(2u64),
+            },
+            GmSk { p },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chacha::ChaChaRng;
+
+    fn keys() -> (GmPk, GmSk, ChaChaRng) {
+        let mut rng = ChaChaRng::from_u64_seed(0xB0B);
+        let (pk, sk) = GoldwasserMicali::keygen(128, &mut rng);
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_bits() {
+        let (pk, sk, mut rng) = keys();
+        for _ in 0..10 {
+            assert_eq!(sk.decrypt(&pk.encrypt(&Nat::zero(), &mut rng)), Nat::zero());
+            assert_eq!(sk.decrypt(&pk.encrypt(&Nat::one(), &mut rng)), Nat::one());
+        }
+    }
+
+    #[test]
+    fn xor_homomorphism() {
+        let (pk, sk, mut rng) = keys();
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            let ct = pk.add(
+                &pk.encrypt(&Nat::from(a), &mut rng),
+                &pk.encrypt(&Nat::from(b), &mut rng),
+            );
+            assert_eq!(sk.decrypt(&ct), Nat::from(a ^ b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn ciphertexts_have_jacobi_one() {
+        let (pk, _, mut rng) = keys();
+        for bit in [0u64, 1] {
+            let ct = pk.encrypt(&Nat::from(bit), &mut rng);
+            assert_eq!(jacobi(&ct.0, pk.n()), 1);
+        }
+    }
+
+    #[test]
+    fn probabilistic_and_rerandomizable() {
+        let (pk, sk, mut rng) = keys();
+        let a = pk.encrypt(&Nat::one(), &mut rng);
+        let b = pk.encrypt(&Nat::one(), &mut rng);
+        assert_ne!(a, b);
+        let r = pk.rerandomize(&a, &mut rng);
+        assert_ne!(r, a);
+        assert_eq!(sk.decrypt(&r), Nat::one());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (pk, sk, mut rng) = keys();
+        let ct = pk.encrypt(&Nat::one(), &mut rng);
+        let bytes = pk.ciphertext_to_bytes(&ct);
+        assert_eq!(bytes.len(), pk.ciphertext_bytes());
+        assert_eq!(sk.decrypt(&pk.ciphertext_from_bytes(&bytes).unwrap()), Nat::one());
+    }
+
+    #[test]
+    fn mul_const_selects_bit() {
+        let (pk, sk, mut rng) = keys();
+        let ct = pk.encrypt(&Nat::one(), &mut rng);
+        assert_eq!(sk.decrypt(&pk.mul_const(&ct, &Nat::zero())), Nat::zero());
+        assert_eq!(sk.decrypt(&pk.mul_const(&ct, &Nat::one())), Nat::one());
+    }
+}

@@ -1,0 +1,84 @@
+//! The homomorphic-encryption abstraction used by the SPFE protocols.
+//!
+//! The paper (§2, "Homomorphic encryption") requires an encryption scheme
+//! whose plaintexts live in a group `G` and where `E(a) · E(b) = E(a + b)`
+//! (hence `E(a)^c = E(c·a)`). The single-server input-selection protocols
+//! (§3.3.2, §3.3.3), the arithmetic-circuit MPC (§3.3.4) and the §4
+//! statistical protocols are all generic over this trait; concrete
+//! instantiations are [Paillier](crate::paillier) (large plaintext group
+//! `Z_n`), [Goldwasser–Micali](crate::gm) (`G = Z_2`, the scheme cited by the
+//! paper), and [exponential ElGamal](crate::elgamal) (small bounded
+//! plaintexts).
+
+use spfe_math::{Nat, RandomSource};
+
+/// An additively homomorphic public key over a plaintext group `Z_u`.
+pub trait HomomorphicPk: Clone + std::fmt::Debug {
+    /// The ciphertext type.
+    type Ciphertext: Clone + std::fmt::Debug + PartialEq + Eq;
+
+    /// The plaintext modulus `u` (plaintexts are residues in `[0, u)`).
+    fn plaintext_modulus(&self) -> &Nat;
+
+    /// Encrypts a plaintext (reduced mod `u`).
+    fn encrypt<R: RandomSource + ?Sized>(&self, m: &Nat, rng: &mut R) -> Self::Ciphertext;
+
+    /// Homomorphic addition: `E(a) ⊕ E(b) = E(a + b mod u)`.
+    fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+
+    /// Homomorphic scalar multiplication: `c ⊙ E(a) = E(c·a mod u)`.
+    fn mul_const(&self, a: &Self::Ciphertext, c: &Nat) -> Self::Ciphertext;
+
+    /// Fresh randomization of a ciphertext (output decrypts identically but
+    /// is distributed like a fresh encryption).
+    fn rerandomize<R: RandomSource + ?Sized>(
+        &self,
+        a: &Self::Ciphertext,
+        rng: &mut R,
+    ) -> Self::Ciphertext;
+
+    /// Serialized ciphertext size in bytes (the unit of communication
+    /// accounting — the paper's security parameter `κ` enters costs through
+    /// this quantity).
+    fn ciphertext_bytes(&self) -> usize;
+
+    /// Serializes a ciphertext (fixed width [`Self::ciphertext_bytes`]).
+    fn ciphertext_to_bytes(&self, ct: &Self::Ciphertext) -> Vec<u8>;
+
+    /// Deserializes a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on malformed input.
+    fn ciphertext_from_bytes(&self, bytes: &[u8]) -> Option<Self::Ciphertext>;
+
+    /// `E(a) ⊖ E(b) = E(a - b mod u)` — derived from `add`/`mul_const`.
+    fn sub(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
+        let u = self.plaintext_modulus().clone();
+        let neg_b = self.mul_const(b, &u.sub(&Nat::one()));
+        self.add(a, &neg_b)
+    }
+
+    /// Encrypts zero (useful for blinding).
+    fn encrypt_zero<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Self::Ciphertext {
+        self.encrypt(&Nat::zero(), rng)
+    }
+}
+
+/// The matching secret key.
+pub trait HomomorphicSk<Pk: HomomorphicPk>: Clone + std::fmt::Debug {
+    /// Decrypts a ciphertext to its canonical plaintext residue.
+    fn decrypt(&self, ct: &Pk::Ciphertext) -> Nat;
+}
+
+/// A key-generation entry point, so protocol code can be written generically
+/// over the scheme.
+pub trait HomomorphicScheme {
+    /// Public-key type.
+    type Pk: HomomorphicPk;
+    /// Secret-key type.
+    type Sk: HomomorphicSk<Self::Pk>;
+
+    /// Generates a key pair at the given security level (modulus bits).
+    fn keygen<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> (Self::Pk, Self::Sk);
+}

@@ -1,0 +1,39 @@
+//! # spfe-crypto
+//!
+//! Cryptographic substrates for the SPFE reproduction, implemented from
+//! scratch: the ChaCha20 PRG / secure RNG, SHA-256 + HMAC, and the three
+//! additively homomorphic cryptosystems the paper's single-server protocols
+//! are built on (Paillier, Goldwasser–Micali, exponential ElGamal), unified
+//! behind the [`HomomorphicPk`]/[`HomomorphicSk`] traits.
+//!
+//! # Examples
+//!
+//! ```
+//! use spfe_crypto::{ChaChaRng, Paillier, HomomorphicPk, HomomorphicSk, HomomorphicScheme};
+//! use spfe_math::Nat;
+//!
+//! let mut rng = ChaChaRng::from_u64_seed(1);
+//! let (pk, sk) = Paillier::keygen(128, &mut rng);
+//! let ct = pk.add(
+//!     &pk.encrypt(&Nat::from(20u64), &mut rng),
+//!     &pk.encrypt(&Nat::from(22u64), &mut rng),
+//! );
+//! assert_eq!(sk.decrypt(&ct), Nat::from(42u64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chacha;
+pub mod elgamal;
+pub mod gm;
+pub mod hom;
+pub mod paillier;
+pub mod sha256;
+
+pub use chacha::{chacha20_block, keystream, xor_keystream, ChaChaRng};
+pub use elgamal::{elgamal_keygen, ElGamalCt, ElGamalPk, ElGamalSk, SchnorrGroup};
+pub use gm::{GmCt, GmPk, GmSk, GoldwasserMicali};
+pub use hom::{HomomorphicPk, HomomorphicScheme, HomomorphicSk};
+pub use paillier::{Paillier, PaillierCt, PaillierPk, PaillierSk};
+pub use sha256::{hmac_sha256, prf, Sha256};

@@ -1,0 +1,288 @@
+//! The Paillier cryptosystem (ref. \[41\] of the paper).
+//!
+//! Additively homomorphic over `Z_n` for an RSA modulus `n` — the "larger
+//! homomorphism group" instantiation the paper points to for its
+//! input-selection and statistics protocols, where plaintexts are field
+//! elements or data items rather than single bits.
+//!
+//! With generator `g = n + 1`:
+//! * `E(m; r) = (1 + m·n) · r^n  mod n²`
+//! * `D(c) = L(c^λ mod n²) · λ^{-1} mod n`, where `L(x) = (x-1)/n`.
+
+use crate::hom::{HomomorphicPk, HomomorphicScheme, HomomorphicSk};
+use spfe_math::modular::mod_inv;
+use spfe_math::prime::gen_prime;
+use spfe_math::{Montgomery, Nat, RandomSource};
+use std::sync::Arc;
+
+/// A Paillier ciphertext: a residue mod `n²`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierCt(pub(crate) Nat);
+
+/// Paillier public key.
+#[derive(Clone)]
+pub struct PaillierPk {
+    n: Nat,
+    n_sq: Nat,
+    /// Montgomery context for `n²` (shared with clones; keygen is per-session).
+    mont: Arc<Montgomery>,
+    ct_bytes: usize,
+}
+
+impl std::fmt::Debug for PaillierPk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaillierPk")
+            .field("n_bits", &self.n.bit_len())
+            .finish()
+    }
+}
+
+/// Paillier secret key.
+#[derive(Clone)]
+pub struct PaillierSk {
+    pk: PaillierPk,
+    /// λ = lcm(p-1, q-1).
+    lambda: Nat,
+    /// λ^{-1} mod n (valid since g = n+1).
+    mu: Nat,
+}
+
+impl std::fmt::Debug for PaillierSk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaillierSk")
+            .field("n_bits", &self.pk.n.bit_len())
+            .finish()
+    }
+}
+
+impl PaillierPk {
+    fn from_n(n: Nat) -> Self {
+        let n_sq = n.square();
+        let ct_bytes = n_sq.bit_len().div_ceil(8);
+        let mont = Arc::new(Montgomery::new(n_sq.clone()));
+        PaillierPk {
+            n,
+            n_sq,
+            mont,
+            ct_bytes,
+        }
+    }
+
+    /// The modulus `n` (also the plaintext modulus).
+    pub fn n(&self) -> &Nat {
+        &self.n
+    }
+
+    /// The ciphertext modulus `n²`.
+    pub fn n_squared(&self) -> &Nat {
+        &self.n_sq
+    }
+
+    fn random_unit<R: RandomSource + ?Sized>(&self, rng: &mut R) -> Nat {
+        loop {
+            let r = Nat::random_below(rng, &self.n);
+            if !r.is_zero() && spfe_math::modular::gcd(&r, &self.n).is_one() {
+                return r;
+            }
+        }
+    }
+}
+
+impl HomomorphicPk for PaillierPk {
+    type Ciphertext = PaillierCt;
+
+    fn plaintext_modulus(&self) -> &Nat {
+        &self.n
+    }
+
+    fn encrypt<R: RandomSource + ?Sized>(&self, m: &Nat, rng: &mut R) -> PaillierCt {
+        let m = m.rem(&self.n);
+        let r = self.random_unit(rng);
+        // (1 + m·n) · r^n mod n²
+        let gm = Nat::one().add(&m.mul(&self.n)).rem(&self.n_sq);
+        let rn = self.mont.pow(&r, &self.n);
+        PaillierCt(gm.mul(&rn).rem(&self.n_sq))
+    }
+
+    fn add(&self, a: &PaillierCt, b: &PaillierCt) -> PaillierCt {
+        PaillierCt(a.0.mul(&b.0).rem(&self.n_sq))
+    }
+
+    fn mul_const(&self, a: &PaillierCt, c: &Nat) -> PaillierCt {
+        PaillierCt(self.mont.pow(&a.0, &c.rem(&self.n)))
+    }
+
+    fn rerandomize<R: RandomSource + ?Sized>(&self, a: &PaillierCt, rng: &mut R) -> PaillierCt {
+        let r = self.random_unit(rng);
+        let rn = self.mont.pow(&r, &self.n);
+        PaillierCt(a.0.mul(&rn).rem(&self.n_sq))
+    }
+
+    fn ciphertext_bytes(&self) -> usize {
+        self.ct_bytes
+    }
+
+    fn ciphertext_to_bytes(&self, ct: &PaillierCt) -> Vec<u8> {
+        ct.0.to_le_bytes_padded(self.ct_bytes)
+    }
+
+    fn ciphertext_from_bytes(&self, bytes: &[u8]) -> Option<PaillierCt> {
+        if bytes.len() != self.ct_bytes {
+            return None;
+        }
+        let v = Nat::from_le_bytes(bytes);
+        if v >= self.n_sq {
+            return None;
+        }
+        Some(PaillierCt(v))
+    }
+}
+
+impl HomomorphicSk<PaillierPk> for PaillierSk {
+    fn decrypt(&self, ct: &PaillierCt) -> Nat {
+        let pk = &self.pk;
+        let x = pk.mont.pow(&ct.0, &self.lambda);
+        // L(x) = (x - 1) / n
+        let l = x.sub(&Nat::one()).div_rem(&pk.n).0;
+        l.mul(&self.mu).rem(&pk.n)
+    }
+}
+
+/// Marker type implementing [`HomomorphicScheme`] for Paillier.
+#[derive(Debug, Clone, Copy)]
+pub struct Paillier;
+
+impl HomomorphicScheme for Paillier {
+    type Pk = PaillierPk;
+    type Sk = PaillierSk;
+
+    /// Generates a Paillier key pair with an (approximately) `bits`-bit
+    /// modulus `n = p·q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 16`.
+    fn keygen<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> (PaillierPk, PaillierSk) {
+        assert!(bits >= 16, "Paillier modulus must be at least 16 bits");
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let p1 = p.sub(&Nat::one());
+            let q1 = q.sub(&Nat::one());
+            let g = spfe_math::modular::gcd(&p1, &q1);
+            let lambda = p1.mul(&q1).div_rem(&g).0; // lcm
+            let Some(mu) = mod_inv(&lambda, &n) else {
+                continue;
+            };
+            let pk = PaillierPk::from_n(n);
+            let sk = PaillierSk {
+                pk: pk.clone(),
+                lambda,
+                mu,
+            };
+            return (pk, sk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chacha::ChaChaRng;
+    use spfe_math::modular::mod_add;
+
+    fn keys(bits: usize) -> (PaillierPk, PaillierSk, ChaChaRng) {
+        let mut rng = ChaChaRng::from_u64_seed(0xA11CE);
+        let (pk, sk) = Paillier::keygen(bits, &mut rng);
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (pk, sk, mut rng) = keys(128);
+        for v in [0u64, 1, 42, u64::MAX] {
+            let m = Nat::from(v);
+            let ct = pk.encrypt(&m, &mut rng);
+            assert_eq!(sk.decrypt(&ct), m.rem(pk.n()));
+        }
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let (pk, sk, mut rng) = keys(128);
+        let (a, b) = (Nat::from(123_456u64), Nat::from(654_321u64));
+        let ct = pk.add(&pk.encrypt(&a, &mut rng), &pk.encrypt(&b, &mut rng));
+        assert_eq!(sk.decrypt(&ct), mod_add(&a, &b, pk.n()));
+    }
+
+    #[test]
+    fn scalar_homomorphism() {
+        let (pk, sk, mut rng) = keys(128);
+        let a = Nat::from(999u64);
+        let ct = pk.mul_const(&pk.encrypt(&a, &mut rng), &Nat::from(1000u64));
+        assert_eq!(sk.decrypt(&ct), Nat::from(999_000u64));
+    }
+
+    #[test]
+    fn subtraction_wraps_mod_n() {
+        let (pk, sk, mut rng) = keys(128);
+        let (a, b) = (Nat::from(5u64), Nat::from(9u64));
+        let ct = pk.sub(&pk.encrypt(&a, &mut rng), &pk.encrypt(&b, &mut rng));
+        assert_eq!(sk.decrypt(&ct), pk.n().sub(&Nat::from(4u64)));
+    }
+
+    #[test]
+    fn rerandomize_preserves_plaintext_changes_ct() {
+        let (pk, sk, mut rng) = keys(128);
+        let ct = pk.encrypt(&Nat::from(7u64), &mut rng);
+        let ct2 = pk.rerandomize(&ct, &mut rng);
+        assert_ne!(ct, ct2);
+        assert_eq!(sk.decrypt(&ct2), Nat::from(7u64));
+    }
+
+    #[test]
+    fn probabilistic_encryption() {
+        let (pk, _, mut rng) = keys(128);
+        let a = pk.encrypt(&Nat::from(1u64), &mut rng);
+        let b = pk.encrypt(&Nat::from(1u64), &mut rng);
+        assert_ne!(a, b, "two encryptions of 1 must differ");
+    }
+
+    #[test]
+    fn ciphertext_serialization_roundtrip() {
+        let (pk, sk, mut rng) = keys(128);
+        let ct = pk.encrypt(&Nat::from(31_337u64), &mut rng);
+        let bytes = pk.ciphertext_to_bytes(&ct);
+        assert_eq!(bytes.len(), pk.ciphertext_bytes());
+        let back = pk.ciphertext_from_bytes(&bytes).unwrap();
+        assert_eq!(sk.decrypt(&back), Nat::from(31_337u64));
+        assert!(pk.ciphertext_from_bytes(&bytes[1..]).is_none());
+    }
+
+    #[test]
+    fn larger_key_roundtrip() {
+        let (pk, sk, mut rng) = keys(512);
+        let m = Nat::random_below(&mut rng, pk.n());
+        let ct = pk.encrypt(&m, &mut rng);
+        assert_eq!(sk.decrypt(&ct), m);
+    }
+
+    #[test]
+    fn linear_combination_of_many() {
+        // Σ c_i · m_i computed under encryption — the §4 weighted-sum core.
+        let (pk, sk, mut rng) = keys(128);
+        let ms = [3u64, 1, 4, 1, 5];
+        let cs = [2u64, 7, 1, 8, 2];
+        let mut acc = pk.encrypt_zero(&mut rng);
+        for (&m, &c) in ms.iter().zip(&cs) {
+            let term = pk.mul_const(&pk.encrypt(&Nat::from(m), &mut rng), &Nat::from(c));
+            acc = pk.add(&acc, &term);
+        }
+        let expect: u64 = ms.iter().zip(&cs).map(|(&m, &c)| m * c).sum();
+        assert_eq!(sk.decrypt(&acc), Nat::from(expect));
+    }
+}

@@ -1,0 +1,284 @@
+//! Signed arbitrary-precision integers, built on [`Nat`].
+//!
+//! Only the operations required by the extended Euclidean algorithm and by
+//! signed intermediate values in protocols are provided; the workspace's
+//! cryptography otherwise works in residue classes via [`Nat`].
+
+use crate::nat::Nat;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign of an [`Int`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// Negative value.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Positive value.
+    Positive,
+}
+
+/// A signed arbitrary-precision integer.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_math::Int;
+/// let a = Int::from(-5i64);
+/// let b = Int::from(8i64);
+/// assert_eq!(&a + &b, Int::from(3i64));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Int {
+    sign: Sign,
+    mag: Nat,
+}
+
+impl Int {
+    /// Zero.
+    pub fn zero() -> Self {
+        Int {
+            sign: Sign::Zero,
+            mag: Nat::zero(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Int::from_nat(Nat::one())
+    }
+
+    /// A non-negative integer from a natural.
+    pub fn from_nat(mag: Nat) -> Self {
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Positive
+        };
+        Int { sign, mag }
+    }
+
+    /// Builds from an explicit sign and magnitude (sign is normalized for zero).
+    pub fn from_sign_mag(sign: Sign, mag: Nat) -> Self {
+        if mag.is_zero() {
+            Int::zero()
+        } else {
+            assert_ne!(sign, Sign::Zero, "non-zero magnitude with Zero sign");
+            Int { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &Nat {
+        &self.mag
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Int {
+        match self.sign {
+            Sign::Zero => Int::zero(),
+            Sign::Positive => Int {
+                sign: Sign::Negative,
+                mag: self.mag.clone(),
+            },
+            Sign::Negative => Int {
+                sign: Sign::Positive,
+                mag: self.mag.clone(),
+            },
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Int) -> Int {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => Int {
+                sign: a,
+                mag: &self.mag + &other.mag,
+            },
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int {
+                    sign: self.sign,
+                    mag: self.mag.sub(&other.mag),
+                },
+                Ordering::Less => Int {
+                    sign: other.sign,
+                    mag: other.mag.sub(&self.mag),
+                },
+            },
+        }
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Int) -> Int {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Int) -> Int {
+        let mag = &self.mag * &other.mag;
+        let sign = match (self.sign, other.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        Int::from_sign_mag(if mag.is_zero() { Sign::Zero } else { sign }, mag)
+    }
+
+    /// Canonical residue in `[0, m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_euclid(&self, m: &Nat) -> Nat {
+        let r = self.mag.rem(m);
+        match self.sign {
+            Sign::Negative if !r.is_zero() => m.sub(&r),
+            _ => r,
+        }
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int::from_nat(Nat::from(v as u64)),
+            Ordering::Less => Int {
+                sign: Sign::Negative,
+                mag: Nat::from(v.unsigned_abs()),
+            },
+        }
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        Int::from_nat(Nat::from(v))
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let rank = |s: Sign| match s {
+            Sign::Negative => 0,
+            Sign::Zero => 1,
+            Sign::Positive => 2,
+        };
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Positive => self.mag.cmp(&other.mag),
+                Sign::Negative => other.mag.cmp(&self.mag),
+                Sign::Zero => Ordering::Equal,
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Debug for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "Int(-0x{})", self.mag.to_hex())
+        } else {
+            write!(f, "Int(0x{})", self.mag.to_hex())
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.mag)
+        } else {
+            write!(f, "{}", self.mag)
+        }
+    }
+}
+
+macro_rules! impl_int_binop {
+    ($trait:ident, $method:ident) => {
+        impl std::ops::$trait for &Int {
+            type Output = Int;
+            fn $method(self, rhs: &Int) -> Int {
+                Int::$method(self, rhs)
+            }
+        }
+    };
+}
+impl_int_binop!(Add, add);
+impl_int_binop!(Sub, sub);
+impl_int_binop!(Mul, mul);
+
+impl std::ops::Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn signs_behave() {
+        assert!(Int::from(-3i64) < Int::zero());
+        assert!(Int::zero() < Int::from(3i64));
+        assert!(Int::from(-5i64) < Int::from(-3i64));
+        assert_eq!(Int::from(-3i64).neg(), Int::from(3i64));
+    }
+
+    #[test]
+    fn rem_euclid_negative() {
+        let m = Nat::from(7u64);
+        assert_eq!(Int::from(-1i64).rem_euclid(&m), Nat::from(6u64));
+        assert_eq!(Int::from(-7i64).rem_euclid(&m), Nat::zero());
+        assert_eq!(Int::from(15i64).rem_euclid(&m), Nat::from(1u64));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_i128(a in -(1i128<<62)..(1i128<<62), b in -(1i128<<62)..(1i128<<62)) {
+            let (ia, ib) = (Int::from(a as i64), Int::from(b as i64));
+            let to_i128 = |x: &Int| -> i128 {
+                let m = x.magnitude().to_u128().unwrap() as i128;
+                if x.is_negative() { -m } else { m }
+            };
+            prop_assert_eq!(to_i128(&(&ia + &ib)), a + b);
+            prop_assert_eq!(to_i128(&(&ia - &ib)), a - b);
+            prop_assert_eq!(to_i128(&ia.mul(&ib)), a * b);
+        }
+
+        #[test]
+        fn prop_rem_euclid_matches_i128(a in any::<i64>(), m in 1u64..1_000_000) {
+            let r = Int::from(a).rem_euclid(&Nat::from(m)).to_u64().unwrap();
+            prop_assert_eq!(r as i128, (a as i128).rem_euclid(m as i128));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # spfe-math
+//!
+//! Self-contained number theory and algebra for the SPFE workspace — the
+//! reproduction of *"Selective Private Function Evaluation with Applications
+//! to Private Statistics"* (Canetti, Ishai, Kumar, Reiter, Rubinfeld, Wright;
+//! PODC 2001).
+//!
+//! Provided here, with no external dependencies:
+//!
+//! * [`Nat`] / [`Int`] — arbitrary-precision integers (Karatsuba, Knuth D);
+//! * [`Montgomery`] — fast modular exponentiation for odd moduli;
+//! * [`modular`] — gcd / inverses / Jacobi / CRT;
+//! * [`prime`] — Miller–Rabin and prime generation;
+//! * [`Fp64`], [`Poly`], [`MPoly`] — word-sized prime fields and the
+//!   polynomials at the heart of the paper's protocols;
+//! * [`RandomSource`] — the workspace-wide randomness abstraction.
+//!
+//! # Examples
+//!
+//! ```
+//! use spfe_math::{Fp64, Poly, XorShiftRng};
+//! let field = Fp64::at_least(1 << 20);
+//! let mut rng = XorShiftRng::new(7);
+//! // A degree-2 Shamir sharing of the secret 42, reconstructed at 0.
+//! let share_poly = Poly::random_with_constant(42, 2, field, &mut rng);
+//! let xs = [1, 2, 3];
+//! let ys = share_poly.eval_many(&xs);
+//! assert_eq!(Poly::interpolate_at(&xs, &ys, 0, field), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fp64;
+pub mod int;
+pub mod linalg;
+pub mod modular;
+pub mod montgomery;
+pub mod mpoly;
+pub mod nat;
+pub mod poly;
+pub mod prime;
+pub mod rs;
+pub mod rand_src;
+
+pub use fp64::Fp64;
+pub use int::{Int, Sign};
+pub use linalg::Mat;
+pub use montgomery::Montgomery;
+pub use mpoly::MPoly;
+pub use nat::Nat;
+pub use poly::Poly;
+pub use rand_src::{RandomSource, XorShiftRng};

@@ -1,0 +1,358 @@
+//! Dense matrices over [`Fp64`].
+//!
+//! Used by the branching-program arithmetization (path counting via the
+//! determinant lemma) and the Ishai–Kushilevitz perfect PSM protocol
+//! (randomizing a matrix by unit-triangular multipliers).
+
+use crate::fp64::Fp64;
+use crate::rand_src::RandomSource;
+
+/// A dense `rows × cols` matrix over a prime field.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_math::{Fp64, Mat};
+/// let f = Fp64::new(101).unwrap();
+/// let id = Mat::identity(3, f);
+/// let m = Mat::from_rows(vec![vec![1, 2, 0], vec![0, 1, 0], vec![5, 0, 1]], f);
+/// assert_eq!(id.mul(&m), m);
+/// assert_eq!(m.det(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    /// Row-major entries, canonical residues.
+    data: Vec<u64>,
+    field: Fp64,
+}
+
+impl Mat {
+    /// The zero matrix.
+    pub fn zero(rows: usize, cols: usize, field: Fp64) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+            field,
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize, field: Fp64) -> Self {
+        let mut m = Mat::zero(n, n, field);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds from rows (entries reduced mod p).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: Vec<Vec<u64>>, field: Fp64) -> Self {
+        assert!(!rows.is_empty());
+        let cols = rows[0].len();
+        assert!(cols > 0);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            assert_eq!(r.len(), cols, "ragged matrix rows");
+            data.extend(r.iter().map(|&v| field.from_u64(v)));
+        }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+            field,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The field.
+    pub fn field(&self) -> Fp64 {
+        self.field
+    }
+
+    /// Entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> u64 {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets entry `(r, c)` (reduced mod p).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: u64) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = self.field.from_u64(v);
+    }
+
+    /// Flat row-major entries.
+    pub fn entries(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Matrix addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape or field mismatch.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        assert_eq!(self.field, other.field);
+        let f = self.field;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f.add(a, b))
+            .collect();
+        Mat { data, ..*self }
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, c: u64) -> Mat {
+        let f = self.field;
+        let c = f.from_u64(c);
+        let data = self.data.iter().map(|&a| f.mul(a, c)).collect();
+        Mat { data, ..*self }
+    }
+
+    /// Matrix multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension or field mismatch.
+    pub fn mul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        assert_eq!(self.field, other.field);
+        let f = self.field;
+        let mut out = Mat::zero(self.rows, other.cols, f);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let idx = i * other.cols + j;
+                    out.data[idx] = f.add(out.data[idx], f.mul(a, other.data[k * other.cols + j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// Determinant via Gaussian elimination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn det(&self) -> u64 {
+        assert_eq!(self.rows, self.cols, "determinant of non-square matrix");
+        let f = self.field;
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut det = 1u64;
+        for col in 0..n {
+            // Find pivot.
+            let pivot_row = (col..n).find(|&r| a[r * n + col] != 0);
+            let Some(pr) = pivot_row else {
+                return 0;
+            };
+            if pr != col {
+                for c in 0..n {
+                    a.swap(pr * n + c, col * n + c);
+                }
+                det = f.neg(det);
+            }
+            let pivot = a[col * n + col];
+            det = f.mul(det, pivot);
+            let inv = f.inv(pivot).expect("pivot non-zero");
+            for r in col + 1..n {
+                let factor = f.mul(a[r * n + col], inv);
+                if factor == 0 {
+                    continue;
+                }
+                for c in col..n {
+                    let sub = f.mul(factor, a[col * n + c]);
+                    a[r * n + c] = f.sub(a[r * n + c], sub);
+                }
+            }
+        }
+        det
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination, returning *some* solution
+    /// (free variables set to 0) or `None` if the system is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != rows`.
+    pub fn solve_any(&self, b: &[u64]) -> Option<Vec<u64>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let f = self.field;
+        let (rows, cols) = (self.rows, self.cols);
+        // Augmented matrix.
+        let mut a: Vec<u64> = Vec::with_capacity(rows * (cols + 1));
+        for r in 0..rows {
+            a.extend_from_slice(&self.data[r * cols..(r + 1) * cols]);
+            a.push(f.from_u64(b[r]));
+        }
+        let w = cols + 1;
+        let mut pivot_cols = Vec::new();
+        let mut rank = 0usize;
+        for col in 0..cols {
+            let Some(pr) = (rank..rows).find(|&r| a[r * w + col] != 0) else {
+                continue;
+            };
+            for c in 0..w {
+                a.swap(pr * w + c, rank * w + c);
+            }
+            let inv = f.inv(a[rank * w + col]).expect("pivot");
+            for c in col..w {
+                a[rank * w + c] = f.mul(a[rank * w + c], inv);
+            }
+            for r in 0..rows {
+                if r != rank && a[r * w + col] != 0 {
+                    let factor = a[r * w + col];
+                    for c in col..w {
+                        let sub = f.mul(factor, a[rank * w + c]);
+                        a[r * w + c] = f.sub(a[r * w + c], sub);
+                    }
+                }
+            }
+            pivot_cols.push(col);
+            rank += 1;
+            if rank == rows {
+                break;
+            }
+        }
+        // Inconsistency check: zero row with non-zero rhs.
+        for r in rank..rows {
+            if a[r * w + cols] != 0 {
+                return None;
+            }
+        }
+        let mut x = vec![0u64; cols];
+        for (r, &pc) in pivot_cols.iter().enumerate() {
+            x[pc] = a[r * w + cols];
+        }
+        Some(x)
+    }
+
+    /// A uniformly random unit upper-triangular matrix (1s on the diagonal,
+    /// free entries above) — one of the two randomizer groups of the
+    /// Ishai–Kushilevitz PSM.
+    pub fn random_unit_upper<R: RandomSource + ?Sized>(n: usize, field: Fp64, rng: &mut R) -> Mat {
+        let mut m = Mat::identity(n, field);
+        for r in 0..n {
+            for c in r + 1..n {
+                m.set(r, c, field.random(rng));
+            }
+        }
+        m
+    }
+
+    /// A random matrix of the form `I + (free entries in the last column,
+    /// above the diagonal)` — the second IK randomizer group.
+    pub fn random_last_column<R: RandomSource + ?Sized>(n: usize, field: Fp64, rng: &mut R) -> Mat {
+        let mut m = Mat::identity(n, field);
+        for r in 0..n.saturating_sub(1) {
+            m.set(r, n - 1, field.random(rng));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_src::XorShiftRng;
+
+    fn field() -> Fp64 {
+        Fp64::new(1_000_003).unwrap()
+    }
+
+    #[test]
+    fn identity_laws() {
+        let f = field();
+        let m = Mat::from_rows(vec![vec![1, 2], vec![3, 4]], f);
+        let id = Mat::identity(2, f);
+        assert_eq!(m.mul(&id), m);
+        assert_eq!(id.mul(&m), m);
+        assert_eq!(m.add(&Mat::zero(2, 2, f)), m);
+    }
+
+    #[test]
+    fn det_known_values() {
+        let f = field();
+        let m = Mat::from_rows(vec![vec![1, 2], vec![3, 4]], f);
+        assert_eq!(m.det(), f.from_i64(-2));
+        let singular = Mat::from_rows(vec![vec![1, 2], vec![2, 4]], f);
+        assert_eq!(singular.det(), 0);
+        assert_eq!(Mat::identity(5, f).det(), 1);
+    }
+
+    #[test]
+    fn det_multiplicative() {
+        let f = field();
+        let mut rng = XorShiftRng::new(31);
+        for _ in 0..10 {
+            let rand_mat = |rng: &mut XorShiftRng| {
+                let rows = (0..3)
+                    .map(|_| (0..3).map(|_| f.random(rng)).collect())
+                    .collect();
+                Mat::from_rows(rows, f)
+            };
+            let (a, b) = (rand_mat(&mut rng), rand_mat(&mut rng));
+            assert_eq!(a.mul(&b).det(), f.mul(a.det(), b.det()));
+        }
+    }
+
+    #[test]
+    fn det_needs_pivoting() {
+        // Leading zero forces a row swap (det sign flip).
+        let f = field();
+        let m = Mat::from_rows(vec![vec![0, 1], vec![1, 0]], f);
+        assert_eq!(m.det(), f.from_i64(-1));
+    }
+
+    #[test]
+    fn randomizers_have_det_one() {
+        let f = field();
+        let mut rng = XorShiftRng::new(32);
+        for _ in 0..5 {
+            assert_eq!(Mat::random_unit_upper(4, f, &mut rng).det(), 1);
+            assert_eq!(Mat::random_last_column(4, f, &mut rng).det(), 1);
+        }
+    }
+
+    #[test]
+    fn mul_rectangular() {
+        let f = field();
+        let a = Mat::from_rows(vec![vec![1, 2, 3]], f); // 1×3
+        let b = Mat::from_rows(vec![vec![4], vec![5], vec![6]], f); // 3×1
+        let prod = a.mul(&b);
+        assert_eq!((prod.num_rows(), prod.num_cols()), (1, 1));
+        assert_eq!(prod.get(0, 0), 32);
+    }
+}

@@ -1,0 +1,282 @@
+//! Sparse multivariate polynomials over [`Fp64`].
+//!
+//! The §3.1 protocol represents the selected function as a multivariate
+//! polynomial `P` in the bits of the client's indices. At protocol runtime
+//! `P` is evaluated *implicitly* from the formula (see
+//! `spfe_circuits::arith`), but this explicit representation is used to
+//! validate that construction on small instances and to compute degrees.
+
+use crate::fp64::Fp64;
+use std::collections::HashMap;
+
+/// A sparse multivariate polynomial `Σ c · y₁^{e₁}·…·y_v^{e_v}`.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_math::{Fp64, MPoly};
+/// let f = Fp64::new(97).unwrap();
+/// // x·y + 2
+/// let p = MPoly::from_terms(2, vec![(1, vec![1, 1]), (2, vec![0, 0])], f);
+/// assert_eq!(p.eval(&[3, 4]), 14);
+/// assert_eq!(p.total_degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MPoly {
+    num_vars: usize,
+    /// Map from exponent vector (length `num_vars`) to non-zero coefficient.
+    terms: HashMap<Vec<u16>, u64>,
+    field: Fp64,
+}
+
+impl MPoly {
+    /// The zero polynomial in `num_vars` variables.
+    pub fn zero(num_vars: usize, field: Fp64) -> Self {
+        MPoly {
+            num_vars,
+            terms: HashMap::new(),
+            field,
+        }
+    }
+
+    /// The constant polynomial.
+    pub fn constant(c: u64, num_vars: usize, field: Fp64) -> Self {
+        let mut p = MPoly::zero(num_vars, field);
+        let c = field.from_u64(c);
+        if c != 0 {
+            p.terms.insert(vec![0; num_vars], c);
+        }
+        p
+    }
+
+    /// The single variable `y_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_vars`.
+    pub fn var(i: usize, num_vars: usize, field: Fp64) -> Self {
+        assert!(i < num_vars);
+        let mut exps = vec![0u16; num_vars];
+        exps[i] = 1;
+        let mut p = MPoly::zero(num_vars, field);
+        p.terms.insert(exps, 1);
+        p
+    }
+
+    /// Builds from `(coefficient, exponent-vector)` terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent vector has the wrong length.
+    pub fn from_terms(num_vars: usize, terms: Vec<(u64, Vec<u16>)>, field: Fp64) -> Self {
+        let mut p = MPoly::zero(num_vars, field);
+        for (c, exps) in terms {
+            assert_eq!(exps.len(), num_vars, "exponent vector length mismatch");
+            p.add_term(field.from_u64(c), exps);
+        }
+        p
+    }
+
+    fn add_term(&mut self, c: u64, exps: Vec<u16>) {
+        if c == 0 {
+            return;
+        }
+        let f = self.field;
+        let entry = self.terms.entry(exps);
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let v = f.add(*o.get(), c);
+                if v == 0 {
+                    o.remove();
+                } else {
+                    *o.get_mut() = v;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(c);
+            }
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of non-zero terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn total_degree(&self) -> usize {
+        self.terms
+            .keys()
+            .map(|e| e.iter().map(|&x| x as usize).sum())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluation at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != num_vars`.
+    pub fn eval(&self, point: &[u64]) -> u64 {
+        assert_eq!(point.len(), self.num_vars);
+        let f = &self.field;
+        let point: Vec<u64> = point.iter().map(|&v| f.from_u64(v)).collect();
+        let mut acc = 0u64;
+        for (exps, &c) in &self.terms {
+            let mut term = c;
+            for (&e, &y) in exps.iter().zip(&point) {
+                if e > 0 {
+                    term = f.mul(term, f.pow(y, e as u64));
+                }
+            }
+            acc = f.add(acc, term);
+        }
+        acc
+    }
+
+    /// Addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count or field mismatch.
+    pub fn add(&self, other: &MPoly) -> MPoly {
+        assert_eq!(self.num_vars, other.num_vars);
+        assert_eq!(self.field, other.field);
+        let mut out = self.clone();
+        for (exps, &c) in &other.terms {
+            out.add_term(c, exps.clone());
+        }
+        out
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count or field mismatch.
+    pub fn sub(&self, other: &MPoly) -> MPoly {
+        assert_eq!(self.num_vars, other.num_vars);
+        assert_eq!(self.field, other.field);
+        let f = self.field;
+        let mut out = self.clone();
+        for (exps, &c) in &other.terms {
+            out.add_term(f.neg(c), exps.clone());
+        }
+        out
+    }
+
+    /// Multiplication (term-by-term; exponential in the worst case — intended
+    /// for validation on small instances).
+    ///
+    /// # Panics
+    ///
+    /// Panics on variable-count or field mismatch.
+    pub fn mul(&self, other: &MPoly) -> MPoly {
+        assert_eq!(self.num_vars, other.num_vars);
+        assert_eq!(self.field, other.field);
+        let f = self.field;
+        let mut out = MPoly::zero(self.num_vars, self.field);
+        for (ea, &ca) in &self.terms {
+            for (eb, &cb) in &other.terms {
+                let exps: Vec<u16> = ea.iter().zip(eb).map(|(&a, &b)| a + b).collect();
+                out.add_term(f.mul(ca, cb), exps);
+            }
+        }
+        out
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, c: u64) -> MPoly {
+        let f = self.field;
+        let c = f.from_u64(c);
+        let mut out = MPoly::zero(self.num_vars, self.field);
+        for (exps, &a) in &self.terms {
+            out.add_term(f.mul(a, c), exps.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_src::{RandomSource, XorShiftRng};
+
+    fn field() -> Fp64 {
+        Fp64::new(1_000_003).unwrap()
+    }
+
+    #[test]
+    fn constant_and_var() {
+        let f = field();
+        let c = MPoly::constant(5, 3, f);
+        assert_eq!(c.eval(&[9, 9, 9]), 5);
+        let y1 = MPoly::var(1, 3, f);
+        assert_eq!(y1.eval(&[7, 8, 9]), 8);
+        assert_eq!(MPoly::constant(0, 2, f).term_count(), 0);
+    }
+
+    #[test]
+    fn degree_tracking() {
+        let f = field();
+        let p = MPoly::from_terms(2, vec![(1, vec![2, 3]), (4, vec![1, 0])], f);
+        assert_eq!(p.total_degree(), 5);
+        assert_eq!(MPoly::zero(2, f).total_degree(), 0);
+    }
+
+    #[test]
+    fn cancelling_terms_vanish() {
+        let f = field();
+        let p = MPoly::from_terms(1, vec![(3, vec![1])], f);
+        let q = p.sub(&p);
+        assert!(q.is_zero());
+        assert_eq!(q.eval(&[123]), 0);
+    }
+
+    #[test]
+    fn mul_known() {
+        let f = field();
+        // (x + 1)(x - 1) = x² - 1
+        let x = MPoly::var(0, 1, f);
+        let one = MPoly::constant(1, 1, f);
+        let prod = x.add(&one).mul(&x.sub(&one));
+        for v in [0u64, 1, 2, 10] {
+            assert_eq!(prod.eval(&[v]), f.sub(f.mul(v, v), 1));
+        }
+        assert_eq!(prod.total_degree(), 2);
+    }
+
+    #[test]
+    fn eval_homomorphic_random() {
+        let f = field();
+        let mut rng = XorShiftRng::new(21);
+        for _ in 0..20 {
+            let mk = |rng: &mut XorShiftRng| {
+                let terms: Vec<(u64, Vec<u16>)> = (0..5)
+                    .map(|_| {
+                        (
+                            rng.next_below(1_000_003),
+                            vec![(rng.next_below(3)) as u16, (rng.next_below(3)) as u16],
+                        )
+                    })
+                    .collect();
+                MPoly::from_terms(2, terms, f)
+            };
+            let (a, b) = (mk(&mut rng), mk(&mut rng));
+            let pt = [rng.next_below(1_000_003), rng.next_below(1_000_003)];
+            assert_eq!(a.add(&b).eval(&pt), f.add(a.eval(&pt), b.eval(&pt)));
+            assert_eq!(a.mul(&b).eval(&pt), f.mul(a.eval(&pt), b.eval(&pt)));
+            assert_eq!(a.scale(7).eval(&pt), f.mul(a.eval(&pt), 7));
+        }
+    }
+}

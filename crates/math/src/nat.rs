@@ -1,0 +1,882 @@
+//! Arbitrary-precision unsigned integers ("naturals").
+//!
+//! [`Nat`] is a little-endian vector of 64-bit limbs, always kept *normalized*
+//! (no trailing zero limbs; zero is the empty limb vector). It provides the
+//! arithmetic needed by the cryptographic substrates of this workspace:
+//! addition, subtraction, schoolbook and Karatsuba multiplication, Knuth
+//! Algorithm D division, shifts, bit access, and byte/hex conversions.
+//!
+//! The implementation is deliberately self-contained: the SPFE reproduction
+//! does not rely on any external bignum crate (see DESIGN.md §5).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Number of bits per limb.
+pub const LIMB_BITS: u32 = 64;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_math::Nat;
+/// let a = Nat::from(10u64);
+/// let b = Nat::from(32u64);
+/// assert_eq!(&a * &b, Nat::from(320u64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Nat {
+    /// Little-endian limbs; invariant: last limb (if any) is non-zero.
+    limbs: Vec<u64>,
+}
+
+impl Nat {
+    /// The natural number zero.
+    pub fn zero() -> Self {
+        Nat { limbs: Vec::new() }
+    }
+
+    /// The natural number one.
+    pub fn one() -> Self {
+        Nat { limbs: vec![1] }
+    }
+
+    /// Constructs a `Nat` from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Nat { limbs }
+    }
+
+    /// Borrows the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns true if this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns true if this is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Returns true if the number is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// Returns true if the number is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => {
+                (self.limbs.len() - 1) * LIMB_BITS as usize + (64 - hi.leading_zeros() as usize)
+            }
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / LIMB_BITS as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % LIMB_BITS as usize)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`, growing as needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let limb = i / LIMB_BITS as usize;
+        let off = i % LIMB_BITS as usize;
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits. Returns 0 for zero.
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * LIMB_BITS as usize + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Converts to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Parses from big-endian bytes.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Nat::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Serializes to little-endian bytes, zero-padded to `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_le_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            for j in 0..8 {
+                let idx = i * 8 + j;
+                let byte = (l >> (8 * j)) as u8;
+                if idx < len {
+                    out[idx] = byte;
+                } else {
+                    assert_eq!(byte, 0, "Nat does not fit in {len} bytes");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses from little-endian bytes.
+    pub fn from_le_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.chunks(8) {
+            let mut limb = 0u64;
+            for (j, &b) in chunk.iter().enumerate() {
+                limb |= (b as u64) << (8 * j);
+            }
+            limbs.push(limb);
+        }
+        Nat::from_limbs(limbs)
+    }
+
+    /// Parses a hexadecimal string (no prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on any non-hex character or empty input.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut n = Nat::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16)? as u64;
+            n = n.shl(4);
+            n = &n + &Nat::from(d);
+        }
+        Some(n)
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on any non-digit character or empty input.
+    pub fn from_dec(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut n = Nat::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10)? as u64;
+            n = n.mul_u64(10);
+            n = &n + &Nat::from(d);
+        }
+        Some(n)
+    }
+
+    /// Lowercase hexadecimal representation ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = format!("{:x}", self.limbs.last().unwrap());
+        for &l in self.limbs.iter().rev().skip(1) {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Decimal representation.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        // Divide off nine decimal digits at a time.
+        const CHUNK: u64 = 1_000_000_000;
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            digits.push(r);
+            cur = q;
+        }
+        let mut s = format!("{}", digits.pop().unwrap());
+        while let Some(d) = digits.pop() {
+            s.push_str(&format!("{d:09}"));
+        }
+        s
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Nat) -> Nat {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..longer.len() {
+            let b = shorter.get(i).copied().unwrap_or(0);
+            let (s1, c1) = longer[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Nat) -> Nat {
+        assert!(self >= other, "Nat::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Nat::from_limbs(out)
+    }
+
+    /// Saturating subtraction: `max(self - other, 0)`.
+    pub fn saturating_sub(&self, other: &Nat) -> Nat {
+        if self >= other {
+            self.sub(other)
+        } else {
+            Nat::zero()
+        }
+    }
+
+    /// `self * other`, dispatching to Karatsuba above a size threshold.
+    pub fn mul(&self, other: &Nat) -> Nat {
+        if self.is_zero() || other.is_zero() {
+            return Nat::zero();
+        }
+        const KARATSUBA_THRESHOLD: usize = 24;
+        if self.limbs.len().min(other.limbs.len()) >= KARATSUBA_THRESHOLD {
+            return self.mul_karatsuba(other);
+        }
+        self.mul_schoolbook(other)
+    }
+
+    fn mul_schoolbook(&self, other: &Nat) -> Nat {
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Nat::from_limbs(out)
+    }
+
+    fn mul_karatsuba(&self, other: &Nat) -> Nat {
+        let half = self.limbs.len().max(other.limbs.len()) / 2;
+        let (a0, a1) = self.split_at(half);
+        let (b0, b1) = other.split_at(half);
+        let z0 = a0.mul(&b0);
+        let z2 = a1.mul(&b1);
+        let z1 = (&a0 + &a1).mul(&(&b0 + &b1)).sub(&z0).sub(&z2);
+        // z2 * 2^(128*half) + z1 * 2^(64*half) + z0
+        let mut acc = z2.shl_limbs(2 * half);
+        acc = &acc + &z1.shl_limbs(half);
+        &acc + &z0
+    }
+
+    fn split_at(&self, k: usize) -> (Nat, Nat) {
+        if k >= self.limbs.len() {
+            (self.clone(), Nat::zero())
+        } else {
+            (
+                Nat::from_limbs(self.limbs[..k].to_vec()),
+                Nat::from_limbs(self.limbs[k..].to_vec()),
+            )
+        }
+    }
+
+    fn shl_limbs(&self, k: usize) -> Nat {
+        if self.is_zero() {
+            return Nat::zero();
+        }
+        let mut limbs = vec![0u64; k];
+        limbs.extend_from_slice(&self.limbs);
+        Nat::from_limbs(limbs)
+    }
+
+    /// `self * m` for a single limb `m`.
+    pub fn mul_u64(&self, m: u64) -> Nat {
+        if m == 0 || self.is_zero() {
+            return Nat::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &a in &self.limbs {
+            let cur = a as u128 * m as u128 + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// `self^2` (slightly cheaper call pattern than `mul`).
+    pub fn square(&self) -> Nat {
+        self.mul(self)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> Nat {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = (bits % 64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> Nat {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return Nat::zero();
+        }
+        let bit_shift = (bits % 64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        Nat::from_limbs(out)
+    }
+
+    /// Divides by a single limb, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (Nat, u64) {
+        assert_ne!(d, 0, "division by zero");
+        let mut rem = 0u128;
+        let mut out = vec![0u64; self.limbs.len()];
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (Nat::from_limbs(out), rem as u64)
+    }
+
+    /// Divides returning `(quotient, remainder)` via Knuth Algorithm D.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Nat) -> (Nat, Nat) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (Nat::zero(), self.clone()),
+            Ordering::Equal => return (Nat::one(), Nat::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, Nat::from(r));
+        }
+
+        // Normalize: shift both so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un = u.limbs.clone();
+        un.push(0); // extra high limb
+        let vn = &v.limbs;
+        let v_hi = vn[n - 1];
+        let v_next = vn[n - 2];
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q_hat = (un[j+n] * B + un[j+n-1]) / v_hi.
+            let numer = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut q_hat = numer / v_hi as u128;
+            let mut r_hat = numer % v_hi as u128;
+            while q_hat >> 64 != 0
+                || q_hat * v_next as u128 > ((r_hat << 64) | un[j + n - 2] as u128)
+            {
+                q_hat -= 1;
+                r_hat += v_hi as u128;
+                if r_hat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-subtract: un[j..j+n+1] -= q_hat * vn.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = q_hat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[j + i] as i128 - (p as u64) as i128 + borrow;
+                un[j + i] = t as u64;
+                borrow = t >> 64; // arithmetic shift: 0 or -1
+            }
+            let t = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = t as u64;
+            let neg = t < 0;
+
+            q[j] = q_hat as u64;
+            if neg {
+                // q_hat was one too large; add back.
+                q[j] -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = un[j + i] as u128 + vn[i] as u128 + carry;
+                    un[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+        }
+
+        let rem = Nat::from_limbs(un[..n].to_vec()).shr(shift);
+        (Nat::from_limbs(q), rem)
+    }
+
+    /// `self mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &Nat) -> Nat {
+        self.div_rem(m).1
+    }
+
+    /// Random value in `[0, bound)` using the provided random source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: crate::rand_src::RandomSource + ?Sized>(rng: &mut R, bound: &Nat) -> Nat {
+        assert!(!bound.is_zero(), "random_below: zero bound");
+        let bits = bound.bit_len();
+        loop {
+            let cand = Nat::random_bits(rng, bits);
+            if &cand < bound {
+                return cand;
+            }
+        }
+    }
+
+    /// Uniformly random value with at most `bits` bits.
+    pub fn random_bits<R: crate::rand_src::RandomSource + ?Sized>(rng: &mut R, bits: usize) -> Nat {
+        let limbs_needed = bits.div_ceil(64);
+        let mut limbs = Vec::with_capacity(limbs_needed);
+        for _ in 0..limbs_needed {
+            limbs.push(rng.next_u64());
+        }
+        let extra = limbs_needed * 64 - bits;
+        if extra > 0 {
+            let last = limbs.last_mut().unwrap();
+            *last >>= extra;
+        }
+        Nat::from_limbs(limbs)
+    }
+
+    /// Uniformly random value with *exactly* `bits` bits (top bit set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn random_exact_bits<R: crate::rand_src::RandomSource + ?Sized>(
+        rng: &mut R,
+        bits: usize,
+    ) -> Nat {
+        assert!(bits > 0);
+        let mut n = Nat::random_bits(rng, bits);
+        n.set_bit(bits - 1, true);
+        n
+    }
+}
+
+impl From<u64> for Nat {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Nat::zero()
+        } else {
+            Nat { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for Nat {
+    fn from(v: u128) -> Self {
+        Nat::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<u32> for Nat {
+    fn from(v: u32) -> Self {
+        Nat::from(v as u64)
+    }
+}
+
+impl PartialOrd for Nat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Nat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nat(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dec())
+    }
+}
+
+impl fmt::LowerHex for Nat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $inner:ident) => {
+        impl std::ops::$trait for &Nat {
+            type Output = Nat;
+            fn $method(self, rhs: &Nat) -> Nat {
+                Nat::$inner(self, rhs)
+            }
+        }
+        impl std::ops::$trait for Nat {
+            type Output = Nat;
+            fn $method(self, rhs: Nat) -> Nat {
+                Nat::$inner(&self, &rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, add);
+impl_binop!(Sub, sub, sub);
+impl_binop!(Mul, mul, mul);
+
+impl std::ops::Rem for &Nat {
+    type Output = Nat;
+    fn rem(self, rhs: &Nat) -> Nat {
+        Nat::rem(self, rhs)
+    }
+}
+
+impl std::ops::Div for &Nat {
+    type Output = Nat;
+    fn div(self, rhs: &Nat) -> Nat {
+        self.div_rem(rhs).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_src::XorShiftRng;
+    use proptest::prelude::*;
+
+    fn nat(hex: &str) -> Nat {
+        Nat::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Nat::zero().is_zero());
+        assert!(Nat::one().is_one());
+        assert_eq!(Nat::zero().bit_len(), 0);
+        assert_eq!(Nat::one().bit_len(), 1);
+        assert!(Nat::zero().is_even());
+        assert!(Nat::one().is_odd());
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = nat("ffffffffffffffffffffffffffffffff");
+        let b = Nat::one();
+        assert_eq!(&a + &b, nat("100000000000000000000000000000000"));
+    }
+
+    #[test]
+    fn sub_with_borrow_chain() {
+        let a = nat("100000000000000000000000000000000");
+        assert_eq!(a.sub(&Nat::one()), nat("ffffffffffffffffffffffffffffffff"));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Nat::one().sub(&Nat::from(2u64));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = nat("1234567890abcdef");
+        let b = nat("fedcba0987654321");
+        assert_eq!((&a * &b).to_hex(), "121fa000a3723a57c24a442fe55618cf");
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let a = Nat::from(1000u64);
+        let (q, r) = a.div_rem(&Nat::from(7u64));
+        assert_eq!(q, Nat::from(142u64));
+        assert_eq!(r, Nat::from(6u64));
+    }
+
+    #[test]
+    fn div_rem_multi_limb_known() {
+        let a = nat("deadbeefdeadbeefdeadbeefdeadbeefdeadbeef");
+        let b = nat("cafebabecafebabe");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn dec_roundtrip() {
+        let s = "123456789012345678901234567890123456789";
+        assert_eq!(Nat::from_dec(s).unwrap().to_dec(), s);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let s = "deadbeef0123456789abcdef";
+        assert_eq!(Nat::from_hex(s).unwrap().to_hex(), s);
+    }
+
+    #[test]
+    fn byte_roundtrips() {
+        let n = nat("0102030405060708090a0b0c0d0e0f");
+        assert_eq!(Nat::from_be_bytes(&n.to_be_bytes()), n);
+        assert_eq!(Nat::from_le_bytes(&n.to_le_bytes_padded(20)), n);
+    }
+
+    #[test]
+    fn shifts() {
+        let n = nat("deadbeef");
+        assert_eq!(n.shl(64).shr(64), n);
+        assert_eq!(n.shl(3), Nat::from(0xdeadbeefu64 * 8));
+        assert_eq!(n.shr(100), Nat::zero());
+    }
+
+    #[test]
+    fn bit_access() {
+        let mut n = Nat::zero();
+        n.set_bit(130, true);
+        assert!(n.bit(130));
+        assert_eq!(n.bit_len(), 131);
+        n.set_bit(130, false);
+        assert!(n.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros_multi_limb() {
+        let n = Nat::one().shl(129);
+        assert_eq!(n.trailing_zeros(), 129);
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        let mut rng = XorShiftRng::new(42);
+        let bound = nat("ffffffffffffffffffffff");
+        for _ in 0..50 {
+            assert!(Nat::random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_exact_bits_sets_top_bit() {
+        let mut rng = XorShiftRng::new(7);
+        for bits in [1, 5, 64, 65, 200] {
+            let n = Nat::random_exact_bits(&mut rng, bits);
+            assert_eq!(n.bit_len(), bits);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let (na, nb) = (Nat::from(a), Nat::from(b));
+            let sum = &na + &nb;
+            prop_assert_eq!(sum.sub(&nb), na);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let p = Nat::from(a).mul(&Nat::from(b));
+            prop_assert_eq!(p, Nat::from(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_div_rem_invariant(a_hex in "[0-9a-f]{1,80}", b_hex in "[0-9a-f]{1,40}") {
+            let a = Nat::from_hex(&a_hex).unwrap();
+            let b = Nat::from_hex(&b_hex).unwrap();
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(&(&q * &b) + &r, a);
+        }
+
+        #[test]
+        fn prop_karatsuba_matches_schoolbook(a_hex in "[0-9a-f]{400,500}", b_hex in "[0-9a-f]{400,500}") {
+            let a = Nat::from_hex(&a_hex).unwrap();
+            let b = Nat::from_hex(&b_hex).unwrap();
+            prop_assert_eq!(a.mul_karatsuba(&b), a.mul_schoolbook(&b));
+        }
+
+        #[test]
+        fn prop_shift_roundtrip(a_hex in "[0-9a-f]{1,64}", s in 0usize..200) {
+            let a = Nat::from_hex(&a_hex).unwrap();
+            prop_assert_eq!(a.shl(s).shr(s), a);
+        }
+
+        #[test]
+        fn prop_dec_roundtrip(a in any::<u128>()) {
+            let n = Nat::from(a);
+            prop_assert_eq!(Nat::from_dec(&n.to_dec()).unwrap(), n);
+        }
+    }
+}

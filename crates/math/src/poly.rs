@@ -1,0 +1,394 @@
+//! Dense univariate polynomials over [`Fp64`].
+//!
+//! These are the core algebraic objects of the paper's protocols: random
+//! low-degree curves and answer interpolation in the multi-server protocol
+//! (§3.1, Lemma 1), Shamir-style blinding polynomials `R` with `R(0) = 0`
+//! (symmetric privacy), and the `m`-wise independent masking family
+//! `{P_s}` = degree-`(m-1)` polynomials of §3.3.2.
+
+use crate::fp64::Fp64;
+use crate::rand_src::RandomSource;
+
+/// A polynomial `c_0 + c_1 y + … + c_d y^d` over a prime field.
+///
+/// Coefficients are canonical `Fp64` residues; the representation is kept
+/// normalized (no trailing zero coefficients; the zero polynomial has an
+/// empty coefficient vector and degree `None`).
+///
+/// # Examples
+///
+/// ```
+/// use spfe_math::{Fp64, Poly};
+/// let f = Fp64::new(97).unwrap();
+/// let p = Poly::from_coeffs(vec![1, 2, 3], f); // 1 + 2y + 3y²
+/// assert_eq!(p.eval(2), (1 + 4 + 12) % 97);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+    field: Fp64,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero(field: Fp64) -> Self {
+        Poly {
+            coeffs: Vec::new(),
+            field,
+        }
+    }
+
+    /// Builds from low-to-high coefficients (reduced mod p, normalized).
+    pub fn from_coeffs(coeffs: Vec<u64>, field: Fp64) -> Self {
+        let mut coeffs: Vec<u64> = coeffs.into_iter().map(|c| field.from_u64(c)).collect();
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        Poly { coeffs, field }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: u64, field: Fp64) -> Self {
+        Poly::from_coeffs(vec![c], field)
+    }
+
+    /// A uniformly random polynomial of degree at most `deg`.
+    pub fn random<R: RandomSource + ?Sized>(deg: usize, field: Fp64, rng: &mut R) -> Self {
+        let coeffs = (0..=deg).map(|_| field.random(rng)).collect();
+        Poly::from_coeffs(coeffs, field)
+    }
+
+    /// A random polynomial of degree at most `deg` with a prescribed value at
+    /// zero (the Shamir sharing polynomial; with `value = 0` this is the
+    /// blinding polynomial `R` of §3.1).
+    pub fn random_with_constant<R: RandomSource + ?Sized>(
+        value: u64,
+        deg: usize,
+        field: Fp64,
+        rng: &mut R,
+    ) -> Self {
+        let mut coeffs: Vec<u64> = (0..=deg).map(|_| field.random(rng)).collect();
+        coeffs[0] = field.from_u64(value);
+        Poly::from_coeffs(coeffs, field)
+    }
+
+    /// The field this polynomial lives over.
+    pub fn field(&self) -> Fp64 {
+        self.field
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Low-to-high coefficients (normalized).
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Evaluation by Horner's rule.
+    pub fn eval(&self, y: u64) -> u64 {
+        let f = &self.field;
+        let y = f.from_u64(y);
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &c| f.add(f.mul(acc, y), c))
+    }
+
+    /// Evaluates at many points.
+    pub fn eval_many(&self, ys: &[u64]) -> Vec<u64> {
+        ys.iter().map(|&y| self.eval(y)).collect()
+    }
+
+    /// Polynomial addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fields differ.
+    pub fn add(&self, other: &Poly) -> Poly {
+        assert_eq!(self.field, other.field, "field mismatch");
+        let f = &self.field;
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                f.add(
+                    self.coeffs.get(i).copied().unwrap_or(0),
+                    other.coeffs.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Poly::from_coeffs(coeffs, self.field)
+    }
+
+    /// Polynomial subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fields differ.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        assert_eq!(self.field, other.field, "field mismatch");
+        let f = &self.field;
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                f.sub(
+                    self.coeffs.get(i).copied().unwrap_or(0),
+                    other.coeffs.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Poly::from_coeffs(coeffs, self.field)
+    }
+
+    /// Schoolbook polynomial multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fields differ.
+    pub fn mul(&self, other: &Poly) -> Poly {
+        assert_eq!(self.field, other.field, "field mismatch");
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return Poly::zero(self.field);
+        }
+        let f = &self.field;
+        let mut coeffs = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = f.add(coeffs[i + j], f.mul(a, b));
+            }
+        }
+        Poly::from_coeffs(coeffs, self.field)
+    }
+
+    /// Scalar multiplication.
+    pub fn scale(&self, c: u64) -> Poly {
+        let f = &self.field;
+        let c = f.from_u64(c);
+        Poly::from_coeffs(self.coeffs.iter().map(|&a| f.mul(a, c)).collect(), self.field)
+    }
+
+    /// Polynomial division: returns `(quotient, remainder)` with
+    /// `self = q·divisor + r` and `deg r < deg divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero or fields differ.
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        assert_eq!(self.field, divisor.field, "field mismatch");
+        assert!(!divisor.coeffs.is_empty(), "division by zero polynomial");
+        let f = &self.field;
+        let dlen = divisor.coeffs.len();
+        let dlead_inv = f.inv(*divisor.coeffs.last().unwrap()).expect("lead != 0");
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![0u64; self.coeffs.len().saturating_sub(dlen - 1)];
+        while rem.len() >= dlen {
+            let lead = *rem.last().unwrap();
+            if lead == 0 {
+                rem.pop();
+                continue;
+            }
+            let shift = rem.len() - dlen;
+            let factor = f.mul(lead, dlead_inv);
+            quot[shift] = factor;
+            for (i, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[shift + i] = f.sub(rem[shift + i], f.mul(factor, dc));
+            }
+            while rem.last() == Some(&0) {
+                rem.pop();
+            }
+        }
+        (
+            Poly::from_coeffs(quot, self.field),
+            Poly::from_coeffs(rem, self.field),
+        )
+    }
+
+    /// Lagrange interpolation through `(xs[i], ys[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` have different lengths, are empty, or `xs`
+    /// contains duplicates.
+    pub fn interpolate(xs: &[u64], ys: &[u64], field: Fp64) -> Poly {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "interpolate needs at least one point");
+        let f = &field;
+        let xs: Vec<u64> = xs.iter().map(|&x| f.from_u64(x)).collect();
+        {
+            let mut sorted = xs.clone();
+            sorted.sort_unstable();
+            assert!(
+                sorted.windows(2).all(|w| w[0] != w[1]),
+                "duplicate interpolation nodes"
+            );
+        }
+        let mut acc = Poly::zero(field);
+        for (i, (&xi, &yi)) in xs.iter().zip(ys).enumerate() {
+            // Basis polynomial l_i(y) = Π_{j≠i} (y - x_j) / (x_i - x_j).
+            let mut basis = Poly::constant(1, field);
+            let mut denom = 1u64;
+            for (j, &xj) in xs.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                basis = basis.mul(&Poly::from_coeffs(vec![f.neg(xj), 1], field));
+                denom = f.mul(denom, f.sub(xi, xj));
+            }
+            let coef = f.mul(f.from_u64(yi), f.inv(denom).expect("distinct nodes"));
+            acc = acc.add(&basis.scale(coef));
+        }
+        acc
+    }
+
+    /// Evaluates the unique degree-`< len` interpolant at `x` directly, without
+    /// constructing the polynomial — the client-side reconstruction step of
+    /// Lemma 1 (answers lie on a degree-`dt` polynomial; output is its value
+    /// at zero).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Poly::interpolate`].
+    pub fn interpolate_at(xs: &[u64], ys: &[u64], x: u64, field: Fp64) -> u64 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty());
+        let f = &field;
+        let x = f.from_u64(x);
+        let xs: Vec<u64> = xs.iter().map(|&v| f.from_u64(v)).collect();
+        // Weights w_i = Π_{j≠i} (x - x_j) / (x_i - x_j); handle x == x_i exactly.
+        if let Some(pos) = xs.iter().position(|&xi| xi == x) {
+            return f.from_u64(ys[pos]);
+        }
+        let mut denoms = Vec::with_capacity(xs.len());
+        for (i, &xi) in xs.iter().enumerate() {
+            let mut d = 1u64;
+            for (j, &xj) in xs.iter().enumerate() {
+                if i != j {
+                    d = f.mul(d, f.sub(xi, xj));
+                }
+            }
+            assert_ne!(d, 0, "duplicate interpolation nodes");
+            // Fold in (x - x_i) so numerator Π(x - x_j) / (x - x_i) works out.
+            denoms.push(f.mul(d, f.sub(x, xi)));
+        }
+        let invs = f.batch_inv(&denoms);
+        let full_num = xs.iter().fold(1u64, |acc, &xj| f.mul(acc, f.sub(x, xj)));
+        let mut acc = 0u64;
+        for ((&yi, &inv), _) in ys.iter().zip(&invs).zip(&xs) {
+            acc = f.add(acc, f.mul(f.from_u64(yi), f.mul(full_num, inv)));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_src::XorShiftRng;
+    use proptest::prelude::*;
+
+    fn field() -> Fp64 {
+        Fp64::new(1_000_003).unwrap()
+    }
+
+    #[test]
+    fn degree_and_normalization() {
+        let f = field();
+        assert_eq!(Poly::zero(f).degree(), None);
+        assert_eq!(Poly::from_coeffs(vec![5, 0, 0], f).degree(), Some(0));
+        assert_eq!(Poly::from_coeffs(vec![0, 0, 3], f).degree(), Some(2));
+    }
+
+    #[test]
+    fn eval_horner_known() {
+        let f = field();
+        let p = Poly::from_coeffs(vec![7, 0, 2], f); // 7 + 2y²
+        assert_eq!(p.eval(10), 207);
+        assert_eq!(p.eval(0), 7);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let f = field();
+        let mut rng = XorShiftRng::new(11);
+        let a = Poly::random(4, f, &mut rng);
+        let b = Poly::random(3, f, &mut rng);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.mul(&Poly::constant(1, f)), a);
+        assert_eq!(a.mul(&Poly::zero(f)), Poly::zero(f));
+        // (a+b)(a-b) = a² - b²
+        let lhs = a.add(&b).mul(&a.sub(&b));
+        let rhs = a.mul(&a).sub(&b.mul(&b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn interpolate_recovers_poly() {
+        let f = field();
+        let mut rng = XorShiftRng::new(12);
+        let p = Poly::random(6, f, &mut rng);
+        let xs: Vec<u64> = (1..=7).collect();
+        let ys = p.eval_many(&xs);
+        assert_eq!(Poly::interpolate(&xs, &ys, f), p);
+    }
+
+    #[test]
+    fn interpolate_at_zero_matches_full() {
+        let f = field();
+        let mut rng = XorShiftRng::new(13);
+        let p = Poly::random_with_constant(424_242, 9, f, &mut rng);
+        let xs: Vec<u64> = (1..=10).collect();
+        let ys = p.eval_many(&xs);
+        assert_eq!(Poly::interpolate_at(&xs, &ys, 0, f), 424_242);
+    }
+
+    #[test]
+    fn interpolate_at_node_returns_value() {
+        let f = field();
+        assert_eq!(Poly::interpolate_at(&[1, 2, 3], &[10, 20, 30], 2, f), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_nodes_panic() {
+        let _ = Poly::interpolate(&[1, 1], &[2, 3], field());
+    }
+
+    #[test]
+    fn random_with_constant_fixes_zero_value() {
+        let f = field();
+        let mut rng = XorShiftRng::new(14);
+        for _ in 0..10 {
+            let p = Poly::random_with_constant(77, 5, f, &mut rng);
+            assert_eq!(p.eval(0), 77);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_eval_homomorphic(
+            a in proptest::collection::vec(0u64..1_000_003, 1..6),
+            b in proptest::collection::vec(0u64..1_000_003, 1..6),
+            y in 0u64..1_000_003,
+        ) {
+            let f = field();
+            let (pa, pb) = (Poly::from_coeffs(a, f), Poly::from_coeffs(b, f));
+            prop_assert_eq!(pa.mul(&pb).eval(y), f.mul(pa.eval(y), pb.eval(y)));
+            prop_assert_eq!(pa.add(&pb).eval(y), f.add(pa.eval(y), pb.eval(y)));
+        }
+
+        #[test]
+        fn prop_interpolate_at_matches_poly(seed in any::<u64>(), deg in 0usize..8, x in 0u64..1_000_003) {
+            let f = field();
+            let mut rng = XorShiftRng::new(seed);
+            let p = Poly::random(deg, f, &mut rng);
+            let xs: Vec<u64> = (1..=(deg as u64 + 1)).collect();
+            let ys = p.eval_many(&xs);
+            prop_assert_eq!(Poly::interpolate_at(&xs, &ys, x, f), p.eval(x));
+        }
+    }
+}

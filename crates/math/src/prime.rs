@@ -1,0 +1,252 @@
+//! Primality testing and prime generation.
+//!
+//! Miller–Rabin with a deterministic base set for 64-bit inputs and random
+//! bases above; generation of random primes, Blum primes (`≡ 3 mod 4`), and
+//! safe primes for the cryptosystems in `spfe-crypto`.
+
+use crate::modular::mod_pow;
+use crate::nat::Nat;
+use crate::rand_src::RandomSource;
+
+/// Primes below 1000, used for fast trial division.
+const SMALL_PRIMES: [u64; 168] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419,
+    421, 431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541,
+    547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653,
+    659, 661, 673, 677, 683, 691, 701, 709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787,
+    797, 809, 811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907, 911, 919,
+    929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997,
+];
+
+/// Number of random Miller–Rabin rounds for large candidates
+/// (error probability ≤ 4^-40).
+const MR_ROUNDS: usize = 40;
+
+/// Returns true if `n` is (very probably) prime.
+///
+/// For `n < 2^64` the test is *deterministic* (fixed base set); above that a
+/// trial-division pass is followed by `MR_ROUNDS` random-base Miller–Rabin
+/// rounds.
+pub fn is_prime<R: RandomSource + ?Sized>(n: &Nat, rng: &mut R) -> bool {
+    if let Some(v) = n.to_u64() {
+        return is_prime_u64(v);
+    }
+    for &p in &SMALL_PRIMES {
+        let (_, r) = n.div_rem_u64(p);
+        if r == 0 {
+            return false;
+        }
+    }
+    let n_minus_1 = n.sub(&Nat::one());
+    let s = n_minus_1.trailing_zeros();
+    let d = n_minus_1.shr(s);
+    let two = Nat::from(2u64);
+    let bound = n.sub(&Nat::from(3u64));
+    for _ in 0..MR_ROUNDS {
+        let a = Nat::random_below(rng, &bound).add(&two); // a in [2, n-2]
+        if !miller_rabin_round(n, &n_minus_1, &d, s, &a) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Deterministic primality for `u64` using the 12-base Miller–Rabin set.
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let n_nat = Nat::from(n);
+    let n_minus_1 = Nat::from(n - 1);
+    let s = n_minus_1.trailing_zeros();
+    let d = n_minus_1.shr(s);
+    // Sufficient deterministic base set for n < 3.3 * 10^24.
+    for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if a % n == 0 {
+            continue;
+        }
+        if !miller_rabin_round(&n_nat, &n_minus_1, &d, s, &Nat::from(a)) {
+            return false;
+        }
+    }
+    true
+}
+
+fn miller_rabin_round(n: &Nat, n_minus_1: &Nat, d: &Nat, s: usize, a: &Nat) -> bool {
+    let mut x = mod_pow(a, d, n);
+    if x.is_one() || &x == n_minus_1 {
+        return true;
+    }
+    for _ in 1..s {
+        x = (&x * &x).rem(n);
+        if &x == n_minus_1 {
+            return true;
+        }
+        if x.is_one() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> Nat {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut cand = Nat::random_exact_bits(rng, bits);
+        cand.set_bit(0, true); // force odd
+        if is_prime(&cand, rng) {
+            return cand;
+        }
+    }
+}
+
+/// Generates a random *Blum* prime (`p ≡ 3 mod 4`) with exactly `bits` bits.
+///
+/// Blum primes are required by the Goldwasser–Micali cryptosystem so that
+/// `-1` is a quadratic non-residue with Jacobi symbol `+1` modulo `p*q`.
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn gen_blum_prime<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> Nat {
+    assert!(bits >= 3);
+    loop {
+        let mut cand = Nat::random_exact_bits(rng, bits);
+        cand.set_bit(0, true);
+        cand.set_bit(1, true); // ≡ 3 mod 4
+        if is_prime(&cand, rng) {
+            return cand;
+        }
+    }
+}
+
+/// Generates a *safe* prime `p = 2q + 1` (with `q` prime) of exactly `bits`
+/// bits, returning `(p, q)`. Used for Schnorr-style groups in the OT substrate.
+///
+/// # Panics
+///
+/// Panics if `bits < 4`.
+pub fn gen_safe_prime<R: RandomSource + ?Sized>(bits: usize, rng: &mut R) -> (Nat, Nat) {
+    assert!(bits >= 4);
+    loop {
+        let q = gen_prime(bits - 1, rng);
+        let p = q.shl(1).add(&Nat::one());
+        if p.bit_len() == bits && is_prime(&p, rng) {
+            return (p, q);
+        }
+    }
+}
+
+/// Smallest prime `>= n` (for building field moduli of a required size).
+pub fn next_prime_u64(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    while !is_prime_u64(n) {
+        n = n.checked_add(2).expect("next_prime_u64 overflow");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_src::XorShiftRng;
+
+    #[test]
+    fn small_primality() {
+        let primes = [2u64, 3, 5, 7, 997, 1_000_003, 4_294_967_311];
+        let composites = [0u64, 1, 4, 9, 1_000_001, 4_294_967_297 /* F5 = 641*6700417 */];
+        for p in primes {
+            assert!(is_prime_u64(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime_u64(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime_u64(c), "Carmichael {c} must be rejected");
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        let mut rng = XorShiftRng::new(1);
+        // 2^127 - 1 and 2^255 - 19.
+        let m127 = Nat::from((1u128 << 127) - 1);
+        assert!(is_prime(&m127, &mut rng));
+        let p25519 = Nat::one().shl(255).sub(&Nat::from(19u64));
+        assert!(is_prime(&p25519, &mut rng));
+    }
+
+    #[test]
+    fn known_large_composite_rejected() {
+        let mut rng = XorShiftRng::new(1);
+        // (2^127 - 1) * small prime.
+        let c = Nat::from((1u128 << 127) - 1).mul_u64(1_000_003);
+        assert!(!is_prime(&c, &mut rng));
+        // RSA-style semiprime of two 80-bit primes.
+        let p = gen_prime(80, &mut rng);
+        let q = gen_prime(80, &mut rng);
+        assert!(!is_prime(&(&p * &q), &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_bit_lengths() {
+        let mut rng = XorShiftRng::new(2);
+        for bits in [16usize, 32, 64, 128, 256] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(is_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_blum_prime_is_3_mod_4() {
+        let mut rng = XorShiftRng::new(3);
+        for _ in 0..3 {
+            let p = gen_blum_prime(64, &mut rng);
+            assert_eq!(p.limbs()[0] & 3, 3);
+            assert!(is_prime(&p, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gen_safe_prime_structure() {
+        let mut rng = XorShiftRng::new(4);
+        let (p, q) = gen_safe_prime(48, &mut rng);
+        assert_eq!(p, q.shl(1).add(&Nat::one()));
+        assert!(is_prime(&p, &mut rng));
+        assert!(is_prime(&q, &mut rng));
+    }
+
+    #[test]
+    fn next_prime_u64_works() {
+        assert_eq!(next_prime_u64(0), 2);
+        assert_eq!(next_prime_u64(8), 11);
+        assert_eq!(next_prime_u64(11), 11);
+        assert_eq!(next_prime_u64(1_000_000), 1_000_003);
+    }
+}

@@ -1,0 +1,216 @@
+//! Reed–Solomon decoding (Berlekamp–Welch) for robust interpolation.
+//!
+//! The §3.1 remark of the paper: "t′ malicious servers can be tolerated by
+//! adding 2t′ additional servers". Concretely, the servers' answers lie on
+//! a degree-`d` polynomial; with `k ≥ d + 2e + 1` answers of which at most
+//! `e` are corrupted, Berlekamp–Welch recovers the polynomial — and hence
+//! the client's output `P̂(0)` — despite the faults.
+
+use crate::fp64::Fp64;
+use crate::linalg::Mat;
+use crate::poly::Poly;
+
+/// Decodes a codeword: given points `(xs[i], ys[i])` of which at most
+/// `max_errors` are corrupted, recovers the unique polynomial of degree
+/// `≤ degree` through the uncorrupted ones.
+///
+/// Requires `xs.len() ≥ degree + 2·max_errors + 1`.
+///
+/// # Errors
+///
+/// Returns `None` if no degree-`≤ degree` polynomial agrees with at least
+/// `xs.len() − max_errors` of the points.
+///
+/// # Panics
+///
+/// Panics on length mismatch, duplicate nodes, or too few points.
+pub fn berlekamp_welch(
+    xs: &[u64],
+    ys: &[u64],
+    degree: usize,
+    max_errors: usize,
+    field: Fp64,
+) -> Option<Poly> {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let k = xs.len();
+    assert!(
+        k > degree + 2 * max_errors,
+        "need at least d + 2e + 1 points"
+    );
+    let f = field;
+    let xs: Vec<u64> = xs.iter().map(|&x| f.from_u64(x)).collect();
+    let ys: Vec<u64> = ys.iter().map(|&y| f.from_u64(y)).collect();
+    {
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.windows(2).all(|w| w[0] != w[1]),
+            "duplicate evaluation points"
+        );
+    }
+
+    // Try decreasing error counts: with fewer actual errors the nominal-e
+    // system can be singular, but some e' ≤ e always works.
+    for e in (0..=max_errors).rev() {
+        if let Some(p) = try_decode(&xs, &ys, degree, e, f) {
+            // Verify: agreement with at least k − max_errors points.
+            let agree = xs
+                .iter()
+                .zip(&ys)
+                .filter(|(&x, &y)| p.eval(x) == y)
+                .count();
+            if agree + max_errors >= k && p.degree().unwrap_or(0) <= degree {
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+/// One Berlekamp–Welch attempt at a fixed error count `e`: solve for
+/// `E(x)` (monic, degree `e`) and `Q(x)` (degree `≤ d + e`) with
+/// `Q(x_i) = y_i·E(x_i)` for all `i`, then `P = Q / E`.
+fn try_decode(xs: &[u64], ys: &[u64], d: usize, e: usize, f: Fp64) -> Option<Poly> {
+    let k = xs.len();
+    let q_terms = d + e + 1;
+    let unknowns = q_terms + e; // Q coeffs + non-leading E coeffs
+    // Equations: Q(x_i) − y_i·(E₀ + E₁x_i + … + E_{e−1}x_i^{e−1}) = y_i·x_i^e.
+    let mut rows = Vec::with_capacity(k);
+    let mut rhs = Vec::with_capacity(k);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut row = Vec::with_capacity(unknowns);
+        let mut xp = 1u64;
+        for _ in 0..q_terms {
+            row.push(xp);
+            xp = f.mul(xp, x);
+        }
+        let mut xp = 1u64;
+        for _ in 0..e {
+            row.push(f.neg(f.mul(y, xp)));
+            xp = f.mul(xp, x);
+        }
+        // xp is now x^e.
+        rhs.push(f.mul(y, xp));
+        rows.push(row);
+    }
+    let a = Mat::from_rows(rows, f);
+    let sol = a.solve_any(&rhs)?;
+    let q = Poly::from_coeffs(sol[..q_terms].to_vec(), f);
+    let mut e_coeffs = sol[q_terms..].to_vec();
+    e_coeffs.push(1); // monic leading coefficient
+    let e_poly = Poly::from_coeffs(e_coeffs, f);
+    let (p, rem) = q.div_rem(&e_poly);
+    if rem.degree().is_some() {
+        return None; // E does not divide Q — wrong error count
+    }
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand_src::{RandomSource, XorShiftRng};
+
+    fn field() -> Fp64 {
+        Fp64::new(1_000_003).unwrap()
+    }
+
+    #[test]
+    fn decodes_clean_codeword() {
+        let f = field();
+        let mut rng = XorShiftRng::new(1);
+        let p = Poly::random(3, f, &mut rng);
+        let xs: Vec<u64> = (1..=8).collect();
+        let ys = p.eval_many(&xs);
+        let got = berlekamp_welch(&xs, &ys, 3, 2, f).unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn corrects_up_to_e_errors() {
+        let f = field();
+        let mut rng = XorShiftRng::new(2);
+        for e in 1..=3usize {
+            let d = 2;
+            let k = d + 2 * e + 1;
+            let p = Poly::random(d, f, &mut rng);
+            let xs: Vec<u64> = (1..=k as u64).collect();
+            let mut ys = p.eval_many(&xs);
+            // Corrupt e positions.
+            for j in 0..e {
+                ys[j * 2] = f.add(ys[j * 2], 1 + rng.next_below(1000));
+            }
+            let got = berlekamp_welch(&xs, &ys, d, e, f).unwrap();
+            assert_eq!(got, p, "e={e}");
+        }
+    }
+
+    #[test]
+    fn fewer_errors_than_budget_still_decodes() {
+        let f = field();
+        let mut rng = XorShiftRng::new(3);
+        let p = Poly::random(4, f, &mut rng);
+        let xs: Vec<u64> = (1..=11).collect(); // d=4, e=3 budget
+        let mut ys = p.eval_many(&xs);
+        ys[5] = f.add(ys[5], 7); // only one actual error
+        let got = berlekamp_welch(&xs, &ys, 4, 3, f).unwrap();
+        assert_eq!(got, p);
+    }
+
+    #[test]
+    fn too_many_errors_detected() {
+        let f = field();
+        let mut rng = XorShiftRng::new(4);
+        let p = Poly::random(2, f, &mut rng);
+        let xs: Vec<u64> = (1..=7).collect(); // budget e = 2
+        let mut ys = p.eval_many(&xs);
+        // Corrupt 3 > e positions with a consistent *different* low-degree
+        // pattern is hard; random corruption of 3 points usually yields no
+        // valid decoding within budget.
+        for j in [0usize, 2, 4] {
+            ys[j] = f.add(ys[j], 1 + rng.next_below(500_000));
+        }
+        if let Some(got) = berlekamp_welch(&xs, &ys, 2, 2, f) {
+            // If something decodes it must agree with ≥ 5 of the 7 points.
+            let agree = xs.iter().zip(&ys).filter(|(&x, &y)| got.eval(x) == y).count();
+            assert!(agree >= 5);
+        }
+    }
+
+    #[test]
+    fn zero_error_budget_is_plain_interpolation() {
+        let f = field();
+        let p = Poly::from_coeffs(vec![5, 0, 7], f);
+        let xs: Vec<u64> = (1..=3).collect();
+        let ys = p.eval_many(&xs);
+        assert_eq!(berlekamp_welch(&xs, &ys, 2, 0, f).unwrap(), p);
+    }
+
+    #[test]
+    fn random_error_positions_proptest_style() {
+        let f = field();
+        let mut rng = XorShiftRng::new(6);
+        for trial in 0..20 {
+            let d = 1 + (trial % 4) as usize;
+            let e = 1 + (trial % 3) as usize;
+            let k = d + 2 * e + 1;
+            let p = Poly::random(d, f, &mut rng);
+            let xs: Vec<u64> = (1..=k as u64).collect();
+            let mut ys = p.eval_many(&xs);
+            // Random distinct error positions.
+            let mut positions: Vec<usize> = (0..k).collect();
+            for i in 0..e {
+                let j = i + (rng.next_below((k - i) as u64) as usize);
+                positions.swap(i, j);
+            }
+            for &pos in &positions[..e] {
+                ys[pos] = f.add(ys[pos], 1 + rng.next_below(999));
+            }
+            assert_eq!(
+                berlekamp_welch(&xs, &ys, d, e, f).unwrap(),
+                p,
+                "trial={trial} d={d} e={e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Private simultaneous messages (PSM) protocols — the §3.2 substrate.
+//!
+//! In the PSM model, `m` players who share a common random input each send
+//! a *single* message about their own input to a referee, who reconstructs
+//! `f(y₁…y_m)` and learns nothing else. The paper's refinement adds an
+//! input-less player `P₀` whose message `p₀` carries the bulk
+//! (communication `(α, β)` = per-player / extra-message lengths).
+//!
+//! Three instantiations, matching the paper's citations:
+//!
+//! * [`sum`] — Example 1: the modular-sum PSM with communication `(ℓ, 0)`;
+//! * [`yao`] — the computationally secure PSM of \[23, 46\]: `p₀` is a
+//!   garbled circuit derived from the common randomness, each player sends
+//!   the active labels of its own bits; communication `(κ·w, O(κ·C_f))`;
+//! * [`bp`] — the perfectly secure PSM of \[30\] for branching programs:
+//!   messages are additive shares of the randomized path matrix
+//!   `R₁·M(x)·R₂`; communication `(O(B_f²), 0)`.
+
+use crate::garble::{self, GarbledCircuit, Label};
+use spfe_circuits::boolean::Circuit;
+use spfe_circuits::bp::BranchingProgram;
+use spfe_crypto::ChaChaRng;
+use spfe_math::{Fp64, Mat, RandomSource};
+
+/// Example 1: PSM for the sum function over `Z_u`.
+pub mod sum {
+    use super::*;
+
+    /// Derives the common random pads `r₁…r_m` with `Σ r_j = 0` from the
+    /// shared seed.
+    fn pads(m: usize, modulus: u64, seed: [u8; 32]) -> Vec<u64> {
+        assert!(m >= 1 && modulus >= 1);
+        let mut rng = ChaChaRng::from_seed(seed);
+        let mut pads: Vec<u64> = (0..m - 1).map(|_| rng.next_below(modulus)).collect();
+        let total: u64 = pads.iter().fold(0u64, |acc, &r| (acc + r) % modulus);
+        pads.push((modulus - total) % modulus); // r_m = −Σ
+        pads
+    }
+
+    /// Player `j`'s message `p_j = y_j + r_j mod u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= m` or `y >= modulus`.
+    pub fn player_message(j: usize, m: usize, y: u64, modulus: u64, seed: [u8; 32]) -> u64 {
+        assert!(j < m && y < modulus);
+        let r = pads(m, modulus, seed)[j];
+        (y + r) % modulus
+    }
+
+    /// Referee: reconstructs `Σ y_j mod u` from the `m` messages.
+    pub fn referee(messages: &[u64], modulus: u64) -> u64 {
+        messages.iter().fold(0u64, |acc, &p| (acc + p) % modulus)
+    }
+}
+
+/// Computationally secure PSM from Yao garbling (\[23, 46\]).
+///
+/// Player `j` owns the circuit-input bit range `bit_ranges[j]`; the common
+/// randomness is the garbling seed.
+pub mod yao {
+    use super::*;
+
+    /// The extra player `P₀`'s message: the garbled circuit (size
+    /// `O(κ·C_f)` — the `β` component).
+    pub fn p0_message(circuit: &Circuit, seed: [u8; 32]) -> GarbledCircuit {
+        garble::garble(circuit, seed).0
+    }
+
+    /// Player `j`'s message: active labels for its own input bits
+    /// (`bit_offset..bit_offset + bits.len()`), re-derived from the shared
+    /// seed (`κ` bytes per bit — the `α` component).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit range exceeds the circuit inputs.
+    pub fn player_message(
+        circuit: &Circuit,
+        seed: [u8; 32],
+        bit_offset: usize,
+        bits: &[bool],
+    ) -> Vec<Label> {
+        assert!(bit_offset + bits.len() <= circuit.num_inputs());
+        let (_, secrets) = garble::garble(circuit, seed);
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| secrets.input_label(bit_offset + i, b))
+            .collect()
+    }
+
+    /// Referee: evaluates from `p₀` and the concatenated player labels
+    /// (in input order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count mismatches the circuit.
+    pub fn referee(circuit: &Circuit, p0: &GarbledCircuit, labels: &[Label]) -> Vec<bool> {
+        garble::evaluate(circuit, p0, labels)
+    }
+}
+
+/// Perfectly secure PSM for branching programs (Ishai–Kushilevitz \[30\]).
+///
+/// The common randomness is `(R₁, R₂, Z₀…Z_m)` where `R₁` is unit
+/// upper-triangular, `R₂` is identity-plus-last-column, and the `Z`'s are
+/// additive masks summing to zero. `P₀` sends `R₁·M₀·R₂ + Z₀`; player `j`
+/// sends `R₁·(Σ_{v owned} x_v·B_v)·R₂ + Z_j`. The referee sums all
+/// messages to get `R₁·M(x)·R₂` and reads off `f(x) = ±det`.
+pub mod bp {
+    use super::*;
+
+    /// The shared randomness, derived from a seed.
+    #[derive(Debug, Clone)]
+    pub struct BpPsmRandomness {
+        pub(crate) r1: Mat,
+        pub(crate) r2: Mat,
+        pub(crate) masks: Vec<Mat>,
+    }
+
+    /// Derives the common randomness for `m` players (plus `P₀`).
+    pub fn common_randomness(
+        bp: &BranchingProgram,
+        m: usize,
+        field: Fp64,
+        seed: [u8; 32],
+    ) -> BpPsmRandomness {
+        let d = bp.size() - 1;
+        let mut rng = ChaChaRng::from_seed(seed);
+        let r1 = Mat::random_unit_upper(d, field, &mut rng);
+        let r2 = Mat::random_last_column(d, field, &mut rng);
+        // m + 1 masks summing to zero (index 0 = P₀'s).
+        let mut masks: Vec<Mat> = (0..m)
+            .map(|_| {
+                let rows = (0..d)
+                    .map(|_| (0..d).map(|_| field.random(&mut rng)).collect())
+                    .collect();
+                Mat::from_rows(rows, field)
+            })
+            .collect();
+        let mut z0 = Mat::zero(d, d, field);
+        for z in &masks {
+            z0 = z0.add(&z.scale(field.from_i64(-1)));
+        }
+        masks.insert(0, z0);
+        BpPsmRandomness { r1, r2, masks }
+    }
+
+    /// `P₀`'s message: `R₁·M₀·R₂ + Z₀`.
+    pub fn p0_message(bp: &BranchingProgram, field: Fp64, rand: &BpPsmRandomness) -> Mat {
+        let (m0, _) = bp.affine_matrices(field);
+        rand.r1.mul(&m0).mul(&rand.r2).add(&rand.masks[0])
+    }
+
+    /// Player `j`'s message: the randomized contribution of its variables.
+    /// `owned_vars` lists the BP variables this player holds, with their
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= m` (mask count) or a variable index is out of range.
+    pub fn player_message(
+        bp: &BranchingProgram,
+        field: Fp64,
+        rand: &BpPsmRandomness,
+        j: usize,
+        owned_vars: &[(usize, bool)],
+    ) -> Mat {
+        assert!(j + 1 < rand.masks.len(), "player index out of range");
+        let (_, b_vars) = bp.affine_matrices(field);
+        let d = bp.size() - 1;
+        let mut contrib = Mat::zero(d, d, field);
+        for &(v, val) in owned_vars {
+            if val {
+                contrib = contrib.add(&b_vars[v]);
+            }
+        }
+        rand.r1
+            .mul(&contrib)
+            .mul(&rand.r2)
+            .add(&rand.masks[j + 1])
+    }
+
+    /// Referee: sums all messages and reads off the path count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages` is empty or shapes mismatch.
+    pub fn referee(bp: &BranchingProgram, field: Fp64, messages: &[Mat]) -> u64 {
+        assert!(!messages.is_empty());
+        let mut total = messages[0].clone();
+        for msg in &messages[1..] {
+            total = total.add(msg);
+        }
+        let det = total.det();
+        if (bp.size() - 1) % 2 == 1 {
+            field.neg(det)
+        } else {
+            det
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfe_circuits::builders::sum_circuit;
+    use spfe_math::XorShiftRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sum_psm_reconstructs() {
+        let seed = [9u8; 32];
+        let modulus = 1000u64;
+        let ys = [17u64, 999, 3, 481];
+        let msgs: Vec<u64> = ys
+            .iter()
+            .enumerate()
+            .map(|(j, &y)| sum::player_message(j, ys.len(), y, modulus, seed))
+            .collect();
+        let expect = ys.iter().sum::<u64>() % modulus;
+        assert_eq!(sum::referee(&msgs, modulus), expect);
+    }
+
+    #[test]
+    fn sum_psm_messages_are_masked() {
+        // Each individual message is y_j + r_j with r_j uniform: over many
+        // seeds the message for fixed y is ~uniform, revealing nothing.
+        let modulus = 16u64;
+        let mut hist = [0u32; 16];
+        for s in 0..1600u64 {
+            let mut seed = [0u8; 32];
+            seed[..8].copy_from_slice(&s.to_le_bytes());
+            let msg = sum::player_message(0, 3, 7, modulus, seed);
+            hist[msg as usize] += 1;
+        }
+        for (v, &c) in hist.iter().enumerate() {
+            assert!((40..200).contains(&c), "value {v} count {c}");
+        }
+    }
+
+    #[test]
+    fn sum_psm_single_player() {
+        let seed = [1u8; 32];
+        let msg = sum::player_message(0, 1, 42, 100, seed);
+        assert_eq!(sum::referee(&[msg], 100), 42);
+    }
+
+    #[test]
+    fn yao_psm_computes_sum() {
+        // 3 players each holding a 4-bit value; referee learns the sum.
+        let circuit = sum_circuit(3, 4);
+        let seed = [7u8; 32];
+        let ys = [5u64, 12, 9];
+        let p0 = yao::p0_message(&circuit, seed);
+        let mut labels = Vec::new();
+        for (j, &y) in ys.iter().enumerate() {
+            let bits: Vec<bool> = (0..4).map(|i| (y >> i) & 1 == 1).collect();
+            labels.extend(yao::player_message(&circuit, seed, j * 4, &bits));
+        }
+        let out = yao::referee(&circuit, &p0, &labels);
+        let got: u64 = out
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum();
+        assert_eq!(got, 26);
+    }
+
+    #[test]
+    fn yao_psm_communication_shape() {
+        // α = κ per player bit; β = |garbled circuit| — the (κ, O(κ C_f))
+        // claim used in Corollary 4(1).
+        let circuit = sum_circuit(2, 8);
+        let seed = [3u8; 32];
+        let p0 = yao::p0_message(&circuit, seed);
+        let beta = garble::garbled_size(&p0);
+        let msg = yao::player_message(&circuit, seed, 0, &[true; 8]);
+        let alpha = msg.len() * garble::LABEL_LEN;
+        assert!(beta > alpha, "p0 must carry the bulk: β={beta} α={alpha}");
+        assert_eq!(alpha, 8 * 16);
+    }
+
+    #[test]
+    fn bp_psm_computes_every_input() {
+        let f = Fp64::new(1_000_003).unwrap();
+        for bp in [
+            BranchingProgram::and_of(3),
+            BranchingProgram::or_of(3),
+            BranchingProgram::parity(3),
+        ] {
+            let m = bp.num_vars();
+            for bits in 0u32..(1 << m) {
+                let x: Vec<bool> = (0..m).map(|i| (bits >> i) & 1 == 1).collect();
+                let mut seed = [0u8; 32];
+                seed[0] = bits as u8;
+                let rand = bp::common_randomness(&bp, m, f, seed);
+                let mut msgs = vec![bp::p0_message(&bp, f, &rand)];
+                for (j, &xv) in x.iter().enumerate() {
+                    msgs.push(bp::player_message(&bp, f, &rand, j, &[(j, xv)]));
+                }
+                assert_eq!(
+                    bp::referee(&bp, f, &msgs),
+                    bp.count_paths(&x),
+                    "bp s={} x={x:?}",
+                    bp.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bp_psm_multibit_players() {
+        // 2 players, each owning 2 variables of a 4-var parity BP.
+        let f = Fp64::new(101).unwrap();
+        let bp = BranchingProgram::parity(4);
+        let x = [true, false, true, true];
+        let rand = bp::common_randomness(&bp, 2, f, [5u8; 32]);
+        let msgs = vec![
+            bp::p0_message(&bp, f, &rand),
+            bp::player_message(&bp, f, &rand, 0, &[(0, x[0]), (1, x[1])]),
+            bp::player_message(&bp, f, &rand, 1, &[(2, x[2]), (3, x[3])]),
+        ];
+        assert_eq!(bp::referee(&bp, f, &msgs), 1); // odd parity
+    }
+
+    #[test]
+    fn bp_psm_perfect_privacy_statistical() {
+        // THE critical privacy property of [30]: the randomized matrix
+        // R₁·M(x)·R₂ depends only on f(x), not on x itself. Compare the
+        // empirical distribution of the summed matrix for two inputs with
+        // equal output, over a tiny field.
+        let f = Fp64::new(3).unwrap();
+        let bp = BranchingProgram::parity(2);
+        // f(10) = f(01) = 1 — same output, different inputs.
+        let inputs = [[true, false], [false, true]];
+        let runs = 3000usize;
+        let mut hists: Vec<HashMap<Vec<u64>, u32>> = vec![HashMap::new(), HashMap::new()];
+        let mut seeder = XorShiftRng::new(0xBEEF);
+        for (slot, x) in inputs.iter().enumerate() {
+            for _ in 0..runs {
+                let mut seed = [0u8; 32];
+                let r = seeder.next_u64();
+                seed[..8].copy_from_slice(&r.to_le_bytes());
+                seed[8] = slot as u8; // independent randomness per slot
+                let rand = bp::common_randomness(&bp, 2, f, seed);
+                let mut total = bp::p0_message(&bp, f, &rand);
+                for (j, &xv) in x.iter().enumerate() {
+                    total = total.add(&bp::player_message(&bp, f, &rand, j, &[(j, xv)]));
+                }
+                *hists[slot].entry(total.entries().to_vec()).or_insert(0) += 1;
+            }
+        }
+        // Every observed matrix should appear with similar frequency in
+        // both histograms.
+        let keys: std::collections::HashSet<_> =
+            hists[0].keys().chain(hists[1].keys()).cloned().collect();
+        for k in keys {
+            let a = *hists[0].get(&k).unwrap_or(&0) as f64;
+            let b = *hists[1].get(&k).unwrap_or(&0) as f64;
+            assert!(
+                (a - b).abs() <= 10.0 * ((a + b).sqrt() + 1.0),
+                "matrix {k:?}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn bp_psm_messages_sum_to_randomized_matrix() {
+        let f = Fp64::new(101).unwrap();
+        let bp = BranchingProgram::and_of(2);
+        let x = [true, true];
+        let rand = bp::common_randomness(&bp, 2, f, [8u8; 32]);
+        let mut total = bp::p0_message(&bp, f, &rand);
+        for (j, &xv) in x.iter().enumerate() {
+            total = total.add(&bp::player_message(&bp, f, &rand, j, &[(j, xv)]));
+        }
+        // Direct computation of R₁ M(x) R₂ without masks.
+        let expected = rand.r1.mul(&bp.path_matrix(&x, f)).mul(&rand.r2);
+        assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,16 @@
+//! # spfe-ot
+//!
+//! Oblivious transfer for the SPFE workspace: the Naor–Pinkas-style
+//! 1-out-of-2 base OT ([`ot2`], the paper's `SPIR(2,1,κ)` unit used inside
+//! Yao's protocol) and 1-out-of-n OT from `log n` base OTs ([`ot_n`], a
+//! linear-communication `SPIR(n,1,ℓ)` used both directly and as the
+//! symmetric-privacy layer of the PIR substrate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ot2;
+pub mod ot_n;
+
+pub use ot2::{OtQuery, OtReceiverState, OtSetup, OtTransfer};
+pub use ot_n::{OtnAnswer, OtnQuery, OtnReceiverState};

@@ -1,0 +1,217 @@
+//! The SPIR black box, as the paper presents it.
+//!
+//! §1.2: "Most of our constructions will utilize the SPIR primitive as a
+//! black box. Thus, we will generally not be concerned with the specifics
+//! of its implementation. […] By substituting specific implementations of
+//! these primitives, one may get a concrete sense of the actual costs."
+//!
+//! [`SpirOracle`] is that black box: protocols written against it can be
+//! costed under any instantiation. Two are provided:
+//!
+//! * [`HomSpir`] — the real thing (homomorphic √n PIR + pad OT);
+//! * [`IdealSpir`] — an information-flow-faithful *cost model*: it moves
+//!   exactly one encoded index upstream and one item (+κ padding)
+//!   downstream, the minimum any 1-round SPIR could send. Running an SPFE
+//!   protocol against it isolates the protocol's own overhead from the
+//!   SPIR instantiation's — the decomposition the paper's Table 1 performs
+//!   symbolically.
+
+use crate::batched;
+use crate::spir::{self, SpirParams};
+use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier, PaillierPk, PaillierSk, SchnorrGroup};
+use spfe_transport::Transcript;
+
+/// A (symmetrically private) retrieval black box.
+pub trait SpirOracle {
+    /// Retrieves `db[index]` over the metered transcript.
+    fn retrieve_one(
+        &self,
+        t: &mut Transcript,
+        db: &[u64],
+        index: usize,
+        rng: &mut dyn FnMut() -> u64,
+    ) -> u64;
+
+    /// Retrieves `m` items (batched where the instantiation supports it).
+    fn retrieve_many(
+        &self,
+        t: &mut Transcript,
+        db: &[u64],
+        indices: &[usize],
+        rng: &mut dyn FnMut() -> u64,
+    ) -> Vec<u64>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Adapter: a `FnMut() -> u64` entropy tap as a [`RandomSource`].
+struct TapRng<'a>(&'a mut dyn FnMut() -> u64);
+
+impl spfe_math::RandomSource for TapRng<'_> {
+    fn next_u64(&mut self) -> u64 {
+        (self.0)()
+    }
+}
+
+/// The concrete single-server SPIR of this workspace.
+pub struct HomSpir {
+    group: SchnorrGroup,
+    pk: PaillierPk,
+    sk: PaillierSk,
+}
+
+impl HomSpir {
+    /// Builds the oracle with fresh keys at the given Paillier size.
+    pub fn new(seed: u64, paillier_bits: usize) -> Self {
+        let mut rng = ChaChaRng::from_u64_seed(seed);
+        let group = SchnorrGroup::generate(96, &mut rng);
+        let (pk, sk) = Paillier::keygen(paillier_bits, &mut rng);
+        HomSpir { group, pk, sk }
+    }
+
+    /// Wraps existing keys.
+    pub fn with_keys(group: SchnorrGroup, pk: PaillierPk, sk: PaillierSk) -> Self {
+        HomSpir { group, pk, sk }
+    }
+}
+
+impl SpirOracle for HomSpir {
+    fn retrieve_one(
+        &self,
+        t: &mut Transcript,
+        db: &[u64],
+        index: usize,
+        rng: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        let params = SpirParams::new(self.group.clone(), db.len());
+        let mut tap = TapRng(rng);
+        spir::run(t, &params, &self.pk, &self.sk, db, index, &mut tap)
+    }
+
+    fn retrieve_many(
+        &self,
+        t: &mut Transcript,
+        db: &[u64],
+        indices: &[usize],
+        rng: &mut dyn FnMut() -> u64,
+    ) -> Vec<u64> {
+        let mut tap = TapRng(rng);
+        let (vals, _) = batched::run(t, &self.group, &self.pk, &self.sk, db, indices, &mut tap);
+        vals
+    }
+
+    fn name(&self) -> &'static str {
+        "hom-sqrt-spir"
+    }
+}
+
+/// The idealized cost model: an oracle whose messages carry exactly the
+/// information the functionality requires — `⌈log₂ n⌉` bits up (hidden
+/// inside a κ-bit encrypted index) and an ℓ-bit item inside a κ-bit
+/// payload down. **Not a secure protocol** — a measurement instrument for
+/// attributing SPFE costs to the SPIR term vs. the rest (the paper's
+/// "black box" accounting).
+pub struct IdealSpir {
+    /// The modeled security parameter in bytes (default 16).
+    pub kappa_bytes: usize,
+}
+
+impl Default for IdealSpir {
+    fn default() -> Self {
+        IdealSpir { kappa_bytes: 16 }
+    }
+}
+
+impl SpirOracle for IdealSpir {
+    fn retrieve_one(
+        &self,
+        t: &mut Transcript,
+        db: &[u64],
+        index: usize,
+        _rng: &mut dyn FnMut() -> u64,
+    ) -> u64 {
+        // κ bytes up (the "encrypted index"), κ bytes down (the item).
+        let up = vec![0u8; self.kappa_bytes];
+        let _ = t.client_to_server(0, "ideal-spir-query", &up).expect("codec");
+        let mut down = vec![0u8; self.kappa_bytes.saturating_sub(8)];
+        down.extend(db[index].to_le_bytes());
+        let down = t
+            .server_to_client(0, "ideal-spir-answer", &down)
+            .expect("codec");
+        u64::from_le_bytes(down[down.len() - 8..].try_into().unwrap())
+    }
+
+    fn retrieve_many(
+        &self,
+        t: &mut Transcript,
+        db: &[u64],
+        indices: &[usize],
+        _rng: &mut dyn FnMut() -> u64,
+    ) -> Vec<u64> {
+        let up = vec![0u8; self.kappa_bytes * indices.len()];
+        let _ = t.client_to_server(0, "ideal-spir-query", &up).expect("codec");
+        let items: Vec<u64> = indices.iter().map(|&i| db[i]).collect();
+        let pad = vec![0u8; self.kappa_bytes.saturating_sub(8) * indices.len()];
+        let _ = t
+            .server_to_client(0, "ideal-spir-pad", &pad)
+            .expect("codec");
+        t.server_to_client(0, "ideal-spir-answer", &items)
+            .expect("codec")
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal-spir"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tap() -> impl FnMut() -> u64 {
+        let mut rng = ChaChaRng::from_u64_seed(0x0AC);
+        move || spfe_math::RandomSource::next_u64(&mut rng)
+    }
+
+    #[test]
+    fn both_oracles_retrieve_correctly() {
+        let db: Vec<u64> = (0..40u64).map(|i| i * 9 + 1).collect();
+        let oracles: Vec<Box<dyn SpirOracle>> =
+            vec![Box::new(HomSpir::new(1, 128)), Box::new(IdealSpir::default())];
+        let mut entropy = tap();
+        for oracle in &oracles {
+            let mut t = Transcript::new(1);
+            assert_eq!(
+                oracle.retrieve_one(&mut t, &db, 17, &mut entropy),
+                db[17],
+                "{}",
+                oracle.name()
+            );
+            let mut t = Transcript::new(1);
+            let got = oracle.retrieve_many(&mut t, &db, &[3, 19, 33], &mut entropy);
+            assert_eq!(got, vec![db[3], db[19], db[33]], "{}", oracle.name());
+        }
+    }
+
+    #[test]
+    fn ideal_oracle_is_a_lower_bound() {
+        let db: Vec<u64> = (0..256u64).collect();
+        let real = HomSpir::new(2, 128);
+        let ideal = IdealSpir::default();
+        let mut entropy = tap();
+        let mut t_real = Transcript::new(1);
+        real.retrieve_one(&mut t_real, &db, 100, &mut entropy);
+        let mut t_ideal = Transcript::new(1);
+        ideal.retrieve_one(&mut t_ideal, &db, 100, &mut entropy);
+        assert!(
+            t_ideal.report().total_bytes() < t_real.report().total_bytes() / 4,
+            "ideal {} vs real {}",
+            t_ideal.report().total_bytes(),
+            t_real.report().total_bytes()
+        );
+        // Both are one round.
+        assert_eq!(t_ideal.report().half_rounds, 2);
+        assert_eq!(t_real.report().half_rounds, 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! # spfe-transport
+//!
+//! The measurement substrate of the SPFE reproduction: a byte-exact message
+//! codec ([`Wire`]) and a metered in-memory channel ([`Transcript`]) that
+//! records per-message sizes, directions, and the paper's round structure
+//! (including half rounds). Every protocol in `spfe-core` runs over a
+//! [`Transcript`], so the benchmark harness reads off *exact* communication
+//! costs — the quantity Table 1 and §3–§4 of the paper reason about.
+//!
+//! See DESIGN.md §4: substituting a metered in-memory channel for a real
+//! network preserves exactly what the paper measures (bits transferred and
+//! rounds), with zero noise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod meter;
+pub mod wire;
+
+pub use meter::{CommReport, Direction, MessageRecord, Transcript};
+pub use wire::{Reader, Wire, WireError};

@@ -1,0 +1,296 @@
+//! Communication transcripts: byte and round accounting.
+//!
+//! The paper's primary performance measure is communication complexity,
+//! counted in bits, with rounds as a secondary measure ("a round consists of
+//! a message from the client to each server followed by a reply from each
+//! server", §1.2; some protocols cost 1.5 or 2.5 rounds because the server
+//! speaks first). [`Transcript`] simulates the wire: every logical send
+//! serializes the message, records its size and direction, and hands the
+//! receiver a *re-decoded* copy — so tests exercise the codec and the meter
+//! reports exact on-the-wire sizes.
+
+use crate::wire::{Wire, WireError};
+
+/// Direction of a message relative to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server `i`.
+    ClientToServer(usize),
+    /// Server `i` → client.
+    ServerToClient(usize),
+}
+
+/// A record of one message on the simulated wire.
+#[derive(Debug, Clone)]
+pub struct MessageRecord {
+    /// Direction of travel.
+    pub direction: Direction,
+    /// Protocol-level label (e.g. `"spir-query"`).
+    pub label: &'static str,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+    /// The round (in half-round units) during which it was sent.
+    pub half_round: u32,
+}
+
+/// Aggregate communication statistics for a protocol execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommReport {
+    /// Total client → server bytes.
+    pub client_to_server: u64,
+    /// Total server → client bytes.
+    pub server_to_client: u64,
+    /// Number of messages.
+    pub messages: u64,
+    /// Rounds in half-round units (2 units = 1 full round, so `3` = 1.5
+    /// rounds, matching the paper's "2.5 rounds" accounting).
+    pub half_rounds: u32,
+}
+
+impl CommReport {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.client_to_server + self.server_to_client
+    }
+
+    /// Rounds as a fraction (e.g. `1.5`).
+    pub fn rounds(&self) -> f64 {
+        self.half_rounds as f64 / 2.0
+    }
+}
+
+/// A metered, codec-exercising channel between a client and `k` servers.
+///
+/// # Examples
+///
+/// ```
+/// use spfe_transport::Transcript;
+/// let mut t = Transcript::new(1);
+/// t.begin_round();
+/// let received: u64 = t.client_to_server(0, "query", &42u64).unwrap();
+/// assert_eq!(received, 42);
+/// let reply: Vec<u8> = t.server_to_client(0, "answer", &vec![1u8, 2, 3]).unwrap();
+/// assert_eq!(reply.len(), 3);
+/// let report = t.report();
+/// assert_eq!(report.half_rounds, 2);
+/// assert_eq!(report.messages, 2);
+/// ```
+#[derive(Debug)]
+pub struct Transcript {
+    num_servers: usize,
+    records: Vec<MessageRecord>,
+    half_rounds: u32,
+    /// Tracks which direction the current half-round serves.
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    ClientSpeaking,
+    ServerSpeaking,
+}
+
+impl Transcript {
+    /// Creates a transcript for a client and `num_servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_servers == 0`.
+    pub fn new(num_servers: usize) -> Self {
+        assert!(num_servers > 0);
+        Transcript {
+            num_servers,
+            records: Vec::new(),
+            half_rounds: 0,
+            phase: Phase::Idle,
+        }
+    }
+
+    /// Number of servers on this channel.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// Explicitly starts a new client-initiated round. Usually unnecessary:
+    /// sends auto-advance the round structure.
+    pub fn begin_round(&mut self) {
+        self.phase = Phase::Idle;
+    }
+
+    fn advance(&mut self, dir: Direction) -> u32 {
+        let speaking = match dir {
+            Direction::ClientToServer(_) => Phase::ClientSpeaking,
+            Direction::ServerToClient(_) => Phase::ServerSpeaking,
+        };
+        if self.phase != speaking {
+            self.half_rounds += 1;
+            self.phase = speaking;
+        }
+        self.half_rounds
+    }
+
+    /// Sends a message from the client to server `server`, returning the
+    /// value as decoded by the receiving side.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the message does not survive an encode/decode roundtrip
+    /// (which would indicate a codec bug — surfaced rather than masked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server >= num_servers`.
+    pub fn client_to_server<T: Wire>(
+        &mut self,
+        server: usize,
+        label: &'static str,
+        msg: &T,
+    ) -> Result<T, WireError> {
+        assert!(server < self.num_servers, "server index out of range");
+        self.transfer(Direction::ClientToServer(server), label, msg)
+    }
+
+    /// Sends a message from server `server` to the client.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the message does not survive an encode/decode roundtrip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server >= num_servers`.
+    pub fn server_to_client<T: Wire>(
+        &mut self,
+        server: usize,
+        label: &'static str,
+        msg: &T,
+    ) -> Result<T, WireError> {
+        assert!(server < self.num_servers, "server index out of range");
+        self.transfer(Direction::ServerToClient(server), label, msg)
+    }
+
+    fn transfer<T: Wire>(
+        &mut self,
+        dir: Direction,
+        label: &'static str,
+        msg: &T,
+    ) -> Result<T, WireError> {
+        let bytes = msg.to_bytes();
+        let half_round = self.advance(dir);
+        self.records.push(MessageRecord {
+            direction: dir,
+            label,
+            bytes: bytes.len(),
+            half_round,
+        });
+        T::from_bytes(&bytes)
+    }
+
+    /// All message records so far.
+    pub fn records(&self) -> &[MessageRecord] {
+        &self.records
+    }
+
+    /// Aggregate statistics.
+    pub fn report(&self) -> CommReport {
+        let mut rep = CommReport {
+            half_rounds: self.half_rounds,
+            messages: self.records.len() as u64,
+            ..CommReport::default()
+        };
+        for r in &self.records {
+            match r.direction {
+                Direction::ClientToServer(_) => rep.client_to_server += r.bytes as u64,
+                Direction::ServerToClient(_) => rep.server_to_client += r.bytes as u64,
+            }
+        }
+        rep
+    }
+
+    /// Bytes sent with a given label (for per-phase cost attribution).
+    pub fn bytes_for_label(&self, label: &str) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.label == label)
+            .map(|r| r.bytes as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_accounting_full_round() {
+        let mut t = Transcript::new(2);
+        t.client_to_server(0, "q", &1u64).unwrap();
+        t.client_to_server(1, "q", &2u64).unwrap();
+        t.server_to_client(0, "a", &3u64).unwrap();
+        t.server_to_client(1, "a", &4u64).unwrap();
+        let rep = t.report();
+        assert_eq!(rep.half_rounds, 2);
+        assert!((rep.rounds() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(rep.messages, 4);
+        assert_eq!(rep.client_to_server, 16);
+        assert_eq!(rep.server_to_client, 16);
+    }
+
+    #[test]
+    fn server_first_gives_half_round() {
+        // §3.3.2 second variant: "a message from the server followed by a
+        // standard round" = 1.5 rounds.
+        let mut t = Transcript::new(1);
+        t.server_to_client(0, "keys", &vec![0u8; 10]).unwrap();
+        t.client_to_server(0, "query", &1u64).unwrap();
+        t.server_to_client(0, "answer", &2u64).unwrap();
+        assert_eq!(t.report().half_rounds, 3);
+        assert!((t.report().rounds() - 1.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn consecutive_same_direction_is_one_half_round() {
+        let mut t = Transcript::new(3);
+        for s in 0..3 {
+            t.client_to_server(s, "q", &(s as u64)).unwrap();
+        }
+        assert_eq!(t.report().half_rounds, 1);
+    }
+
+    #[test]
+    fn two_round_protocol() {
+        let mut t = Transcript::new(1);
+        for _ in 0..2 {
+            t.client_to_server(0, "q", &1u64).unwrap();
+            t.server_to_client(0, "a", &1u64).unwrap();
+        }
+        assert_eq!(t.report().half_rounds, 4);
+        assert!((t.report().rounds() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn label_attribution() {
+        let mut t = Transcript::new(1);
+        t.client_to_server(0, "spir", &vec![0u8; 100]).unwrap();
+        t.client_to_server(0, "mpc", &vec![0u8; 50]).unwrap();
+        assert_eq!(t.bytes_for_label("spir"), 108); // 8-byte length prefix
+        assert_eq!(t.bytes_for_label("mpc"), 58);
+        assert_eq!(t.bytes_for_label("nope"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_server_index_panics() {
+        let mut t = Transcript::new(1);
+        let _ = t.client_to_server(1, "q", &1u64);
+    }
+
+    #[test]
+    fn decoded_value_matches_sent() {
+        let mut t = Transcript::new(1);
+        let v = vec![(1u64, vec![2u8, 3]), (4u64, vec![])];
+        let got = t.client_to_server(0, "q", &v).unwrap();
+        assert_eq!(got, v);
+    }
+}
