@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+#
+# Mirrors .github/workflows/ci.yml so a green run here means a green PR.
+# Set CARGO_NET_OFFLINE=true to run fully offline (the workspace has no
+# external dependencies, so offline builds always work).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OFFLINE=()
+if [[ "${CARGO_NET_OFFLINE:-}" == "true" ]]; then
+  OFFLINE=(--offline)
+fi
+
+echo "==> cargo build --release"
+cargo build "${OFFLINE[@]}" --release --workspace --all-targets
+
+echo "==> cargo test"
+cargo test "${OFFLINE[@]}" --release --workspace -q
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy "${OFFLINE[@]}" --release --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "CI OK"

@@ -21,7 +21,14 @@ fn bench_crossover(c: &mut Criterion) {
             bench.iter(|| {
                 let mut t = Transcript::new(1);
                 black_box(stats::weighted_sum(
-                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &[1, 1, 1, 1], field,
+                    &mut t,
+                    &b.group,
+                    &b.pk,
+                    &b.sk,
+                    &db,
+                    &indices,
+                    &[1, 1, 1, 1],
+                    field,
                     &mut b.rng,
                 ))
             })

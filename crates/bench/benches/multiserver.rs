@@ -23,7 +23,12 @@ fn bench_sum_scaling(c: &mut Criterion) {
             bench.iter(|| {
                 let mut t = Transcript::new(k);
                 black_box(multiserver::run(
-                    &mut t, &params, &db, &indices, Some(7), &mut b.rng,
+                    &mut t,
+                    &params,
+                    &db,
+                    &indices,
+                    Some(7),
+                    &mut b.rng,
                 ))
             })
         });
@@ -78,5 +83,10 @@ fn bench_formula(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sum_scaling, bench_privacy_threshold, bench_formula);
+criterion_group!(
+    benches,
+    bench_sum_scaling,
+    bench_privacy_threshold,
+    bench_formula
+);
 criterion_main!(benches);

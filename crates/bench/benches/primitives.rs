@@ -105,9 +105,7 @@ fn bench_polynomials(c: &mut Criterion) {
     let ell = spfe::circuits::formula::index_bits(db.len());
     let point: Vec<u64> = (0..ell).map(|_| f.random(&mut rng)).collect();
     group.bench_function("selector_eval_n65536", |bench| {
-        bench.iter(|| {
-            black_box(spfe::circuits::formula::selector_eval(&db, &point, f))
-        })
+        bench.iter(|| black_box(spfe::circuits::formula::selector_eval(&db, &point, f)))
     });
     group.finish();
 }

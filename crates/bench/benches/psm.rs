@@ -37,7 +37,13 @@ fn bench_psm_primitives(c: &mut Criterion) {
             let rand = psm::bp::common_randomness(&bp, 6, f, seed);
             let mut msgs = vec![psm::bp::p0_message(&bp, f, &rand)];
             for j in 0..6 {
-                msgs.push(psm::bp::player_message(&bp, f, &rand, j, &[(j, j % 2 == 0)]));
+                msgs.push(psm::bp::player_message(
+                    &bp,
+                    f,
+                    &rand,
+                    j,
+                    &[(j, j % 2 == 0)],
+                ));
             }
             black_box(psm::bp::referee(&bp, f, &msgs))
         })

@@ -19,9 +19,45 @@ fn bench_single_spir_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("n", n), &n, |bench, _| {
             bench.iter(|| {
                 let mut t = Transcript::new(1);
-                black_box(spir::run(&mut t, &params, &b.pk, &b.sk, &db, n / 2, &mut b.rng))
+                black_box(spir::run(
+                    &mut t,
+                    &params,
+                    &b.pk,
+                    &b.sk,
+                    &db,
+                    n / 2,
+                    &mut b.rng,
+                ))
             })
         });
+    }
+    group.finish();
+}
+
+/// The tentpole measurement: the server's Ω(n) PIR scan, serial (1 thread)
+/// vs the worker pool (4 threads). Transcripts are byte-identical either
+/// way; only wall-clock may differ.
+fn bench_parallel_scan(c: &mut Criterion) {
+    use spfe::math::par;
+    use spfe::pir::hom_pir::{self, Layout};
+    let mut b = Bench::new();
+    let mut group = c.benchmark_group("pir_scan_threads");
+    group.sample_size(10);
+    for n in [1_024usize, 4_096] {
+        let db = make_db(n, 1_000);
+        let layout = Layout::square(n);
+        let q = hom_pir::client_query(&b.pk, &layout, n / 2, &mut b.rng);
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("n{n}_threads"), threads),
+                &threads,
+                |bench, &threads| {
+                    par::set_threads(Some(threads));
+                    bench.iter(|| black_box(hom_pir::server_answer(&b.pk, &layout, &db, &q)));
+                    par::set_threads(None);
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -65,7 +101,12 @@ fn bench_recursion_ablation(c: &mut Criterion) {
             bench.iter(|| {
                 let mut t = Transcript::new(1);
                 black_box(spfe::pir::hom_pir::run(
-                    &mut t, &b.pk, &b.sk, &db, n / 2, &mut b.rng,
+                    &mut t,
+                    &b.pk,
+                    &b.sk,
+                    &db,
+                    n / 2,
+                    &mut b.rng,
                 ))
             })
         });
@@ -73,7 +114,12 @@ fn bench_recursion_ablation(c: &mut Criterion) {
             bench.iter(|| {
                 let mut t = Transcript::new(1);
                 black_box(spfe::pir::recursive::run(
-                    &mut t, &b.pk, &b.sk, &db, n / 2, &mut b.rng,
+                    &mut t,
+                    &b.pk,
+                    &b.sk,
+                    &db,
+                    n / 2,
+                    &mut b.rng,
                 ))
             })
         });
@@ -108,7 +154,14 @@ fn bench_it_schemes(c: &mut Criterion) {
     group.bench_function("poly_it_symmetric", |bench| {
         bench.iter(|| {
             let mut t = Transcript::new(k);
-            black_box(poly_it::run_symmetric(&mut t, &params, &db, n / 3, 9, &mut rng))
+            black_box(poly_it::run_symmetric(
+                &mut t,
+                &params,
+                &db,
+                n / 3,
+                9,
+                &mut rng,
+            ))
         })
     });
     group.finish();
@@ -117,6 +170,7 @@ fn bench_it_schemes(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_single_spir_scaling,
+    bench_parallel_scan,
     bench_batched_vs_independent,
     bench_recursion_ablation,
     bench_it_schemes

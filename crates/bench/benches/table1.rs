@@ -36,7 +36,15 @@ fn bench_table1(c: &mut Criterion) {
         bench.iter(|| {
             let mut t = Transcript::new(1);
             black_box(two_phase::run_select1_yao(
-                &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &Statistic::Sum, field, &mut b.rng,
+                &mut t,
+                &b.group,
+                &b.pk,
+                &b.sk,
+                &db,
+                &indices,
+                &Statistic::Sum,
+                field,
+                &mut b.rng,
             ))
         })
     });
@@ -45,7 +53,15 @@ fn bench_table1(c: &mut Criterion) {
         bench.iter(|| {
             let mut t = Transcript::new(1);
             black_box(two_phase::run_select2v1_yao(
-                &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &Statistic::Sum, field, &mut b.rng,
+                &mut t,
+                &b.group,
+                &b.pk,
+                &b.sk,
+                &db,
+                &indices,
+                &Statistic::Sum,
+                field,
+                &mut b.rng,
             ))
         })
     });
@@ -54,8 +70,17 @@ fn bench_table1(c: &mut Criterion) {
         bench.iter(|| {
             let mut t = Transcript::new(1);
             black_box(two_phase::run_select2v2_yao(
-                &mut t, &b.group, &b.pk, &b.sk, &b.spk, &b.ssk, &db, &indices, &Statistic::Sum,
-                field, &mut b.rng,
+                &mut t,
+                &b.group,
+                &b.pk,
+                &b.sk,
+                &b.spk,
+                &b.ssk,
+                &db,
+                &indices,
+                &Statistic::Sum,
+                field,
+                &mut b.rng,
             ))
         })
     });
@@ -64,7 +89,15 @@ fn bench_table1(c: &mut Criterion) {
         bench.iter(|| {
             let mut t = Transcript::new(1);
             black_box(two_phase::run_select3_arith(
-                &mut t, &b.group, &b.pk, &b.sk, &b.spk, &b.ssk, &db, &indices, &Statistic::Sum,
+                &mut t,
+                &b.group,
+                &b.pk,
+                &b.sk,
+                &b.spk,
+                &b.ssk,
+                &db,
+                &indices,
+                &Statistic::Sum,
                 &mut b.rng,
             ))
         })

@@ -230,7 +230,11 @@ impl BranchingProgram {
         for lvl in 0..n {
             let var = lvl;
             let e = node_even(lvl);
-            let o = if lvl == 0 { None } else { Some(node_odd(lvl, n)) };
+            let o = if lvl == 0 {
+                None
+            } else {
+                Some(node_odd(lvl, n))
+            };
             // From even-parity node:
             edges.push(Edge {
                 from: e,
@@ -400,11 +404,7 @@ mod tests {
     fn equals_const_exhaustive() {
         let bp = BranchingProgram::equals_const(4, 0b1010);
         for x in all_inputs(4) {
-            let v: u64 = x
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| (b as u64) << i)
-                .sum();
+            let v: u64 = x.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
             assert_eq!(bp.count_paths(&x), (v == 0b1010) as u64);
         }
     }

@@ -151,10 +151,7 @@ pub fn frequency_circuit(m: usize, width: usize, keyword: u64) -> Circuit {
     let kw: Vec<WireId> = (0..width)
         .map(|i| b.constant((keyword >> i) & 1 == 1))
         .collect();
-    let flags: Vec<Vec<WireId>> = words
-        .iter()
-        .map(|w| vec![b.eq_words(w, &kw)])
-        .collect();
+    let flags: Vec<Vec<WireId>> = words.iter().map(|w| vec![b.eq_words(w, &kw)]).collect();
     let count = tree_sum(&mut b, &flags);
     for w in count {
         b.output(w);
@@ -177,10 +174,7 @@ pub fn count_below_circuit(m: usize, width: usize, threshold: u64) -> Circuit {
     let th: Vec<WireId> = (0..width)
         .map(|i| b.constant((threshold >> i) & 1 == 1))
         .collect();
-    let flags: Vec<Vec<WireId>> = words
-        .iter()
-        .map(|w| vec![b.lt_words(w, &th)])
-        .collect();
+    let flags: Vec<Vec<WireId>> = words.iter().map(|w| vec![b.lt_words(w, &th)]).collect();
     let count = tree_sum(&mut b, &flags);
     for w in count {
         b.output(w);
@@ -344,7 +338,7 @@ fn compare_exchange(
 /// Sorts `words` ascending with Batcher's odd-even merge sort
 /// (`O(m log² m)` comparators, data-oblivious — exactly what a garbled
 /// circuit needs).
-pub fn sort_words(b: &mut CircuitBuilder, words: &mut Vec<Vec<WireId>>) {
+pub fn sort_words(b: &mut CircuitBuilder, words: &mut [Vec<WireId>]) {
     let m = words.len();
     if m < 2 {
         return;
@@ -542,11 +536,7 @@ mod tests {
                 let vals: Vec<u64> = (0..m).map(|_| rng.next_below(1 << w)).collect();
                 let out = c.evaluate(&pack(&vals, w));
                 let got: Vec<u64> = (0..m)
-                    .map(|j| {
-                        (0..w)
-                            .map(|i| (out[j * w + i] as u64) << i)
-                            .sum::<u64>()
-                    })
+                    .map(|j| (0..w).map(|i| (out[j * w + i] as u64) << i).sum::<u64>())
                     .collect();
                 let mut expect = vals.clone();
                 expect.sort_unstable();
@@ -583,7 +573,11 @@ mod tests {
         for _ in 0..10 {
             let xs: Vec<u64> = (0..m).map(|_| rng.next_below(p)).collect();
             let a: Vec<u64> = (0..m).map(|_| rng.next_below(p)).collect();
-            let b: Vec<u64> = xs.iter().zip(&a).map(|(&x, &av)| (x + p - av) % p).collect();
+            let b: Vec<u64> = xs
+                .iter()
+                .zip(&a)
+                .map(|(&x, &av)| (x + p - av) % p)
+                .collect();
             let mut input = pack(&a, w);
             input.extend(pack(&b, w));
             let mut sorted = xs.clone();
@@ -635,7 +629,11 @@ mod tests {
                 for bb in 0..p {
                     let mut input = pack(&[a], w);
                     input.extend(pack(&[bb], w));
-                    assert_eq!(c.evaluate_to_u64(&input), (a + bb) % p, "p={p} a={a} b={bb}");
+                    assert_eq!(
+                        c.evaluate_to_u64(&input),
+                        (a + bb) % p,
+                        "p={p} a={a} b={bb}"
+                    );
                 }
             }
         }

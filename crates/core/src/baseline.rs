@@ -102,10 +102,7 @@ fn apply_stat(b: &mut CircuitBuilder, words: &[Vec<WireId>], stat: &Statistic, m
             let kw: Vec<WireId> = (0..width)
                 .map(|i| b.constant((keyword >> i) & 1 == 1))
                 .collect();
-            let flags: Vec<Vec<WireId>> = words
-                .iter()
-                .map(|w| vec![b.eq_words(w, &kw)])
-                .collect();
+            let flags: Vec<Vec<WireId>> = words.iter().map(|w| vec![b.eq_words(w, &kw)]).collect();
             let mut acc = flags[0].clone();
             for f in &flags[1..] {
                 acc = add_any(b, &acc, f);

@@ -80,6 +80,7 @@ impl IntShares {
 /// # Panics
 ///
 /// Panics if an index is out of range or a database value ≥ `p`.
+#[allow(clippy::too_many_arguments)]
 pub fn select1<P, S, R>(
     t: &mut Transcript,
     group: &SchnorrGroup,
@@ -204,9 +205,7 @@ fn check_hom_capacity<P: HomomorphicPk>(pk: &P, p: u64, m: usize) {
 /// server/client-side blinding step shared by both §3.3.2 variants.
 fn blinded_offset<R: RandomSource + ?Sized>(p: u64, r: u64, rng: &mut R) -> Nat {
     let big_r = Nat::random_bits(rng, STAT_SECURITY_BITS);
-    Nat::from(p)
-        .mul(&big_r.add(&Nat::one()))
-        .sub(&Nat::from(r))
+    Nat::from(p).mul(&big_r.add(&Nat::one())).sub(&Nat::from(r))
 }
 
 /// §3.3.2, first variant — one batched `SPIR(n, m, ℓ)` plus the client
@@ -216,6 +215,7 @@ fn blinded_offset<R: RandomSource + ?Sized>(p: u64, r: u64, rng: &mut R) -> Nat 
 ///
 /// Panics if the field is smaller than `n`, a value ≥ `p`, or the
 /// homomorphic plaintext space cannot hold the blinded sums.
+#[allow(clippy::too_many_arguments)]
 pub fn select2_v1<P, S, R>(
     t: &mut Transcript,
     group: &SchnorrGroup,
@@ -234,22 +234,26 @@ where
     let p = field.modulus();
     let m = indices.len();
     assert!(m > 0);
-    assert!(p > db.len() as u64, "field must exceed n for index encoding");
+    assert!(
+        p > db.len() as u64,
+        "field must exceed n for index encoding"
+    );
     assert!(db.iter().all(|&v| v < p), "db value exceeds field");
     check_hom_capacity(pk, p, m);
 
     // Client message: batched SPIR queries travel inside batched::run below
     // (same round); here the m² encrypted powers E(i_j^k).
-    let powers: Vec<Vec<u8>> = indices
+    let power_plains: Vec<Nat> = indices
         .iter()
         .flat_map(|&i| {
             let i_f = field.from_u64(i as u64);
-            (0..m).map(move |k| (i_f, k))
+            (0..m).map(move |k| Nat::from(field.pow(i_f, k as u64)))
         })
-        .map(|(i_f, k)| {
-            let pow = field.pow(i_f, k as u64);
-            pk.ciphertext_to_bytes(&pk.encrypt(&Nat::from(pow), rng))
-        })
+        .collect();
+    let powers: Vec<Vec<u8>> = pk
+        .encrypt_batch(&power_plains, rng)
+        .iter()
+        .map(|ct| pk.ciphertext_to_bytes(ct))
         .collect();
     let powers = t
         .client_to_server(0, "sel2v1-powers", &powers)
@@ -264,22 +268,35 @@ where
         .collect();
 
     // Homomorphic evaluation: E(P_s(i_j) − r_j) with integer-safe blinding.
+    // The m² scalar products are rng-free — flatten them into one batch for
+    // the worker pool, then draw the blinding serially per slot.
+    let mut prod_cts: Vec<P::Ciphertext> = Vec::new();
+    let mut prod_consts: Vec<Nat> = Vec::new();
+    let mut slot_products: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (j, slot) in slot_products.iter_mut().enumerate() {
+        for k in 0..m {
+            let s_k = s_poly.coeffs().get(k).copied().unwrap_or(0);
+            if s_k == 0 {
+                continue;
+            }
+            let ct = pk
+                .ciphertext_from_bytes(&powers[j * m + k])
+                .expect("malformed power");
+            slot.push(prod_cts.len());
+            prod_cts.push(ct);
+            prod_consts.push(Nat::from(s_k));
+        }
+    }
+    let products = pk.scalar_mul_batch(&prod_cts, &prod_consts);
     let mut server_r = Vec::with_capacity(m);
-    let evals: Vec<Vec<u8>> = (0..m)
-        .map(|j| {
+    let evals: Vec<Vec<u8>> = slot_products
+        .iter()
+        .map(|slot| {
             let mut acc: Option<P::Ciphertext> = None;
-            for k in 0..m {
-                let s_k = s_poly.coeffs().get(k).copied().unwrap_or(0);
-                if s_k == 0 {
-                    continue;
-                }
-                let ct = pk
-                    .ciphertext_from_bytes(&powers[j * m + k])
-                    .expect("malformed power");
-                let term = pk.mul_const(&ct, &Nat::from(s_k));
+            for &idx in slot {
                 acc = Some(match acc {
-                    None => term,
-                    Some(prev) => pk.add(&prev, &term),
+                    None => products[idx].clone(),
+                    Some(prev) => pk.add(&prev, &products[idx]),
                 });
             }
             let r_j = field.random(rng);
@@ -295,7 +312,9 @@ where
 
     // Batched SPIR over the masked database (same round as the evals).
     let (retrieved, _) = batched::run(t, group, pk, sk, &masked, indices, rng);
-    let evals = t.server_to_client(0, "sel2v1-evals", &evals).expect("codec");
+    let evals = t
+        .server_to_client(0, "sel2v1-evals", &evals)
+        .expect("codec");
 
     // Client: d_j = (P_s(i_j) − r_j) mod p; b_j = x'_{i_j} − d_j.
     let client_shares: Vec<u64> = retrieved
@@ -356,11 +375,13 @@ where
 
     // Half-round 1 (server → client): encrypted coefficients.
     let s_poly = Poly::random(m.saturating_sub(1), field, rng);
-    let coeff_cts: Vec<Vec<u8>> = (0..m)
-        .map(|k| {
-            let s_k = s_poly.coeffs().get(k).copied().unwrap_or(0);
-            server_pk.ciphertext_to_bytes(&server_pk.encrypt(&Nat::from(s_k), rng))
-        })
+    let coeff_plains: Vec<Nat> = (0..m)
+        .map(|k| Nat::from(s_poly.coeffs().get(k).copied().unwrap_or(0)))
+        .collect();
+    let coeff_cts: Vec<Vec<u8>> = server_pk
+        .encrypt_batch(&coeff_plains, rng)
+        .iter()
+        .map(|ct| server_pk.ciphertext_to_bytes(ct))
         .collect();
     let coeff_cts = t
         .server_to_client(0, "sel2v2-coeffs", &coeff_cts)
@@ -474,13 +495,13 @@ where
         "server plaintext modulus too small"
     );
 
-    // Setup (uncounted, like key certification): the encrypted database.
-    let enc_db: Vec<Vec<u64>> = db
+    // Setup (uncounted, like key certification): the encrypted database —
+    // n public-key operations, batched onto the worker pool.
+    let plains: Vec<Nat> = db.iter().map(|&x| Nat::from(x)).collect();
+    let enc_db: Vec<Vec<u64>> = server_pk
+        .encrypt_batch(&plains, rng)
         .iter()
-        .map(|&x| {
-            let ct = server_pk.encrypt(&Nat::from(x), rng);
-            words::bytes_to_words(&server_pk.ciphertext_to_bytes(&ct))
-        })
+        .map(|ct| words::bytes_to_words(&server_pk.ciphertext_to_bytes(ct)))
         .collect();
 
     // Round 1: batched SPIR(n, m, κ) for the encrypted items.
@@ -546,7 +567,9 @@ mod tests {
         let database = db(20, field.modulus());
         let indices = [0usize, 7, 19, 7];
         let mut t = Transcript::new(1);
-        let shares = select1(&mut t, &group, &pk, &sk, &database, &indices, field, &mut rng);
+        let shares = select1(
+            &mut t, &group, &pk, &sk, &database, &indices, field, &mut rng,
+        );
         let expect: Vec<u64> = indices.iter().map(|&i| database[i]).collect();
         assert_eq!(shares.reconstruct(), expect);
         assert_eq!(t.report().half_rounds, 2, "one round");
@@ -575,7 +598,9 @@ mod tests {
         let database = db(30, field.modulus());
         let indices = [2usize, 11, 29];
         let mut t = Transcript::new(1);
-        let shares = select2_v1(&mut t, &group, &pk, &sk, &database, &indices, field, &mut rng);
+        let shares = select2_v1(
+            &mut t, &group, &pk, &sk, &database, &indices, field, &mut rng,
+        );
         let expect: Vec<u64> = indices.iter().map(|&i| database[i]).collect();
         assert_eq!(shares.reconstruct(), expect);
         assert_eq!(t.report().half_rounds, 2, "variant 1 is one round");
@@ -607,13 +632,16 @@ mod tests {
         let database = db(64, field.modulus());
         let indices: Vec<usize> = (0..8).map(|j| j * 7).collect();
         let mut t1 = Transcript::new(1);
-        select2_v1(&mut t1, &group, &pk, &sk, &database, &indices, field, &mut rng);
+        select2_v1(
+            &mut t1, &group, &pk, &sk, &database, &indices, field, &mut rng,
+        );
         let mut t2 = Transcript::new(1);
         select2_v2(
             &mut t2, &group, &pk, &sk, &spk, &ssk, &database, &indices, field, &mut rng,
         );
         let v1_overhead = t1.bytes_for_label("sel2v1-powers");
-        let v2_overhead = t2.bytes_for_label("sel2v2-coeffs") + t2.bytes_for_label("sel2v2-blinded");
+        let v2_overhead =
+            t2.bytes_for_label("sel2v2-coeffs") + t2.bytes_for_label("sel2v2-blinded");
         assert!(
             v1_overhead > 3 * v2_overhead,
             "m² vs m: v1={v1_overhead} v2={v2_overhead}"
@@ -645,7 +673,16 @@ mod tests {
         let database = vec![1u64, 2, 3, 4];
         let mut t = Transcript::new(1);
         let shares = select3(
-            &mut t, &group, &pk, &sk, &spk, &ssk, &database, &[2], 8, &mut rng,
+            &mut t,
+            &group,
+            &pk,
+            &sk,
+            &spk,
+            &ssk,
+            &database,
+            &[2],
+            8,
+            &mut rng,
         );
         // The mask has full entropy width.
         assert!(shares.server[0].bit_len() > 8, "share must be blinded");
@@ -658,12 +695,20 @@ mod tests {
         let database: Vec<u64> = (0..30u64).map(|i| i * 7 % 257).collect();
         let indices = [1usize, 15, 29];
         let mut rng = ChaChaRng::from_u64_seed(0x0E);
-        let oracles: Vec<Box<dyn SpirOracle>> =
-            vec![Box::new(HomSpir::new(3, 128)), Box::new(IdealSpir::default())];
+        let oracles: Vec<Box<dyn SpirOracle>> = vec![
+            Box::new(HomSpir::new(3, 128)),
+            Box::new(IdealSpir::default()),
+        ];
         for oracle in &oracles {
             let mut t = Transcript::new(1);
-            let shares =
-                select1_with_oracle(&mut t, oracle.as_ref(), &database, &indices, field, &mut rng);
+            let shares = select1_with_oracle(
+                &mut t,
+                oracle.as_ref(),
+                &database,
+                &indices,
+                field,
+                &mut rng,
+            );
             let expect: Vec<u64> = indices.iter().map(|&i| database[i]).collect();
             assert_eq!(shares.reconstruct(), expect, "{}", oracle.name());
         }

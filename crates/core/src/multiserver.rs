@@ -193,17 +193,26 @@ pub fn client_queries<R: RandomSource + ?Sized>(
                 .collect()
         })
         .collect();
-    (0..params.num_servers())
-        .map(|h| {
-            let tau = params.alpha(h);
-            MsQuery {
-                slot_points: curves
-                    .iter()
-                    .map(|slot| slot.iter().map(|c| c.eval(tau)).collect())
-                    .collect(),
-            }
-        })
-        .collect()
+    eval_curves_at_servers(params, &curves, params.num_servers())
+}
+
+/// Evaluates every coordinate curve at each server's point — rng-free, so
+/// the per-server work shards across the worker pool (ordered by `h`).
+fn eval_curves_at_servers(
+    params: &MultiServerParams,
+    curves: &[Vec<Poly>],
+    k: usize,
+) -> Vec<MsQuery> {
+    let hs: Vec<usize> = (0..k).collect();
+    spfe_math::par::par_map(&hs, |&h| {
+        let tau = params.alpha(h);
+        MsQuery {
+            slot_points: curves
+                .iter()
+                .map(|slot| slot.iter().map(|c| c.eval(tau)).collect())
+                .collect(),
+        }
+    })
 }
 
 /// Server `h`: evaluates `P` at the received point, optionally adding the
@@ -300,28 +309,21 @@ where
                 .collect()
         })
         .collect();
-    let queries: Vec<MsQuery> = (0..k)
-        .map(|h| {
-            let tau = params.alpha(h);
-            MsQuery {
-                slot_points: curves
-                    .iter()
-                    .map(|slot| slot.iter().map(|c| c.eval(tau)).collect())
-                    .collect(),
-            }
-        })
-        .collect();
+    let queries = eval_curves_at_servers(params, &curves, k);
     let received: Vec<MsQuery> = queries
         .iter()
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
         .collect();
-    let answers: Vec<u64> = received
+    // Honest evaluation is rng-free → pool; corruption and metering stay
+    // serial (the corruptor is FnMut and may be stateful).
+    let honest: Vec<u64> =
+        spfe_math::par::par_map(&received, |q| server_answer(params, db, q, None));
+    let answers: Vec<u64> = honest
         .iter()
         .enumerate()
-        .map(|(h, q)| {
-            let honest = server_answer(params, db, q, None);
-            let possibly_corrupted = corrupt(h, honest);
+        .map(|(h, &a)| {
+            let possibly_corrupted = corrupt(h, a);
             t.server_to_client(h, "ms-answer", &possibly_corrupted)
                 .expect("codec")
         })
@@ -351,20 +353,22 @@ pub fn run<R: RandomSource + ?Sized>(
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
         .collect();
-    let answers: Vec<u64> = received
+    // Each server's evaluation is independent and (given the shared seed)
+    // deterministic, so compute all answers on the worker pool…
+    let jobs: Vec<(usize, &MsQuery)> = received.iter().enumerate().collect();
+    let computed: Vec<u64> = spfe_math::par::par_map(&jobs, |&(h, q)| match shared_seed {
+        None => server_answer(params, db, q, None),
+        Some(seed) => {
+            let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(seed);
+            let blind = blinding_poly(params, &mut server_rng);
+            server_answer(params, db, q, Some((&blind, h)))
+        }
+    });
+    // …and meter the replies serially in server order.
+    let answers: Vec<u64> = computed
         .iter()
         .enumerate()
-        .map(|(h, q)| {
-            let a = match shared_seed {
-                None => server_answer(params, db, q, None),
-                Some(seed) => {
-                    let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(seed);
-                    let blind = blinding_poly(params, &mut server_rng);
-                    server_answer(params, db, q, Some((&blind, h)))
-                }
-            };
-            t.server_to_client(h, "ms-answer", &a).expect("codec")
-        })
+        .map(|(h, &a)| t.server_to_client(h, "ms-answer", &a).expect("codec"))
         .collect();
     client_reconstruct(params, &answers)
 }
@@ -392,13 +396,17 @@ pub fn run_sum_and_squares<R: RandomSource + ?Sized>(
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
         .collect();
+    let computed: Vec<(u64, u64)> = spfe_math::par::par_map(&received, |q| {
+        (
+            server_answer(params, db, q, None),
+            server_answer(params, db_squared, q, None),
+        )
+    });
     let mut sum_answers = Vec::with_capacity(received.len());
     let mut sq_answers = Vec::with_capacity(received.len());
-    for (h, q) in received.iter().enumerate() {
-        let a = server_answer(params, db, q, None);
-        let b = server_answer(params, db_squared, q, None);
+    for (h, pair) in computed.iter().enumerate() {
         let (a, b) = t
-            .server_to_client(h, "ms-answer-pair", &(a, b))
+            .server_to_client(h, "ms-answer-pair", pair)
             .expect("codec");
         sum_answers.push(a);
         sq_answers.push(b);
@@ -435,11 +443,15 @@ pub fn run_many_databases<R: RandomSource + ?Sized>(
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
         .collect();
+    let computed: Vec<Vec<u64>> = spfe_math::par::par_map(&received, |q| {
+        dbs.iter()
+            .map(|db| server_answer(params, db, q, None))
+            .collect()
+    });
     let mut per_db_answers: Vec<Vec<u64>> = vec![Vec::with_capacity(received.len()); dbs.len()];
-    for (h, q) in received.iter().enumerate() {
-        let answers: Vec<u64> = dbs.iter().map(|db| server_answer(params, db, q, None)).collect();
+    for (h, answers) in computed.iter().enumerate() {
         let answers = t
-            .server_to_client(h, "ms-answer-multi", &answers)
+            .server_to_client(h, "ms-answer-multi", answers)
             .expect("codec");
         for (d, a) in answers.into_iter().enumerate() {
             per_db_answers[d].push(a);
@@ -451,10 +463,11 @@ pub fn run_many_databases<R: RandomSource + ?Sized>(
         .collect()
 }
 
-/// Like [`run`], but evaluates the (independent) servers concurrently with
-/// scoped threads — the deployment reality the paper assumes, where each
-/// replica is its own machine. Communication accounting is identical to the
-/// sequential run; only wall-clock changes.
+/// Like [`run`], but forces the (independent) server evaluations onto the
+/// worker pool even below the sequential-fallback threshold — the
+/// deployment reality the paper assumes, where each replica is its own
+/// machine. Communication accounting is identical to the sequential run;
+/// only wall-clock changes.
 ///
 /// # Panics
 ///
@@ -473,14 +486,10 @@ pub fn run_parallel<R: RandomSource + ?Sized>(
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
         .collect();
-    // Every server computes concurrently…
-    let computed: Vec<u64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = received
-            .iter()
-            .map(|q| scope.spawn(|| server_answer(params, db, q, None)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("server thread")).collect()
-    });
+    // Every server computes concurrently (min_len 1 bypasses the
+    // sequential-fallback threshold)…
+    let computed: Vec<u64> =
+        spfe_math::par::par_map_min(1, &received, |q| server_answer(params, db, q, None));
     // …and the replies are metered as usual.
     let answers: Vec<u64> = computed
         .iter()
@@ -535,8 +544,7 @@ mod tests {
     fn theorem2_server_count() {
         // k = t·s·⌈log₂ n⌉ + 1.
         let phi = Formula::balanced(BinOp::And, 4); // s = 4
-        let params =
-            MultiServerParams::new(1024, 2, field(), MsFunction::Formula(phi)); // ℓ = 10
+        let params = MultiServerParams::new(1024, 2, field(), MsFunction::Formula(phi)); // ℓ = 10
         assert_eq!(params.num_servers(), 2 * 4 * 10 + 1);
         let sum_params = MultiServerParams::new(1024, 3, field(), MsFunction::Sum { m: 5 });
         assert_eq!(sum_params.num_servers(), 3 * 10 + 1); // s = 1
@@ -606,8 +614,8 @@ mod tests {
                 hist[slot][qs[0].slot_points[0][0] as usize] += 1;
             }
         }
-        for v in 0..13 {
-            let (a, b) = (hist[0][v] as f64, hist[1][v] as f64);
+        for (v, (&h0, &h1)) in hist[0].iter().zip(&hist[1]).enumerate() {
+            let (a, b) = (h0 as f64, h1 as f64);
             assert!((a - b).abs() < 10.0 * ((a + b).sqrt() + 1.0), "v={v}");
         }
     }

@@ -25,9 +25,9 @@ use spfe_circuits::boolean::Circuit;
 use spfe_circuits::bp::BranchingProgram;
 use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_crypto::{ChaChaRng, SchnorrGroup};
-use spfe_math::RandomSource;
 #[cfg(test)]
 use spfe_math::Fp64;
+use spfe_math::RandomSource;
 use spfe_mpc::garble::{self, Label};
 use spfe_mpc::psm;
 use spfe_pir::poly_it::{self, PolyItParams};
@@ -61,6 +61,7 @@ fn words_to_label(w: &[u64]) -> Label {
 /// Panics if the circuit input count is not `indices.len() · item_bits`,
 /// an index is out of range, or a database value needs more than
 /// `item_bits` bits.
+#[allow(clippy::too_many_arguments)]
 pub fn run_yao_psm<P, S, R>(
     t: &mut Transcript,
     group: &SchnorrGroup,
@@ -202,7 +203,10 @@ pub fn run_sum_psm<R: RandomSource + ?Sized>(
                 poly_it::server_answer_blinded(params, &vdb, q, &blinds[j], h)
             })
             .collect();
-        per_server_answers.push(t.server_to_client(h, "sumpsm-answers", &answers).expect("codec"));
+        per_server_answers.push(
+            t.server_to_client(h, "sumpsm-answers", &answers)
+                .expect("codec"),
+        );
     }
 
     // Client (referee): reconstruct each PSM message, then sum.
@@ -238,7 +242,10 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
 ) -> u64 {
     let m = indices.len();
     assert_eq!(bp.num_vars(), m, "BP arity mismatch");
-    assert!(db.iter().all(|&v| v <= 1), "BP SPFE needs a Boolean database");
+    assert!(
+        db.iter().all(|&v| v <= 1),
+        "BP SPFE needs a Boolean database"
+    );
     assert_eq!(t.num_servers(), params.num_servers());
     let field = params.field;
     let d = bp.size() - 1;
@@ -279,8 +286,9 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
     // Servers answer; server 0 additionally sends p₀ in the clear.
     let (rand0, _) = derive(shared_seed);
     let p0 = psm::bp::p0_message(bp, field, &rand0);
-    let p0_entries: Vec<u64> =
-        t.server_to_client(0, "bppsm-p0", &p0.entries().to_vec()).expect("codec");
+    let p0_entries: Vec<u64> = t
+        .server_to_client(0, "bppsm-p0", &p0.entries().to_vec())
+        .expect("codec");
 
     let mut per_server_answers: Vec<Vec<Vec<u64>>> = Vec::with_capacity(params.num_servers());
     for (h, qs) in received.iter().enumerate() {
@@ -328,7 +336,9 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
             })
             .collect();
         let mat = spfe_math::Mat::from_rows(
-            (0..d).map(|r| entries[r * d..(r + 1) * d].to_vec()).collect(),
+            (0..d)
+                .map(|r| entries[r * d..(r + 1) * d].to_vec())
+                .collect(),
             field,
         );
         total = total.add(&mat);
@@ -452,10 +462,16 @@ mod tests {
         assert_eq!(run_bp_psm(&mut t, &params, &bp, &db, &idx, 1, &mut rng), 0);
         let idx2 = [0usize, 1, 2]; // 1 ⊕ 0 ⊕ 1 = 0
         let mut t2 = Transcript::new(params.num_servers());
-        assert_eq!(run_bp_psm(&mut t2, &params, &bp, &db, &idx2, 2, &mut rng), 0);
+        assert_eq!(
+            run_bp_psm(&mut t2, &params, &bp, &db, &idx2, 2, &mut rng),
+            0
+        );
         let idx3 = [0usize, 1, 3]; // 1 ⊕ 0 ⊕ 0 = 1
         let mut t3 = Transcript::new(params.num_servers());
-        assert_eq!(run_bp_psm(&mut t3, &params, &bp, &db, &idx3, 3, &mut rng), 1);
+        assert_eq!(
+            run_bp_psm(&mut t3, &params, &bp, &db, &idx3, 3, &mut rng),
+            1
+        );
     }
 
     #[test]
@@ -469,7 +485,17 @@ mod tests {
         let mut t2 = Transcript::new(1);
         run_yao_psm(&mut t2, &group, &pk, &sk, &db, &[1, 2], &c2, 3, &mut rng);
         let mut t4 = Transcript::new(1);
-        run_yao_psm(&mut t4, &group, &pk, &sk, &db, &[1, 2, 3, 4], &c4, 3, &mut rng);
+        run_yao_psm(
+            &mut t4,
+            &group,
+            &pk,
+            &sk,
+            &db,
+            &[1, 2, 3, 4],
+            &c4,
+            3,
+            &mut rng,
+        );
         let up_ratio = t4.report().client_to_server as f64 / t2.report().client_to_server as f64;
         assert!(up_ratio > 1.6 && up_ratio < 2.4, "upstream ~2x: {up_ratio}");
     }

@@ -176,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn arithmetic_scalability_column() {
         assert!(!table1::PSM.arithmetic_scalable);
         assert!(table1::SELECT1.arithmetic_scalable);

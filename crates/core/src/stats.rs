@@ -41,13 +41,10 @@ fn functional_coeffs(field: Fp64, indices: &[usize], weights: &[u64]) -> Vec<u64
     let m = indices.len();
     (0..m)
         .map(|k| {
-            indices
-                .iter()
-                .zip(weights)
-                .fold(0u64, |acc, (&i, &w)| {
-                    let pow = field.pow(field.from_u64(i as u64), k as u64);
-                    field.add(acc, field.mul(field.from_u64(w), pow))
-                })
+            indices.iter().zip(weights).fold(0u64, |acc, (&i, &w)| {
+                let pow = field.pow(field.from_u64(i as u64), k as u64);
+                field.add(acc, field.mul(field.from_u64(w), pow))
+            })
         })
         .collect()
 }
@@ -143,17 +140,25 @@ where
     let mut retrieved = batched::client_decode_words(pk, sk, &state, &answers, 1);
     // Fallback leftovers (rare): a second plain exchange.
     if !state.leftovers.is_empty() {
-        let flat: Vec<u64> = masked_fallback(t, group, pk, sk, db, &s_poly, field, indices, &state.leftovers, rng);
+        let flat: Vec<u64> = masked_fallback(
+            t,
+            group,
+            pk,
+            sk,
+            db,
+            &s_poly,
+            field,
+            indices,
+            &state.leftovers,
+            rng,
+        );
         for (&q, v) in state.leftovers.iter().zip(flat) {
             retrieved[q] = vec![v];
         }
     }
-    let masked_sum = retrieved
-        .iter()
-        .zip(weights)
-        .fold(0u64, |acc, (v, &w)| {
-            field.add(acc, field.mul(field.from_u64(w), v[0]))
-        });
+    let masked_sum = retrieved.iter().zip(weights).fold(0u64, |acc, (v, &w)| {
+        field.add(acc, field.mul(field.from_u64(w), v[0]))
+    });
     let func_val = sk.decrypt(&pk.ciphertext_from_bytes(&func).expect("ct"));
     let mask_sum = func_val.rem(&Nat::from(p)).to_u64().expect("fits");
     field.sub(masked_sum, mask_sum)
@@ -279,9 +284,7 @@ where
     );
     let decode = |answers: &[spfe_pir::spir::SpirWordsAnswer], func: &[u8]| -> u64 {
         let retrieved = batched::client_decode_words(pk, sk, &state, answers, 1);
-        let masked_sum = retrieved
-            .iter()
-            .fold(0u64, |acc, v| field.add(acc, v[0]));
+        let masked_sum = retrieved.iter().fold(0u64, |acc, v| field.add(acc, v[0]));
         let func_val = sk.decrypt(&pk.ciphertext_from_bytes(func).expect("ct"));
         let mask_sum = func_val.rem(&Nat::from(p)).to_u64().expect("fits");
         field.sub(masked_sum, mask_sum)
@@ -569,7 +572,10 @@ mod tests {
         // Uniform keywords degenerate to the plain protocol.
         let mut t2 = Transcript::new(1);
         let shares2 = select1(&mut t2, &group, &pk, &sk, &db, &[1, 3], field, &mut rng);
-        assert_eq!(frequency_multi(&mut t2, &pk, &sk, &shares2, &[8, 8], &mut rng), 2);
+        assert_eq!(
+            frequency_multi(&mut t2, &pk, &sk, &shares2, &[8, 8], &mut rng),
+            2
+        );
     }
 
     #[test]

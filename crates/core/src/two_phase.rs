@@ -40,16 +40,8 @@ pub fn yao_phase<R: RandomSource + ?Sized>(
     assert!(m > 0 && shares.client.len() == m);
     let circuit = stat.share_circuit(m, shares.p);
     let w = bits_for(shares.p - 1);
-    let server_bits: Vec<bool> = shares
-        .server
-        .iter()
-        .flat_map(|&a| to_bits(a, w))
-        .collect();
-    let client_bits: Vec<bool> = shares
-        .client
-        .iter()
-        .flat_map(|&b| to_bits(b, w))
-        .collect();
+    let server_bits: Vec<bool> = shares.server.iter().flat_map(|&a| to_bits(a, w)).collect();
+    let client_bits: Vec<bool> = shares.client.iter().flat_map(|&b| to_bits(b, w)).collect();
     let out = yao2pc::run(t, group, &circuit, &server_bits, &client_bits, rng);
     stat.decode_bits(&out, m, shares.p)
 }
@@ -230,7 +222,10 @@ mod tests {
             field,
             &mut rng,
         );
-        assert_eq!(got, vec![reference::sum(&database, &indices) % field.modulus()]);
+        assert_eq!(
+            got,
+            vec![reference::sum(&database, &indices) % field.modulus()]
+        );
         assert_eq!(t.report().half_rounds, 4, "2 rounds per Table 1");
     }
 
@@ -273,7 +268,10 @@ mod tests {
             field,
             &mut rng,
         );
-        assert_eq!(got, vec![reference::sum(&database, &indices) % field.modulus()]);
+        assert_eq!(
+            got,
+            vec![reference::sum(&database, &indices) % field.modulus()]
+        );
         assert_eq!(t.report().half_rounds, 4);
     }
 
@@ -298,7 +296,10 @@ mod tests {
             field,
             &mut rng,
         );
-        assert_eq!(got, vec![reference::sum(&database, &indices) % field.modulus()]);
+        assert_eq!(
+            got,
+            vec![reference::sum(&database, &indices) % field.modulus()]
+        );
         assert_eq!(t.report().half_rounds, 5, "2.5 rounds per Table 1");
     }
 
@@ -393,6 +394,10 @@ mod tests {
         shares.client[1] = field.add(shares.client[1], 100);
         let got = yao_phase(&mut t, &group, &shares, &Statistic::Sum, &mut rng);
         let honest = reference::sum(&database, &indices) % field.modulus();
-        assert_eq!(got, vec![field.add(honest, 110)], "client learns f(x_I + Δ)");
+        assert_eq!(
+            got,
+            vec![field.add(honest, 110)],
+            "client learns f(x_I + Δ)"
+        );
     }
 }

@@ -128,7 +128,6 @@ fn eval_stat_on_words(
     }
 }
 
-
 fn count_flags(b: &mut CircuitBuilder, flags: Vec<WireId>) -> Vec<WireId> {
     let mut acc: Vec<WireId> = vec![flags[0]];
     for &f in &flags[1..] {
@@ -162,17 +161,9 @@ pub fn universal_yao_phase<R: RandomSource + ?Sized>(
     let m = shares.server.len();
     let w = bits_for(shares.p - 1);
     let circuit = universal_circuit(menu, m, shares.p);
-    let server_bits: Vec<bool> = shares
-        .server
-        .iter()
-        .flat_map(|&a| to_bits(a, w))
-        .collect();
+    let server_bits: Vec<bool> = shares.server.iter().flat_map(|&a| to_bits(a, w)).collect();
     let sel_bits = bits_for(menu.len() as u64 - 1).max(1);
-    let mut client_bits: Vec<bool> = shares
-        .client
-        .iter()
-        .flat_map(|&b| to_bits(b, w))
-        .collect();
+    let mut client_bits: Vec<bool> = shares.client.iter().flat_map(|&b| to_bits(b, w)).collect();
     // The mux tree consumes selector bits LSB-first over chunked pairs:
     // entry index bit i selects within level i. Encode `choice` directly.
     client_bits.extend(to_bits(choice as u64, sel_bits));
@@ -203,7 +194,11 @@ mod tests {
         let w = bits_for(p - 1);
         let xs = [9u64, 4, 9];
         let a = [7u64, 30, 2];
-        let b: Vec<u64> = xs.iter().zip(&a).map(|(&x, &av)| (x + p - av) % p).collect();
+        let b: Vec<u64> = xs
+            .iter()
+            .zip(&a)
+            .map(|(&x, &av)| (x + p - av) % p)
+            .collect();
         let expects = [22u64 % p, 2, 3]; // sum mod 31, freq of 9, count < 10
         for (choice, &expect) in expects.iter().enumerate() {
             let mut input: Vec<bool> = a.iter().flat_map(|&v| to_bits(v, w)).collect();

@@ -1,0 +1,285 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion) benchmark
+//! harness.
+//!
+//! The SPFE workspace builds hermetically (no crates.io access), so this
+//! crate supplies the criterion API subset the bench suite uses —
+//! [`Criterion`], [`BenchmarkId`], [`Throughput`], `benchmark_group`,
+//! `bench_function` / `bench_with_input`, [`criterion_group!`] /
+//! [`criterion_main!`] — with a simple measurement loop: a few warm-up
+//! iterations, then timed samples, reporting min / mean / max wall-clock
+//! per iteration.
+//!
+//! Statistical analysis, plots, and baselines are out of scope; the point
+//! is that `cargo bench` runs and prints honest numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` style positional filters are honored so
+        // single benchmarks can be run in isolation.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            sample_size: 10,
+            warm_up: 2,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// No-op compatibility shim (CLI args are read in [`Criterion::default`]).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Records the throughput denominator (accepted, not currently reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut c = self.parent.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        run_one(&c, &full, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a displayed parameter.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id from just a displayed parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Throughput denominators, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    warm_up: usize,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, one invocation per sample after warm-up.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.warm_up {
+            black_box(f());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        warm_up: c.warm_up,
+        sample_size: c.sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<60} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().expect("nonempty");
+    let max = *b.samples.iter().max().expect("nonempty");
+    println!(
+        "{id:<60} [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+}
+
+/// Human-readable duration, criterion-style.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    let mut s = String::new();
+    if ns >= 1_000_000_000 {
+        let _ = write!(s, "{:.4} s", ns as f64 / 1e9);
+    } else if ns >= 1_000_000 {
+        let _ = write!(s, "{:.4} ms", ns as f64 / 1e6);
+    } else if ns >= 1_000 {
+        let _ = write!(s, "{:.4} µs", ns as f64 / 1e3);
+    } else {
+        let _ = write!(s, "{ns} ns");
+    }
+    s
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        // Built directly (not via `default()`) so libtest CLI args can't
+        // be misread as a benchmark filter.
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up: 2,
+            filter: None,
+        };
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::new("x", 1), &3u64, |b, &v| {
+                b.iter(|| {
+                    runs += 1;
+                    v * 2
+                })
+            });
+            g.finish();
+        }
+        // 2 warm-up + 2 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("n", 42).to_string(), "n/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -11,8 +11,9 @@
 //! can be made small").
 
 use crate::hom::{HomomorphicPk, HomomorphicSk};
+use crate::paillier::PAR_MIN_OPS;
 use spfe_math::prime::gen_safe_prime;
-use spfe_math::{Montgomery, Nat, RandomSource};
+use spfe_math::{FixedBasePow, Montgomery, Nat, RandomSource};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -30,6 +31,9 @@ pub struct SchnorrGroup {
     q: Nat,
     g: Nat,
     mont: Arc<Montgomery>,
+    /// Fixed-base comb table for the generator — every `g^e` in the scheme
+    /// (query encryption, OT setup) hits this instead of a generic pow.
+    g_pow: Arc<FixedBasePow>,
 }
 
 impl std::fmt::Debug for SchnorrGroup {
@@ -53,7 +57,14 @@ impl SchnorrGroup {
                 break g;
             }
         };
-        SchnorrGroup { p, q, g, mont }
+        let g_pow = Arc::new(FixedBasePow::new(Arc::clone(&mont), &g, q.bit_len()));
+        SchnorrGroup {
+            p,
+            q,
+            g,
+            mont,
+            g_pow,
+        }
     }
 
     /// The RFC 3526 1536-bit MODP group (generator 2 squared to land in the
@@ -72,7 +83,14 @@ impl SchnorrGroup {
         let q = p.sub(&Nat::one()).shr(1);
         let mont = Arc::new(Montgomery::new(p.clone()));
         let g = Nat::from(4u64); // 2² generates the order-q subgroup
-        SchnorrGroup { p, q, g, mont }
+        let g_pow = Arc::new(FixedBasePow::new(Arc::clone(&mont), &g, q.bit_len()));
+        SchnorrGroup {
+            p,
+            q,
+            g,
+            mont,
+            g_pow,
+        }
     }
 
     /// Derives a "nothing-up-my-sleeve" subgroup element from a label: the
@@ -116,6 +134,12 @@ impl SchnorrGroup {
         self.mont.pow(base, e)
     }
 
+    /// `g^e mod p` via the precomputed fixed-base comb table — the hot
+    /// exponentiation of query encryption and OT setup.
+    pub fn pow_g(&self, e: &Nat) -> Nat {
+        self.g_pow.pow(e)
+    }
+
     /// `a * b mod p`.
     pub fn mul(&self, a: &Nat, b: &Nat) -> Nat {
         a.mul(b).rem(&self.p)
@@ -146,6 +170,9 @@ impl SchnorrGroup {
 pub struct ElGamalPk {
     group: SchnorrGroup,
     y: Nat,
+    /// Fixed-base comb table for `y` — pairs with `SchnorrGroup::g_pow` so
+    /// an encryption `(g^r, g^m y^r)` does no generic exponentiation at all.
+    y_pow: Arc<FixedBasePow>,
     /// Decryption bound: plaintexts must lie in `[0, bound)`.
     bound: u64,
     bound_nat: Nat,
@@ -178,6 +205,22 @@ impl ElGamalPk {
     pub fn group(&self) -> &SchnorrGroup {
         &self.group
     }
+
+    /// The public element `y = g^x`.
+    pub fn y(&self) -> &Nat {
+        &self.y
+    }
+
+    /// The rng-free core of encryption: `(g^r, g^m y^r)` from both comb
+    /// tables. Shared by [`HomomorphicPk::encrypt`] and the batch path so
+    /// they are bit-identical by construction.
+    fn encrypt_with_r(&self, m: &Nat, r: &Nat) -> ElGamalCt {
+        let g = &self.group;
+        let a = g.pow_g(r);
+        let gm = g.pow_g(&m.rem(&g.q));
+        let b = g.mul(&gm, &self.y_pow.pow(r));
+        ElGamalCt { a, b }
+    }
 }
 
 /// Generates an exponential-ElGamal key pair over `group` with plaintexts in
@@ -193,10 +236,16 @@ pub fn elgamal_keygen<R: RandomSource + ?Sized>(
 ) -> (ElGamalPk, ElGamalSk) {
     assert!(bound > 0);
     let x = group.random_exponent(rng);
-    let y = group.pow(&group.g, &x);
+    let y = group.pow_g(&x);
+    let y_pow = Arc::new(FixedBasePow::new(
+        Arc::clone(&group.mont),
+        &y,
+        group.q.bit_len(),
+    ));
     let pk = ElGamalPk {
         group,
         y,
+        y_pow,
         bound,
         bound_nat: Nat::from(bound),
     };
@@ -214,12 +263,8 @@ impl HomomorphicPk for ElGamalPk {
     }
 
     fn encrypt<R: RandomSource + ?Sized>(&self, m: &Nat, rng: &mut R) -> ElGamalCt {
-        let g = &self.group;
-        let r = g.random_exponent(rng);
-        let a = g.pow(&g.g, &r);
-        let gm = g.pow(&g.g, &m.rem(&g.q));
-        let b = g.mul(&gm, &g.pow(&self.y, &r));
-        ElGamalCt { a, b }
+        let r = self.group.random_exponent(rng);
+        self.encrypt_with_r(m, &r)
     }
 
     fn add(&self, a: &ElGamalCt, b: &ElGamalCt) -> ElGamalCt {
@@ -266,6 +311,20 @@ impl HomomorphicPk for ElGamalPk {
         }
         Some(ElGamalCt { a, b })
     }
+
+    fn encrypt_batch<R: RandomSource + ?Sized>(&self, ms: &[Nat], rng: &mut R) -> Vec<ElGamalCt> {
+        // Draw the per-ciphertext exponents in serial order (same stream as
+        // the serial loop), then fan the rng-free exponentiations out.
+        let rs: Vec<Nat> = ms.iter().map(|_| self.group.random_exponent(rng)).collect();
+        let jobs: Vec<(&Nat, &Nat)> = ms.iter().zip(&rs).collect();
+        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(m, r)| self.encrypt_with_r(m, r))
+    }
+
+    fn scalar_mul_batch(&self, cts: &[ElGamalCt], cs: &[Nat]) -> Vec<ElGamalCt> {
+        assert_eq!(cts.len(), cs.len(), "batch length mismatch");
+        let jobs: Vec<(&ElGamalCt, &Nat)> = cts.iter().zip(cs).collect();
+        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(ct, c)| self.mul_const(ct, c))
+    }
 }
 
 impl HomomorphicSk<ElGamalPk> for ElGamalSk {
@@ -295,7 +354,7 @@ fn bsgs(group: &SchnorrGroup, target: &Nat, bound: u64) -> Option<u64> {
         cur = group.mul(&cur, &group.g);
     }
     // Giant steps: target · (g^-step)^i.
-    let giant = group.inv(&group.pow(&group.g, &Nat::from(step)));
+    let giant = group.inv(&group.pow_g(&Nat::from(step)));
     let mut gamma = target.clone();
     for i in 0..=step {
         if let Some(&j) = table.get(&gamma.to_be_bytes()) {
@@ -373,6 +432,53 @@ mod tests {
         // g^q == 1 (generator is in the order-q subgroup).
         assert!(g.pow(g.g(), g.q()).is_one());
         assert_eq!(g.element_bytes(), 192);
+    }
+
+    #[test]
+    fn pow_g_matches_generic_pow() {
+        let mut rng = ChaChaRng::from_u64_seed(0x9069);
+        for group in [
+            SchnorrGroup::generate(96, &mut rng),
+            SchnorrGroup::rfc3526_1536(),
+        ] {
+            for _ in 0..8 {
+                let e = group.random_exponent(&mut rng);
+                assert_eq!(group.pow_g(&e), group.pow(group.g(), &e));
+            }
+            // Past-capacity exponents fall back to the generic ladder.
+            let big = group.q().mul(&Nat::from(3u64)).add(&Nat::from(7u64));
+            assert_eq!(group.pow_g(&big), group.pow(group.g(), &big));
+        }
+    }
+
+    #[test]
+    fn batch_apis_bit_identical_to_serial() {
+        let (pk, _sk, rng) = setup();
+        let ms: Vec<Nat> = (0..9u64).map(|v| Nat::from(v * 31 % 1000)).collect();
+
+        let mut rng_a = rng.clone();
+        let serial: Vec<ElGamalCt> = ms.iter().map(|m| pk.encrypt(m, &mut rng_a)).collect();
+        for threads in [1, 4] {
+            spfe_math::par::set_threads(Some(threads));
+            let mut rng_b = rng.clone();
+            let batch = pk.encrypt_batch(&ms, &mut rng_b);
+            spfe_math::par::set_threads(None);
+            assert_eq!(serial, batch, "threads={threads}");
+            // The rng must end in the same state as the serial loop left it.
+            assert_eq!(
+                rng_a.clone().next_u64(),
+                rng_b.next_u64(),
+                "threads={threads}"
+            );
+        }
+
+        let cs: Vec<Nat> = (0..9u64).map(|v| Nat::from(v + 2)).collect();
+        let serial_mul: Vec<ElGamalCt> = serial
+            .iter()
+            .zip(&cs)
+            .map(|(ct, c)| pk.mul_const(ct, c))
+            .collect();
+        assert_eq!(pk.scalar_mul_batch(&serial, &cs), serial_mul);
     }
 
     #[test]

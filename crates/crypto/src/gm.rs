@@ -68,7 +68,11 @@ impl HomomorphicPk for GmPk {
                 continue;
             }
             let r2 = r.square().rem(&self.n);
-            let ct = if bit { r2.mul(&self.z).rem(&self.n) } else { r2 };
+            let ct = if bit {
+                r2.mul(&self.z).rem(&self.n)
+            } else {
+                r2
+            };
             return GmCt(ct);
         }
     }
@@ -221,7 +225,10 @@ mod tests {
         let ct = pk.encrypt(&Nat::one(), &mut rng);
         let bytes = pk.ciphertext_to_bytes(&ct);
         assert_eq!(bytes.len(), pk.ciphertext_bytes());
-        assert_eq!(sk.decrypt(&pk.ciphertext_from_bytes(&bytes).unwrap()), Nat::one());
+        assert_eq!(
+            sk.decrypt(&pk.ciphertext_from_bytes(&bytes).unwrap()),
+            Nat::one()
+        );
     }
 
     #[test]

@@ -13,9 +13,12 @@
 use spfe_math::{Nat, RandomSource};
 
 /// An additively homomorphic public key over a plaintext group `Z_u`.
-pub trait HomomorphicPk: Clone + std::fmt::Debug {
+///
+/// Keys and ciphertexts are `Send + Sync` so the protocol layers can shard
+/// their per-cell work across the [`spfe_math::par`] worker pool.
+pub trait HomomorphicPk: Clone + std::fmt::Debug + Send + Sync {
     /// The ciphertext type.
-    type Ciphertext: Clone + std::fmt::Debug + PartialEq + Eq;
+    type Ciphertext: Clone + std::fmt::Debug + PartialEq + Eq + Send + Sync;
 
     /// The plaintext modulus `u` (plaintexts are residues in `[0, u)`).
     fn plaintext_modulus(&self) -> &Nat;
@@ -51,6 +54,38 @@ pub trait HomomorphicPk: Clone + std::fmt::Debug {
     ///
     /// Returns `None` on malformed input.
     fn ciphertext_from_bytes(&self, bytes: &[u8]) -> Option<Self::Ciphertext>;
+
+    /// Encrypts a batch of plaintexts: element-for-element equivalent to
+    /// calling [`HomomorphicPk::encrypt`] in order, **including the order
+    /// in which randomness is drawn from `rng`** — transcripts produced via
+    /// the batch path are byte-identical to the serial path.
+    ///
+    /// The default implementation is the serial loop; schemes override it
+    /// to pre-draw the per-ciphertext randomness (same stream) and run the
+    /// public-key operations on the [`spfe_math::par`] worker pool.
+    fn encrypt_batch<R: RandomSource + ?Sized>(
+        &self,
+        ms: &[Nat],
+        rng: &mut R,
+    ) -> Vec<Self::Ciphertext> {
+        ms.iter().map(|m| self.encrypt(m, rng)).collect()
+    }
+
+    /// Scalar-multiplies a batch: `out[i] = E(cs[i] · D(cts[i]))`,
+    /// element-for-element equivalent to [`HomomorphicPk::mul_const`].
+    /// Deterministic (no randomness), so parallel and serial paths agree
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cts.len() != cs.len()`.
+    fn scalar_mul_batch(&self, cts: &[Self::Ciphertext], cs: &[Nat]) -> Vec<Self::Ciphertext> {
+        assert_eq!(cts.len(), cs.len(), "batch length mismatch");
+        cts.iter()
+            .zip(cs)
+            .map(|(ct, c)| self.mul_const(ct, c))
+            .collect()
+    }
 
     /// `E(a) ⊖ E(b) = E(a - b mod u)` — derived from `add`/`mul_const`.
     fn sub(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {

@@ -15,6 +15,11 @@ use spfe_math::prime::gen_prime;
 use spfe_math::{Montgomery, Nat, RandomSource};
 use std::sync::Arc;
 
+/// Minimum batch size before public-key batches go parallel: one modular
+/// exponentiation already dwarfs thread-dispatch overhead, so the bar is
+/// low (and [`spfe_math::par`] still falls back serially on one thread).
+pub(crate) const PAR_MIN_OPS: usize = 4;
+
 /// A Paillier ciphertext: a residue mod `n²`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PaillierCt(pub(crate) Nat);
@@ -110,6 +115,31 @@ impl HomomorphicPk for PaillierPk {
 
     fn mul_const(&self, a: &PaillierCt, c: &Nat) -> PaillierCt {
         PaillierCt(self.mont.pow(&a.0, &c.rem(&self.n)))
+    }
+
+    /// Batch encryption on the worker pool: the per-ciphertext randomness
+    /// is drawn serially first (exactly the stream the serial loop would
+    /// draw), then the `r^n mod n²` exponentiations — the actual cost —
+    /// run on [`spfe_math::par`].
+    fn encrypt_batch<R: RandomSource + ?Sized>(&self, ms: &[Nat], rng: &mut R) -> Vec<PaillierCt> {
+        let rs: Vec<Nat> = ms.iter().map(|_| self.random_unit(rng)).collect();
+        let jobs: Vec<(&Nat, &Nat)> = ms.iter().zip(&rs).collect();
+        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(m, r)| {
+            let m = m.rem(&self.n);
+            let gm = Nat::one().add(&m.mul(&self.n)).rem(&self.n_sq);
+            let rn = self.mont.pow(r, &self.n);
+            PaillierCt(gm.mul(&rn).rem(&self.n_sq))
+        })
+    }
+
+    /// Batch scalar multiplication (`ct^c mod n²`) on the worker pool;
+    /// deterministic, so bit-identical to the serial loop.
+    fn scalar_mul_batch(&self, cts: &[PaillierCt], cs: &[Nat]) -> Vec<PaillierCt> {
+        assert_eq!(cts.len(), cs.len(), "batch length mismatch");
+        let jobs: Vec<(&PaillierCt, &Nat)> = cts.iter().zip(cs).collect();
+        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(ct, c)| {
+            PaillierCt(self.mont.pow(&ct.0, &c.rem(&self.n)))
+        })
     }
 
     fn rerandomize<R: RandomSource + ?Sized>(&self, a: &PaillierCt, rng: &mut R) -> PaillierCt {
@@ -269,6 +299,42 @@ mod tests {
         let m = Nat::random_below(&mut rng, pk.n());
         let ct = pk.encrypt(&m, &mut rng);
         assert_eq!(sk.decrypt(&ct), m);
+    }
+
+    #[test]
+    fn batch_apis_bit_identical_to_serial() {
+        let (pk, _, mut rng) = keys(128);
+        let ms: Vec<Nat> = (0..9u64).map(|v| Nat::from(v * 1_234_567)).collect();
+        // Same seed on both paths: the batch must draw the identical
+        // randomness stream and produce the identical ciphertext bytes,
+        // whatever the thread configuration.
+        let mut rng_a = rng.clone();
+        let serial: Vec<PaillierCt> = ms.iter().map(|m| pk.encrypt(m, &mut rng_a)).collect();
+        for threads in [1, 4] {
+            spfe_math::par::set_threads(Some(threads));
+            let mut rng_b = rng.clone();
+            let batch = pk.encrypt_batch(&ms, &mut rng_b);
+            spfe_math::par::set_threads(None);
+            assert_eq!(serial, batch, "threads={threads}");
+            // The rng must end in the same state as the serial loop left it.
+            assert_eq!(
+                rng_a.clone().next_u64(),
+                rng_b.next_u64(),
+                "threads={threads}"
+            );
+        }
+
+        let cs: Vec<Nat> = (0..9u64).map(|v| Nat::from(v + 2)).collect();
+        let serial_sm: Vec<PaillierCt> = serial
+            .iter()
+            .zip(&cs)
+            .map(|(ct, c)| pk.mul_const(ct, c))
+            .collect();
+        spfe_math::par::set_threads(Some(4));
+        let batch_sm = pk.scalar_mul_batch(&serial, &cs);
+        spfe_math::par::set_threads(None);
+        assert_eq!(serial_sm, batch_sm);
+        let _ = rng.next_u64();
     }
 
     #[test]

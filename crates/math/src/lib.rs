@@ -13,7 +13,9 @@
 //! * [`prime`] — Miller–Rabin and prime generation;
 //! * [`Fp64`], [`Poly`], [`MPoly`] — word-sized prime fields and the
 //!   polynomials at the heart of the paper's protocols;
-//! * [`RandomSource`] — the workspace-wide randomness abstraction.
+//! * [`RandomSource`] — the workspace-wide randomness abstraction;
+//! * [`par`] — the scoped worker pool behind every parallel server scan
+//!   and batch encryption (`SPFE_THREADS`, deterministic ordering).
 //!
 //! # Examples
 //!
@@ -38,15 +40,16 @@ pub mod modular;
 pub mod montgomery;
 pub mod mpoly;
 pub mod nat;
+pub mod par;
 pub mod poly;
 pub mod prime;
-pub mod rs;
 pub mod rand_src;
+pub mod rs;
 
 pub use fp64::Fp64;
 pub use int::{Int, Sign};
 pub use linalg::Mat;
-pub use montgomery::Montgomery;
+pub use montgomery::{FixedBasePow, Montgomery};
 pub use mpoly::MPoly;
 pub use nat::Nat;
 pub use poly::Poly;

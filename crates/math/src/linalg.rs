@@ -213,9 +213,9 @@ impl Mat {
         let (rows, cols) = (self.rows, self.cols);
         // Augmented matrix.
         let mut a: Vec<u64> = Vec::with_capacity(rows * (cols + 1));
-        for r in 0..rows {
+        for (r, &rhs) in b.iter().enumerate() {
             a.extend_from_slice(&self.data[r * cols..(r + 1) * cols]);
-            a.push(f.from_u64(b[r]));
+            a.push(f.from_u64(rhs));
         }
         let w = cols + 1;
         let mut pivot_cols = Vec::new();

@@ -284,9 +284,9 @@ impl Nat {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
+        for (i, &limb) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
-            let (s1, c1) = longer[i].overflowing_add(b);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -573,7 +573,10 @@ impl Nat {
     /// # Panics
     ///
     /// Panics if `bound` is zero.
-    pub fn random_below<R: crate::rand_src::RandomSource + ?Sized>(rng: &mut R, bound: &Nat) -> Nat {
+    pub fn random_below<R: crate::rand_src::RandomSource + ?Sized>(
+        rng: &mut R,
+        bound: &Nat,
+    ) -> Nat {
         assert!(!bound.is_zero(), "random_below: zero bound");
         let bits = bound.bit_len();
         loop {

@@ -1,0 +1,344 @@
+//! The workspace-wide parallel kernel engine.
+//!
+//! Every Ω(n) server scan and O(m)/O(√n) client batch in the SPFE
+//! protocols is a *data-parallel map over independent items* — modular
+//! exponentiations per database cell, encryptions per selector entry,
+//! per-server query evaluation. This module provides the one primitive they
+//! all share: a scoped fork-join pool ([`par_map`] / [`par_chunks_map`])
+//! with
+//!
+//! * **deterministic output ordering** — results land by input index, never
+//!   by completion order, so wire transcripts and communication meters are
+//!   byte-identical to the sequential path;
+//! * **dynamic load balancing** — workers claim fixed-size blocks from a
+//!   shared atomic cursor, so one slow item (e.g. a column with many
+//!   non-zero cells) cannot serialize the scan;
+//! * **automatic sequential fallback** — inputs smaller than a tunable
+//!   threshold run inline on the calling thread, paying zero spawn cost;
+//! * **configuration** — thread count from the `SPFE_THREADS` environment
+//!   variable (default: available parallelism), overridable per-process
+//!   with [`set_threads`]; fallback threshold from `SPFE_PAR_THRESHOLD`,
+//!   overridable with [`set_seq_threshold`].
+//!
+//! Workers are plain `std::thread::scope` spawns (the std descendant of
+//! `crossbeam::scope`), so borrowed inputs — a `&Montgomery` context, a
+//! `&[u64]` database — are shared by reference across workers without any
+//! cloning or `'static` gymnastics.
+//!
+//! # Examples
+//!
+//! ```
+//! use spfe_math::par;
+//! let xs: Vec<u64> = (0..1000).collect();
+//! let doubled = par::par_map(&xs, |&x| x * 2);
+//! assert_eq!(doubled, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Process-wide thread-count override (0 = unset, use env/default).
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide sequential-fallback threshold override (0 = unset).
+static THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Default minimum number of items before a map goes parallel.
+const DEFAULT_SEQ_THRESHOLD: usize = 16;
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&v| v > 0)
+}
+
+/// The number of worker threads parallel maps will use.
+///
+/// Resolution order: [`set_threads`] override, then the `SPFE_THREADS`
+/// environment variable, then [`std::thread::available_parallelism`].
+pub fn threads() -> usize {
+    match THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_usize("SPFE_THREADS")
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
+    }
+}
+
+/// Overrides the thread count for this process (`None` restores the
+/// `SPFE_THREADS`/auto default). `Some(1)` forces the sequential path —
+/// used by benchmarks and the serial-vs-parallel equivalence tests.
+pub fn set_threads(n: Option<usize>) {
+    THREADS_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
+}
+
+/// The minimum input length at which maps go parallel.
+///
+/// Resolution order: [`set_seq_threshold`] override, then the
+/// `SPFE_PAR_THRESHOLD` environment variable, then a built-in default.
+pub fn seq_threshold() -> usize {
+    match THRESHOLD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_usize("SPFE_PAR_THRESHOLD").unwrap_or(DEFAULT_SEQ_THRESHOLD),
+        n => n,
+    }
+}
+
+/// Overrides the sequential-fallback threshold for this process (`None`
+/// restores the default).
+pub fn set_seq_threshold(n: Option<usize>) {
+    THRESHOLD_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
+}
+
+/// Maps `f` over `items`, in parallel when it pays.
+///
+/// Semantically identical to `items.iter().map(f).collect()`: the output is
+/// ordered by input index regardless of which worker computed what. Inputs
+/// shorter than [`seq_threshold`] (or a 1-thread configuration) run inline
+/// on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `f` panics on any item (the panic is propagated).
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_min(seq_threshold(), items, f)
+}
+
+/// [`par_map`] with an explicit sequential-fallback threshold, for call
+/// sites whose per-item cost is far from the workspace default (e.g. a
+/// cheap field evaluation wants a much larger threshold than a 2048-bit
+/// exponentiation).
+pub fn par_map_min<T, U, F>(min_len: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let nt = threads();
+    if nt <= 1 || items.len() < min_len.max(2) {
+        return items.iter().map(f).collect();
+    }
+    run_blocks(items.len(), nt, |start, end| {
+        items[start..end].iter().map(&f).collect()
+    })
+}
+
+/// Maps `f` over disjoint contiguous chunks of `items` of length
+/// `chunk_len` (the last may be shorter), concatenating the per-chunk
+/// outputs in input order. Use when per-item closures would allocate or
+/// when the kernel wants to amortize setup across a run of items.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` or `f` panics.
+pub fn par_chunks_map<T, U, F>(chunk_len: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> Vec<U> + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let nt = threads();
+    if nt <= 1 || items.len() < seq_threshold().max(2) {
+        return items.chunks(chunk_len).flat_map(&f).collect();
+    }
+    let nchunks = items.len().div_ceil(chunk_len);
+    let per_chunk: Vec<Vec<U>> = run_blocks(nchunks, nt, |start, end| {
+        (start..end)
+            .map(|c| f(&items[c * chunk_len..((c + 1) * chunk_len).min(items.len())]))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Runs `index ∈ [0, len)` through `work` on a scoped worker pool and
+/// returns the concatenated results in index order.
+///
+/// `work(start, end)` must produce exactly `end - start` outputs for the
+/// half-open index block `[start, end)`. Blocks are claimed dynamically
+/// from an atomic cursor (load balancing); results are keyed by block index
+/// and reassembled in order (determinism).
+fn run_blocks<U, W>(len: usize, nt: usize, work: W) -> Vec<U>
+where
+    U: Send,
+    W: Fn(usize, usize) -> Vec<U> + Sync,
+{
+    // Aim for ~4 blocks per worker so stragglers rebalance, but never
+    // blocks so small that cursor traffic dominates.
+    let nt = nt.min(len);
+    let block = len.div_ceil(nt * 4).max(1);
+    let nblocks = len.div_ceil(block);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<U>)>();
+
+    let worker = |tx: mpsc::Sender<(usize, Vec<U>)>| loop {
+        let b = cursor.fetch_add(1, Ordering::Relaxed);
+        if b >= nblocks {
+            break;
+        }
+        let start = b * block;
+        let end = (start + block).min(len);
+        let out = work(start, end);
+        debug_assert_eq!(out.len(), end - start, "work() must be 1:1 with its block");
+        if tx.send((b, out)).is_err() {
+            break;
+        }
+    };
+
+    let mut slots: Vec<Option<Vec<U>>> = Vec::new();
+    slots.resize_with(nblocks, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nt - 1)
+            .map(|_| {
+                let tx = tx.clone();
+                s.spawn(move || worker(tx))
+            })
+            .collect();
+        // The calling thread is worker 0.
+        worker(tx);
+        for (b, out) in rx.iter() {
+            slots[b] = Some(out);
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|s| s.expect("every block computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Forces a thread/threshold configuration for the duration of a
+    /// closure, restoring the defaults afterwards (and serializing tests
+    /// that touch the process-global configuration).
+    fn with_config<R>(threads: usize, threshold: usize, f: impl FnOnce() -> R) -> R {
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        // Poison-tolerant: the panic-propagation test unwinds while holding
+        // the lock, and a restore-on-drop guard keeps the globals clean.
+        let _guard = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_threads(None);
+                set_seq_threshold(None);
+            }
+        }
+        let _restore = Restore;
+        set_threads(Some(threads));
+        set_seq_threshold(Some(threshold));
+        f()
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        with_config(4, 1, || {
+            assert_eq!(par_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+            assert_eq!(par_map(&[7u64], |&x| x + 1), vec![8]);
+        });
+    }
+
+    #[test]
+    fn par_map_matches_serial_all_thread_counts() {
+        let xs: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = xs.iter().map(|&x| x.wrapping_mul(x) ^ 0xABCD).collect();
+        for nt in [1, 2, 3, 4, 8, 64] {
+            let got = with_config(nt, 1, || par_map(&xs, |&x| x.wrapping_mul(x) ^ 0xABCD));
+            assert_eq!(got, expect, "threads={nt}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_map_matches_serial() {
+        let xs: Vec<u64> = (0..613).collect();
+        let expect: Vec<u64> = xs.iter().map(|&x| x + 1).collect();
+        for (nt, chunk) in [(1, 7), (4, 1), (4, 7), (4, 613), (4, 1000)] {
+            let got = with_config(nt, 1, || {
+                par_chunks_map(chunk, &xs, |c| c.iter().map(|&x| x + 1).collect())
+            });
+            assert_eq!(got, expect, "threads={nt} chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_below_threshold() {
+        // Below the threshold the calling thread does all the work; observable
+        // via thread-id equality inside the closure.
+        with_config(8, 1000, || {
+            let main_id = std::thread::current().id();
+            let ids = par_map(&[1u64; 100], |_| std::thread::current().id());
+            assert!(ids.iter().all(|&id| id == main_id));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        with_config(4, 1, || {
+            let _ = par_map(&[0u64; 64], |&x| {
+                if x == 0 {
+                    panic!("boom");
+                }
+                x
+            });
+        });
+    }
+
+    #[test]
+    fn config_resolution() {
+        with_config(3, 5, || {
+            assert_eq!(threads(), 3);
+            assert_eq!(seq_threshold(), 5);
+        });
+        // After restore, values come from env/defaults and are positive.
+        assert!(threads() >= 1);
+        assert!(seq_threshold() >= 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_par_map_equals_map(
+            xs in proptest::collection::vec(any::<u64>(), 0..200),
+            nt in 1usize..9,
+            threshold in 1usize..40,
+        ) {
+            let expect: Vec<u64> = xs.iter().map(|&x| x ^ (x >> 3)).collect();
+            let got = with_config(nt, threshold, || par_map(&xs, |&x| x ^ (x >> 3)));
+            prop_assert_eq!(got, expect);
+        }
+
+        #[test]
+        fn prop_par_chunks_map_equals_chunks(
+            xs in proptest::collection::vec(any::<u64>(), 0..200),
+            nt in 1usize..9,
+            chunk in 1usize..32,
+        ) {
+            let expect: Vec<u64> = xs.chunks(chunk).flat_map(|c| {
+                c.iter().rev().map(|&x| x.wrapping_add(1)).collect::<Vec<_>>()
+            }).collect();
+            let got = with_config(nt, 1, || {
+                par_chunks_map(chunk, &xs, |c| c.iter().rev().map(|&x| x.wrapping_add(1)).collect())
+            });
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -169,7 +169,10 @@ impl Poly {
     pub fn scale(&self, c: u64) -> Poly {
         let f = &self.field;
         let c = f.from_u64(c);
-        Poly::from_coeffs(self.coeffs.iter().map(|&a| f.mul(a, c)).collect(), self.field)
+        Poly::from_coeffs(
+            self.coeffs.iter().map(|&a| f.mul(a, c)).collect(),
+            self.field,
+        )
     }
 
     /// Polynomial division: returns `(quotient, remainder)` with

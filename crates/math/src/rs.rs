@@ -54,11 +54,7 @@ pub fn berlekamp_welch(
     for e in (0..=max_errors).rev() {
         if let Some(p) = try_decode(&xs, &ys, degree, e, f) {
             // Verify: agreement with at least k − max_errors points.
-            let agree = xs
-                .iter()
-                .zip(&ys)
-                .filter(|(&x, &y)| p.eval(x) == y)
-                .count();
+            let agree = xs.iter().zip(&ys).filter(|(&x, &y)| p.eval(x) == y).count();
             if agree + max_errors >= k && p.degree().unwrap_or(0) <= degree {
                 return Some(p);
             }
@@ -74,7 +70,7 @@ fn try_decode(xs: &[u64], ys: &[u64], d: usize, e: usize, f: Fp64) -> Option<Pol
     let k = xs.len();
     let q_terms = d + e + 1;
     let unknowns = q_terms + e; // Q coeffs + non-leading E coeffs
-    // Equations: Q(x_i) − y_i·(E₀ + E₁x_i + … + E_{e−1}x_i^{e−1}) = y_i·x_i^e.
+                                // Equations: Q(x_i) − y_i·(E₀ + E₁x_i + … + E_{e−1}x_i^{e−1}) = y_i·x_i^e.
     let mut rows = Vec::with_capacity(k);
     let mut rhs = Vec::with_capacity(k);
     for (&x, &y) in xs.iter().zip(ys) {
@@ -172,7 +168,11 @@ mod tests {
         }
         if let Some(got) = berlekamp_welch(&xs, &ys, 2, 2, f) {
             // If something decodes it must agree with ≥ 5 of the 7 points.
-            let agree = xs.iter().zip(&ys).filter(|(&x, &y)| got.eval(x) == y).count();
+            let agree = xs
+                .iter()
+                .zip(&ys)
+                .filter(|(&x, &y)| got.eval(x) == y)
+                .count();
             assert!(agree >= 5);
         }
     }

@@ -92,7 +92,10 @@ where
                                     .expect("malformed client input"),
                             )
                         } else {
-                            Some(server_encrypt(&server_inputs[*idx - client_inputs.len()], rng))
+                            Some(server_encrypt(
+                                &server_inputs[*idx - client_inputs.len()],
+                                rng,
+                            ))
                         }
                     }
                     AGate::Const(c) => Some(server_encrypt(c, rng)),
@@ -203,11 +206,7 @@ mod tests {
     };
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
 
-    fn setup() -> (
-        spfe_crypto::PaillierPk,
-        spfe_crypto::PaillierSk,
-        ChaChaRng,
-    ) {
+    fn setup() -> (spfe_crypto::PaillierPk, spfe_crypto::PaillierSk, ChaChaRng) {
         let mut rng = ChaChaRng::from_u64_seed(0xA21);
         let (pk, sk) = Paillier::keygen(128, &mut rng);
         (pk, sk, rng)

@@ -336,11 +336,7 @@ mod tests {
             .flat_map(|&v| (0..4).map(move |i| (v >> i) & 1 == 1))
             .collect();
         let out = evaluate(&c, &gc, &labels_for(&secrets, &bits));
-        let got: u64 = out
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u64) << i)
-            .sum();
+        let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
         assert_eq!(got, 19);
     }
 
@@ -354,11 +350,7 @@ mod tests {
             .flat_map(|&v| (0..3).map(move |i| (v >> i) & 1 == 1))
             .collect();
         let out = evaluate(&c, &gc, &labels_for(&secrets, &bits));
-        let got: u64 = out
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u64) << i)
-            .sum();
+        let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
         assert_eq!(got, 2);
     }
 

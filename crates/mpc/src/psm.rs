@@ -174,10 +174,7 @@ pub mod bp {
                 contrib = contrib.add(&b_vars[v]);
             }
         }
-        rand.r1
-            .mul(&contrib)
-            .mul(&rand.r2)
-            .add(&rand.masks[j + 1])
+        rand.r1.mul(&contrib).mul(&rand.r2).add(&rand.masks[j + 1])
     }
 
     /// Referee: sums all messages and reads off the path count.
@@ -258,11 +255,7 @@ mod tests {
             labels.extend(yao::player_message(&circuit, seed, j * 4, &bits));
         }
         let out = yao::referee(&circuit, &p0, &labels);
-        let got: u64 = out
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b as u64) << i)
-            .sum();
+        let got: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
         assert_eq!(got, 26);
     }
 

@@ -287,14 +287,7 @@ mod tests {
         // Doubling the circuit roughly doubles the reply.
         let c2 = sum_circuit(8, 4);
         let mut t2 = Transcript::new(1);
-        run(
-            &mut t2,
-            &group,
-            &c2,
-            &[false; 16],
-            &[true; 16],
-            &mut rng,
-        );
+        run(&mut t2, &group, &c2, &[false; 16], &[true; 16], &mut rng);
         let ratio = t2.report().server_to_client as f64 / rep.server_to_client as f64;
         assert!(ratio > 1.4 && ratio < 3.0, "ratio {ratio}");
     }

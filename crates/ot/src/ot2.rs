@@ -34,9 +34,7 @@ impl Wire for OtSetup {
         self.c.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(OtSetup {
-            c: Nat::decode(r)?,
-        })
+        Ok(OtSetup { c: Nat::decode(r)? })
     }
 }
 
@@ -101,7 +99,11 @@ fn pad_from_point(point: &Nat, len: usize, tag: u8) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
     let mut counter = 0u64;
     while out.len() < len {
-        let block = prf(&seed, b"spfe-ot2-pad", &[&[tag][..], &counter.to_le_bytes()].concat());
+        let block = prf(
+            &seed,
+            b"spfe-ot2-pad",
+            &[&[tag][..], &counter.to_le_bytes()].concat(),
+        );
         let take = (len - out.len()).min(block.len());
         out.extend_from_slice(&block[..take]);
         counter += 1;

@@ -112,7 +112,10 @@ pub fn receiver_choose<R: RandomSource + ?Sized>(
         bit_queries.push(q);
         bit_states.push(st);
     }
-    (OtnQuery { bit_queries }, OtnReceiverState { index, bit_states })
+    (
+        OtnQuery { bit_queries },
+        OtnReceiverState { index, bit_states },
+    )
 }
 
 /// Sender: answers with key transfers and all encrypted items.

@@ -270,15 +270,19 @@ pub fn client_query<P: HomomorphicPk, R: RandomSource + ?Sized>(
     }
     let mut queries = Vec::with_capacity(total_buckets);
     let mut states = Vec::with_capacity(total_buckets);
-    for k in 0..total_buckets {
-        let slot = owners[k].map_or(0, |q| {
+    for (k, owner) in owners.iter().enumerate() {
+        let slot = owner.map_or(0, |q| {
             if k < layout.b {
                 layout.col_slot(indices[q])
             } else {
                 layout.row_slot(indices[q])
             }
         });
-        let params = if k < layout.b { &col_params } else { &row_params };
+        let params = if k < layout.b {
+            &col_params
+        } else {
+            &row_params
+        };
         let (q, st) = spir::client_query(params, pk, slot, rng);
         queries.push(q);
         states.push(st);
@@ -319,13 +323,24 @@ pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
     let layout = BatchLayout { n: db.len(), b };
     let col_params = SpirParams::new(group.clone(), layout.col_bucket_len());
     let row_params = SpirParams::new(group.clone(), layout.row_bucket_len());
+    // Stage 1 — the Ω(n) work: every bucket's scan is rng-free, so the 2B
+    // scans fan out across the worker pool.
+    let jobs: Vec<(usize, &spir::SpirQuery)> = query.iter().enumerate().collect();
+    let scans: Vec<Vec<Vec<P::Ciphertext>>> = spfe_math::par::par_map(&jobs, |&(k, q)| {
+        let bucket_db = bucket_words(&layout, db, width, k);
+        let params = if k < b { &col_params } else { &row_params };
+        spir::scan_words(params, pk, &bucket_db, q)
+    });
+    // Stage 2 — pads and OT consume the rng, so run serially in bucket
+    // order: the draw sequence (and the transcript) is thread-count
+    // independent.
     query
         .iter()
+        .zip(&scans)
         .enumerate()
-        .map(|(k, q)| {
-            let bucket_db = bucket_words(&layout, db, width, k);
+        .map(|(k, (q, scanned))| {
             let params = if k < b { &col_params } else { &row_params };
-            spir::server_answer_words(params, pk, &bucket_db, q, rng)
+            spir::pad_answer_words(params, pk, scanned, q, rng)
         })
         .collect()
 }
@@ -549,7 +564,9 @@ mod tests {
     #[test]
     fn batched_multiword_items() {
         let (group, pk, sk, mut rng) = setup();
-        let database: Vec<Vec<u64>> = (0..40u64).map(|i| vec![i, i * i + 7, u64::MAX - i]).collect();
+        let database: Vec<Vec<u64>> = (0..40u64)
+            .map(|i| vec![i, i * i + 7, u64::MAX - i])
+            .collect();
         let indices = vec![0usize, 13, 39];
         let mut t = Transcript::new(1);
         let (vals, _) = run_words(&mut t, &group, &pk, &sk, &database, &indices, &mut rng);

@@ -33,7 +33,10 @@ impl Layout {
     /// Panics if `n == 0`.
     pub fn square(n: usize) -> Self {
         assert!(n > 0);
-        let rows = (n as f64).sqrt().ceil() as usize;
+        // Exact ⌈√n⌉ via integer isqrt — `f64` rounding misplaces the
+        // ceiling for n within 2^53-scale of a perfect square.
+        let s = n.isqrt();
+        let rows = if s * s == n { s } else { s + 1 };
         let cols = n.div_ceil(rows);
         Layout { rows, cols }
     }
@@ -99,11 +102,13 @@ pub fn client_query<P: HomomorphicPk, R: RandomSource + ?Sized>(
 ) -> HomPirQuery {
     assert!(index < layout.cells(), "index out of range");
     let (row, _) = layout.position(index);
-    let row_selector = (0..layout.rows)
-        .map(|r| {
-            let bit = if r == row { Nat::one() } else { Nat::zero() };
-            pk.ciphertext_to_bytes(&pk.encrypt(&bit, rng))
-        })
+    let bits: Vec<Nat> = (0..layout.rows)
+        .map(|r| if r == row { Nat::one() } else { Nat::zero() })
+        .collect();
+    let row_selector = pk
+        .encrypt_batch(&bits, rng)
+        .iter()
+        .map(|ct| pk.ciphertext_to_bytes(ct))
         .collect();
     HomPirQuery { row_selector }
 }
@@ -132,34 +137,34 @@ pub fn server_answer<P: HomomorphicPk>(
                 .expect("malformed query ciphertext")
         })
         .collect();
-    (0..layout.cols)
-        .map(|j| {
-            let mut acc: Option<P::Ciphertext> = None;
-            for (r, sel) in selectors.iter().enumerate() {
-                let i = r * layout.cols + j;
-                let v = if i < db.len() { db[i] } else { 0 };
-                if v == 0 {
-                    continue;
-                }
-                let term = pk.mul_const(sel, &Nat::from(v));
-                acc = Some(match acc {
-                    None => term,
-                    Some(prev) => pk.add(&prev, &term),
-                });
+    // The Ω(n) hot loop: one mod-exp per non-zero cell. Each column is
+    // independent and rng-free, so shard columns across the worker pool —
+    // `par_map` returns results in column order, keeping the answer (and
+    // every transcript built from it) byte-identical to the serial scan.
+    let col_idx: Vec<usize> = (0..layout.cols).collect();
+    spfe_math::par::par_map(&col_idx, |&j| {
+        let mut acc: Option<P::Ciphertext> = None;
+        for (r, sel) in selectors.iter().enumerate() {
+            let i = r * layout.cols + j;
+            let v = if i < db.len() { db[i] } else { 0 };
+            if v == 0 {
+                continue;
             }
-            // An all-zero column still needs a well-formed ciphertext.
-            acc.unwrap_or_else(|| pk.mul_const(&selectors[0], &Nat::zero()))
-        })
-        .collect()
+            let term = pk.mul_const(sel, &Nat::from(v));
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => pk.add(&prev, &term),
+            });
+        }
+        // An all-zero column still needs a well-formed ciphertext.
+        acc.unwrap_or_else(|| pk.mul_const(&selectors[0], &Nat::zero()))
+    })
 }
 
 /// Serializes column ciphertexts into the wire answer.
 pub fn answer_to_wire<P: HomomorphicPk>(pk: &P, columns: &[P::Ciphertext]) -> HomPirAnswer {
     HomPirAnswer {
-        columns: columns
-            .iter()
-            .map(|c| pk.ciphertext_to_bytes(c))
-            .collect(),
+        columns: columns.iter().map(|c| pk.ciphertext_to_bytes(c)).collect(),
     }
 }
 
@@ -210,11 +215,7 @@ mod tests {
     use super::*;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
 
-    fn setup() -> (
-        spfe_crypto::PaillierPk,
-        spfe_crypto::PaillierSk,
-        ChaChaRng,
-    ) {
+    fn setup() -> (spfe_crypto::PaillierPk, spfe_crypto::PaillierSk, ChaChaRng) {
         let mut rng = ChaChaRng::from_u64_seed(0x9999);
         let (pk, sk) = Paillier::keygen(128, &mut rng);
         (pk, sk, rng)
@@ -231,6 +232,88 @@ mod tests {
         let l = Layout::square(10);
         assert!(l.rows * l.cols >= 10);
         assert_eq!(Layout::square(1).cells(), 1);
+    }
+
+    #[test]
+    fn layout_square_exact_at_perfect_squares() {
+        // At n = s² the layout must be exactly s × s (no padding); just
+        // above it must step to s × (s+1)-ish, never lose cells.
+        for s in [1usize, 2, 3, 10, 100, 1 << 10, 1 << 20, (1 << 26) + 3] {
+            let l = Layout::square(s * s);
+            assert_eq!((l.rows, l.cols), (s, s), "n={}", s * s);
+            assert_eq!(l.cells(), s * s);
+            let l = Layout::square(s * s + 1);
+            assert_eq!(l.rows, s + 1, "n={}", s * s + 1);
+            assert!(l.cells() > s * s);
+            if s > 1 {
+                let l = Layout::square(s * s - 1);
+                assert_eq!(l.rows, s, "n={}", s * s - 1);
+                assert!(l.cells() >= s * s - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn layout_square_usize_max_adjacent() {
+        // The f64 path miscomputed ⌈√n⌉ up here (2^64 is far past 2^53, so
+        // `(n as f64).sqrt()` rounds); the integer path must stay exact and
+        // must not overflow in the s·s probe.
+        let s = usize::MAX.isqrt(); // 2^32 - 1 on 64-bit targets
+        for n in [usize::MAX, usize::MAX - 1, s * s, s * s - 1, s * s + 1] {
+            let l = Layout::square(n);
+            // rows = ⌈√n⌉ exactly: (rows-1)² < n ≤ rows².
+            assert!((l.rows - 1) * (l.rows - 1) < n, "n={n}");
+            assert!(
+                l.rows == s && l.rows * l.rows >= n || l.rows == s + 1,
+                "n={n}"
+            );
+            // Every item must fit.
+            assert!(l.rows as u128 * l.cols as u128 >= n as u128, "n={n}");
+        }
+        assert_eq!(Layout::square(s * s).rows, s);
+        assert_eq!(Layout::square(usize::MAX).rows, s + 1);
+    }
+
+    #[test]
+    fn parallel_server_answer_transcript_is_byte_identical() {
+        // The whole determinism contract in one test: with the same rng
+        // seed, a run with the pool forced to 4 threads produces the same
+        // wire bytes and meter counts as the serial (1-thread) run.
+        let (pk, sk, rng) = setup();
+        let database = db(40);
+
+        let run_with = |threads: usize| {
+            spfe_math::par::set_threads(Some(threads));
+            spfe_math::par::set_seq_threshold(Some(1)); // force the pool on
+            let mut rng = rng.clone();
+            let mut t = Transcript::new(1);
+            let layout = Layout::square(database.len());
+            let q = client_query(&pk, &layout, 17, &mut rng);
+            let q_wire = {
+                use spfe_transport::Wire as _;
+                q.to_bytes()
+            };
+            let q = t.client_to_server(0, "hompir-query", &q).expect("codec");
+            let cols = server_answer(&pk, &layout, &database, &q);
+            let a = answer_to_wire(&pk, &cols);
+            let a_wire = {
+                use spfe_transport::Wire as _;
+                a.to_bytes()
+            };
+            let a = t.server_to_client(0, "hompir-answer", &a).expect("codec");
+            let out = client_decode(&pk, &sk, &layout, 17, &a);
+            spfe_math::par::set_seq_threshold(None);
+            spfe_math::par::set_threads(None);
+            (q_wire, a_wire, t.report(), out)
+        };
+
+        let serial = run_with(1);
+        let parallel = run_with(4);
+        assert_eq!(serial.0, parallel.0, "query bytes differ");
+        assert_eq!(serial.1, parallel.1, "answer bytes differ");
+        assert_eq!(serial.2, parallel.2, "meter reports differ");
+        assert_eq!(serial.3, database[17]);
+        assert_eq!(parallel.3, database[17]);
     }
 
     #[test]

@@ -18,12 +18,12 @@
 #![warn(missing_docs)]
 
 pub mod batched;
-pub mod words;
 pub mod hom_pir;
 pub mod oracle;
 pub mod poly_it;
 pub mod recursive;
 pub mod spir;
+pub mod words;
 pub mod xor2;
 
 pub use batched::{BatchLayout, BatchedStats};

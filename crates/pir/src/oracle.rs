@@ -133,7 +133,9 @@ impl SpirOracle for IdealSpir {
     ) -> u64 {
         // κ bytes up (the "encrypted index"), κ bytes down (the item).
         let up = vec![0u8; self.kappa_bytes];
-        let _ = t.client_to_server(0, "ideal-spir-query", &up).expect("codec");
+        let _ = t
+            .client_to_server(0, "ideal-spir-query", &up)
+            .expect("codec");
         let mut down = vec![0u8; self.kappa_bytes.saturating_sub(8)];
         down.extend(db[index].to_le_bytes());
         let down = t
@@ -150,7 +152,9 @@ impl SpirOracle for IdealSpir {
         _rng: &mut dyn FnMut() -> u64,
     ) -> Vec<u64> {
         let up = vec![0u8; self.kappa_bytes * indices.len()];
-        let _ = t.client_to_server(0, "ideal-spir-query", &up).expect("codec");
+        let _ = t
+            .client_to_server(0, "ideal-spir-query", &up)
+            .expect("codec");
         let items: Vec<u64> = indices.iter().map(|&i| db[i]).collect();
         let pad = vec![0u8; self.kappa_bytes.saturating_sub(8) * indices.len()];
         let _ = t
@@ -177,8 +181,10 @@ mod tests {
     #[test]
     fn both_oracles_retrieve_correctly() {
         let db: Vec<u64> = (0..40u64).map(|i| i * 9 + 1).collect();
-        let oracles: Vec<Box<dyn SpirOracle>> =
-            vec![Box::new(HomSpir::new(1, 128)), Box::new(IdealSpir::default())];
+        let oracles: Vec<Box<dyn SpirOracle>> = vec![
+            Box::new(HomSpir::new(1, 128)),
+            Box::new(IdealSpir::default()),
+        ];
         let mut entropy = tap();
         for oracle in &oracles {
             let mut t = Transcript::new(1);

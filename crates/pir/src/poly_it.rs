@@ -277,8 +277,8 @@ mod tests {
         }
         // Chi-square-ish closeness: every cell within generous bounds of the
         // other index's cell.
-        for cell in 0..121 {
-            let (a, b) = (hist[0][cell] as f64, hist[1][cell] as f64);
+        for (cell, (&h0, &h1)) in hist[0].iter().zip(&hist[1]).enumerate() {
+            let (a, b) = (h0 as f64, h1 as f64);
             assert!(
                 (a - b).abs() < 12.0 * ((a + b).sqrt() + 1.0),
                 "cell {cell}: {a} vs {b}"
@@ -334,6 +334,9 @@ mod tests {
         // k·ℓ grows ~ quadratically in ℓ; just check monotone growth and
         // that it stays tiny compared to the database (sublinearity).
         assert!(bytes[0] < bytes[1] && bytes[1] < bytes[2]);
-        assert!(bytes[2] < 4096 * 8 / 2, "should be well below database size");
+        assert!(
+            bytes[2] < 4096 * 8 / 2,
+            "should be well below database size"
+        );
     }
 }

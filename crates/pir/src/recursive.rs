@@ -259,11 +259,7 @@ mod tests {
     use crate::hom_pir;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
 
-    fn setup() -> (
-        spfe_crypto::PaillierPk,
-        spfe_crypto::PaillierSk,
-        ChaChaRng,
-    ) {
+    fn setup() -> (spfe_crypto::PaillierPk, spfe_crypto::PaillierSk, ChaChaRng) {
         let mut rng = ChaChaRng::from_u64_seed(0x2EC);
         let (pk, sk) = Paillier::keygen(160, &mut rng);
         (pk, sk, rng)
@@ -318,10 +314,7 @@ mod tests {
         let mut t_sqrt = Transcript::new(1);
         let got2 = hom_pir::run(&mut t_sqrt, &pk, &sk, &database, 12_345, &mut rng);
         assert_eq!(got2, database[12_345]);
-        let (rec, sqrt) = (
-            t_rec.report().total_bytes(),
-            t_sqrt.report().total_bytes(),
-        );
+        let (rec, sqrt) = (t_rec.report().total_bytes(), t_sqrt.report().total_bytes());
         assert!(rec < sqrt, "depth-2 {rec} should beat sqrt {sqrt} at n={n}");
     }
 

@@ -158,13 +158,11 @@ pub fn server_answer<P: HomomorphicPk, R: RandomSource + ?Sized>(
     let pads: Vec<Nat> = (0..layout.cols)
         .map(|_| Nat::random_below(rng, &u))
         .collect();
+    let enc_pads = pk.encrypt_batch(&pads, rng);
     let padded: Vec<P::Ciphertext> = columns
         .iter()
-        .zip(&pads)
-        .map(|(c, rho)| {
-            let enc_pad = pk.encrypt(rho, rng);
-            pk.add(c, &enc_pad)
-        })
+        .zip(&enc_pads)
+        .map(|(c, enc_pad)| pk.add(c, enc_pad))
         .collect();
     let pad_items: Vec<Vec<u8>> = pads
         .iter()
@@ -242,23 +240,51 @@ impl Wire for SpirWordsAnswer {
     }
 }
 
-/// Server: answers a (standard) SPIR query against a multi-word database
-/// `db_words` (each item a fixed-width `Vec<u64>`).
+/// The rng-free scan stage of [`server_answer_words`]: for each of the `W`
+/// chunks, the raw (unpadded) per-column ciphertexts.
+///
+/// Splitting the scan from the randomized pad/OT stage lets callers (e.g.
+/// [`crate::batched`]) run many scans on the worker pool and then apply
+/// [`pad_answer_words`] serially, keeping the rng draw order — and hence
+/// the wire transcript — independent of the thread count.
 ///
 /// # Panics
 ///
 /// Panics on ragged items or malformed queries.
-pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
+pub fn scan_words<P: HomomorphicPk>(
     params: &SpirParams,
     pk: &P,
     db_words: &[Vec<u64>],
     query: &SpirQuery,
-    rng: &mut R,
-) -> SpirWordsAnswer {
+) -> Vec<Vec<P::Ciphertext>> {
     assert_eq!(db_words.len(), params.n, "db size mismatch");
     let width = db_words.first().map_or(0, |it| it.len());
     assert!(width > 0, "empty items");
     assert!(db_words.iter().all(|it| it.len() == width), "ragged items");
+    let layout = params.layout();
+    (0..width)
+        .map(|c| {
+            let chunk_db: Vec<u64> = db_words.iter().map(|it| it[c]).collect();
+            hom_pir::server_answer(pk, &layout, &chunk_db, &query.pir)
+        })
+        .collect()
+}
+
+/// The randomized stage of [`server_answer_words`]: pads every scanned
+/// column under encryption and transfers the pads by OT.
+///
+/// # Panics
+///
+/// Panics on malformed queries or a scan of the wrong shape.
+pub fn pad_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
+    params: &SpirParams,
+    pk: &P,
+    scanned: &[Vec<P::Ciphertext>],
+    query: &SpirQuery,
+    rng: &mut R,
+) -> SpirWordsAnswer {
+    let width = scanned.len();
+    assert!(width > 0, "empty scan");
     let layout = params.layout();
     let u = pk.plaintext_modulus().clone();
     let pad_w = pad_bytes(pk);
@@ -270,14 +296,16 @@ pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
                 .collect()
         })
         .collect();
-    let padded: Vec<HomPirAnswer> = (0..width)
-        .map(|c| {
-            let chunk_db: Vec<u64> = db_words.iter().map(|it| it[c]).collect();
-            let cols = hom_pir::server_answer(pk, &layout, &chunk_db, &query.pir);
+    let padded: Vec<HomPirAnswer> = scanned
+        .iter()
+        .zip(&pads)
+        .map(|(cols, chunk_pads)| {
+            assert_eq!(cols.len(), layout.cols, "scan arity mismatch");
+            let enc_pads = pk.encrypt_batch(chunk_pads, rng);
             let blinded: Vec<P::Ciphertext> = cols
                 .iter()
-                .zip(&pads[c])
-                .map(|(ct, rho)| pk.add(ct, &pk.encrypt(rho, rng)))
+                .zip(&enc_pads)
+                .map(|(ct, enc_pad)| pk.add(ct, enc_pad))
                 .collect();
             hom_pir::answer_to_wire(pk, &blinded)
         })
@@ -300,6 +328,24 @@ pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
         rng,
     );
     SpirWordsAnswer { padded, pad_ot }
+}
+
+/// Server: answers a (standard) SPIR query against a multi-word database
+/// `db_words` (each item a fixed-width `Vec<u64>`) — the scan stage
+/// followed by the pad/OT stage.
+///
+/// # Panics
+///
+/// Panics on ragged items or malformed queries.
+pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
+    params: &SpirParams,
+    pk: &P,
+    db_words: &[Vec<u64>],
+    query: &SpirQuery,
+    rng: &mut R,
+) -> SpirWordsAnswer {
+    let scanned = scan_words(params, pk, db_words, query);
+    pad_answer_words(params, pk, &scanned, query, rng)
 }
 
 /// Client: unpads its multi-word item.

@@ -114,7 +114,11 @@ mod tests {
 
     fn items(n: usize, w: usize) -> Vec<Vec<u64>> {
         (0..n)
-            .map(|i| (0..w).map(|c| (i * 1000 + c) as u64 + u64::MAX / 2).collect())
+            .map(|i| {
+                (0..w)
+                    .map(|c| (i * 1000 + c) as u64 + u64::MAX / 2)
+                    .collect()
+            })
             .collect()
     }
 

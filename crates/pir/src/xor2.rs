@@ -154,7 +154,7 @@ mod tests {
         run(&mut t, &database, 7, &mut rng);
         let rep = t.report();
         assert_eq!(rep.half_rounds, 2); // one round
-        // Up: 2 masks of n/8 bytes + framing; down: 2 items of 16 bytes + framing.
+                                        // Up: 2 masks of n/8 bytes + framing; down: 2 items of 16 bytes + framing.
         assert!(rep.client_to_server >= 2 * (n as u64 / 8));
         assert!(rep.client_to_server < 2 * (n as u64 / 8) + 64);
         assert!(rep.server_to_client >= 32);

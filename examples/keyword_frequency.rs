@@ -63,7 +63,10 @@ fn main() {
 
     assert_eq!(freq1, truth);
     assert_eq!(freq2, truth);
-    println!("\nboth agree with the ground truth: {truth} of {} selected records match", sample.len());
+    println!(
+        "\nboth agree with the ground truth: {truth} of {} selected records match",
+        sample.len()
+    );
     println!(
         "the tailored protocol saves {} bytes over the generic route",
         t2.report().total_bytes() - t1.report().total_bytes()

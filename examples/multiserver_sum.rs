@@ -24,17 +24,18 @@ fn main() {
 
     for t_priv in [1usize, 2, 3] {
         let field = Fp64::at_least(260_000 * sample.len() as u64 + n as u64);
-        let params = MultiServerParams::new(
-            n,
-            t_priv,
-            field,
-            MsFunction::Sum { m: sample.len() },
-        );
+        let params = MultiServerParams::new(n, t_priv, field, MsFunction::Sum { m: sample.len() });
         let k = params.num_servers();
 
         let mut transcript = Transcript::new(k);
-        let (sum, sum_sq) =
-            run_sum_and_squares(&mut transcript, &params, &purchases, &squares, &sample, &mut rng);
+        let (sum, sum_sq) = run_sum_and_squares(
+            &mut transcript,
+            &params,
+            &purchases,
+            &squares,
+            &sample,
+            &mut rng,
+        );
 
         let expect: u64 = sample.iter().map(|&i| purchases[i]).sum();
         let expect_sq: u64 = sample.iter().map(|&i| squares[i]).sum();

@@ -57,7 +57,10 @@ fn main() {
     // Population variance = E[x²] − E[x]² (integer approximation).
     let variance = sum_sq / m - mean * mean;
     println!("\nprivate average salary: {mean}");
-    println!("private salary std-dev: ~{}", (variance as f64).sqrt() as u64);
+    println!(
+        "private salary std-dev: ~{}",
+        (variance as f64).sqrt() as u64
+    );
 
     // Verify against the clear-text ground truth.
     let clear_sum: u64 = sample.iter().map(|&i| db.values()[i]).sum();

@@ -22,7 +22,9 @@ fn main() {
 
     // --- The server's private database ---------------------------------
     let n = 100_000;
-    let salaries: Vec<u64> = (0..n as u64).map(|i| 30_000 + (i * 7_919) % 30_000).collect();
+    let salaries: Vec<u64> = (0..n as u64)
+        .map(|i| 30_000 + (i * 7_919) % 30_000)
+        .collect();
     println!("server: database of {n} salaries");
 
     // --- The client's private selection --------------------------------
@@ -49,7 +51,10 @@ fn main() {
     assert_eq!(sum, expected);
 
     let report = transcript.report();
-    println!("\nresult: private sum = {sum} (average {})", sum / sample.len() as u64);
+    println!(
+        "\nresult: private sum = {sum} (average {})",
+        sum / sample.len() as u64
+    );
     println!("rounds: {}", report.rounds());
     println!(
         "communication: {} bytes up, {} bytes down ({} total)",

@@ -69,7 +69,9 @@ fn main() {
     println!("\npublic menu: {menu:?}");
     for choice in 0..menu.len() {
         let mut t = Transcript::new(1);
-        let shares = select1(&mut t, &group, &pk, &sk, &small_db, &sample, field, &mut rng);
+        let shares = select1(
+            &mut t, &group, &pk, &sk, &small_db, &sample, field, &mut rng,
+        );
         let got = universal_yao_phase(&mut t, &group, &shares, &menu, choice, &mut rng);
         println!(
             "client secretly evaluates entry {choice}: result = {got} \

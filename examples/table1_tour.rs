@@ -4,11 +4,13 @@
 //!
 //! Run with: `cargo run --release --example table1_tour`
 
+use spfe::circuits::builders::sum_circuit;
 use spfe::core::psm_spfe::run_yao_psm;
 use spfe::core::security::table1;
-use spfe::core::two_phase::{run_select1_yao, run_select2v1_yao, run_select2v2_yao, run_select3_arith};
+use spfe::core::two_phase::{
+    run_select1_yao, run_select2v1_yao, run_select2v2_yao, run_select3_arith,
+};
 use spfe::core::Statistic;
-use spfe::circuits::builders::sum_circuit;
 use spfe::crypto::{ChaChaRng, HomomorphicScheme, Paillier, SchnorrGroup};
 use spfe::math::Fp64;
 use spfe::transport::Transcript;
@@ -26,7 +28,10 @@ fn main() {
     let field = Fp64::at_least(1 << 11); // > n and > any partial sum
     let value_bits = 8;
 
-    println!("database n={n}, sample m={}, f = sum, truth = {truth}\n", indices.len());
+    println!(
+        "database n={n}, sample m={}, f = sum, truth = {truth}\n",
+        indices.len()
+    );
     println!(
         "{:<12} {:>7} {:>9} {:>12} {:>10}  complexity",
         "section", "rounds", "(paper)", "bytes", "security"
@@ -35,26 +40,58 @@ fn main() {
     // §3.2 — PSM-based (strong security).
     let circuit = sum_circuit(indices.len(), value_bits);
     let mut t = Transcript::new(1);
-    let got = run_yao_psm(&mut t, &group, &pk, &sk, &db, &indices, &circuit, value_bits, &mut rng);
+    let got = run_yao_psm(
+        &mut t, &group, &pk, &sk, &db, &indices, &circuit, value_bits, &mut rng,
+    );
     assert_eq!(got, truth);
     print_row(&t, &table1::PSM);
 
     // §3.3.1 — m × SPIR input selection + Yao.
     let mut t = Transcript::new(1);
-    let got = run_select1_yao(&mut t, &group, &pk, &sk, &db, &indices, &Statistic::Sum, field, &mut rng);
+    let got = run_select1_yao(
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut rng,
+    );
     assert_eq!(got[0], truth % field.modulus());
     print_row(&t, &table1::SELECT1);
 
     // §3.3.2 v1 — polynomial masking, client encrypts m² powers.
     let mut t = Transcript::new(1);
-    let got = run_select2v1_yao(&mut t, &group, &pk, &sk, &db, &indices, &Statistic::Sum, field, &mut rng);
+    let got = run_select2v1_yao(
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut rng,
+    );
     assert_eq!(got[0], truth % field.modulus());
     print_row(&t, &table1::SELECT2_V1);
 
     // §3.3.2 v2 — server encrypts m coefficients.
     let mut t = Transcript::new(1);
     let got = run_select2v2_yao(
-        &mut t, &group, &pk, &sk, &spk, &ssk, &db, &indices, &Statistic::Sum, field, &mut rng,
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &spk,
+        &ssk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut rng,
     );
     assert_eq!(got[0], truth % field.modulus());
     print_row(&t, &table1::SELECT2_V2);
@@ -62,7 +99,16 @@ fn main() {
     // §3.3.3 — encrypted database + §3.3.4 arithmetic phase.
     let mut t = Transcript::new(1);
     let got = run_select3_arith(
-        &mut t, &group, &pk, &sk, &spk, &ssk, &db, &indices, &Statistic::Sum, &mut rng,
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &spk,
+        &ssk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        &mut rng,
     );
     assert_eq!(got[0].to_u64().unwrap(), truth);
     print_row(&t, &table1::SELECT3);

@@ -103,7 +103,15 @@ fn psm_cost_split_matches_corollary4() {
     let mut t_small = Transcript::new(1);
     let c_small = sum_circuit(3, 4);
     psm_spfe::run_yao_psm(
-        &mut t_small, &group, &pk, &sk, &db, &indices, &c_small, 4, &mut rng,
+        &mut t_small,
+        &group,
+        &pk,
+        &sk,
+        &db,
+        &indices,
+        &c_small,
+        4,
+        &mut rng,
     );
 
     // Same m (same SPIR cost) but a bigger f: sum of squares-scale circuit.
@@ -146,9 +154,8 @@ fn select2_overhead_quadratic_vs_linear_in_m() {
         spfe::core::input_select::select2_v2(
             &mut t2, &group, &pk, &sk, &spk, &ssk, &db, &indices, field, &mut rng,
         );
-        v2_overheads.push(
-            t2.bytes_for_label("sel2v2-coeffs") + t2.bytes_for_label("sel2v2-blinded"),
-        );
+        v2_overheads
+            .push(t2.bytes_for_label("sel2v2-coeffs") + t2.bytes_for_label("sel2v2-blinded"));
     }
     // Doubling m quadruples v1's overhead but only doubles v2's.
     let v1_growth = v1_overheads[1] as f64 / v1_overheads[0] as f64;
@@ -174,8 +181,7 @@ fn batched_selection_beats_independent_at_large_m() {
     let ind_bytes = t_ind.report().total_bytes();
 
     let mut t_bat = Transcript::new(1);
-    let (_, stats) =
-        spfe::pir::batched::run(&mut t_bat, &group, &pk, &sk, &db, &indices, &mut rng);
+    let (_, stats) = spfe::pir::batched::run(&mut t_bat, &group, &pk, &sk, &db, &indices, &mut rng);
     assert_eq!(stats.fallbacks, 0);
     let bat_bytes = t_bat.report().total_bytes();
 
@@ -203,10 +209,26 @@ fn avg_var_package_cheaper_than_two_runs() {
 
     let mut t_two = Transcript::new(1);
     stats::weighted_sum(
-        &mut t_two, &group, &pk, &sk, &db, &indices, &[1, 1, 1], field, &mut rng,
+        &mut t_two,
+        &group,
+        &pk,
+        &sk,
+        &db,
+        &indices,
+        &[1, 1, 1],
+        field,
+        &mut rng,
     );
     stats::weighted_sum(
-        &mut t_two, &group, &pk, &sk, &sq, &indices, &[1, 1, 1], field, &mut rng,
+        &mut t_two,
+        &group,
+        &pk,
+        &sk,
+        &sq,
+        &indices,
+        &[1, 1, 1],
+        field,
+        &mut rng,
     );
 
     assert_eq!(t_pkg.report().half_rounds, 2);
@@ -233,30 +255,67 @@ fn table1_round_column_measured() {
     let circuit = sum_circuit(3, 5);
 
     let mut t = Transcript::new(1);
-    psm_spfe::run_yao_psm(&mut t, &group, &pk, &sk, &db, &indices, &circuit, 5, &mut rng);
+    psm_spfe::run_yao_psm(
+        &mut t, &group, &pk, &sk, &db, &indices, &circuit, 5, &mut rng,
+    );
     assert_eq!(t.report().half_rounds, 2, "§3.2: 1 round");
 
     let mut t = Transcript::new(1);
     two_phase::run_select1_yao(
-        &mut t, &group, &pk, &sk, &db, &indices, &Statistic::Sum, field, &mut rng,
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut rng,
     );
     assert_eq!(t.report().half_rounds, 4, "§3.3.1: 2 rounds");
 
     let mut t = Transcript::new(1);
     two_phase::run_select2v1_yao(
-        &mut t, &group, &pk, &sk, &db, &indices, &Statistic::Sum, field, &mut rng,
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut rng,
     );
     assert_eq!(t.report().half_rounds, 4, "§3.3.2/v1: 2 rounds");
 
     let mut t = Transcript::new(1);
     two_phase::run_select2v2_yao(
-        &mut t, &group, &pk, &sk, &spk, &ssk, &db, &indices, &Statistic::Sum, field, &mut rng,
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &spk,
+        &ssk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut rng,
     );
     assert_eq!(t.report().half_rounds, 5, "§3.3.2/v2: 2.5 rounds");
 
     let mut t = Transcript::new(1);
     two_phase::run_select3_arith(
-        &mut t, &group, &pk, &sk, &spk, &ssk, &db, &indices, &Statistic::Sum, &mut rng,
+        &mut t,
+        &group,
+        &pk,
+        &sk,
+        &spk,
+        &ssk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        &mut rng,
     );
     assert_eq!(t.report().half_rounds, 4, "§3.3.3: 2 rounds");
 }

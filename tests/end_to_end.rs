@@ -59,21 +59,46 @@ fn all_five_singleserver_constructions_agree() {
     // §3.3.1 + Yao.
     let mut t = Transcript::new(1);
     let got = two_phase::run_select1_yao(
-        &mut t, &s.group, &s.pk, &s.sk, &db, &indices, &Statistic::Sum, field, &mut s.rng,
+        &mut t,
+        &s.group,
+        &s.pk,
+        &s.sk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut s.rng,
     );
     assert_eq!(got[0], truth, "§3.3.1");
 
     // §3.3.2 v1 + Yao.
     let mut t = Transcript::new(1);
     let got = two_phase::run_select2v1_yao(
-        &mut t, &s.group, &s.pk, &s.sk, &db, &indices, &Statistic::Sum, field, &mut s.rng,
+        &mut t,
+        &s.group,
+        &s.pk,
+        &s.sk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
+        &mut s.rng,
     );
     assert_eq!(got[0], truth, "§3.3.2/v1");
 
     // §3.3.2 v2 + Yao.
     let mut t = Transcript::new(1);
     let got = two_phase::run_select2v2_yao(
-        &mut t, &s.group, &s.pk, &s.sk, &s.spk, &s.ssk, &db, &indices, &Statistic::Sum, field,
+        &mut t,
+        &s.group,
+        &s.pk,
+        &s.sk,
+        &s.spk,
+        &s.ssk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        field,
         &mut s.rng,
     );
     assert_eq!(got[0], truth, "§3.3.2/v2");
@@ -81,7 +106,16 @@ fn all_five_singleserver_constructions_agree() {
     // §3.3.3 + §3.3.4.
     let mut t = Transcript::new(1);
     let got = two_phase::run_select3_arith(
-        &mut t, &s.group, &s.pk, &s.sk, &s.spk, &s.ssk, &db, &indices, &Statistic::Sum, &mut s.rng,
+        &mut t,
+        &s.group,
+        &s.pk,
+        &s.sk,
+        &s.spk,
+        &s.ssk,
+        &db,
+        &indices,
+        &Statistic::Sum,
+        &mut s.rng,
     );
     assert_eq!(got[0].to_u64().unwrap(), truth, "§3.3.3");
 }
@@ -101,7 +135,15 @@ fn multi_server_and_single_server_agree() {
 
     let mut t = Transcript::new(1);
     let ws = stats::weighted_sum(
-        &mut t, &s.group, &s.pk, &s.sk, &db, &indices, &[1, 1, 1], field, &mut s.rng,
+        &mut t,
+        &s.group,
+        &s.pk,
+        &s.sk,
+        &db,
+        &indices,
+        &[1, 1, 1],
+        field,
+        &mut s.rng,
     );
     assert_eq!(ws, truth);
 }
@@ -147,7 +189,11 @@ fn boolean_formula_spfe_multiserver() {
     for indices in [[0usize, 3, 7], [1, 2, 4], [30, 9, 6]] {
         let mut t = Transcript::new(params.num_servers());
         let got = multiserver::run(&mut t, &params, &db, &indices, None, &mut s.rng);
-        let expect = phi.evaluate(&[db[indices[0]] == 1, db[indices[1]] == 1, db[indices[2]] == 1]);
+        let expect = phi.evaluate(&[
+            db[indices[0]] == 1,
+            db[indices[1]] == 1,
+            db[indices[2]] == 1,
+        ]);
         assert_eq!(got, expect as u64, "{indices:?}");
     }
 }
@@ -179,7 +225,9 @@ fn frequency_both_routes_agree_on_census_data() {
     let field = Fp64::at_least(101);
 
     let mut t = Transcript::new(1);
-    let shares = select1(&mut t, &s.group, &s.pk, &s.sk, &db, &indices, field, &mut s.rng);
+    let shares = select1(
+        &mut t, &s.group, &s.pk, &s.sk, &db, &indices, field, &mut s.rng,
+    );
     let f1 = stats::frequency(&mut t, &s.pk, &s.sk, &shares, keyword, &mut s.rng);
 
     let mut t2 = Transcript::new(1);

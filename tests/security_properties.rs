@@ -64,7 +64,8 @@ fn multiserver_blinding_randomizes_off_zero_values() {
         let queries = client_queries(&params, &[3], &mut rng);
         let mut srng = ChaChaRng::from_u64_seed(seed);
         let blind = spfe::core::multiserver::blinding_poly(&params, &mut srng);
-        let a0 = spfe::core::multiserver::server_answer(&params, &db, &queries[0], Some((&blind, 0)));
+        let a0 =
+            spfe::core::multiserver::server_answer(&params, &db, &queries[0], Some((&blind, 0)));
         first_answers.insert(a0);
     }
     // Across 30 independent blindings the same server's answer varies.
@@ -137,12 +138,9 @@ fn weighted_sum_counting_argument() {
         let got = stats::weighted_sum(
             &mut t, &group, &pk, &sk, &db, &indices, &weights, field, &mut rng,
         );
-        let expect = indices
-            .iter()
-            .zip(&weights)
-            .fold(0u64, |acc, (&i, &w)| {
-                field.add(acc, field.mul(field.from_u64(w), field.from_u64(db[i])))
-            });
+        let expect = indices.iter().zip(&weights).fold(0u64, |acc, (&i, &w)| {
+            field.add(acc, field.mul(field.from_u64(w), field.from_u64(db[i])))
+        });
         assert_eq!(got, expect, "weights {weights:?}");
     }
 }
