@@ -24,4 +24,13 @@ cargo clippy "${OFFLINE[@]}" --release --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo build --no-default-features (obs compiled out)"
+cargo build "${OFFLINE[@]}" --release --workspace --no-default-features
+
+echo "==> cost-report schema gate (spfe-tables e1 --json + validate)"
+rm -f BENCH_costs.json
+cargo run "${OFFLINE[@]}" --release -p spfe-bench --bin spfe-tables -- e1 --json > /dev/null
+cargo run "${OFFLINE[@]}" --release -p spfe-bench --bin spfe-tables -- validate BENCH_costs.json
+grep -q '"schema": "spfe-cost-report/v1"' BENCH_costs.json
+
 echo "CI OK"

@@ -10,6 +10,8 @@
 use spfe::crypto::{ChaChaRng, HomomorphicScheme, Paillier, PaillierPk, PaillierSk, SchnorrGroup};
 use spfe::math::Fp64;
 use spfe::transport::{CommReport, Transcript};
+use spfe_obs::CostReport;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Deterministic crypto setup shared by all experiments (fixed seed so the
@@ -93,6 +95,47 @@ pub fn measure<F: FnOnce(&mut Transcript)>(num_servers: usize, f: F) -> Measurem
     }
 }
 
+/// Cost reports collected by [`measure_as`] since the last [`take_costs`].
+static COSTS: Mutex<Vec<CostReport>> = Mutex::new(Vec::new());
+
+/// Like [`measure`], but also assembles a full [`CostReport`] — spans, op
+/// counters, and per-label communication — for the execution and appends it
+/// to the global collection drained by [`take_costs`].
+///
+/// The global span/counter state is reset before `f` runs, so each
+/// measurement window is self-contained; callers must not nest or
+/// interleave `measure_as` calls across threads.
+pub fn measure_as<F: FnOnce(&mut Transcript)>(
+    experiment: &str,
+    protocol: &str,
+    num_servers: usize,
+    f: F,
+) -> Measurement {
+    let mut t = Transcript::new(num_servers);
+    spfe_obs::reset();
+    let start = Instant::now();
+    f(&mut t);
+    let elapsed = start.elapsed();
+    let report = CostReport::assemble(
+        experiment,
+        protocol,
+        elapsed.as_nanos() as u64,
+        spfe_obs::spans_snapshot(),
+        &spfe_obs::ops_snapshot(),
+        t.comm_stat(),
+    );
+    COSTS.lock().unwrap().push(report);
+    Measurement {
+        comm: t.report(),
+        elapsed,
+    }
+}
+
+/// Drains every report collected by [`measure_as`] so far.
+pub fn take_costs() -> Vec<CostReport> {
+    std::mem::take(&mut COSTS.lock().unwrap())
+}
+
 /// Formats a byte count human-readably.
 pub fn fmt_bytes(b: u64) -> String {
     if b >= 1 << 20 {
@@ -153,6 +196,22 @@ mod tests {
             let _ = t.client_to_server(0, "x", &42u64).unwrap();
         });
         assert_eq!(m.comm.messages, 1);
+    }
+
+    #[test]
+    fn measure_as_collects_cost_reports() {
+        let _ = take_costs(); // drain anything a parallel test left behind
+        let m = measure_as("eX", "ping", 1, |t| {
+            let _ = t.client_to_server(0, "ping-q", &7u64).unwrap();
+            let _ = t.server_to_client(0, "ping-a", &8u64).unwrap();
+        });
+        assert_eq!(m.comm.messages, 2);
+        let costs = take_costs();
+        let r = costs.iter().find(|r| r.experiment == "eX").unwrap();
+        assert_eq!(r.protocol, "ping");
+        assert_eq!(r.comm.messages, 2);
+        assert_eq!(r.comm.labels.len(), 2);
+        assert!(take_costs().iter().all(|r| r.experiment != "eX"));
     }
 
     #[test]

@@ -96,39 +96,48 @@ where
     S: HomomorphicSk<P>,
     R: RandomSource + ?Sized,
 {
+    let _proto = spfe_obs::span("select1");
     let p = field.modulus();
     assert!(db.iter().all(|&v| v < p), "db value exceeds field");
     assert!(indices.iter().all(|&i| i < db.len()), "index out of range");
     let params = SpirParams::new(group.clone(), db.len());
 
     // Client: all m queries in one message.
-    let mut queries = Vec::with_capacity(indices.len());
-    let mut states = Vec::with_capacity(indices.len());
-    for &i in indices {
-        let (q, st) = spir::client_query(&params, pk, i, rng);
-        queries.push(q);
-        states.push(st);
-    }
+    let (queries, states) = {
+        let _s = spfe_obs::span("query-gen");
+        let mut queries = Vec::with_capacity(indices.len());
+        let mut states = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let (q, st) = spir::client_query(&params, pk, i, rng);
+            queries.push(q);
+            states.push(st);
+        }
+        (queries, states)
+    };
     let queries: Vec<SpirQuery> = t
         .client_to_server(0, "sel1-queries", &queries)
         .expect("codec");
 
     // Server: per slot, pick a_j and answer against v_i = x_i − a_j.
     let mut server_shares = Vec::with_capacity(indices.len());
-    let answers: Vec<spfe_pir::SpirAnswer> = queries
-        .iter()
-        .map(|q| {
-            let a_j = field.random(rng);
-            server_shares.push(a_j);
-            let vdb: Vec<u64> = db.iter().map(|&x| field.sub(x, a_j)).collect();
-            spir::server_answer(&params, pk, &vdb, q, rng)
-        })
-        .collect();
+    let answers: Vec<spfe_pir::SpirAnswer> = {
+        let _s = spfe_obs::span("server-scan");
+        queries
+            .iter()
+            .map(|q| {
+                let a_j = field.random(rng);
+                server_shares.push(a_j);
+                let vdb: Vec<u64> = db.iter().map(|&x| field.sub(x, a_j)).collect();
+                spir::server_answer(&params, pk, &vdb, q, rng)
+            })
+            .collect()
+    };
     let answers = t
         .server_to_client(0, "sel1-answers", &answers)
         .expect("codec");
 
     // Client: decode b_j.
+    let _s = spfe_obs::span("reconstruct");
     let client_shares: Vec<u64> = states
         .iter()
         .zip(&answers)
@@ -158,6 +167,7 @@ pub fn select1_with_oracle<R: RandomSource + ?Sized>(
     field: Fp64,
     rng: &mut R,
 ) -> SharesModP {
+    let _proto = spfe_obs::span("select1-oracle");
     let p = field.modulus();
     assert!(db.iter().all(|&v| v < p), "db value exceeds field");
     assert!(indices.iter().all(|&i| i < db.len()), "index out of range");
@@ -231,6 +241,7 @@ where
     S: HomomorphicSk<P>,
     R: RandomSource + ?Sized,
 {
+    let _proto = spfe_obs::span("select2v1");
     let p = field.modulus();
     let m = indices.len();
     assert!(m > 0);
@@ -243,6 +254,7 @@ where
 
     // Client message: batched SPIR queries travel inside batched::run below
     // (same round); here the m² encrypted powers E(i_j^k).
+    let _qg = spfe_obs::span("query-gen");
     let power_plains: Vec<Nat> = indices
         .iter()
         .flat_map(|&i| {
@@ -258,8 +270,10 @@ where
     let powers = t
         .client_to_server(0, "sel2v1-powers", &powers)
         .expect("codec");
+    drop(_qg);
 
     // Server: pick the masking polynomial P_s, mask the database.
+    let _se = spfe_obs::span("server-eval");
     let s_poly = Poly::random(m.saturating_sub(1), field, rng);
     let masked: Vec<u64> = db
         .iter()
@@ -310,6 +324,8 @@ where
         })
         .collect();
 
+    drop(_se);
+
     // Batched SPIR over the masked database (same round as the evals).
     let (retrieved, _) = batched::run(t, group, pk, sk, &masked, indices, rng);
     let evals = t
@@ -317,6 +333,7 @@ where
         .expect("codec");
 
     // Client: d_j = (P_s(i_j) − r_j) mod p; b_j = x'_{i_j} − d_j.
+    let _s = spfe_obs::span("reconstruct");
     let client_shares: Vec<u64> = retrieved
         .iter()
         .zip(&evals)
@@ -366,6 +383,7 @@ where
     SS: HomomorphicSk<PS>,
     R: RandomSource + ?Sized,
 {
+    let _proto = spfe_obs::span("select2v2");
     let p = field.modulus();
     let m = indices.len();
     assert!(m > 0);
@@ -374,6 +392,7 @@ where
     check_hom_capacity(server_pk, p, m);
 
     // Half-round 1 (server → client): encrypted coefficients.
+    let _open = spfe_obs::span("server-open");
     let s_poly = Poly::random(m.saturating_sub(1), field, rng);
     let coeff_plains: Vec<Nat> = (0..m)
         .map(|k| Nat::from(s_poly.coeffs().get(k).copied().unwrap_or(0)))
@@ -391,9 +410,11 @@ where
         .enumerate()
         .map(|(i, &x)| field.add(x, s_poly.eval(i as u64)))
         .collect();
+    drop(_open);
 
     // Client: E(P_s(i_j) − r_j) as a known linear combination of the
     // encrypted coefficients.
+    let _qg = spfe_obs::span("query-gen");
     let mut client_r = Vec::with_capacity(m);
     let blinded: Vec<Vec<u8>> = indices
         .iter()
@@ -425,11 +446,13 @@ where
     let blinded = t
         .client_to_server(0, "sel2v2-blinded", &blinded)
         .expect("codec");
+    drop(_qg);
 
     // Batched SPIR over the masked database (client query + server answer).
     let (retrieved, _) = batched::run(t, group, client_pk, client_sk, &masked, indices, rng);
 
     // Server: decrypts its share component g_j = (P_s(i_j) − r_j) mod p.
+    let _s = spfe_obs::span("reconstruct");
     let server_shares: Vec<u64> = blinded
         .iter()
         .map(|ct| {
@@ -495,20 +518,25 @@ where
         "server plaintext modulus too small"
     );
 
+    let _proto = spfe_obs::span("select3");
+
     // Setup (uncounted, like key certification): the encrypted database —
     // n public-key operations, batched onto the worker pool.
+    let _setup = spfe_obs::span("setup-encrypt-db");
     let plains: Vec<Nat> = db.iter().map(|&x| Nat::from(x)).collect();
     let enc_db: Vec<Vec<u64>> = server_pk
         .encrypt_batch(&plains, rng)
         .iter()
         .map(|ct| words::bytes_to_words(&server_pk.ciphertext_to_bytes(ct)))
         .collect();
+    drop(_setup);
 
     // Round 1: batched SPIR(n, m, κ) for the encrypted items.
     let (retrieved, _) =
         words::retrieve_many(t, group, client_pk, client_sk, &enc_db, indices, rng);
 
     // Round 2 (client → server): E_s(x + R_j), rerandomized.
+    let _unblind = spfe_obs::span("unblind");
     let ct_len = server_pk.ciphertext_bytes();
     let mut masks = Vec::with_capacity(m);
     let blinded: Vec<Vec<u8>> = retrieved

@@ -223,6 +223,8 @@ pub fn server_answer(
     query: &MsQuery,
     blind: Option<(&Poly, usize)>,
 ) -> u64 {
+    // Every server evaluation touches the full database once.
+    spfe_obs::count(spfe_obs::Op::PirWordsScanned, db.len() as u64);
     let raw = params
         .function
         .eval_at_points(db, &query.slot_points, params.field);
@@ -297,6 +299,7 @@ where
 {
     let k = params.num_servers() + 2 * max_faults;
     assert_eq!(t.num_servers(), k, "need k + 2t' servers");
+    let _proto = spfe_obs::span("multiserver-robust");
     let m = params.function.arity();
     assert_eq!(indices.len(), m);
     // Queries for all k servers (same curves, more evaluation points).
@@ -347,7 +350,11 @@ pub fn run<R: RandomSource + ?Sized>(
     rng: &mut R,
 ) -> u64 {
     assert_eq!(t.num_servers(), params.num_servers(), "server count");
-    let queries = client_queries(params, indices, rng);
+    let _proto = spfe_obs::span("multiserver");
+    let queries = {
+        let _s = spfe_obs::span("query-gen");
+        client_queries(params, indices, rng)
+    };
     let received: Vec<MsQuery> = queries
         .iter()
         .enumerate()
@@ -356,20 +363,24 @@ pub fn run<R: RandomSource + ?Sized>(
     // Each server's evaluation is independent and (given the shared seed)
     // deterministic, so compute all answers on the worker pool…
     let jobs: Vec<(usize, &MsQuery)> = received.iter().enumerate().collect();
-    let computed: Vec<u64> = spfe_math::par::par_map(&jobs, |&(h, q)| match shared_seed {
-        None => server_answer(params, db, q, None),
-        Some(seed) => {
-            let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(seed);
-            let blind = blinding_poly(params, &mut server_rng);
-            server_answer(params, db, q, Some((&blind, h)))
-        }
-    });
+    let computed: Vec<u64> = {
+        let _s = spfe_obs::span("server-eval");
+        spfe_math::par::par_map(&jobs, |&(h, q)| match shared_seed {
+            None => server_answer(params, db, q, None),
+            Some(seed) => {
+                let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(seed);
+                let blind = blinding_poly(params, &mut server_rng);
+                server_answer(params, db, q, Some((&blind, h)))
+            }
+        })
+    };
     // …and meter the replies serially in server order.
     let answers: Vec<u64> = computed
         .iter()
         .enumerate()
         .map(|(h, &a)| t.server_to_client(h, "ms-answer", &a).expect("codec"))
         .collect();
+    let _s = spfe_obs::span("reconstruct");
     client_reconstruct(params, &answers)
 }
 
@@ -390,6 +401,7 @@ pub fn run_sum_and_squares<R: RandomSource + ?Sized>(
 ) -> (u64, u64) {
     assert!(matches!(params.function, MsFunction::Sum { .. }));
     assert_eq!(t.num_servers(), params.num_servers());
+    let _proto = spfe_obs::span("multiserver-sumsq");
     let queries = client_queries(params, indices, rng);
     let received: Vec<MsQuery> = queries
         .iter()
@@ -437,6 +449,7 @@ pub fn run_many_databases<R: RandomSource + ?Sized>(
     assert!(!dbs.is_empty());
     assert!(dbs.iter().all(|d| d.len() == dbs[0].len()), "ragged dbs");
     assert_eq!(t.num_servers(), params.num_servers());
+    let _proto = spfe_obs::span("multiserver-multidb");
     let queries = client_queries(params, indices, rng);
     let received: Vec<MsQuery> = queries
         .iter()
@@ -480,6 +493,7 @@ pub fn run_parallel<R: RandomSource + ?Sized>(
     rng: &mut R,
 ) -> u64 {
     assert_eq!(t.num_servers(), params.num_servers(), "server count");
+    let _proto = spfe_obs::span("multiserver-par");
     let queries = client_queries(params, indices, rng);
     let received: Vec<MsQuery> = queries
         .iter()

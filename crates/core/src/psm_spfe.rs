@@ -87,15 +87,21 @@ where
         "database value exceeds item width"
     );
 
+    let _proto = spfe_obs::span("psm-yao");
+
     // Round 1, client → server: one SPIR query per slot.
     let params = SpirParams::new(group.clone(), db.len());
-    let mut queries = Vec::with_capacity(m);
-    let mut states = Vec::with_capacity(m);
-    for &i in indices {
-        let (q, st) = spir::client_query(&params, pk, i, rng);
-        queries.push(q);
-        states.push(st);
-    }
+    let (queries, states) = {
+        let _s = spfe_obs::span("query-gen");
+        let mut queries = Vec::with_capacity(m);
+        let mut states = Vec::with_capacity(m);
+        for &i in indices {
+            let (q, st) = spir::client_query(&params, pk, i, rng);
+            queries.push(q);
+            states.push(st);
+        }
+        (queries, states)
+    };
     let queries: Vec<SpirQuery> = t
         .client_to_server(0, "psm-spir-queries", &queries)
         .expect("codec");
@@ -103,6 +109,7 @@ where
     // Server: garble f from fresh randomness (the PSM common random input),
     // build each player's virtual database of input-label bundles, answer
     // the SPIR queries, and attach p₀ = the garbled circuit.
+    let _se = spfe_obs::span("server-eval");
     let mut seed = [0u8; 32];
     rng.fill_bytes(&mut seed);
     let (garbled, secrets) = garble::garble(circuit, seed);
@@ -124,11 +131,13 @@ where
             spir::server_answer_words(&params, pk, &vdb, q, rng)
         })
         .collect();
+    drop(_se);
     let (garbled, answers) = t
         .server_to_client(0, "psm-p0-and-answers", &(garbled, answers))
         .expect("codec");
 
     // Client (referee): decode labels, evaluate the garbled circuit.
+    let _s = spfe_obs::span("reconstruct");
     let mut labels = Vec::with_capacity(m * item_bits);
     for (st, a) in states.iter().zip(&answers) {
         let words = spir::client_decode_words(&params, pk, sk, st, a);
@@ -165,6 +174,7 @@ pub fn run_sum_psm<R: RandomSource + ?Sized>(
     let p = params.field.modulus();
     assert!(db.iter().all(|&v| v < p), "db value exceeds field");
     assert_eq!(t.num_servers(), params.num_servers());
+    let _proto = spfe_obs::span("psm-sum");
 
     // Client → servers: m poly-IT PIR queries per server.
     let mut per_server: Vec<Vec<poly_it::PolyItQuery>> =
@@ -247,6 +257,7 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
         "BP SPFE needs a Boolean database"
     );
     assert_eq!(t.num_servers(), params.num_servers());
+    let _proto = spfe_obs::span("psm-bp");
     let field = params.field;
     let d = bp.size() - 1;
     let width = d * d;

@@ -111,8 +111,10 @@ where
     assert!(p > db.len() as u64, "field must exceed n");
     assert!(db.iter().all(|&v| v < p), "db value exceeds field");
     check_capacity(pk, p, m);
+    let _proto = spfe_obs::span("weighted-sum");
 
     // Client message: batched SPIR queries + encrypted coefficients.
+    let _qg = spfe_obs::span("query-gen");
     let (queries, state) = batched::client_query(group, pk, db.len(), indices, rng);
     let coeffs = functional_coeffs(field, indices, weights);
     let coeff_cts: Vec<Vec<u8>> = coeffs
@@ -122,8 +124,10 @@ where
     let (queries, coeff_cts) = t
         .client_to_server(0, "wsum-query", &(queries, coeff_cts))
         .expect("codec");
+    drop(_qg);
 
     // Server: mask the database, answer SPIR + the functional.
+    let _se = spfe_obs::span("server-eval");
     let s_poly = Poly::random(m.saturating_sub(1), field, rng);
     let masked: Vec<Vec<u64>> = db
         .iter()
@@ -135,8 +139,10 @@ where
     let (answers, func) = t
         .server_to_client(0, "wsum-answer", &(answers, func))
         .expect("codec");
+    drop(_se);
 
     // Client: Σ w_j·x'_{i_j} − Σ w_j·P_s(i_j).
+    let _s = spfe_obs::span("reconstruct");
     let mut retrieved = batched::client_decode_words(pk, sk, &state, &answers, 1);
     // Fallback leftovers (rare): a second plain exchange.
     if !state.leftovers.is_empty() {
@@ -247,6 +253,7 @@ where
         "db value exceeds field"
     );
     check_capacity(pk, p, m);
+    let _proto = spfe_obs::span("avg-var");
 
     // Client: one query set + coefficients for the all-ones functional
     // (weights 1), sent once but applied to both masking polynomials.
@@ -321,6 +328,7 @@ where
     let p = shares.p;
     let field = Fp64::new(p).expect("share modulus must be prime");
     check_capacity(pk, p, m);
+    let _proto = spfe_obs::span("frequency");
 
     // Client: E((b_j − w) mod p).
     let client_cts: Vec<Vec<u8>> = shares
@@ -395,6 +403,7 @@ where
     let p = shares.p;
     let field = Fp64::new(p).expect("share modulus must be prime");
     check_capacity(pk, p, m);
+    let _proto = spfe_obs::span("frequency-multi");
 
     let client_cts: Vec<Vec<u8>> = shares
         .client

@@ -38,6 +38,7 @@ pub fn yao_phase<R: RandomSource + ?Sized>(
 ) -> Vec<u64> {
     let m = shares.server.len();
     assert!(m > 0 && shares.client.len() == m);
+    let _s = spfe_obs::span("yao-phase");
     let circuit = stat.share_circuit(m, shares.p);
     let w = bits_for(shares.p - 1);
     let server_bits: Vec<bool> = shares.server.iter().flat_map(|&a| to_bits(a, w)).collect();
@@ -68,6 +69,7 @@ where
 {
     let m = shares.server.len();
     assert!(m > 0 && shares.client_masks.len() == m);
+    let _s = spfe_obs::span("arith-phase");
     let ring = pk.plaintext_modulus().clone();
     let circuit = stat.share_arith_circuit(m, ring.clone());
     // Client inputs: −R_j mod ring; server inputs: S_j mod ring.

@@ -158,6 +158,7 @@ pub fn universal_yao_phase<R: RandomSource + ?Sized>(
     rng: &mut R,
 ) -> u64 {
     assert!(choice < menu.len(), "choice out of menu");
+    let _s = spfe_obs::span("universal-yao-phase");
     let m = shares.server.len();
     let w = bits_for(shares.p - 1);
     let circuit = universal_circuit(menu, m, shares.p);

@@ -14,6 +14,7 @@ use crate::hom::{HomomorphicPk, HomomorphicSk};
 use crate::paillier::PAR_MIN_OPS;
 use spfe_math::prime::gen_safe_prime;
 use spfe_math::{FixedBasePow, Montgomery, Nat, RandomSource};
+use spfe_obs::{count, Op};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -215,6 +216,7 @@ impl ElGamalPk {
     /// tables. Shared by [`HomomorphicPk::encrypt`] and the batch path so
     /// they are bit-identical by construction.
     fn encrypt_with_r(&self, m: &Nat, r: &Nat) -> ElGamalCt {
+        count(Op::ElGamalEncrypt, 1);
         let g = &self.group;
         let a = g.pow_g(r);
         let gm = g.pow_g(&m.rem(&g.q));
@@ -268,6 +270,7 @@ impl HomomorphicPk for ElGamalPk {
     }
 
     fn add(&self, a: &ElGamalCt, b: &ElGamalCt) -> ElGamalCt {
+        count(Op::HomAdd, 1);
         let g = &self.group;
         ElGamalCt {
             a: g.mul(&a.a, &b.a),
@@ -276,6 +279,7 @@ impl HomomorphicPk for ElGamalPk {
     }
 
     fn mul_const(&self, a: &ElGamalCt, c: &Nat) -> ElGamalCt {
+        count(Op::HomScalarMul, 1);
         let g = &self.group;
         let c = c.rem(&g.q);
         ElGamalCt {
@@ -285,6 +289,7 @@ impl HomomorphicPk for ElGamalPk {
     }
 
     fn rerandomize<R: RandomSource + ?Sized>(&self, a: &ElGamalCt, rng: &mut R) -> ElGamalCt {
+        count(Op::HomRerandomize, 1);
         self.add(a, &self.encrypt(&Nat::zero(), rng))
     }
 
@@ -335,6 +340,7 @@ impl HomomorphicSk<ElGamalPk> for ElGamalSk {
     ///
     /// Panics if the plaintext is out of range (homomorphic overflow).
     fn decrypt(&self, ct: &ElGamalCt) -> Nat {
+        count(Op::ElGamalDecrypt, 1);
         let g = &self.pk.group;
         let s = g.pow(&ct.a, &self.x);
         let gm = g.mul(&ct.b, &g.inv(&s));

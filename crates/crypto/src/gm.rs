@@ -8,6 +8,7 @@ use crate::hom::{HomomorphicPk, HomomorphicScheme, HomomorphicSk};
 use spfe_math::modular::{jacobi, mod_pow};
 use spfe_math::prime::gen_blum_prime;
 use spfe_math::{Nat, RandomSource};
+use spfe_obs::{count, Op};
 
 /// A GM ciphertext: a residue mod `n` with Jacobi symbol `+1`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +62,7 @@ impl HomomorphicPk for GmPk {
     }
 
     fn encrypt<R: RandomSource + ?Sized>(&self, m: &Nat, rng: &mut R) -> GmCt {
+        count(Op::GmEncrypt, 1);
         let bit = m.bit(0);
         loop {
             let r = Nat::random_below(rng, &self.n);
@@ -78,10 +80,12 @@ impl HomomorphicPk for GmPk {
     }
 
     fn add(&self, a: &GmCt, b: &GmCt) -> GmCt {
+        count(Op::HomAdd, 1);
         GmCt(a.0.mul(&b.0).rem(&self.n))
     }
 
     fn mul_const(&self, a: &GmCt, c: &Nat) -> GmCt {
+        count(Op::HomScalarMul, 1);
         // Over Z_2 the only scalars are 0 and 1.
         if c.bit(0) {
             a.clone()
@@ -91,6 +95,7 @@ impl HomomorphicPk for GmPk {
     }
 
     fn rerandomize<R: RandomSource + ?Sized>(&self, a: &GmCt, rng: &mut R) -> GmCt {
+        count(Op::HomRerandomize, 1);
         let zero = self.encrypt(&Nat::zero(), rng);
         self.add(a, &zero)
     }
@@ -117,6 +122,7 @@ impl HomomorphicPk for GmPk {
 
 impl HomomorphicSk<GmPk> for GmSk {
     fn decrypt(&self, ct: &GmCt) -> Nat {
+        count(Op::GmDecrypt, 1);
         // Legendre symbol via Euler's criterion mod p.
         let e = mod_pow(&ct.0, &self.p.sub(&Nat::one()).shr(1), &self.p);
         if e.is_one() {

@@ -13,6 +13,7 @@ use crate::hom::{HomomorphicPk, HomomorphicScheme, HomomorphicSk};
 use spfe_math::modular::mod_inv;
 use spfe_math::prime::gen_prime;
 use spfe_math::{Montgomery, Nat, RandomSource};
+use spfe_obs::{count, Op};
 use std::sync::Arc;
 
 /// Minimum batch size before public-key batches go parallel: one modular
@@ -101,6 +102,7 @@ impl HomomorphicPk for PaillierPk {
     }
 
     fn encrypt<R: RandomSource + ?Sized>(&self, m: &Nat, rng: &mut R) -> PaillierCt {
+        count(Op::PaillierEncrypt, 1);
         let m = m.rem(&self.n);
         let r = self.random_unit(rng);
         // (1 + m·n) · r^n mod n²
@@ -110,10 +112,12 @@ impl HomomorphicPk for PaillierPk {
     }
 
     fn add(&self, a: &PaillierCt, b: &PaillierCt) -> PaillierCt {
+        count(Op::HomAdd, 1);
         PaillierCt(a.0.mul(&b.0).rem(&self.n_sq))
     }
 
     fn mul_const(&self, a: &PaillierCt, c: &Nat) -> PaillierCt {
+        count(Op::HomScalarMul, 1);
         PaillierCt(self.mont.pow(&a.0, &c.rem(&self.n)))
     }
 
@@ -125,6 +129,7 @@ impl HomomorphicPk for PaillierPk {
         let rs: Vec<Nat> = ms.iter().map(|_| self.random_unit(rng)).collect();
         let jobs: Vec<(&Nat, &Nat)> = ms.iter().zip(&rs).collect();
         spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(m, r)| {
+            count(Op::PaillierEncrypt, 1);
             let m = m.rem(&self.n);
             let gm = Nat::one().add(&m.mul(&self.n)).rem(&self.n_sq);
             let rn = self.mont.pow(r, &self.n);
@@ -138,11 +143,13 @@ impl HomomorphicPk for PaillierPk {
         assert_eq!(cts.len(), cs.len(), "batch length mismatch");
         let jobs: Vec<(&PaillierCt, &Nat)> = cts.iter().zip(cs).collect();
         spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(ct, c)| {
+            count(Op::HomScalarMul, 1);
             PaillierCt(self.mont.pow(&ct.0, &c.rem(&self.n)))
         })
     }
 
     fn rerandomize<R: RandomSource + ?Sized>(&self, a: &PaillierCt, rng: &mut R) -> PaillierCt {
+        count(Op::HomRerandomize, 1);
         let r = self.random_unit(rng);
         let rn = self.mont.pow(&r, &self.n);
         PaillierCt(a.0.mul(&rn).rem(&self.n_sq))
@@ -170,6 +177,7 @@ impl HomomorphicPk for PaillierPk {
 
 impl HomomorphicSk<PaillierPk> for PaillierSk {
     fn decrypt(&self, ct: &PaillierCt) -> Nat {
+        count(Op::PaillierDecrypt, 1);
         let pk = &self.pk;
         let x = pk.mont.pow(&ct.0, &self.lambda);
         // L(x) = (x - 1) / n

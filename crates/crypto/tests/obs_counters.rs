@@ -1,0 +1,105 @@
+//! Thread-count invariance of the op counters (the `spfe-obs` contract):
+//! the deterministic counter subset must be bit-identical whether the
+//! worker pool runs with one thread or several, because every probe site
+//! counts *work items*, not scheduling events.
+
+#![cfg(feature = "obs")]
+
+use proptest::prelude::*;
+use spfe_crypto::{
+    elgamal_keygen, ChaChaRng, HomomorphicPk, HomomorphicScheme, HomomorphicSk, Paillier,
+    SchnorrGroup,
+};
+use spfe_math::Nat;
+use spfe_obs::{Op, OpsSnapshot};
+use std::sync::Mutex;
+
+/// The op counters are process-global; serialize the tests in this binary
+/// so their measurement windows never overlap.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` under `threads` pool workers (with the sequential-fallback
+/// threshold forced to 1 so even small batches actually hit the pool) and
+/// returns the deterministic part of the counters it incremented.
+fn counts_at(threads: usize, f: impl Fn(&mut ChaChaRng)) -> OpsSnapshot {
+    spfe_math::par::set_threads(Some(threads));
+    spfe_math::par::set_seq_threshold(Some(1));
+    spfe_obs::reset_ops();
+    let mut rng = ChaChaRng::from_u64_seed(0xC0DE);
+    f(&mut rng);
+    let snap = spfe_obs::ops_snapshot().deterministic_part();
+    spfe_math::par::set_seq_threshold(None);
+    spfe_math::par::set_threads(None);
+    snap
+}
+
+#[test]
+fn paillier_batch_counts_thread_invariant() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = ChaChaRng::from_u64_seed(1);
+    let (pk, sk) = Paillier::keygen(160, &mut rng);
+    let run = |rng: &mut ChaChaRng| {
+        let ms: Vec<Nat> = (0..12u64).map(Nat::from).collect();
+        let cts = pk.encrypt_batch(&ms, rng);
+        let cs: Vec<Nat> = (1..=12u64).map(Nat::from).collect();
+        let prods = pk.scalar_mul_batch(&cts, &cs);
+        for (i, ct) in prods.iter().enumerate() {
+            assert_eq!(sk.decrypt(ct).to_u64().unwrap(), (i * (i + 1)) as u64);
+        }
+    };
+    let serial = counts_at(1, run);
+    let parallel = counts_at(4, run);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.get(Op::PaillierEncrypt), 12);
+    assert_eq!(serial.get(Op::PaillierDecrypt), 12);
+    assert_eq!(serial.get(Op::HomScalarMul), 12);
+    assert!(serial.get(Op::Modexp) > 0);
+}
+
+#[test]
+fn elgamal_batch_counts_thread_invariant() {
+    let _g = LOCK.lock().unwrap();
+    let mut rng = ChaChaRng::from_u64_seed(2);
+    let group = SchnorrGroup::generate(96, &mut rng);
+    let (pk, sk) = elgamal_keygen(group, 1 << 12, &mut rng);
+    let run = |rng: &mut ChaChaRng| {
+        let ms: Vec<Nat> = (0..9u64).map(Nat::from).collect();
+        let cts = pk.encrypt_batch(&ms, rng);
+        let cs: Vec<Nat> = (1..=9u64).map(Nat::from).collect();
+        let prods = pk.scalar_mul_batch(&cts, &cs);
+        for (i, ct) in prods.iter().enumerate() {
+            assert_eq!(sk.decrypt(ct).to_u64().unwrap(), (i * (i + 1)) as u64);
+        }
+    };
+    let serial = counts_at(1, run);
+    let parallel = counts_at(4, run);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.get(Op::ElGamalEncrypt), 9);
+    assert_eq!(serial.get(Op::ElGamalDecrypt), 9);
+    assert_eq!(serial.get(Op::HomScalarMul), 9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn prop_paillier_batch_counts_thread_invariant(
+        len in 1usize..24,
+        vals in proptest::collection::vec(0u64..1_000, 24..25),
+    ) {
+        let _g = LOCK.lock().unwrap();
+        let mut rng = ChaChaRng::from_u64_seed(3);
+        let (pk, _sk) = Paillier::keygen(160, &mut rng);
+        let run = |rng: &mut ChaChaRng| {
+            let ms: Vec<Nat> = vals[..len].iter().map(|&v| Nat::from(v)).collect();
+            let cts = pk.encrypt_batch(&ms, rng);
+            let cs: Vec<Nat> = vec![Nat::from(3u64); len];
+            let _ = pk.scalar_mul_batch(&cts, &cs);
+        };
+        let serial = counts_at(1, run);
+        let parallel = counts_at(4, run);
+        prop_assert_eq!(serial, parallel);
+        prop_assert_eq!(serial.get(Op::PaillierEncrypt), len as u64);
+        prop_assert_eq!(serial.get(Op::HomScalarMul), len as u64);
+    }
+}

@@ -120,6 +120,7 @@ impl Montgomery {
 
     /// `base^exp mod n` using 4-bit windowed Montgomery exponentiation.
     pub fn pow(&self, base: &Nat, exp: &Nat) -> Nat {
+        spfe_obs::count(spfe_obs::Op::Modexp, 1);
         if exp.is_zero() {
             return Nat::one().rem(&self.n);
         }
@@ -244,9 +245,11 @@ impl FixedBasePow {
     /// Exponents longer than [`FixedBasePow::capacity_bits`] are handled
     /// correctly via the generic path (at generic speed).
     pub fn pow(&self, exp: &Nat) -> Nat {
+        spfe_obs::count(spfe_obs::Op::FixedBaseExp, 1);
         let bits = exp.bit_len();
         if bits > self.capacity_bits() {
-            // Rebuild the base from window 0 (digit 1 entry).
+            // Rebuild the base from window 0 (digit 1 entry); the generic
+            // path below also counts an `Op::Modexp`.
             let base = self.mont.from_mont(&self.tables[0][0]);
             return self.mont.pow(&base, exp);
         }

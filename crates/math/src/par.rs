@@ -37,6 +37,44 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// Scheduling tallies for the most recent *parallel* [`par_map`] /
+/// [`par_chunks_map`] run in this process (sequential fallbacks do not
+/// touch it). Purely observational — exposed so cost reports can explain
+/// load balance; the values are inherently schedule-dependent and are
+/// therefore counted under the non-deterministic `Pool*` gauges of
+/// `spfe-obs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers that participated (the calling thread is worker 0).
+    pub threads: usize,
+    /// Blocks the input was split into.
+    pub blocks: usize,
+    /// Blocks each worker claimed.
+    pub tasks_per_worker: Vec<u64>,
+    /// Blocks each worker claimed away from the block's "home" worker
+    /// (`block_index % threads`) — a measure of rebalancing activity.
+    pub steals_per_worker: Vec<u64>,
+}
+
+#[cfg(feature = "obs")]
+static LAST_POOL_STATS: std::sync::Mutex<Option<PoolStats>> = std::sync::Mutex::new(None);
+
+/// The [`PoolStats`] of the most recent parallel run, if any (always
+/// `None` without the `obs` feature).
+pub fn last_pool_stats() -> Option<PoolStats> {
+    #[cfg(feature = "obs")]
+    {
+        LAST_POOL_STATS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        None
+    }
+}
+
 /// Process-wide thread-count override (0 = unset, use env/default).
 static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -175,9 +213,9 @@ where
     let block = len.div_ceil(nt * 4).max(1);
     let nblocks = len.div_ceil(block);
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<U>)>();
+    let (tx, rx) = mpsc::channel::<(usize, usize, Vec<U>)>();
 
-    let worker = |tx: mpsc::Sender<(usize, Vec<U>)>| loop {
+    let worker = |w: usize, tx: mpsc::Sender<(usize, usize, Vec<U>)>| loop {
         let b = cursor.fetch_add(1, Ordering::Relaxed);
         if b >= nblocks {
             break;
@@ -186,23 +224,34 @@ where
         let end = (start + block).min(len);
         let out = work(start, end);
         debug_assert_eq!(out.len(), end - start, "work() must be 1:1 with its block");
-        if tx.send((b, out)).is_err() {
+        if tx.send((w, b, out)).is_err() {
             break;
         }
     };
 
+    // (tasks, steals) per worker — pure observation, folded into the cost
+    // reports; the results themselves are ordered by block index below.
+    #[cfg(feature = "obs")]
+    let mut per_worker: Vec<(u64, u64)> = vec![(0, 0); nt];
     let mut slots: Vec<Option<Vec<U>>> = Vec::new();
     slots.resize_with(nblocks, || None);
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..nt - 1)
-            .map(|_| {
+        let handles: Vec<_> = (1..nt)
+            .map(|w| {
                 let tx = tx.clone();
-                s.spawn(move || worker(tx))
+                s.spawn(move || worker(w, tx))
             })
             .collect();
         // The calling thread is worker 0.
-        worker(tx);
-        for (b, out) in rx.iter() {
+        worker(0, tx);
+        for (_w, b, out) in rx.iter() {
+            #[cfg(feature = "obs")]
+            {
+                per_worker[_w].0 += 1;
+                if _w != b % nt {
+                    per_worker[_w].1 += 1;
+                }
+            }
             slots[b] = Some(out);
         }
         for h in handles {
@@ -211,6 +260,20 @@ where
             }
         }
     });
+    #[cfg(feature = "obs")]
+    {
+        use spfe_obs::Op;
+        spfe_obs::count(Op::PoolRuns, 1);
+        spfe_obs::count(Op::PoolBlocks, nblocks as u64);
+        let steals: u64 = per_worker.iter().map(|&(_, s)| s).sum();
+        spfe_obs::count(Op::PoolSteals, steals);
+        *LAST_POOL_STATS.lock().unwrap_or_else(|e| e.into_inner()) = Some(PoolStats {
+            threads: nt,
+            blocks: nblocks,
+            tasks_per_worker: per_worker.iter().map(|&(t, _)| t).collect(),
+            steals_per_worker: per_worker.iter().map(|&(_, s)| s).collect(),
+        });
+    }
     slots
         .into_iter()
         .flat_map(|s| s.expect("every block computed"))
@@ -298,6 +361,27 @@ mod tests {
                 }
                 x
             });
+        });
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn pool_stats_cover_all_blocks() {
+        with_config(4, 1, || {
+            let xs: Vec<u64> = (0..1000).collect();
+            let _ = par_map(&xs, |&x| x + 1);
+            let stats = last_pool_stats().expect("parallel run recorded");
+            assert_eq!(stats.threads, 4);
+            assert_eq!(stats.tasks_per_worker.len(), 4);
+            assert_eq!(
+                stats.tasks_per_worker.iter().sum::<u64>(),
+                stats.blocks as u64
+            );
+            assert!(stats
+                .steals_per_worker
+                .iter()
+                .zip(&stats.tasks_per_worker)
+                .all(|(s, t)| s <= t));
         });
     }
 

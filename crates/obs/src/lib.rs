@@ -1,0 +1,64 @@
+//! Workspace-wide instrumentation: spans, op counters, cost reports.
+//!
+//! The paper's claims are *cost* claims — communication in bits and rounds,
+//! and server/client work in modular exponentiations, encryptions, OT
+//! executions and PIR cells scanned (Table 1, §3–§4). `spfe-transport`
+//! meters the communication side; this crate meters the computation side
+//! and merges both into one machine-readable [`CostReport`].
+//!
+//! Three pieces:
+//!
+//! * **Op counters** ([`count`], [`Op`]) — process-global tallies of the
+//!   crypto/math hot-path operations, implemented as sharded relaxed
+//!   atomics so the worker pool of `spfe-math::par` can increment from any
+//!   thread without contention. Because every probe site counts *work
+//!   items* (not scheduling events), the deterministic subset of counters
+//!   is identical at `SPFE_THREADS=1` and `SPFE_THREADS=N` — addition
+//!   commutes, so shard totals are independent of which thread did what.
+//!   Scheduler gauges (`Pool*`) are explicitly excluded from that contract
+//!   via [`Op::deterministic`].
+//! * **Spans** ([`span`]) — hierarchical wall-clock timers for protocol
+//!   phases (`query-gen`, `server-scan`, `reconstruct`, …). Nesting is
+//!   tracked per thread; aggregates are keyed by the full `/`-joined path.
+//! * **Reports** ([`CostReport`]) — span timings + op counters + the
+//!   communication breakdown in one struct, with Markdown and JSON
+//!   renderers ([`suite_json`] emits the `spfe-cost-report/v1` schema that
+//!   `spfe-tables --json` writes to `BENCH_costs.json`).
+//!
+//! Everything is feature-gated: with the default `obs` feature the probes
+//! record; built with `--no-default-features` they compile to no-ops and
+//! the recording state vanishes, while all types (and this API) remain, so
+//! no downstream crate ever writes a `cfg`.
+//!
+//! # Examples
+//!
+//! ```
+//! use spfe_obs as obs;
+//! obs::reset();
+//! {
+//!     let _g = obs::span("server-scan");
+//!     obs::count(obs::Op::Modexp, 3);
+//! }
+//! let ops = obs::ops_snapshot();
+//! assert!(!obs::enabled() || ops.get(obs::Op::Modexp) == 3);
+//! ```
+
+mod counter;
+pub mod json;
+mod report;
+mod span;
+
+pub use counter::{count, ops_snapshot, reset_ops, Op, OpsSnapshot};
+pub use report::{suite_json, CommStat, CostReport, LabelStat, OpStat, SCHEMA};
+pub use span::{reset_spans, span, spans_snapshot, SpanGuard, SpanStat};
+
+/// Whether the recording paths are compiled in (the `obs` feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}
+
+/// Clears all op counters and span aggregates (start of a measurement).
+pub fn reset() {
+    reset_ops();
+    reset_spans();
+}

@@ -1,0 +1,245 @@
+//! Hierarchical wall-clock spans for protocol phases.
+//!
+//! [`span`] returns a guard; the time between creation and drop is added
+//! to a process-global aggregate keyed by the span's full path — the
+//! `/`-joined names of the enclosing spans *on the same thread* plus its
+//! own. Worker threads start fresh paths (the pool does not inherit the
+//! caller's stack), which keeps the model race-free and cheap; protocol
+//! drivers time their phases on the orchestrating thread.
+
+/// Aggregate for one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Full `/`-joined path, e.g. `"spir/server-scan"`.
+    pub path: String,
+    /// Number of completed spans at this path.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those calls.
+    pub ns: u64,
+}
+
+#[cfg(feature = "obs")]
+mod imp {
+    use super::SpanStat;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    thread_local! {
+        /// The active span names on this thread, outermost first.
+        static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// `path → (calls, total ns)`.
+    static REGISTRY: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+
+    pub struct SpanGuard {
+        path: String,
+        start: Instant,
+    }
+
+    pub fn span(name: &str) -> SpanGuard {
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let mut path = String::new();
+            for seg in stack.iter() {
+                path.push_str(seg);
+                path.push('/');
+            }
+            path.push_str(name);
+            stack.push(intern(name));
+            path
+        });
+        SpanGuard {
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// Interns a span name (the vocabulary is a few dozen phase labels, so
+    /// the leaked cache stays tiny and makes the hot path allocation-free
+    /// for repeated spans).
+    fn intern(name: &str) -> &'static str {
+        static CACHE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let mut cache = CACHE.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = cache.iter().find(|s| **s == name) {
+            return hit;
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        cache.push(leaked);
+        leaked
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+            let entry = reg.entry(std::mem::take(&mut self.path)).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 = entry.1.saturating_add(ns);
+        }
+    }
+
+    pub fn spans_snapshot() -> Vec<SpanStat> {
+        REGISTRY
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(path, &(calls, ns))| SpanStat {
+                path: path.clone(),
+                calls,
+                ns,
+            })
+            .collect()
+    }
+
+    pub fn reset_spans() {
+        REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod imp {
+    use super::SpanStat;
+
+    pub struct SpanGuard {
+        _priv: (),
+    }
+
+    #[inline(always)]
+    pub fn span(_name: &str) -> SpanGuard {
+        SpanGuard { _priv: () }
+    }
+
+    pub fn spans_snapshot() -> Vec<SpanStat> {
+        Vec::new()
+    }
+
+    pub fn reset_spans() {}
+}
+
+/// RAII guard returned by [`span`]; dropping it records the elapsed time.
+pub use imp::SpanGuard;
+
+/// Opens a span named `name` nested under the thread's current span path.
+///
+/// Hold the guard for the duration of the phase:
+///
+/// ```
+/// let _scan = spfe_obs::span("server-scan");
+/// // ... the Ω(n) work ...
+/// ```
+#[must_use = "the span measures until the guard drops"]
+pub fn span(name: &str) -> SpanGuard {
+    imp::span(name)
+}
+
+/// All span aggregates, sorted by path.
+pub fn spans_snapshot() -> Vec<SpanStat> {
+    imp::spans_snapshot()
+}
+
+/// Clears all span aggregates (start of a measurement window).
+pub fn reset_spans() {
+    imp::reset_spans()
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Span tests share the global registry; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get(snapshot: &[SpanStat], path: &str) -> Option<(u64, u64)> {
+        snapshot
+            .iter()
+            .find(|s| s.path == path)
+            .map(|s| (s.calls, s.ns))
+    }
+
+    #[test]
+    fn nesting_builds_slash_paths() {
+        let _l = lock();
+        reset_spans();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        {
+            let _outer = span("outer");
+        }
+        let snap = spans_snapshot();
+        assert_eq!(get(&snap, "outer").map(|(c, _)| c), Some(2));
+        assert_eq!(get(&snap, "outer/inner").map(|(c, _)| c), Some(1));
+        assert!(get(&snap, "inner").is_none());
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        let _l = lock();
+        reset_spans();
+        {
+            let _a = span("a");
+        }
+        {
+            let _b = span("b");
+        }
+        let snap = spans_snapshot();
+        assert!(get(&snap, "a").is_some());
+        assert!(get(&snap, "b").is_some());
+        assert!(get(&snap, "a/b").is_none());
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let _l = lock();
+        reset_spans();
+        let _outer = span("main-outer");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = span("worker-span");
+            });
+        });
+        drop(_outer);
+        let snap = spans_snapshot();
+        assert!(get(&snap, "worker-span").is_some());
+        assert!(get(&snap, "main-outer/worker-span").is_none());
+    }
+
+    #[test]
+    fn time_accumulates() {
+        let _l = lock();
+        reset_spans();
+        for _ in 0..3 {
+            let _g = span("timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = spans_snapshot();
+        let (calls, ns) = get(&snap, "timed").unwrap();
+        assert_eq!(calls, 3);
+        assert!(ns >= 3 * 2_000_000, "ns={ns}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let _l = lock();
+        reset_spans();
+        {
+            let _g = span("gone");
+        }
+        assert!(!spans_snapshot().is_empty());
+        reset_spans();
+        assert!(spans_snapshot().is_empty());
+    }
+}

@@ -165,6 +165,7 @@ pub fn sender_transfer<R: RandomSource + ?Sized>(
     m1: &[u8],
     rng: &mut R,
 ) -> OtTransfer {
+    spfe_obs::count(spfe_obs::Op::Ot2Transfer, 1);
     assert_eq!(m0.len(), m1.len(), "OT messages must have equal length");
     let pk0 = &query.pk0;
     let pk1 = group.mul(&setup.c, &group.inv(pk0));

@@ -131,6 +131,8 @@ pub fn sender_answer<R: RandomSource + ?Sized>(
     items: &[Vec<u8>],
     rng: &mut R,
 ) -> OtnAnswer {
+    // Each answer also counts its `log n` base `Ot2Transfer`s below.
+    spfe_obs::count(spfe_obs::Op::OtnTransfer, 1);
     assert!(!items.is_empty());
     let len = items[0].len();
     assert!(

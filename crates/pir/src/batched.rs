@@ -386,19 +386,30 @@ pub fn run_words<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized
     indices: &[usize],
     rng: &mut R,
 ) -> (Vec<Vec<u64>>, BatchedStats) {
+    let _proto = spfe_obs::span("batched");
     let width = db.first().map_or(0, |it| it.len());
-    let (queries, state) = client_query(group, pk, db.len(), indices, rng);
+    let (queries, state) = {
+        let _s = spfe_obs::span("query-gen");
+        client_query(group, pk, db.len(), indices, rng)
+    };
     let queries = t
         .client_to_server(0, "batched-queries", &queries)
         .expect("codec");
-    let answers = server_answer_words(group, pk, db, &queries, rng);
+    let answers = {
+        let _s = spfe_obs::span("server-scan");
+        server_answer_words(group, pk, db, &queries, rng)
+    };
     let answers = t
         .server_to_client(0, "batched-answers", &answers)
         .expect("codec");
-    let mut values = client_decode_words(pk, sk, &state, &answers, width);
+    let mut values = {
+        let _s = spfe_obs::span("reconstruct");
+        client_decode_words(pk, sk, &state, &answers, width)
+    };
 
     // Fallbacks: full-database retrievals, batched into one extra exchange.
     if !state.leftovers.is_empty() {
+        let _s = spfe_obs::span("fallbacks");
         let full_params = SpirParams::new(group.clone(), db.len());
         let mut fqueries = Vec::with_capacity(state.leftovers.len());
         let mut fstates = Vec::with_capacity(state.leftovers.len());

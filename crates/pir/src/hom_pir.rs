@@ -129,6 +129,9 @@ pub fn server_answer<P: HomomorphicPk>(
     query: &HomPirQuery,
 ) -> Vec<P::Ciphertext> {
     assert_eq!(query.row_selector.len(), layout.rows, "bad query arity");
+    // Counted once on the calling thread (not inside the parallel closure)
+    // so the tally is identical under any worker-pool configuration.
+    spfe_obs::count(spfe_obs::Op::PirWordsScanned, layout.cells() as u64);
     let selectors: Vec<P::Ciphertext> = query
         .row_selector
         .iter()
@@ -201,12 +204,20 @@ pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
     index: usize,
     rng: &mut R,
 ) -> u64 {
+    let _proto = spfe_obs::span("hompir");
     let layout = Layout::square(db.len());
-    let q = client_query(pk, &layout, index, rng);
+    let q = {
+        let _s = spfe_obs::span("query-gen");
+        client_query(pk, &layout, index, rng)
+    };
     let q = t.client_to_server(0, "hompir-query", &q).expect("codec");
-    let cols = server_answer(pk, &layout, db, &q);
-    let a = answer_to_wire(pk, &cols);
+    let a = {
+        let _s = spfe_obs::span("server-scan");
+        let cols = server_answer(pk, &layout, db, &q);
+        answer_to_wire(pk, &cols)
+    };
     let a = t.server_to_client(0, "hompir-answer", &a).expect("codec");
+    let _s = spfe_obs::span("reconstruct");
     client_decode(pk, sk, &layout, index, &a)
 }
 

@@ -107,6 +107,7 @@ pub fn client_queries<R: RandomSource + ?Sized>(
 /// Panics if the query arity does not match `ℓ`.
 pub fn server_answer(params: &PolyItParams, db: &[u64], query: &PolyItQuery) -> u64 {
     assert_eq!(query.point.len(), params.ell, "bad query arity");
+    spfe_obs::count(spfe_obs::Op::PirWordsScanned, db.len() as u64);
     selector_eval(db, &query.point, params.field)
 }
 
@@ -154,20 +155,28 @@ pub fn run<R: RandomSource + ?Sized>(
     rng: &mut R,
 ) -> u64 {
     assert_eq!(t.num_servers(), params.num_servers());
-    let queries = client_queries(params, index, rng);
+    let _proto = spfe_obs::span("polyit");
+    let queries = {
+        let _s = spfe_obs::span("query-gen");
+        client_queries(params, index, rng)
+    };
     let received: Vec<PolyItQuery> = queries
         .iter()
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "polyit-query", q).expect("codec"))
         .collect();
-    let answers: Vec<u64> = received
-        .iter()
-        .enumerate()
-        .map(|(h, q)| {
-            let a = server_answer(params, db, q);
-            t.server_to_client(h, "polyit-answer", &a).expect("codec")
-        })
-        .collect();
+    let answers: Vec<u64> = {
+        let _s = spfe_obs::span("server-scan");
+        received
+            .iter()
+            .enumerate()
+            .map(|(h, q)| {
+                let a = server_answer(params, db, q);
+                t.server_to_client(h, "polyit-answer", &a).expect("codec")
+            })
+            .collect()
+    };
+    let _s = spfe_obs::span("reconstruct");
     client_reconstruct(params, &answers)
 }
 
@@ -186,23 +195,31 @@ pub fn run_symmetric<R: RandomSource + ?Sized>(
     rng: &mut R,
 ) -> u64 {
     assert_eq!(t.num_servers(), params.num_servers());
-    let queries = client_queries(params, index, rng);
+    let _proto = spfe_obs::span("polyit-sym");
+    let queries = {
+        let _s = spfe_obs::span("query-gen");
+        client_queries(params, index, rng)
+    };
     let received: Vec<PolyItQuery> = queries
         .iter()
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "polyit-query", q).expect("codec"))
         .collect();
-    let answers: Vec<u64> = received
-        .iter()
-        .enumerate()
-        .map(|(h, q)| {
-            // Each server re-derives the same R from the common random input.
-            let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(shared_seed);
-            let blind = blinding_poly(params, &mut server_rng);
-            let a = server_answer_blinded(params, db, q, &blind, h);
-            t.server_to_client(h, "polyit-answer", &a).expect("codec")
-        })
-        .collect();
+    let answers: Vec<u64> = {
+        let _s = spfe_obs::span("server-scan");
+        received
+            .iter()
+            .enumerate()
+            .map(|(h, q)| {
+                // Each server re-derives the same R from the common random input.
+                let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(shared_seed);
+                let blind = blinding_poly(params, &mut server_rng);
+                let a = server_answer_blinded(params, db, q, &blind, h);
+                t.server_to_client(h, "polyit-answer", &a).expect("codec")
+            })
+            .collect()
+    };
+    let _s = spfe_obs::span("reconstruct");
     client_reconstruct(params, &answers)
 }
 

@@ -128,6 +128,11 @@ pub fn server_answer<P: HomomorphicPk>(
 ) -> Vec<Vec<Vec<u8>>> {
     assert_eq!(query.level1.len(), layout.d1, "bad level-1 arity");
     assert_eq!(query.level2.len(), layout.r2, "bad level-2 arity");
+    // Level 1 touches every (padded) cell of the d1 × d2 matrix.
+    spfe_obs::count(
+        spfe_obs::Op::PirWordsScanned,
+        (layout.d1 * layout.d2) as u64,
+    );
     let sel1: Vec<P::Ciphertext> = query
         .level1
         .iter()
@@ -245,11 +250,19 @@ pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
     index: usize,
     rng: &mut R,
 ) -> u64 {
+    let _proto = spfe_obs::span("recpir");
     let layout = RecursiveLayout::balanced(db.len());
-    let q = client_query(pk, &layout, index, rng);
+    let q = {
+        let _s = spfe_obs::span("query-gen");
+        client_query(pk, &layout, index, rng)
+    };
     let q = t.client_to_server(0, "recpir-query", &q).expect("codec");
-    let a = server_answer(pk, &layout, db, &q);
+    let a = {
+        let _s = spfe_obs::span("server-scan");
+        server_answer(pk, &layout, db, &q)
+    };
     let a = t.server_to_client(0, "recpir-answer", &a).expect("codec");
+    let _s = spfe_obs::span("reconstruct");
     client_decode(pk, sk, &layout, index, &a)
 }
 

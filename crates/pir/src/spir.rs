@@ -395,10 +395,18 @@ pub fn run_words<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized
     index: usize,
     rng: &mut R,
 ) -> Vec<u64> {
-    let (q, state) = client_query(params, pk, index, rng);
+    let _proto = spfe_obs::span("spirw");
+    let (q, state) = {
+        let _s = spfe_obs::span("query-gen");
+        client_query(params, pk, index, rng)
+    };
     let q = t.client_to_server(0, "spirw-query", &q).expect("codec");
-    let a = server_answer_words(params, pk, db_words, &q, rng);
+    let a = {
+        let _s = spfe_obs::span("server-scan");
+        server_answer_words(params, pk, db_words, &q, rng)
+    };
     let a = t.server_to_client(0, "spirw-answer", &a).expect("codec");
+    let _s = spfe_obs::span("reconstruct");
     client_decode_words(params, pk, sk, &state, &a)
 }
 
@@ -417,10 +425,18 @@ pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
     rng: &mut R,
 ) -> u64 {
     assert_eq!(db.len(), params.n, "db size mismatch");
-    let (q, state) = client_query(params, pk, index, rng);
+    let _proto = spfe_obs::span("spir");
+    let (q, state) = {
+        let _s = spfe_obs::span("query-gen");
+        client_query(params, pk, index, rng)
+    };
     let q = t.client_to_server(0, "spir-query", &q).expect("codec");
-    let a = server_answer(params, pk, db, &q, rng);
+    let a = {
+        let _s = spfe_obs::span("server-scan");
+        server_answer(params, pk, db, &q, rng)
+    };
     let a = t.server_to_client(0, "spir-answer", &a).expect("codec");
+    let _s = spfe_obs::span("reconstruct");
     client_decode(params, pk, sk, &state, &a)
 }
 

@@ -77,6 +77,7 @@ pub fn client_query<R: RandomSource + ?Sized>(
 /// Panics if the query length does not match the database.
 pub fn server_answer(db: &[Vec<u8>], query: &Xor2Query) -> Vec<u8> {
     assert_eq!(db.len(), query.n, "query does not match database size");
+    spfe_obs::count(spfe_obs::Op::PirWordsScanned, db.len() as u64);
     let len = db.first().map_or(0, |v| v.len());
     let mut acc = vec![0u8; len];
     for (i, item) in db.iter().enumerate() {
@@ -114,13 +115,20 @@ pub fn run<R: RandomSource + ?Sized>(
     rng: &mut R,
 ) -> Vec<u8> {
     assert_eq!(t.num_servers(), 2, "xor2 PIR needs exactly 2 servers");
-    let (q1, q2) = client_query(db.len(), index, rng);
+    let _proto = spfe_obs::span("pir2");
+    let (q1, q2) = {
+        let _s = spfe_obs::span("query-gen");
+        client_query(db.len(), index, rng)
+    };
     let q1 = t.client_to_server(0, "pir2-query", &q1).expect("codec");
     let q2 = t.client_to_server(1, "pir2-query", &q2).expect("codec");
-    let a1 = server_answer(db, &q1);
-    let a2 = server_answer(db, &q2);
+    let (a1, a2) = {
+        let _s = spfe_obs::span("server-scan");
+        (server_answer(db, &q1), server_answer(db, &q2))
+    };
     let a1 = t.server_to_client(0, "pir2-answer", &a1).expect("codec");
     let a2 = t.server_to_client(1, "pir2-answer", &a2).expect("codec");
+    let _s = spfe_obs::span("reconstruct");
     client_combine(&a1, &a2)
 }
 

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod meter;
+pub mod report_wire;
 pub mod wire;
 
 pub use meter::{CommReport, Direction, MessageRecord, Transcript};

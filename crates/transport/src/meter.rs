@@ -216,6 +216,56 @@ impl Transcript {
             .map(|r| r.bytes as u64)
             .sum()
     }
+
+    /// Per-label × per-direction byte and message breakdown, in first-use
+    /// order — the attribution table the cost reports embed.
+    pub fn report_by_label(&self) -> Vec<spfe_obs::LabelStat> {
+        let mut out: Vec<spfe_obs::LabelStat> = Vec::new();
+        for r in &self.records {
+            let stat = match out.iter_mut().find(|s| s.label == r.label) {
+                Some(s) => s,
+                None => {
+                    out.push(spfe_obs::LabelStat {
+                        label: r.label.to_owned(),
+                        ..spfe_obs::LabelStat::default()
+                    });
+                    out.last_mut().unwrap()
+                }
+            };
+            match r.direction {
+                Direction::ClientToServer(_) => {
+                    stat.up_bytes += r.bytes as u64;
+                    stat.up_msgs += 1;
+                }
+                Direction::ServerToClient(_) => {
+                    stat.down_bytes += r.bytes as u64;
+                    stat.down_msgs += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Full communication stats (totals + per-label attribution) in the
+    /// shape [`spfe_obs::CostReport`] embeds.
+    pub fn comm_stat(&self) -> spfe_obs::CommStat {
+        let rep = self.report();
+        spfe_obs::CommStat {
+            up_bytes: rep.client_to_server,
+            down_bytes: rep.server_to_client,
+            messages: rep.messages,
+            half_rounds: rep.half_rounds,
+            labels: self.report_by_label(),
+        }
+    }
+
+    /// Clears all records and round state so the transcript can be reused
+    /// for another execution (the server count is kept).
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.half_rounds = 0;
+        self.phase = Phase::Idle;
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +297,43 @@ mod tests {
         t.server_to_client(0, "answer", &2u64).unwrap();
         assert_eq!(t.report().half_rounds, 3);
         assert!((t.report().rounds() - 1.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn report_by_label_splits_directions() {
+        let mut t = Transcript::new(1);
+        t.client_to_server(0, "q", &vec![0u8; 5]).unwrap();
+        t.client_to_server(0, "q", &vec![0u8; 7]).unwrap();
+        t.server_to_client(0, "a", &vec![0u8; 11]).unwrap();
+        let labels = t.report_by_label();
+        assert_eq!(labels.len(), 2);
+        assert_eq!(labels[0].label, "q");
+        // Each Vec<u8> carries an 8-byte length prefix on the wire.
+        assert_eq!(labels[0].up_bytes, 5 + 8 + 7 + 8);
+        assert_eq!(labels[0].up_msgs, 2);
+        assert_eq!(labels[0].down_msgs, 0);
+        assert_eq!(labels[1].label, "a");
+        assert_eq!(labels[1].down_bytes, 11 + 8);
+        assert_eq!(labels[1].down_msgs, 1);
+        let comm = t.comm_stat();
+        assert_eq!(comm.up_bytes, labels[0].up_bytes);
+        assert_eq!(comm.down_bytes, labels[1].down_bytes);
+        assert_eq!(comm.messages, 3);
+        assert_eq!(comm.labels, labels);
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let mut t = Transcript::new(2);
+        t.client_to_server(1, "q", &1u64).unwrap();
+        t.server_to_client(1, "a", &2u64).unwrap();
+        assert_eq!(t.report().messages, 2);
+        t.reset();
+        assert_eq!(t.report(), CommReport::default());
+        assert!(t.records().is_empty());
+        assert_eq!(t.num_servers(), 2, "server count survives reset");
+        t.client_to_server(0, "q", &3u64).unwrap();
+        assert_eq!(t.report().half_rounds, 1);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! [`Wire`] encodings for the cost-report types.
+//!
+//! [`CommReport`] and [`spfe_obs::CostReport`] travel byte-exactly — a
+//! benchmark runner can ship a report to a collector, or persist it and
+//! reload it, without a lossy text round-trip. The impls live here (not in
+//! `spfe-obs`) because the `Wire` trait is this crate's; `spfe-obs` stays
+//! dependency-free.
+
+use crate::meter::CommReport;
+use crate::wire::{Reader, Wire, WireError};
+use spfe_obs::{CommStat, CostReport, LabelStat, Op, OpStat, SpanStat};
+
+impl Wire for CommReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.client_to_server.encode(out);
+        self.server_to_client.encode(out);
+        self.messages.encode(out);
+        self.half_rounds.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CommReport {
+            client_to_server: u64::decode(r)?,
+            server_to_client: u64::decode(r)?,
+            messages: u64::decode(r)?,
+            half_rounds: u32::decode(r)?,
+        })
+    }
+}
+
+impl Wire for LabelStat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.label.encode(out);
+        self.up_bytes.encode(out);
+        self.up_msgs.encode(out);
+        self.down_bytes.encode(out);
+        self.down_msgs.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(LabelStat {
+            label: String::decode(r)?,
+            up_bytes: u64::decode(r)?,
+            up_msgs: u64::decode(r)?,
+            down_bytes: u64::decode(r)?,
+            down_msgs: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for CommStat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.up_bytes.encode(out);
+        self.down_bytes.encode(out);
+        self.messages.encode(out);
+        self.half_rounds.encode(out);
+        self.labels.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CommStat {
+            up_bytes: u64::decode(r)?,
+            down_bytes: u64::decode(r)?,
+            messages: u64::decode(r)?,
+            half_rounds: u32::decode(r)?,
+            labels: Vec::<LabelStat>::decode(r)?,
+        })
+    }
+}
+
+impl Wire for SpanStat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.path.encode(out);
+        self.calls.encode(out);
+        self.ns.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SpanStat {
+            path: String::decode(r)?,
+            calls: u64::decode(r)?,
+            ns: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for OpStat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // By stable name, not discriminant: adding Op variants must not
+        // silently reinterpret persisted reports.
+        self.op.name().to_owned().encode(out);
+        self.count.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = String::decode(r)?;
+        let op = Op::from_name(&name).ok_or(WireError {
+            context: "unknown op name",
+        })?;
+        Ok(OpStat {
+            op,
+            count: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for CostReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.experiment.encode(out);
+        self.protocol.encode(out);
+        self.elapsed_ns.encode(out);
+        self.spans.encode(out);
+        self.ops.encode(out);
+        self.comm.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(CostReport {
+            experiment: String::decode(r)?,
+            protocol: String::decode(r)?,
+            elapsed_ns: u64::decode(r)?,
+            spans: Vec::<SpanStat>::decode(r)?,
+            ops: Vec::<OpStat>::decode(r)?,
+            comm: CommStat::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> CostReport {
+        CostReport {
+            experiment: "e1".into(),
+            protocol: "spir".into(),
+            elapsed_ns: 987_654_321,
+            spans: vec![
+                SpanStat {
+                    path: "spir".into(),
+                    calls: 1,
+                    ns: 900_000,
+                },
+                SpanStat {
+                    path: "spir/server-scan".into(),
+                    calls: 1,
+                    ns: 700_000,
+                },
+            ],
+            ops: vec![
+                OpStat {
+                    op: Op::Modexp,
+                    count: 1024,
+                },
+                OpStat {
+                    op: Op::PirWordsScanned,
+                    count: 4096,
+                },
+            ],
+            comm: CommStat {
+                up_bytes: 10,
+                down_bytes: 20,
+                messages: 2,
+                half_rounds: 2,
+                labels: vec![
+                    LabelStat {
+                        label: "spir-query".into(),
+                        up_bytes: 10,
+                        up_msgs: 1,
+                        down_bytes: 0,
+                        down_msgs: 0,
+                    },
+                    LabelStat {
+                        label: "spir-answer".into(),
+                        up_bytes: 0,
+                        up_msgs: 0,
+                        down_bytes: 20,
+                        down_msgs: 1,
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn comm_report_roundtrip() {
+        let rep = CommReport {
+            client_to_server: 111,
+            server_to_client: 222,
+            messages: 5,
+            half_rounds: 3,
+        };
+        assert_eq!(CommReport::from_bytes(&rep.to_bytes()).unwrap(), rep);
+    }
+
+    #[test]
+    fn cost_report_roundtrip() {
+        let rep = sample_report();
+        assert_eq!(CostReport::from_bytes(&rep.to_bytes()).unwrap(), rep);
+    }
+
+    #[test]
+    fn empty_cost_report_roundtrip() {
+        let rep = CostReport::default();
+        assert_eq!(CostReport::from_bytes(&rep.to_bytes()).unwrap(), rep);
+    }
+
+    #[test]
+    fn unknown_op_name_rejected() {
+        let mut bytes = Vec::new();
+        "frobnicate".to_owned().encode(&mut bytes);
+        7u64.encode(&mut bytes);
+        assert!(OpStat::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn cost_report_ships_over_a_transcript() {
+        let rep = sample_report();
+        let mut t = crate::Transcript::new(1);
+        let received = t.server_to_client(0, "cost-report", &rep).unwrap();
+        assert_eq!(received, rep);
+    }
+}
