@@ -27,6 +27,30 @@ cargo fmt --all --check
 echo "==> cargo build --no-default-features (obs compiled out)"
 cargo build "${OFFLINE[@]}" --release --workspace --no-default-features
 
+echo "==> adversarial conformance suite (two fault seeds + obs compiled out)"
+# The suite asserts every driver x fault-class cell returns Ok or a typed
+# ProtocolError. The backtrace log scan is the panic gate: a panic that a
+# test harness converted into a failure (or that unwound inside a should-
+# not-panic cell) would print "panicked at", which must never appear.
+ADV_LOG=$(mktemp)
+trap 'rm -f "$ADV_LOG"' EXIT
+for seed in 1 77; do
+  echo "    SPFE_FAULT_SEED=$seed"
+  SPFE_FAULT_SEED=$seed RUST_BACKTRACE=1 \
+    cargo test "${OFFLINE[@]}" --release -p spfe --test adversarial -q 2>&1 | tee "$ADV_LOG"
+  if grep -q "panicked at" "$ADV_LOG"; then
+    echo "FAIL: a protocol driver panicked under fault injection" >&2
+    exit 1
+  fi
+done
+echo "    --no-default-features (probes compiled out)"
+SPFE_FAULT_SEED=1 RUST_BACKTRACE=1 \
+  cargo test "${OFFLINE[@]}" --release -p spfe --test adversarial -q --no-default-features 2>&1 | tee "$ADV_LOG"
+if grep -q "panicked at" "$ADV_LOG"; then
+  echo "FAIL: a protocol driver panicked under fault injection (no obs)" >&2
+  exit 1
+fi
+
 echo "==> cost-report schema gate (spfe-tables e1 --json + validate)"
 rm -f BENCH_costs.json
 cargo run "${OFFLINE[@]}" --release -p spfe-bench --bin spfe-tables -- e1 --json > /dev/null

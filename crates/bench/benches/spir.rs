@@ -83,7 +83,9 @@ fn bench_batched_vs_independent(c: &mut Criterion) {
             bench.iter(|| {
                 let mut t = Transcript::new(1);
                 for &i in &indices {
-                    black_box(spir::run(&mut t, &params, &b.pk, &b.sk, &db, i, &mut b.rng));
+                    black_box(
+                        spir::run(&mut t, &params, &b.pk, &b.sk, &db, i, &mut b.rng).unwrap(),
+                    );
                 }
             })
         });

@@ -50,12 +50,18 @@ fn bench_package(c: &mut Criterion) {
         bench.iter(|| {
             let mut t = Transcript::new(1);
             let w = vec![1u64; m];
-            black_box(stats::weighted_sum(
-                &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &w, field, &mut b.rng,
-            ));
-            black_box(stats::weighted_sum(
-                &mut t, &b.group, &b.pk, &b.sk, &sq, &indices, &w, field, &mut b.rng,
-            ));
+            black_box(
+                stats::weighted_sum(
+                    &mut t, &b.group, &b.pk, &b.sk, &db, &indices, &w, field, &mut b.rng,
+                )
+                .unwrap(),
+            );
+            black_box(
+                stats::weighted_sum(
+                    &mut t, &b.group, &b.pk, &b.sk, &sq, &indices, &w, field, &mut b.rng,
+                )
+                .unwrap(),
+            );
         })
     });
     group.finish();
@@ -76,7 +82,8 @@ fn bench_frequency(c: &mut Criterion) {
                 let mut t = Transcript::new(1);
                 let shares = input_select::select1(
                     &mut t, &b.group, &b.pk, &b.sk, &db, &indices, field, &mut b.rng,
-                );
+                )
+                .unwrap();
                 black_box(stats::frequency(
                     &mut t, &b.pk, &b.sk, &shares, keyword, &mut b.rng,
                 ))

@@ -17,26 +17,28 @@ use spfe_circuits::boolean::{Circuit, CircuitBuilder, WireId};
 use spfe_crypto::SchnorrGroup;
 use spfe_math::RandomSource;
 use spfe_mpc::yao2pc::{self, to_bits};
-use spfe_transport::{Transcript, Wire};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Wire as _};
 
 /// Ships the entire database to the client, which evaluates locally.
 /// Returns the statistic's values; the transcript records the `Θ(n·ℓ)`
 /// download.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault.
 pub fn buy_the_database(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     db: &[u64],
     indices: &[usize],
     stat: &Statistic,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ProtocolError> {
     // A 1-byte request, then the full database.
-    let _ = t.client_to_server(0, "buy-request", &1u8).expect("codec");
-    let copy: Vec<u64> = t
-        .server_to_client(0, "buy-database", &db.to_vec())
-        .expect("codec");
+    let _ = t.client_to_server(0, "buy-request", &1u8)?;
+    let copy: Vec<u64> = t.server_to_client(0, "buy-database", &db.to_vec())?;
     let p = copy.iter().copied().max().unwrap_or(0).max(1);
     // Local evaluation, exact (no modulus): use a modulus above everything.
     let big_p = (p + 1).next_power_of_two().max(1 << 20);
-    stat.clear_eval(&copy, indices, big_p)
+    Ok(stat.clear_eval(&copy, indices, big_p))
 }
 
 /// Size in bytes of the buy-the-database transfer for `n` items of
@@ -133,18 +135,24 @@ fn add_any(b: &mut CircuitBuilder, x: &[WireId], y: &[WireId]) -> Vec<WireId> {
 /// whole-database selection circuit; the client's inputs are its index
 /// bits. Communication is dominated by the `Ω(κ·n)` garbled tables.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
-/// Panics on out-of-range indices or oversized values.
+/// Panics on out-of-range indices or oversized values (local setup bugs,
+/// not attacks).
 pub fn generic_yao<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     db: &[u64],
     indices: &[usize],
     value_bits: usize,
     stat: &Statistic,
     rng: &mut R,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ProtocolError> {
     let n = db.len();
     let m = indices.len();
     assert!(m > 0);
@@ -160,8 +168,8 @@ pub fn generic_yao<R: RandomSource + ?Sized>(
         .iter()
         .flat_map(|&i| to_bits(i as u64, index_bits))
         .collect();
-    let out = yao2pc::run(t, group, &circuit, &server_bits, &client_bits, rng);
-    vec![yao2pc::from_bits(&out)]
+    let out = yao2pc::run(t, group, &circuit, &server_bits, &client_bits, rng)?;
+    Ok(vec![yao2pc::from_bits(&out)])
 }
 
 /// Analytic size (bytes) of the garbled selection circuit — used to plot
@@ -187,13 +195,14 @@ mod tests {
     use super::*;
     use crate::database::reference;
     use spfe_crypto::ChaChaRng;
+    use spfe_transport::Transcript;
 
     #[test]
     fn buy_baseline_is_linear_and_correct() {
         let db: Vec<u64> = (0..200u64).map(|i| i % 37).collect();
         let indices = [0usize, 50, 100];
         let mut t = Transcript::new(1);
-        let got = buy_the_database(&mut t, &db, &indices, &Statistic::Sum);
+        let got = buy_the_database(&mut t, &db, &indices, &Statistic::Sum).unwrap();
         assert_eq!(got[0], reference::sum(&db, &indices));
         // Downstream ≥ 8 bytes per item.
         assert!(t.report().server_to_client >= 8 * db.len() as u64);
@@ -206,7 +215,7 @@ mod tests {
         let db: Vec<u64> = (0..16u64).map(|i| (i * 5) % 8).collect();
         let indices = [2usize, 9, 15];
         let mut t = Transcript::new(1);
-        let got = generic_yao(&mut t, &group, &db, &indices, 3, &Statistic::Sum, &mut rng);
+        let got = generic_yao(&mut t, &group, &db, &indices, 3, &Statistic::Sum, &mut rng).unwrap();
         assert_eq!(got[0], reference::sum(&db, &indices));
     }
 
@@ -225,7 +234,8 @@ mod tests {
             2,
             &Statistic::Frequency { keyword: 3 },
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(got[0], 3);
     }
 
@@ -245,7 +255,7 @@ mod tests {
         for n in [16usize, 64] {
             let db: Vec<u64> = (0..n as u64).map(|i| i % 4).collect();
             let mut t = Transcript::new(1);
-            generic_yao(&mut t, &group, &db, &[1, 2], 2, &Statistic::Sum, &mut rng);
+            generic_yao(&mut t, &group, &db, &[1, 2], 2, &Statistic::Sum, &mut rng).unwrap();
             totals.push(t.report().total_bytes());
         }
         let ratio = totals[1] as f64 / totals[0] as f64;

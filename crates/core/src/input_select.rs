@@ -24,7 +24,7 @@ use spfe_crypto::SchnorrGroup;
 use spfe_math::{Fp64, Nat, Poly, RandomSource};
 use spfe_pir::spir::{self, SpirParams, SpirQuery};
 use spfe_pir::{batched, words};
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ChannelExt, ProtocolError};
 
 /// Statistical blinding bits for integer masking (2⁻⁴⁰ distance).
 pub const STAT_SECURITY_BITS: usize = 40;
@@ -77,12 +77,17 @@ impl IntShares {
 ///
 /// One round; cost `m × SPIR(n, 1, ℓ)` (the first reduction of Table 1).
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics if an index is out of range or a database value ≥ `p`.
+/// Panics if an index is out of range or a database value ≥ `p` (local
+/// setup bugs, not attacks).
 #[allow(clippy::too_many_arguments)]
 pub fn select1<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -90,7 +95,7 @@ pub fn select1<P, S, R>(
     indices: &[usize],
     field: Fp64,
     rng: &mut R,
-) -> SharesModP
+) -> Result<SharesModP, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -114,9 +119,7 @@ where
         }
         (queries, states)
     };
-    let queries: Vec<SpirQuery> = t
-        .client_to_server(0, "sel1-queries", &queries)
-        .expect("codec");
+    let queries: Vec<SpirQuery> = t.client_to_server(0, "sel1-queries", &queries)?;
 
     // Server: per slot, pick a_j and answer against v_i = x_i − a_j.
     let mut server_shares = Vec::with_capacity(indices.len());
@@ -130,11 +133,15 @@ where
                 let vdb: Vec<u64> = db.iter().map(|&x| field.sub(x, a_j)).collect();
                 spir::server_answer(&params, pk, &vdb, q, rng)
             })
-            .collect()
+            .collect::<Result<_, _>>()?
     };
-    let answers = t
-        .server_to_client(0, "sel1-answers", &answers)
-        .expect("codec");
+    let answers: Vec<spfe_pir::SpirAnswer> = t.server_to_client(0, "sel1-answers", &answers)?;
+    if answers.len() != states.len() {
+        return Err(ProtocolError::InvalidMessage {
+            label: "sel1-answers",
+            reason: "wrong number of answers",
+        });
+    }
 
     // Client: decode b_j.
     let _s = spfe_obs::span("reconstruct");
@@ -142,13 +149,13 @@ where
         .iter()
         .zip(&answers)
         .map(|(st, a)| spir::client_decode(&params, pk, sk, st, a))
-        .collect();
+        .collect::<Result<_, _>>()?;
 
-    SharesModP {
+    Ok(SharesModP {
         p,
         server: server_shares,
         client: client_shares,
-    }
+    })
 }
 
 /// §3.3.1 written against the paper's SPIR *black box* ([`SpirOracle`]):
@@ -156,17 +163,22 @@ where
 /// idealized one — which decomposes the SPFE cost into "the SPIR term"
 /// and "everything else", as Table 1 does symbolically.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics if an index is out of range or a database value ≥ `p`.
+/// Panics if an index is out of range or a database value ≥ `p` (local
+/// setup bugs, not attacks).
 pub fn select1_with_oracle<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     oracle: &dyn spfe_pir::SpirOracle,
     db: &[u64],
     indices: &[usize],
     field: Fp64,
     rng: &mut R,
-) -> SharesModP {
+) -> Result<SharesModP, ProtocolError> {
     let _proto = spfe_obs::span("select1-oracle");
     let p = field.modulus();
     assert!(db.iter().all(|&v| v < p), "db value exceeds field");
@@ -187,15 +199,15 @@ pub fn select1_with_oracle<R: RandomSource + ?Sized>(
             }
         };
         let vdb: Vec<u64> = db.iter().map(|&x| field.sub(x, a_j)).collect();
-        let b_j = oracle.retrieve_one(t, &vdb, i, &mut entropy);
+        let b_j = oracle.retrieve_one(t, &vdb, i, &mut entropy)?;
         server_shares.push(a_j);
         client_shares.push(b_j);
     }
-    SharesModP {
+    Ok(SharesModP {
         p,
         server: server_shares,
         client: client_shares,
-    }
+    })
 }
 
 /// Checks the §3.3.2 no-overflow precondition: homomorphic sums
@@ -221,13 +233,18 @@ fn blinded_offset<R: RandomSource + ?Sized>(p: u64, r: u64, rng: &mut R) -> Nat 
 /// §3.3.2, first variant — one batched `SPIR(n, m, ℓ)` plus the client
 /// encrypting its `m²` index powers (`κ·m²` overhead, 1 round).
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
 /// Panics if the field is smaller than `n`, a value ≥ `p`, or the
-/// homomorphic plaintext space cannot hold the blinded sums.
+/// homomorphic plaintext space cannot hold the blinded sums (local setup
+/// bugs, not attacks).
 #[allow(clippy::too_many_arguments)]
 pub fn select2_v1<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -235,7 +252,7 @@ pub fn select2_v1<P, S, R>(
     indices: &[usize],
     field: Fp64,
     rng: &mut R,
-) -> SharesModP
+) -> Result<SharesModP, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -267,9 +284,13 @@ where
         .iter()
         .map(|ct| pk.ciphertext_to_bytes(ct))
         .collect();
-    let powers = t
-        .client_to_server(0, "sel2v1-powers", &powers)
-        .expect("codec");
+    let powers: Vec<Vec<u8>> = t.client_to_server(0, "sel2v1-powers", &powers)?;
+    if powers.len() != m * m {
+        return Err(ProtocolError::InvalidMessage {
+            label: "sel2v1-powers",
+            reason: "wrong number of encrypted index powers",
+        });
+    }
     drop(_qg);
 
     // Server: pick the masking polynomial P_s, mask the database.
@@ -293,9 +314,12 @@ where
             if s_k == 0 {
                 continue;
             }
-            let ct = pk
-                .ciphertext_from_bytes(&powers[j * m + k])
-                .expect("malformed power");
+            let ct = pk.ciphertext_from_bytes(&powers[j * m + k]).ok_or(
+                ProtocolError::InvalidMessage {
+                    label: "sel2v1-powers",
+                    reason: "malformed power ciphertext",
+                },
+            )?;
             slot.push(prod_cts.len());
             prod_cts.push(ct);
             prod_consts.push(Nat::from(s_k));
@@ -327,10 +351,14 @@ where
     drop(_se);
 
     // Batched SPIR over the masked database (same round as the evals).
-    let (retrieved, _) = batched::run(t, group, pk, sk, &masked, indices, rng);
-    let evals = t
-        .server_to_client(0, "sel2v1-evals", &evals)
-        .expect("codec");
+    let (retrieved, _) = batched::run(t, group, pk, sk, &masked, indices, rng)?;
+    let evals: Vec<Vec<u8>> = t.server_to_client(0, "sel2v1-evals", &evals)?;
+    if evals.len() != retrieved.len() {
+        return Err(ProtocolError::InvalidMessage {
+            label: "sel2v1-evals",
+            reason: "wrong number of evaluations",
+        });
+    }
 
     // Client: d_j = (P_s(i_j) − r_j) mod p; b_j = x'_{i_j} − d_j.
     let _s = spfe_obs::span("reconstruct");
@@ -338,19 +366,24 @@ where
         .iter()
         .zip(&evals)
         .map(|(&xp, ct)| {
-            let v = sk.decrypt(&pk.ciphertext_from_bytes(ct).expect("ct"));
+            let v = sk.decrypt(&pk.ciphertext_from_bytes(ct).ok_or(
+                ProtocolError::InvalidMessage {
+                    label: "sel2v1-evals",
+                    reason: "malformed evaluation ciphertext",
+                },
+            )?);
             let d_j = v.rem(&Nat::from(p)).to_u64().expect("fits");
-            field.sub(xp, d_j)
+            Ok(field.sub(xp, d_j))
         })
-        .collect();
+        .collect::<Result<_, ProtocolError>>()?;
     // Server: a_j = −r_j.
     let server_shares: Vec<u64> = server_r.iter().map(|&r| field.neg(r)).collect();
 
-    SharesModP {
+    Ok(SharesModP {
         p,
         server: server_shares,
         client: client_shares,
-    }
+    })
 }
 
 /// §3.3.2, second variant — the server opens by encrypting its `m`
@@ -360,12 +393,16 @@ where
 /// Here the homomorphic keys belong to the **server** (`server_pk` /
 /// `server_sk`); the client-side SPIR still uses the client's keys.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
 /// Same preconditions as [`select2_v1`].
 #[allow(clippy::too_many_arguments)]
 pub fn select2_v2<PC, SC, PS, SS, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     client_pk: &PC,
     client_sk: &SC,
@@ -375,7 +412,7 @@ pub fn select2_v2<PC, SC, PS, SS, R>(
     indices: &[usize],
     field: Fp64,
     rng: &mut R,
-) -> SharesModP
+) -> Result<SharesModP, ProtocolError>
 where
     PC: HomomorphicPk,
     SC: HomomorphicSk<PC>,
@@ -402,9 +439,13 @@ where
         .iter()
         .map(|ct| server_pk.ciphertext_to_bytes(ct))
         .collect();
-    let coeff_cts = t
-        .server_to_client(0, "sel2v2-coeffs", &coeff_cts)
-        .expect("codec");
+    let coeff_cts: Vec<Vec<u8>> = t.server_to_client(0, "sel2v2-coeffs", &coeff_cts)?;
+    if coeff_cts.len() != m {
+        return Err(ProtocolError::InvalidMessage {
+            label: "sel2v2-coeffs",
+            reason: "wrong number of coefficient ciphertexts",
+        });
+    }
     let masked: Vec<u64> = db
         .iter()
         .enumerate()
@@ -426,7 +467,12 @@ where
                 if c_k == 0 {
                     continue;
                 }
-                let ct = server_pk.ciphertext_from_bytes(ct_bytes).expect("ct");
+                let ct = server_pk.ciphertext_from_bytes(ct_bytes).ok_or(
+                    ProtocolError::InvalidMessage {
+                        label: "sel2v2-coeffs",
+                        reason: "malformed coefficient ciphertext",
+                    },
+                )?;
                 let term = server_pk.mul_const(&ct, &Nat::from(c_k));
                 acc = Some(match acc {
                     None => term,
@@ -440,27 +486,36 @@ where
                 None => offset,
                 Some(a) => server_pk.add(&a, &offset),
             };
-            server_pk.ciphertext_to_bytes(&total)
+            Ok(server_pk.ciphertext_to_bytes(&total))
         })
-        .collect();
-    let blinded = t
-        .client_to_server(0, "sel2v2-blinded", &blinded)
-        .expect("codec");
+        .collect::<Result<_, ProtocolError>>()?;
+    let blinded: Vec<Vec<u8>> = t.client_to_server(0, "sel2v2-blinded", &blinded)?;
+    if blinded.len() != m {
+        return Err(ProtocolError::InvalidMessage {
+            label: "sel2v2-blinded",
+            reason: "wrong number of blinded evaluations",
+        });
+    }
     drop(_qg);
 
     // Batched SPIR over the masked database (client query + server answer).
-    let (retrieved, _) = batched::run(t, group, client_pk, client_sk, &masked, indices, rng);
+    let (retrieved, _) = batched::run(t, group, client_pk, client_sk, &masked, indices, rng)?;
 
     // Server: decrypts its share component g_j = (P_s(i_j) − r_j) mod p.
     let _s = spfe_obs::span("reconstruct");
     let server_shares: Vec<u64> = blinded
         .iter()
         .map(|ct| {
-            let v = server_sk.decrypt(&server_pk.ciphertext_from_bytes(ct).expect("ct"));
+            let v = server_sk.decrypt(&server_pk.ciphertext_from_bytes(ct).ok_or(
+                ProtocolError::InvalidMessage {
+                    label: "sel2v2-blinded",
+                    reason: "malformed blinded ciphertext",
+                },
+            )?);
             let g_j = v.rem(&Nat::from(p)).to_u64().expect("fits");
-            field.neg(g_j) // a_j = −c_j
+            Ok(field.neg(g_j)) // a_j = −c_j
         })
-        .collect();
+        .collect::<Result<_, ProtocolError>>()?;
     // Client: b_j = x'_{i_j} − d_j where d_j = r_j.
     let client_shares: Vec<u64> = retrieved
         .iter()
@@ -468,11 +523,11 @@ where
         .map(|(&xp, &r)| field.sub(xp, r))
         .collect();
 
-    SharesModP {
+    Ok(SharesModP {
         p,
         server: server_shares,
         client: client_shares,
-    }
+    })
 }
 
 /// §3.3.3 — retrieval from the encrypted database: one batched
@@ -482,13 +537,17 @@ where
 /// client's SPIR keys are separate. Produces exact integer shares
 /// (statistically blinded), which compose with any MPC ring.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
 /// Panics if an index is out of range or `value_bits` cannot hold some
-/// database value.
+/// database value (local setup bugs, not attacks).
 #[allow(clippy::too_many_arguments)]
 pub fn select3<PC, SC, PS, SS, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     client_pk: &PC,
     client_sk: &SC,
@@ -498,7 +557,7 @@ pub fn select3<PC, SC, PS, SS, R>(
     indices: &[usize],
     value_bits: usize,
     rng: &mut R,
-) -> IntShares
+) -> Result<IntShares, ProtocolError>
 where
     PC: HomomorphicPk,
     SC: HomomorphicSk<PC>,
@@ -533,7 +592,7 @@ where
 
     // Round 1: batched SPIR(n, m, κ) for the encrypted items.
     let (retrieved, _) =
-        words::retrieve_many(t, group, client_pk, client_sk, &enc_db, indices, rng);
+        words::retrieve_many(t, group, client_pk, client_sk, &enc_db, indices, rng)?;
 
     // Round 2 (client → server): E_s(x + R_j), rerandomized.
     let _unblind = spfe_obs::span("unblind");
@@ -544,33 +603,44 @@ where
         .map(|words_vec| {
             let ct = server_pk
                 .ciphertext_from_bytes(&words::words_to_bytes(words_vec, ct_len))
-                .expect("malformed retrieved ciphertext");
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "batched-answers",
+                    reason: "retrieved item is not a ciphertext",
+                })?;
             let r = Nat::random_bits(rng, value_bits + STAT_SECURITY_BITS);
             let sum = server_pk.add(&ct, &server_pk.encrypt(&r, rng));
             masks.push(r);
-            server_pk.ciphertext_to_bytes(&server_pk.rerandomize(&sum, rng))
+            Ok(server_pk.ciphertext_to_bytes(&server_pk.rerandomize(&sum, rng)))
         })
-        .collect();
-    let blinded = t
-        .client_to_server(0, "sel3-blinded", &blinded)
-        .expect("codec");
+        .collect::<Result<_, ProtocolError>>()?;
+    let blinded: Vec<Vec<u8>> = t.client_to_server(0, "sel3-blinded", &blinded)?;
 
     // Server: decrypts S_j = x_{i_j} + R_j (exact integer).
     let server_shares: Vec<Nat> = blinded
         .iter()
-        .map(|ct| server_sk.decrypt(&server_pk.ciphertext_from_bytes(ct).expect("ct")))
-        .collect();
+        .map(|ct| {
+            Ok(
+                server_sk.decrypt(&server_pk.ciphertext_from_bytes(ct).ok_or(
+                    ProtocolError::InvalidMessage {
+                        label: "sel3-blinded",
+                        reason: "malformed blinded ciphertext",
+                    },
+                )?),
+            )
+        })
+        .collect::<Result<_, ProtocolError>>()?;
 
-    IntShares {
+    Ok(IntShares {
         server: server_shares,
         client_masks: masks,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn crypto() -> (
         SchnorrGroup,
@@ -597,7 +667,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let shares = select1(
             &mut t, &group, &pk, &sk, &database, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         let expect: Vec<u64> = indices.iter().map(|&i| database[i]).collect();
         assert_eq!(shares.reconstruct(), expect);
         assert_eq!(t.report().half_rounds, 2, "one round");
@@ -613,7 +684,8 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..10 {
             let mut t = Transcript::new(1);
-            let shares = select1(&mut t, &group, &pk, &sk, &database, &[3], field, &mut rng);
+            let shares =
+                select1(&mut t, &group, &pk, &sk, &database, &[3], field, &mut rng).unwrap();
             seen.insert(shares.server[0]);
         }
         assert!(seen.len() > 5, "server shares should vary");
@@ -628,7 +700,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let shares = select2_v1(
             &mut t, &group, &pk, &sk, &database, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         let expect: Vec<u64> = indices.iter().map(|&i| database[i]).collect();
         assert_eq!(shares.reconstruct(), expect);
         assert_eq!(t.report().half_rounds, 2, "variant 1 is one round");
@@ -644,7 +717,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let shares = select2_v2(
             &mut t, &group, &pk, &sk, &spk, &ssk, &database, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         let expect: Vec<u64> = indices.iter().map(|&i| database[i]).collect();
         assert_eq!(shares.reconstruct(), expect);
         assert_eq!(t.report().half_rounds, 3, "variant 2 is 1.5 rounds");
@@ -662,11 +736,13 @@ mod tests {
         let mut t1 = Transcript::new(1);
         select2_v1(
             &mut t1, &group, &pk, &sk, &database, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         let mut t2 = Transcript::new(1);
         select2_v2(
             &mut t2, &group, &pk, &sk, &spk, &ssk, &database, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         let v1_overhead = t1.bytes_for_label("sel2v1-powers");
         let v2_overhead =
             t2.bytes_for_label("sel2v2-coeffs") + t2.bytes_for_label("sel2v2-blinded");
@@ -685,7 +761,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let shares = select3(
             &mut t, &group, &pk, &sk, &spk, &ssk, &database, &indices, 16, &mut rng,
-        );
+        )
+        .unwrap();
         let got = shares.reconstruct();
         for (g, &i) in got.iter().zip(&indices) {
             assert_eq!(*g, Nat::from(database[i]));
@@ -711,7 +788,8 @@ mod tests {
             &[2],
             8,
             &mut rng,
-        );
+        )
+        .unwrap();
         // The mask has full entropy width.
         assert!(shares.server[0].bit_len() > 8, "share must be blinded");
     }
@@ -736,7 +814,8 @@ mod tests {
                 &indices,
                 field,
                 &mut rng,
-            );
+            )
+            .unwrap();
             let expect: Vec<u64> = indices.iter().map(|&i| database[i]).collect();
             assert_eq!(shares.reconstruct(), expect, "{}", oracle.name());
         }

@@ -17,7 +17,7 @@
 
 use spfe_circuits::formula::{encode_index, eval_formula_poly, index_bits, selector_eval, Formula};
 use spfe_math::{Fp64, Poly, RandomSource};
-use spfe_transport::{Reader, Transcript, Wire, WireError};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
 /// The function being evaluated, in a representation the protocol can
 /// arithmetize.
@@ -76,28 +76,39 @@ impl MsFunction {
 
     /// Clear-text evaluation on concrete indices (ground truth).
     ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidDatabase`] if a formula is evaluated over a
+    /// database that is not 0/1-valued.
+    ///
     /// # Panics
     ///
-    /// Panics if an index is out of range or (for formulas) the database is
-    /// not 0/1-valued.
-    pub fn eval_clear(&self, db: &[u64], indices: &[usize], field: Fp64) -> u64 {
+    /// Panics if an index is out of range (the caller's own input).
+    pub fn eval_clear(
+        &self,
+        db: &[u64],
+        indices: &[usize],
+        field: Fp64,
+    ) -> Result<u64, ProtocolError> {
         match self {
             MsFunction::Formula(phi) => {
                 let args: Vec<bool> = indices
                     .iter()
                     .map(|&i| match db[i] {
-                        0 => false,
-                        1 => true,
-                        v => panic!("formula SPFE needs a Boolean database, got {v}"),
+                        0 => Ok(false),
+                        1 => Ok(true),
+                        _ => Err(ProtocolError::InvalidDatabase(
+                            "formula SPFE needs a Boolean database",
+                        )),
                     })
-                    .collect();
-                phi.evaluate(&args) as u64
+                    .collect::<Result<_, _>>()?;
+                Ok(phi.evaluate(&args) as u64)
             }
             MsFunction::Sum { m } => {
                 assert!(indices.len() >= *m);
-                indices[..*m]
+                Ok(indices[..*m]
                     .iter()
-                    .fold(0u64, |acc, &i| field.add(acc, field.from_u64(db[i])))
+                    .fold(0u64, |acc, &i| field.add(acc, field.from_u64(db[i]))))
             }
         }
     }
@@ -217,21 +228,34 @@ fn eval_curves_at_servers(
 
 /// Server `h`: evaluates `P` at the received point, optionally adding the
 /// shared blinding polynomial for symmetric privacy.
+///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] if the (client-controlled) query does
+/// not carry exactly one `ℓ`-element curve-point block per function slot.
 pub fn server_answer(
     params: &MultiServerParams,
     db: &[u64],
     query: &MsQuery,
     blind: Option<(&Poly, usize)>,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
+    if query.slot_points.len() != params.function.arity()
+        || query.slot_points.iter().any(|b| b.len() != params.ell)
+    {
+        return Err(ProtocolError::InvalidMessage {
+            label: "ms-query",
+            reason: "curve-point blocks do not match the function shape",
+        });
+    }
     // Every server evaluation touches the full database once.
     spfe_obs::count(spfe_obs::Op::PirWordsScanned, db.len() as u64);
     let raw = params
         .function
         .eval_at_points(db, &query.slot_points, params.field);
-    match blind {
+    Ok(match blind {
         None => raw,
         Some((r, h)) => params.field.add(raw, r.eval(params.alpha(h))),
-    }
+    })
 }
 
 /// The shared blinding polynomial `R` (degree `deg(P)·t`, `R(0) = 0`),
@@ -277,22 +301,56 @@ pub fn client_reconstruct_robust(
     Some(p.eval(0))
 }
 
+/// Post-mortem for a failed robust reconstruction: retries decoding with
+/// progressively larger fault budgets to count how many answers actually
+/// sit off the consensus polynomial; if no budget decodes, every answer is
+/// suspect.
+fn diagnose_faults(
+    params: &MultiServerParams,
+    answers: &[u64],
+    max_faults: usize,
+) -> ProtocolError {
+    let deg = params.function.poly_degree(params.ell) * params.t;
+    let xs: Vec<u64> = (0..answers.len()).map(|h| params.alpha(h)).collect();
+    let max_budget = answers.len().saturating_sub(deg + 1) / 2;
+    let observed = (max_faults + 1..=max_budget)
+        .find_map(|budget| {
+            spfe_math::rs::berlekamp_welch(&xs, answers, deg, budget, params.field).map(|p| {
+                xs.iter()
+                    .zip(answers)
+                    .filter(|&(&x, &a)| p.eval(x) != a)
+                    .count()
+            })
+        })
+        .unwrap_or(answers.len());
+    ProtocolError::TooManyFaulty {
+        tolerated: max_faults,
+        observed,
+    }
+}
+
 /// Runs the protocol with `2·max_faults` extra servers and robust
 /// reconstruction: up to `max_faults` servers may answer arbitrarily
 /// (simulated by `corrupt`, which may tamper with any answer it is given).
 ///
+/// # Errors
+///
+/// [`ProtocolError::TooManyFaulty`] with a fault diagnosis when more than
+/// `max_faults` answers are inconsistent; any [`ProtocolError`] surfaced
+/// by the channel.
+///
 /// # Panics
 ///
-/// Panics if the transcript has fewer than `k + 2·max_faults` servers.
+/// Panics if the channel has fewer than `k + 2·max_faults` servers.
 pub fn run_robust<R, C>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &MultiServerParams,
     db: &[u64],
     indices: &[usize],
     max_faults: usize,
     mut corrupt: C,
     rng: &mut R,
-) -> Option<u64>
+) -> Result<u64, ProtocolError>
 where
     R: RandomSource + ?Sized,
     C: FnMut(usize, u64) -> u64,
@@ -316,39 +374,45 @@ where
     let received: Vec<MsQuery> = queries
         .iter()
         .enumerate()
-        .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
-        .collect();
+        .map(|(h, q)| t.client_to_server(h, "ms-query", q))
+        .collect::<Result<_, _>>()?;
     // Honest evaluation is rng-free → pool; corruption and metering stay
     // serial (the corruptor is FnMut and may be stateful).
     let honest: Vec<u64> =
-        spfe_math::par::par_map(&received, |q| server_answer(params, db, q, None));
+        spfe_math::par::par_map(&received, |q| server_answer(params, db, q, None))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     let answers: Vec<u64> = honest
         .iter()
         .enumerate()
-        .map(|(h, &a)| {
-            let possibly_corrupted = corrupt(h, a);
-            t.server_to_client(h, "ms-answer", &possibly_corrupted)
-                .expect("codec")
-        })
-        .collect();
-    client_reconstruct_robust(params, &answers, max_faults)
+        .map(|(h, &a)| t.server_to_client(h, "ms-answer", &corrupt(h, a)))
+        .collect::<Result<_, _>>()?;
+    match client_reconstruct_robust(params, &answers, max_faults) {
+        Some(v) => Ok(v),
+        None => Err(diagnose_faults(params, &answers, max_faults)),
+    }
 }
 
 /// Runs the full 1-round protocol over a metered transcript. With
 /// `shared_seed = Some(s)` the servers add the \[25\]-style blinding (the
 /// client then learns *only* `f(x_I)` — symmetric privacy).
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
-/// Panics if the transcript's server count differs from `k`.
+/// Panics if the channel's server count differs from `k`.
 pub fn run<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &MultiServerParams,
     db: &[u64],
     indices: &[usize],
     shared_seed: Option<u64>,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     assert_eq!(t.num_servers(), params.num_servers(), "server count");
     let _proto = spfe_obs::span("multiserver");
     let queries = {
@@ -358,8 +422,8 @@ pub fn run<R: RandomSource + ?Sized>(
     let received: Vec<MsQuery> = queries
         .iter()
         .enumerate()
-        .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
-        .collect();
+        .map(|(h, q)| t.client_to_server(h, "ms-query", q))
+        .collect::<Result<_, _>>()?;
     // Each server's evaluation is independent and (given the shared seed)
     // deterministic, so compute all answers on the worker pool…
     let jobs: Vec<(usize, &MsQuery)> = received.iter().enumerate().collect();
@@ -373,32 +437,39 @@ pub fn run<R: RandomSource + ?Sized>(
                 server_answer(params, db, q, Some((&blind, h)))
             }
         })
+        .into_iter()
+        .collect::<Result<_, _>>()?
     };
     // …and meter the replies serially in server order.
     let answers: Vec<u64> = computed
         .iter()
         .enumerate()
-        .map(|(h, &a)| t.server_to_client(h, "ms-answer", &a).expect("codec"))
-        .collect();
+        .map(|(h, &a)| t.server_to_client(h, "ms-answer", &a))
+        .collect::<Result<_, _>>()?;
     let _s = spfe_obs::span("reconstruct");
-    client_reconstruct(params, &answers)
+    Ok(client_reconstruct(params, &answers))
 }
 
 /// The §4 "package": answers the *same* queries against both `x` and the
 /// squared database `x'`, returning `(Σ x_i, Σ x_i²)` — two field elements
 /// of extra downstream communication total.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
 /// Panics if the function is not `Sum` or server counts mismatch.
 pub fn run_sum_and_squares<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &MultiServerParams,
     db: &[u64],
     db_squared: &[u64],
     indices: &[usize],
     rng: &mut R,
-) -> (u64, u64) {
+) -> Result<(u64, u64), ProtocolError> {
     assert!(matches!(params.function, MsFunction::Sum { .. }));
     assert_eq!(t.num_servers(), params.num_servers());
     let _proto = spfe_obs::span("multiserver-sumsq");
@@ -406,27 +477,27 @@ pub fn run_sum_and_squares<R: RandomSource + ?Sized>(
     let received: Vec<MsQuery> = queries
         .iter()
         .enumerate()
-        .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
-        .collect();
+        .map(|(h, q)| t.client_to_server(h, "ms-query", q))
+        .collect::<Result<_, _>>()?;
     let computed: Vec<(u64, u64)> = spfe_math::par::par_map(&received, |q| {
-        (
-            server_answer(params, db, q, None),
-            server_answer(params, db_squared, q, None),
-        )
-    });
+        Ok::<_, ProtocolError>((
+            server_answer(params, db, q, None)?,
+            server_answer(params, db_squared, q, None)?,
+        ))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let mut sum_answers = Vec::with_capacity(received.len());
     let mut sq_answers = Vec::with_capacity(received.len());
     for (h, pair) in computed.iter().enumerate() {
-        let (a, b) = t
-            .server_to_client(h, "ms-answer-pair", pair)
-            .expect("codec");
+        let (a, b) = t.server_to_client(h, "ms-answer-pair", pair)?;
         sum_answers.push(a);
         sq_answers.push(b);
     }
-    (
+    Ok((
         client_reconstruct(params, &sum_answers),
         client_reconstruct(params, &sq_answers),
-    )
+    ))
 }
 
 /// §3.1's amortization claim, generalized: "this protocol can be used to
@@ -436,16 +507,21 @@ pub fn run_sum_and_squares<R: RandomSource + ?Sized>(
 /// period, or `x` and `x'`), for one extra field element per (server,
 /// database).
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
 /// Panics on server-count mismatch or ragged database sizes.
 pub fn run_many_databases<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &MultiServerParams,
     dbs: &[&[u64]],
     indices: &[usize],
     rng: &mut R,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ProtocolError> {
     assert!(!dbs.is_empty());
     assert!(dbs.iter().all(|d| d.len() == dbs[0].len()), "ragged dbs");
     assert_eq!(t.num_servers(), params.num_servers());
@@ -454,26 +530,32 @@ pub fn run_many_databases<R: RandomSource + ?Sized>(
     let received: Vec<MsQuery> = queries
         .iter()
         .enumerate()
-        .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
-        .collect();
+        .map(|(h, q)| t.client_to_server(h, "ms-query", q))
+        .collect::<Result<_, _>>()?;
     let computed: Vec<Vec<u64>> = spfe_math::par::par_map(&received, |q| {
         dbs.iter()
             .map(|db| server_answer(params, db, q, None))
-            .collect()
-    });
+            .collect::<Result<_, _>>()
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let mut per_db_answers: Vec<Vec<u64>> = vec![Vec::with_capacity(received.len()); dbs.len()];
     for (h, answers) in computed.iter().enumerate() {
-        let answers = t
-            .server_to_client(h, "ms-answer-multi", answers)
-            .expect("codec");
+        let answers = t.server_to_client(h, "ms-answer-multi", answers)?;
+        if answers.len() != dbs.len() {
+            return Err(ProtocolError::InvalidMessage {
+                label: "ms-answer-multi",
+                reason: "answer count does not match database count",
+            });
+        }
         for (d, a) in answers.into_iter().enumerate() {
             per_db_answers[d].push(a);
         }
     }
-    per_db_answers
+    Ok(per_db_answers
         .iter()
         .map(|answers| client_reconstruct(params, answers))
-        .collect()
+        .collect())
 }
 
 /// Like [`run`], but forces the (independent) server evaluations onto the
@@ -482,35 +564,37 @@ pub fn run_many_databases<R: RandomSource + ?Sized>(
 /// machine. Communication accounting is identical to the sequential run;
 /// only wall-clock changes.
 ///
-/// # Panics
+/// # Errors / Panics
 ///
 /// Same contract as [`run`].
 pub fn run_parallel<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &MultiServerParams,
     db: &[u64],
     indices: &[usize],
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     assert_eq!(t.num_servers(), params.num_servers(), "server count");
     let _proto = spfe_obs::span("multiserver-par");
     let queries = client_queries(params, indices, rng);
     let received: Vec<MsQuery> = queries
         .iter()
         .enumerate()
-        .map(|(h, q)| t.client_to_server(h, "ms-query", q).expect("codec"))
-        .collect();
+        .map(|(h, q)| t.client_to_server(h, "ms-query", q))
+        .collect::<Result<_, _>>()?;
     // Every server computes concurrently (min_len 1 bypasses the
     // sequential-fallback threshold)…
     let computed: Vec<u64> =
-        spfe_math::par::par_map_min(1, &received, |q| server_answer(params, db, q, None));
+        spfe_math::par::par_map_min(1, &received, |q| server_answer(params, db, q, None))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
     // …and the replies are metered as usual.
     let answers: Vec<u64> = computed
         .iter()
         .enumerate()
-        .map(|(h, &a)| t.server_to_client(h, "ms-answer", &a).expect("codec"))
-        .collect();
-    client_reconstruct(params, &answers)
+        .map(|(h, &a)| t.server_to_client(h, "ms-answer", &a))
+        .collect::<Result<_, _>>()?;
+    Ok(client_reconstruct(params, &answers))
 }
 
 #[cfg(test)]
@@ -518,6 +602,7 @@ mod tests {
     use super::*;
     use spfe_circuits::formula::BinOp;
     use spfe_math::XorShiftRng;
+    use spfe_transport::Transcript;
 
     fn field() -> Fp64 {
         Fp64::new(1_000_003).unwrap()
@@ -530,8 +615,8 @@ mod tests {
         let params = MultiServerParams::new(db.len(), 1, field(), MsFunction::Sum { m: 3 });
         for idx in [[0usize, 1, 2], [5, 5, 5], [15, 0, 7]] {
             let mut tr = Transcript::new(params.num_servers());
-            let got = run(&mut tr, &params, &db, &idx, None, &mut rng);
-            let expect = params.function.eval_clear(&db, &idx, field());
+            let got = run(&mut tr, &params, &db, &idx, None, &mut rng).unwrap();
+            let expect = params.function.eval_clear(&db, &idx, field()).unwrap();
             assert_eq!(got, expect, "{idx:?}");
         }
     }
@@ -548,8 +633,8 @@ mod tests {
         let params = MultiServerParams::new(db.len(), 1, field(), MsFunction::Formula(phi));
         for idx in [[0usize, 2, 4], [1, 4, 6], [0, 1, 2], [3, 5, 7]] {
             let mut tr = Transcript::new(params.num_servers());
-            let got = run(&mut tr, &params, &db, &idx, None, &mut rng);
-            let expect = params.function.eval_clear(&db, &idx, field());
+            let got = run(&mut tr, &params, &db, &idx, None, &mut rng).unwrap();
+            let expect = params.function.eval_clear(&db, &idx, field()).unwrap();
             assert_eq!(got, expect, "{idx:?}");
         }
     }
@@ -570,7 +655,7 @@ mod tests {
         let db: Vec<u64> = (0..64u64).collect();
         let params = MultiServerParams::new(db.len(), 1, field(), MsFunction::Sum { m: 4 });
         let mut tr = Transcript::new(params.num_servers());
-        run(&mut tr, &params, &db, &[1, 2, 3, 4], None, &mut rng);
+        run(&mut tr, &params, &db, &[1, 2, 3, 4], None, &mut rng).unwrap();
         let rep = tr.report();
         assert_eq!(rep.half_rounds, 2);
         // Answers: k single field elements — per-server downstream is 8 bytes.
@@ -587,7 +672,7 @@ mod tests {
         let db: Vec<u64> = (0..32u64).map(|i| i + 100).collect();
         let params = MultiServerParams::new(db.len(), 2, field(), MsFunction::Sum { m: 2 });
         let mut tr = Transcript::new(params.num_servers());
-        let got = run(&mut tr, &params, &db, &[3, 30], Some(0xB11D), &mut rng);
+        let got = run(&mut tr, &params, &db, &[3, 30], Some(0xB11D), &mut rng).unwrap();
         assert_eq!(got, field().from_u64(db[3] + db[30]));
     }
 
@@ -601,8 +686,8 @@ mod tests {
         let blind = blinding_poly(&params, &mut srng);
         let mut diffs = 0;
         for (h, q) in queries.iter().enumerate() {
-            let raw = server_answer(&params, &db, q, None);
-            let blinded = server_answer(&params, &db, q, Some((&blind, h)));
+            let raw = server_answer(&params, &db, q, None).unwrap();
+            let blinded = server_answer(&params, &db, q, Some((&blind, h))).unwrap();
             diffs += (raw != blinded) as usize;
         }
         assert!(diffs > 0);
@@ -642,7 +727,7 @@ mod tests {
         let params = MultiServerParams::new(db.len(), 1, field(), MsFunction::Sum { m: 3 });
         let idx = [2usize, 7, 30];
         let mut tr = Transcript::new(params.num_servers());
-        let (s, ss) = run_sum_and_squares(&mut tr, &params, &db, &sq, &idx, &mut rng);
+        let (s, ss) = run_sum_and_squares(&mut tr, &params, &db, &sq, &idx, &mut rng).unwrap();
         assert_eq!(s, db[2] + db[7] + db[30]);
         assert_eq!(ss, sq[2] + sq[7] + sq[30]);
         // Still one round, and downstream exactly 2 field elements/server.
@@ -662,14 +747,14 @@ mod tests {
         let params = MultiServerParams::new(16, 1, field(), MsFunction::Sum { m: 2 });
         let idx = [3usize, 9];
         let mut tr = Transcript::new(params.num_servers());
-        let sums = run_many_databases(&mut tr, &params, &refs, &idx, &mut rng);
+        let sums = run_many_databases(&mut tr, &params, &refs, &idx, &mut rng).unwrap();
         for (s, p) in sums.iter().zip(&periods) {
             assert_eq!(*s, p[3] + p[9]);
         }
         // One round; upstream identical to a single-db run.
         assert_eq!(tr.report().half_rounds, 2);
         let mut tr_single = Transcript::new(params.num_servers());
-        run(&mut tr_single, &params, &periods[0], &idx, None, &mut rng);
+        run(&mut tr_single, &params, &periods[0], &idx, None, &mut rng).unwrap();
         assert_eq!(
             tr.report().client_to_server,
             tr_single.report().client_to_server,
@@ -684,7 +769,7 @@ mod tests {
         let params = MultiServerParams::new(db.len(), 2, field(), MsFunction::Sum { m: 3 });
         let idx = [0usize, 32, 63];
         let mut tr = Transcript::new(params.num_servers());
-        let got = run_parallel(&mut tr, &params, &db, &idx, &mut rng);
+        let got = run_parallel(&mut tr, &params, &db, &idx, &mut rng).unwrap();
         assert_eq!(got, db[0] + db[32] + db[63]);
         assert_eq!(tr.report().half_rounds, 2);
     }
@@ -710,7 +795,7 @@ mod tests {
                 |h, honest| if h < faults { honest ^ 0xDEAD } else { honest },
                 &mut rng,
             );
-            assert_eq!(got, Some(expect), "faults={faults}");
+            assert_eq!(got, Ok(expect), "faults={faults}");
         }
     }
 
@@ -722,9 +807,9 @@ mod tests {
         let max_faults = 1;
         let k = params.num_servers() + 2 * max_faults;
         let mut tr = Transcript::new(k);
-        // 3 > max_faults liars with random garbage: decoding either fails
-        // or still yields a consistent value (never silently garbage that
-        // passes the agreement check).
+        // 3 > max_faults liars with random garbage: decoding either
+        // succeeds with the true value or aborts with a fault diagnosis
+        // (never silently garbage that passes the agreement check).
         let got = run_robust(
             &mut tr,
             &params,
@@ -740,19 +825,33 @@ mod tests {
             },
             &mut rng,
         );
-        if let Some(v) = got {
-            // If decoding claims success it must agree with the honest
-            // majority, i.e. equal the true value.
-            assert_eq!(v, field().from_u64(db[3]));
+        match got {
+            Ok(v) => {
+                // If decoding claims success it must agree with the honest
+                // majority, i.e. equal the true value.
+                assert_eq!(v, field().from_u64(db[3]));
+            }
+            Err(ProtocolError::TooManyFaulty {
+                tolerated,
+                observed,
+            }) => {
+                assert_eq!(tolerated, max_faults);
+                assert!(observed > tolerated, "diagnosis must exceed budget");
+            }
+            Err(other) => panic!("unexpected error: {other}"),
         }
     }
 
     #[test]
-    #[should_panic(expected = "Boolean database")]
-    fn formula_on_non_boolean_db_panics() {
+    fn formula_on_non_boolean_db_is_rejected() {
         let phi = Formula::leaf(0);
         let params = MultiServerParams::new(4, 1, field(), MsFunction::Formula(phi));
         let db = vec![5u64, 1, 0, 1];
-        params.function.eval_clear(&db, &[0], field());
+        assert_eq!(
+            params.function.eval_clear(&db, &[0], field()),
+            Err(ProtocolError::InvalidDatabase(
+                "formula SPFE needs a Boolean database"
+            ))
+        );
     }
 }

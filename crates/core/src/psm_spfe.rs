@@ -32,7 +32,7 @@ use spfe_mpc::garble::{self, Label};
 use spfe_mpc::psm;
 use spfe_pir::poly_it::{self, PolyItParams};
 use spfe_pir::spir::{self, SpirParams, SpirQuery, SpirWordsAnswer};
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ChannelExt, ProtocolError};
 
 /// Packs a label into two little-endian u64 words.
 fn label_to_words(l: &Label) -> [u64; 2] {
@@ -56,14 +56,18 @@ fn words_to_label(w: &[u64]) -> Label {
 /// bit `j·item_bits + b` = bit `b` of the `j`-th selected item). Returns
 /// `f(x_I)` as a `u64` (little-endian output bits).
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
 /// Panics if the circuit input count is not `indices.len() · item_bits`,
 /// an index is out of range, or a database value needs more than
-/// `item_bits` bits.
+/// `item_bits` bits (local setup bugs, not attacks).
 #[allow(clippy::too_many_arguments)]
 pub fn run_yao_psm<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -72,7 +76,7 @@ pub fn run_yao_psm<P, S, R>(
     circuit: &Circuit,
     item_bits: usize,
     rng: &mut R,
-) -> u64
+) -> Result<u64, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -102,9 +106,7 @@ where
         }
         (queries, states)
     };
-    let queries: Vec<SpirQuery> = t
-        .client_to_server(0, "psm-spir-queries", &queries)
-        .expect("codec");
+    let queries: Vec<SpirQuery> = t.client_to_server(0, "psm-spir-queries", &queries)?;
 
     // Server: garble f from fresh randomness (the PSM common random input),
     // build each player's virtual database of input-label bundles, answer
@@ -130,24 +132,31 @@ where
                 .collect();
             spir::server_answer_words(&params, pk, &vdb, q, rng)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     drop(_se);
-    let (garbled, answers) = t
-        .server_to_client(0, "psm-p0-and-answers", &(garbled, answers))
-        .expect("codec");
+    let (garbled, answers) = t.server_to_client(0, "psm-p0-and-answers", &(garbled, answers))?;
 
     // Client (referee): decode labels, evaluate the garbled circuit.
+    const BAD: ProtocolError = ProtocolError::InvalidMessage {
+        label: "psm-p0-and-answers",
+        reason: "reply inconsistent with circuit",
+    };
     let _s = spfe_obs::span("reconstruct");
+    if answers.len() != states.len() || !garble::is_well_formed(circuit, &garbled) {
+        return Err(BAD);
+    }
     let mut labels = Vec::with_capacity(m * item_bits);
     for (st, a) in states.iter().zip(&answers) {
-        let words = spir::client_decode_words(&params, pk, sk, st, a);
-        assert_eq!(words.len(), 2 * item_bits, "bad message width");
+        let words = spir::client_decode_words(&params, pk, sk, st, a)?;
+        if words.len() != 2 * item_bits {
+            return Err(BAD);
+        }
         for b in 0..item_bits {
             labels.push(words_to_label(&words[2 * b..2 * b + 2]));
         }
     }
     let out = psm::yao::referee(circuit, &garbled, &labels);
-    spfe_mpc::yao2pc::from_bits(&out)
+    Ok(spfe_mpc::yao2pc::from_bits(&out))
 }
 
 /// `k`-server perfectly secure PSM-SPFE for the **sum** function
@@ -157,18 +166,22 @@ where
 /// pads `r_j` (summing to 0) and per-slot blinding polynomials for
 /// symmetric privacy. One round; every server sends `m` field elements.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics if the transcript server count differs from the scheme's `k`,
-/// or an index/database value is out of range.
+/// Panics if the channel server count differs from the scheme's `k`, or
+/// an index/database value is out of range (local setup bugs).
 pub fn run_sum_psm<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &PolyItParams,
     db: &[u64],
     indices: &[usize],
     shared_seed: u64,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     let m = indices.len();
     assert!(m > 0);
     let p = params.field.modulus();
@@ -188,8 +201,8 @@ pub fn run_sum_psm<R: RandomSource + ?Sized>(
     let received: Vec<Vec<poly_it::PolyItQuery>> = per_server
         .iter()
         .enumerate()
-        .map(|(h, qs)| t.client_to_server(h, "sumpsm-queries", qs).expect("codec"))
-        .collect();
+        .map(|(h, qs)| t.client_to_server(h, "sumpsm-queries", qs))
+        .collect::<Result<_, _>>()?;
 
     // Servers: virtual database vdb_j[i] = x_i + r_j (mod p), blinded.
     let derive = |seed: u64| -> (Vec<u64>, Vec<spfe_math::Poly>) {
@@ -204,6 +217,12 @@ pub fn run_sum_psm<R: RandomSource + ?Sized>(
     };
     let mut per_server_answers: Vec<Vec<u64>> = Vec::with_capacity(params.num_servers());
     for (h, qs) in received.iter().enumerate() {
+        if qs.len() != m {
+            return Err(ProtocolError::InvalidMessage {
+                label: "sumpsm-queries",
+                reason: "wrong number of slot queries",
+            });
+        }
         let (pads, blinds) = derive(shared_seed); // every server re-derives
         let answers: Vec<u64> = qs
             .iter()
@@ -212,11 +231,15 @@ pub fn run_sum_psm<R: RandomSource + ?Sized>(
                 let vdb: Vec<u64> = db.iter().map(|&x| params.field.add(x, pads[j])).collect();
                 poly_it::server_answer_blinded(params, &vdb, q, &blinds[j], h)
             })
-            .collect();
-        per_server_answers.push(
-            t.server_to_client(h, "sumpsm-answers", &answers)
-                .expect("codec"),
-        );
+            .collect::<Result<_, _>>()?;
+        let delivered: Vec<u64> = t.server_to_client(h, "sumpsm-answers", &answers)?;
+        if delivered.len() != m {
+            return Err(ProtocolError::InvalidMessage {
+                label: "sumpsm-answers",
+                reason: "wrong number of slot answers",
+            });
+        }
+        per_server_answers.push(delivered);
     }
 
     // Client (referee): reconstruct each PSM message, then sum.
@@ -226,7 +249,7 @@ pub fn run_sum_psm<R: RandomSource + ?Sized>(
         let msg = poly_it::client_reconstruct(params, &answers);
         acc = params.field.add(acc, msg);
     }
-    acc
+    Ok(acc)
 }
 
 /// `k`-server perfectly secure PSM-SPFE for a **branching program** over a
@@ -237,19 +260,24 @@ pub fn run_sum_psm<R: RandomSource + ?Sized>(
 /// possible item value; entries are retrieved by symmetric poly-IT PIR and
 /// summed with the in-clear `p₀` matrix; the referee reads `±det`.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
 /// Panics if the BP arity differs from `indices.len()`, the database is
-/// not 0/1-valued, or the transcript's server count is wrong.
+/// not 0/1-valued, or the channel's server count is wrong (local setup
+/// bugs, not attacks).
 pub fn run_bp_psm<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &PolyItParams,
     bp: &BranchingProgram,
     db: &[u64],
     indices: &[usize],
     shared_seed: u64,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     let m = indices.len();
     assert_eq!(bp.num_vars(), m, "BP arity mismatch");
     assert!(
@@ -274,8 +302,8 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
     let received: Vec<Vec<poly_it::PolyItQuery>> = per_server
         .iter()
         .enumerate()
-        .map(|(h, qs)| t.client_to_server(h, "bppsm-queries", qs).expect("codec"))
-        .collect();
+        .map(|(h, qs)| t.client_to_server(h, "bppsm-queries", qs))
+        .collect::<Result<_, _>>()?;
 
     // Common randomness: the IK-PSM randomizers + per-(slot, matrix-entry)
     // blinding polynomials.
@@ -297,12 +325,22 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
     // Servers answer; server 0 additionally sends p₀ in the clear.
     let (rand0, _) = derive(shared_seed);
     let p0 = psm::bp::p0_message(bp, field, &rand0);
-    let p0_entries: Vec<u64> = t
-        .server_to_client(0, "bppsm-p0", &p0.entries().to_vec())
-        .expect("codec");
+    let p0_entries: Vec<u64> = t.server_to_client(0, "bppsm-p0", &p0.entries().to_vec())?;
+    if p0_entries.len() != width {
+        return Err(ProtocolError::InvalidMessage {
+            label: "bppsm-p0",
+            reason: "wrong p0 matrix size",
+        });
+    }
 
     let mut per_server_answers: Vec<Vec<Vec<u64>>> = Vec::with_capacity(params.num_servers());
     for (h, qs) in received.iter().enumerate() {
+        if qs.len() != m {
+            return Err(ProtocolError::InvalidMessage {
+                label: "bppsm-queries",
+                reason: "wrong number of slot queries",
+            });
+        }
         let (rand, blinds) = derive(shared_seed);
         let answers: Vec<Vec<u64>> = qs
             .iter()
@@ -325,11 +363,15 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
                     })
                     .collect()
             })
-            .collect();
-        per_server_answers.push(
-            t.server_to_client(h, "bppsm-answers", &answers)
-                .expect("codec"),
-        );
+            .collect::<Result<_, _>>()?;
+        let delivered: Vec<Vec<u64>> = t.server_to_client(h, "bppsm-answers", &answers)?;
+        if delivered.len() != m || delivered.iter().any(|row| row.len() != width) {
+            return Err(ProtocolError::InvalidMessage {
+                label: "bppsm-answers",
+                reason: "wrong answer matrix shape",
+            });
+        }
+        per_server_answers.push(delivered);
     }
 
     // Client (referee): reconstruct each player's matrix, sum with p₀, det.
@@ -355,11 +397,7 @@ pub fn run_bp_psm<R: RandomSource + ?Sized>(
         total = total.add(&mat);
     }
     let det = total.det();
-    if d % 2 == 1 {
-        field.neg(det)
-    } else {
-        det
-    }
+    Ok(if d % 2 == 1 { field.neg(det) } else { det })
 }
 
 #[cfg(test)]
@@ -367,6 +405,7 @@ mod tests {
     use super::*;
     use spfe_circuits::builders::{frequency_circuit, sum_circuit};
     use spfe_crypto::{HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn crypto() -> (
         SchnorrGroup,
@@ -389,7 +428,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let got = run_yao_psm(
             &mut t, &group, &pk, &sk, &db, &indices, &circuit, 4, &mut rng,
-        );
+        )
+        .unwrap();
         let expect: u64 = indices.iter().map(|&i| db[i]).sum();
         assert_eq!(got, expect);
         assert_eq!(t.report().half_rounds, 2, "Theorem 3: one round");
@@ -404,7 +444,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let got = run_yao_psm(
             &mut t, &group, &pk, &sk, &db, &indices, &circuit, 3, &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(got, 3);
     }
 
@@ -417,7 +458,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let got = run_yao_psm(
             &mut t, &group, &pk, &sk, &db, &indices, &circuit, 4, &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(got, 8);
     }
 
@@ -429,7 +471,7 @@ mod tests {
         let params = PolyItParams::new(db.len(), 2, field);
         let indices = [3usize, 9, 19, 0];
         let mut t = Transcript::new(params.num_servers());
-        let got = run_sum_psm(&mut t, &params, &db, &indices, 0xABCD, &mut rng);
+        let got = run_sum_psm(&mut t, &params, &db, &indices, 0xABCD, &mut rng).unwrap();
         let expect: u64 = indices.iter().map(|&i| db[i]).sum();
         assert_eq!(got, expect % field.modulus());
         assert_eq!(t.report().half_rounds, 2);
@@ -442,7 +484,7 @@ mod tests {
         let db: Vec<u64> = (100..110u64).collect();
         let params = PolyItParams::new(db.len(), 1, field);
         let mut t = Transcript::new(params.num_servers());
-        let got = run_sum_psm(&mut t, &params, &db, &[5], 7, &mut rng);
+        let got = run_sum_psm(&mut t, &params, &db, &[5], 7, &mut rng).unwrap();
         assert_eq!(got, 105);
     }
 
@@ -455,7 +497,7 @@ mod tests {
         let params = PolyItParams::new(db.len(), 1, field);
         for idx in [[0usize, 2, 3], [0, 1, 2], [5, 6, 0], [1, 4, 7]] {
             let mut t = Transcript::new(params.num_servers());
-            let got = run_bp_psm(&mut t, &params, &bp, &db, &idx, 0xEE, &mut rng);
+            let got = run_bp_psm(&mut t, &params, &bp, &db, &idx, 0xEE, &mut rng).unwrap();
             let expect = idx.iter().all(|&i| db[i] == 1) as u64;
             assert_eq!(got, expect, "{idx:?}");
         }
@@ -470,17 +512,20 @@ mod tests {
         let params = PolyItParams::new(db.len(), 1, field);
         let idx = [0usize, 2, 3]; // 1 ⊕ 1 ⊕ 0 = 0
         let mut t = Transcript::new(params.num_servers());
-        assert_eq!(run_bp_psm(&mut t, &params, &bp, &db, &idx, 1, &mut rng), 0);
+        assert_eq!(
+            run_bp_psm(&mut t, &params, &bp, &db, &idx, 1, &mut rng).unwrap(),
+            0
+        );
         let idx2 = [0usize, 1, 2]; // 1 ⊕ 0 ⊕ 1 = 0
         let mut t2 = Transcript::new(params.num_servers());
         assert_eq!(
-            run_bp_psm(&mut t2, &params, &bp, &db, &idx2, 2, &mut rng),
+            run_bp_psm(&mut t2, &params, &bp, &db, &idx2, 2, &mut rng).unwrap(),
             0
         );
         let idx3 = [0usize, 1, 3]; // 1 ⊕ 0 ⊕ 0 = 1
         let mut t3 = Transcript::new(params.num_servers());
         assert_eq!(
-            run_bp_psm(&mut t3, &params, &bp, &db, &idx3, 3, &mut rng),
+            run_bp_psm(&mut t3, &params, &bp, &db, &idx3, 3, &mut rng).unwrap(),
             1
         );
     }
@@ -494,7 +539,7 @@ mod tests {
         let c2 = sum_circuit(2, 3);
         let c4 = sum_circuit(4, 3);
         let mut t2 = Transcript::new(1);
-        run_yao_psm(&mut t2, &group, &pk, &sk, &db, &[1, 2], &c2, 3, &mut rng);
+        run_yao_psm(&mut t2, &group, &pk, &sk, &db, &[1, 2], &c2, 3, &mut rng).unwrap();
         let mut t4 = Transcript::new(1);
         run_yao_psm(
             &mut t4,
@@ -506,7 +551,8 @@ mod tests {
             &c4,
             3,
             &mut rng,
-        );
+        )
+        .unwrap();
         let up_ratio = t4.report().client_to_server as f64 / t2.report().client_to_server as f64;
         assert!(up_ratio > 1.6 && up_ratio < 2.4, "upstream ~2x: {up_ratio}");
     }

@@ -21,7 +21,7 @@ use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_crypto::SchnorrGroup;
 use spfe_math::{Fp64, Nat, Poly, RandomSource};
 use spfe_pir::batched;
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ChannelExt, ProtocolError};
 
 /// Encrypts the blinded functional value `Σ-term + p·(R+1)` so the client
 /// learns exactly the mod-`p` value.
@@ -50,14 +50,16 @@ fn functional_coeffs(field: Fp64, indices: &[usize], weights: &[u64]) -> Vec<u64
 }
 
 /// Server-side: the homomorphic functional reply
-/// `E(Σ_k s_k·c_k + p·(R+1))` from encrypted coefficients.
+/// `E(Σ_k s_k·c_k + p·(R+1))` from the (client-controlled) encrypted
+/// coefficients; `label` names the message the coefficients arrived in.
 fn functional_reply<P: HomomorphicPk, R: RandomSource + ?Sized>(
     pk: &P,
     field: Fp64,
     s_poly: &Poly,
     coeff_cts: &[Vec<u8>],
+    label: &'static str,
     rng: &mut R,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, ProtocolError> {
     let p = field.modulus();
     let mut acc: Option<P::Ciphertext> = None;
     for (k, ct_bytes) in coeff_cts.iter().enumerate() {
@@ -65,7 +67,12 @@ fn functional_reply<P: HomomorphicPk, R: RandomSource + ?Sized>(
         if s_k == 0 {
             continue;
         }
-        let ct = pk.ciphertext_from_bytes(ct_bytes).expect("malformed coeff");
+        let ct = pk
+            .ciphertext_from_bytes(ct_bytes)
+            .ok_or(ProtocolError::InvalidMessage {
+                label,
+                reason: "coefficient is not a ciphertext",
+            })?;
         let term = pk.mul_const(&ct, &Nat::from(s_k));
         acc = Some(match acc {
             None => term,
@@ -78,19 +85,25 @@ fn functional_reply<P: HomomorphicPk, R: RandomSource + ?Sized>(
         None => offset,
         Some(a) => pk.add(&a, &offset),
     };
-    pk.ciphertext_to_bytes(&total)
+    Ok(pk.ciphertext_to_bytes(&total))
 }
 
 /// The §4 one-round weighted-sum protocol: returns
 /// `Σ_j weights[j] · x_{indices[j]} mod p`.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
 /// Panics if lengths mismatch, values exceed the field, the field is not
-/// larger than `n`, or the homomorphic plaintext space is too small.
+/// larger than `n`, or the homomorphic plaintext space is too small (all
+/// local setup bugs, not attacks).
 #[allow(clippy::too_many_arguments)]
 pub fn weighted_sum<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -99,7 +112,7 @@ pub fn weighted_sum<P, S, R>(
     weights: &[u64],
     field: Fp64,
     rng: &mut R,
-) -> u64
+) -> Result<u64, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -121,9 +134,7 @@ where
         .iter()
         .map(|&c| pk.ciphertext_to_bytes(&pk.encrypt(&Nat::from(c), rng)))
         .collect();
-    let (queries, coeff_cts) = t
-        .client_to_server(0, "wsum-query", &(queries, coeff_cts))
-        .expect("codec");
+    let (queries, coeff_cts) = t.client_to_server(0, "wsum-query", &(queries, coeff_cts))?;
     drop(_qg);
 
     // Server: mask the database, answer SPIR + the functional.
@@ -134,16 +145,14 @@ where
         .enumerate()
         .map(|(i, &x)| vec![field.add(x, s_poly.eval(i as u64))])
         .collect();
-    let answers = batched::server_answer_words(group, pk, &masked, &queries, rng);
-    let func = functional_reply(pk, field, &s_poly, &coeff_cts, rng);
-    let (answers, func) = t
-        .server_to_client(0, "wsum-answer", &(answers, func))
-        .expect("codec");
+    let answers = batched::server_answer_words(group, pk, &masked, &queries, rng)?;
+    let func = functional_reply(pk, field, &s_poly, &coeff_cts, "wsum-query", rng)?;
+    let (answers, func) = t.server_to_client(0, "wsum-answer", &(answers, func))?;
     drop(_se);
 
     // Client: Σ w_j·x'_{i_j} − Σ w_j·P_s(i_j).
     let _s = spfe_obs::span("reconstruct");
-    let mut retrieved = batched::client_decode_words(pk, sk, &state, &answers, 1);
+    let mut retrieved = batched::client_decode_words(pk, sk, &state, &answers, 1)?;
     // Fallback leftovers (rare): a second plain exchange.
     if !state.leftovers.is_empty() {
         let flat: Vec<u64> = masked_fallback(
@@ -157,7 +166,7 @@ where
             indices,
             &state.leftovers,
             rng,
-        );
+        )?;
         for (&q, v) in state.leftovers.iter().zip(flat) {
             retrieved[q] = vec![v];
         }
@@ -165,15 +174,19 @@ where
     let masked_sum = retrieved.iter().zip(weights).fold(0u64, |acc, (v, &w)| {
         field.add(acc, field.mul(field.from_u64(w), v[0]))
     });
-    let func_val = sk.decrypt(&pk.ciphertext_from_bytes(&func).expect("ct"));
-    let mask_sum = func_val.rem(&Nat::from(p)).to_u64().expect("fits");
-    field.sub(masked_sum, mask_sum)
+    const BAD_FUNC: ProtocolError = ProtocolError::InvalidMessage {
+        label: "wsum-answer",
+        reason: "malformed functional reply",
+    };
+    let func_val = sk.decrypt(&pk.ciphertext_from_bytes(&func).ok_or(BAD_FUNC)?);
+    let mask_sum = func_val.rem(&Nat::from(p)).to_u64().ok_or(BAD_FUNC)?;
+    Ok(field.sub(masked_sum, mask_sum))
 }
 
 /// Fallback retrievals against the same masked database.
 #[allow(clippy::too_many_arguments)]
 fn masked_fallback<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -183,7 +196,7 @@ fn masked_fallback<P, S, R>(
     indices: &[usize],
     leftovers: &[usize],
     rng: &mut R,
-) -> Vec<u64>
+) -> Result<Vec<u64>, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -198,9 +211,7 @@ where
         queries.push(fq);
         states.push(fst);
     }
-    let queries = t
-        .client_to_server(0, "wsum-fallback-q", &queries)
-        .expect("codec");
+    let queries = t.client_to_server(0, "wsum-fallback-q", &queries)?;
     let masked: Vec<u64> = db
         .iter()
         .enumerate()
@@ -209,10 +220,14 @@ where
     let answers: Vec<spfe_pir::SpirAnswer> = queries
         .iter()
         .map(|fq| spir::server_answer(&params, pk, &masked, fq, rng))
-        .collect();
-    let answers = t
-        .server_to_client(0, "wsum-fallback-a", &answers)
-        .expect("codec");
+        .collect::<Result<_, _>>()?;
+    let answers = t.server_to_client(0, "wsum-fallback-a", &answers)?;
+    if answers.len() != states.len() {
+        return Err(ProtocolError::InvalidMessage {
+            label: "wsum-fallback-a",
+            reason: "answer count does not match query count",
+        });
+    }
     states
         .iter()
         .zip(&answers)
@@ -224,12 +239,18 @@ where
 /// answered against both `x` and the squared database; returns
 /// `(Σ x_{i_j}, Σ x_{i_j}²) mod p`. The client derives mean and variance.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
-/// Same preconditions as [`weighted_sum`]; squares must also fit the field.
+/// Same local-setup preconditions as [`weighted_sum`]; squares must also
+/// fit the field.
 #[allow(clippy::too_many_arguments)]
 pub fn average_and_variance<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -238,7 +259,7 @@ pub fn average_and_variance<P, S, R>(
     indices: &[usize],
     field: Fp64,
     rng: &mut R,
-) -> (u64, u64)
+) -> Result<(u64, u64), ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -264,9 +285,7 @@ where
         .iter()
         .map(|&c| pk.ciphertext_to_bytes(&pk.encrypt(&Nat::from(c), rng)))
         .collect();
-    let (queries, coeff_cts) = t
-        .client_to_server(0, "avgvar-query", &(queries, coeff_cts))
-        .expect("codec");
+    let (queries, coeff_cts) = t.client_to_server(0, "avgvar-query", &(queries, coeff_cts))?;
 
     // Server: two independent masks; the same query answered twice.
     let s1 = Poly::random(m.saturating_sub(1), field, rng);
@@ -277,26 +296,110 @@ where
             .map(|(i, &x)| vec![field.add(x, s.eval(i as u64))])
             .collect()
     };
-    let a1 = batched::server_answer_words(group, pk, &mask(db, &s1), &queries, rng);
-    let a2 = batched::server_answer_words(group, pk, &mask(db_squared, &s2), &queries, rng);
-    let f1 = functional_reply(pk, field, &s1, &coeff_cts, rng);
-    let f2 = functional_reply(pk, field, &s2, &coeff_cts, rng);
-    let ((a1, a2), (f1, f2)) = t
-        .server_to_client(0, "avgvar-answer", &((a1, a2), (f1, f2)))
-        .expect("codec");
+    let a1 = batched::server_answer_words(group, pk, &mask(db, &s1), &queries, rng)?;
+    let a2 = batched::server_answer_words(group, pk, &mask(db_squared, &s2), &queries, rng)?;
+    let f1 = functional_reply(pk, field, &s1, &coeff_cts, "avgvar-query", rng)?;
+    let f2 = functional_reply(pk, field, &s2, &coeff_cts, "avgvar-query", rng)?;
+    let ((a1, a2), (f1, f2)) = t.server_to_client(0, "avgvar-answer", &((a1, a2), (f1, f2)))?;
 
     assert!(
         state.leftovers.is_empty(),
         "avg/var package requires cuckoo placement to succeed (retry with fresh randomness)"
     );
-    let decode = |answers: &[spfe_pir::spir::SpirWordsAnswer], func: &[u8]| -> u64 {
-        let retrieved = batched::client_decode_words(pk, sk, &state, answers, 1);
-        let masked_sum = retrieved.iter().fold(0u64, |acc, v| field.add(acc, v[0]));
-        let func_val = sk.decrypt(&pk.ciphertext_from_bytes(func).expect("ct"));
-        let mask_sum = func_val.rem(&Nat::from(p)).to_u64().expect("fits");
-        field.sub(masked_sum, mask_sum)
+    const BAD_FUNC: ProtocolError = ProtocolError::InvalidMessage {
+        label: "avgvar-answer",
+        reason: "malformed functional reply",
     };
-    (decode(&a1, &f1), decode(&a2, &f2))
+    let decode =
+        |answers: &[spfe_pir::spir::SpirWordsAnswer], func: &[u8]| -> Result<u64, ProtocolError> {
+            let retrieved = batched::client_decode_words(pk, sk, &state, answers, 1)?;
+            let masked_sum = retrieved.iter().fold(0u64, |acc, v| field.add(acc, v[0]));
+            let func_val = sk.decrypt(&pk.ciphertext_from_bytes(func).ok_or(BAD_FUNC)?);
+            let mask_sum = func_val.rem(&Nat::from(p)).to_u64().ok_or(BAD_FUNC)?;
+            Ok(field.sub(masked_sum, mask_sum))
+        };
+    Ok((decode(&a1, &f1)?, decode(&a2, &f2)?))
+}
+
+/// Server half of the frequency round: blinds, scales and permutes the
+/// comparison ciphertexts. Every input ciphertext is client-controlled.
+fn frequency_replies<P, R>(
+    pk: &P,
+    field: Fp64,
+    server_shares: &[u64],
+    client_cts: &[Vec<u8>],
+    label: &'static str,
+    rng: &mut R,
+) -> Result<Vec<Vec<u8>>, ProtocolError>
+where
+    P: HomomorphicPk,
+    R: RandomSource + ?Sized,
+{
+    if client_cts.len() != server_shares.len() {
+        return Err(ProtocolError::InvalidMessage {
+            label,
+            reason: "share count does not match selection size",
+        });
+    }
+    let p = field.modulus();
+    let mut replies: Vec<Vec<u8>> = client_cts
+        .iter()
+        .zip(server_shares)
+        .map(|(ct_bytes, &a_j)| {
+            let ct = pk
+                .ciphertext_from_bytes(ct_bytes)
+                .ok_or(ProtocolError::InvalidMessage {
+                    label,
+                    reason: "share is not a ciphertext",
+                })?;
+            let sum = pk.add(&ct, &pk.encrypt(&Nat::from(a_j), rng));
+            let rho = field.random_nonzero(rng);
+            let scaled = pk.mul_const(&sum, &Nat::from(rho));
+            let blind = Nat::from(p).mul(&Nat::random_bits(rng, STAT_SECURITY_BITS));
+            let out = pk.add(&scaled, &pk.encrypt(&blind, rng));
+            Ok::<_, ProtocolError>(pk.ciphertext_to_bytes(&pk.rerandomize(&out, rng)))
+        })
+        .collect::<Result<_, _>>()?;
+    // Fisher–Yates permutation from server randomness.
+    for i in (1..replies.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        replies.swap(i, j);
+    }
+    Ok(replies)
+}
+
+/// Client half: counts the replies whose decryption is ≡ 0 (mod p).
+fn count_zero_replies<P, S>(
+    pk: &P,
+    sk: &S,
+    p: u64,
+    expected: usize,
+    replies: &[Vec<u8>],
+    label: &'static str,
+) -> Result<u64, ProtocolError>
+where
+    P: HomomorphicPk,
+    S: HomomorphicSk<P>,
+{
+    if replies.len() != expected {
+        return Err(ProtocolError::InvalidMessage {
+            label,
+            reason: "reply count does not match selection size",
+        });
+    }
+    let mut count = 0u64;
+    for ct_bytes in replies {
+        let ct = pk
+            .ciphertext_from_bytes(ct_bytes)
+            .ok_or(ProtocolError::InvalidMessage {
+                label,
+                reason: "reply is not a ciphertext",
+            })?;
+        if sk.decrypt(&ct).rem(&Nat::from(p)).is_zero() {
+            count += 1;
+        }
+    }
+    Ok(count)
 }
 
 /// The §4 frequency protocol: given additive shares of the selected items
@@ -307,17 +410,23 @@ where
 /// permutation of `E(ρ_j·(a_j + b_j − w) + p·R_j)`; the client counts
 /// decryptions divisible by `p`.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
-/// Panics if shares are empty or the plaintext space too small.
+/// Panics if shares are empty or the plaintext space too small (local
+/// setup bugs, not attacks).
 pub fn frequency<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     pk: &P,
     sk: &S,
     shares: &SharesModP,
     keyword: u64,
     rng: &mut R,
-) -> u64
+) -> Result<u64, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -339,41 +448,21 @@ where
             pk.ciphertext_to_bytes(&pk.encrypt(&Nat::from(v), rng))
         })
         .collect();
-    let client_cts = t
-        .client_to_server(0, "freq-blinded-shares", &client_cts)
-        .expect("codec");
+    let client_cts = t.client_to_server(0, "freq-blinded-shares", &client_cts)?;
 
     // Server: ρ_j·(a_j + (b_j − w)) + p·R_j, permuted.
-    let mut replies: Vec<Vec<u8>> = client_cts
-        .iter()
-        .zip(&shares.server)
-        .map(|(ct_bytes, &a_j)| {
-            let ct = pk.ciphertext_from_bytes(ct_bytes).expect("ct");
-            let sum = pk.add(&ct, &pk.encrypt(&Nat::from(a_j), rng));
-            let rho = field.random_nonzero(rng);
-            let scaled = pk.mul_const(&sum, &Nat::from(rho));
-            let blind = Nat::from(p).mul(&Nat::random_bits(rng, STAT_SECURITY_BITS));
-            let out = pk.add(&scaled, &pk.encrypt(&blind, rng));
-            pk.ciphertext_to_bytes(&pk.rerandomize(&out, rng))
-        })
-        .collect();
-    // Fisher–Yates permutation from server randomness.
-    for i in (1..replies.len()).rev() {
-        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-        replies.swap(i, j);
-    }
-    let replies = t
-        .server_to_client(0, "freq-replies", &replies)
-        .expect("codec");
+    let replies = frequency_replies(
+        pk,
+        field,
+        &shares.server,
+        &client_cts,
+        "freq-blinded-shares",
+        rng,
+    )?;
+    let replies = t.server_to_client(0, "freq-replies", &replies)?;
 
     // Client: count decryptions ≡ 0 (mod p).
-    replies
-        .iter()
-        .filter(|ct_bytes| {
-            let v = sk.decrypt(&pk.ciphertext_from_bytes(ct_bytes).expect("ct"));
-            v.rem(&Nat::from(p)).is_zero()
-        })
-        .count() as u64
+    count_zero_replies(pk, sk, p, m, &replies, "freq-replies")
 }
 
 /// The generalized frequency protocol with a *different keyword per
@@ -382,17 +471,23 @@ where
 /// different keyword ... for each selected item", offered here as a
 /// feature: count how many `x_{i_j} == keywords[j]`.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed counterparty
+/// message.
+///
 /// # Panics
 ///
-/// Panics if lengths mismatch or the plaintext space is too small.
+/// Panics if lengths mismatch or the plaintext space is too small (local
+/// setup bugs, not attacks).
 pub fn frequency_multi<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     pk: &P,
     sk: &S,
     shares: &SharesModP,
     keywords: &[u64],
     rng: &mut R,
-) -> u64
+) -> Result<u64, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -414,38 +509,19 @@ where
             pk.ciphertext_to_bytes(&pk.encrypt(&Nat::from(v), rng))
         })
         .collect();
-    let client_cts = t
-        .client_to_server(0, "freqm-blinded-shares", &client_cts)
-        .expect("codec");
+    let client_cts = t.client_to_server(0, "freqm-blinded-shares", &client_cts)?;
 
-    let mut replies: Vec<Vec<u8>> = client_cts
-        .iter()
-        .zip(&shares.server)
-        .map(|(ct_bytes, &a_j)| {
-            let ct = pk.ciphertext_from_bytes(ct_bytes).expect("ct");
-            let sum = pk.add(&ct, &pk.encrypt(&Nat::from(a_j), rng));
-            let rho = field.random_nonzero(rng);
-            let scaled = pk.mul_const(&sum, &Nat::from(rho));
-            let blind = Nat::from(p).mul(&Nat::random_bits(rng, STAT_SECURITY_BITS));
-            let out = pk.add(&scaled, &pk.encrypt(&blind, rng));
-            pk.ciphertext_to_bytes(&pk.rerandomize(&out, rng))
-        })
-        .collect();
-    for i in (1..replies.len()).rev() {
-        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-        replies.swap(i, j);
-    }
-    let replies = t
-        .server_to_client(0, "freqm-replies", &replies)
-        .expect("codec");
+    let replies = frequency_replies(
+        pk,
+        field,
+        &shares.server,
+        &client_cts,
+        "freqm-blinded-shares",
+        rng,
+    )?;
+    let replies = t.server_to_client(0, "freqm-replies", &replies)?;
 
-    replies
-        .iter()
-        .filter(|ct_bytes| {
-            let v = sk.decrypt(&pk.ciphertext_from_bytes(ct_bytes).expect("ct"));
-            v.rem(&Nat::from(p)).is_zero()
-        })
-        .count() as u64
+    count_zero_replies(pk, sk, p, m, &replies, "freqm-replies")
 }
 
 #[cfg(test)]
@@ -454,6 +530,7 @@ mod tests {
     use crate::database::reference;
     use crate::input_select::select1;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn crypto() -> (
         SchnorrGroup,
@@ -477,7 +554,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let got = weighted_sum(
             &mut t, &group, &pk, &sk, &db, &indices, &weights, field, &mut rng,
-        );
+        )
+        .unwrap();
         let expect = reference::weighted_sum(&db, &indices, &weights) % field.modulus();
         assert_eq!(got, expect);
     }
@@ -498,7 +576,8 @@ mod tests {
             &[1, 1, 1],
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(t.report().half_rounds, 2, "§4: one round");
     }
 
@@ -519,7 +598,8 @@ mod tests {
             &[1, 1, 1],
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(got, reference::sum(&db, &indices));
     }
 
@@ -533,7 +613,8 @@ mod tests {
         let mut t = Transcript::new(1);
         let (s, ss) = average_and_variance(
             &mut t, &group, &pk, &sk, &db, &sq, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         let expect_s = reference::sum(&db, &indices);
         let expect_ss: u64 = indices.iter().map(|&i| db[i] * db[i]).sum();
         assert_eq!((s, ss), (expect_s, expect_ss));
@@ -547,8 +628,8 @@ mod tests {
         let field = Fp64::new(257).unwrap();
         let indices = [0usize, 2, 4, 6, 7];
         let mut t = Transcript::new(1);
-        let shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng);
-        let got = frequency(&mut t, &pk, &sk, &shares, 9, &mut rng);
+        let shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng).unwrap();
+        let got = frequency(&mut t, &pk, &sk, &shares, 9, &mut rng).unwrap();
         assert_eq!(got, 3);
         // Selection (1 round) + frequency (1 round) = 2 rounds.
         assert_eq!(t.report().half_rounds, 4);
@@ -560,11 +641,17 @@ mod tests {
         let db = vec![5u64, 5, 5, 1];
         let field = Fp64::new(101).unwrap();
         let mut t = Transcript::new(1);
-        let shares = select1(&mut t, &group, &pk, &sk, &db, &[0, 1, 2], field, &mut rng);
-        assert_eq!(frequency(&mut t, &pk, &sk, &shares, 5, &mut rng), 3);
+        let shares = select1(&mut t, &group, &pk, &sk, &db, &[0, 1, 2], field, &mut rng).unwrap();
+        assert_eq!(
+            frequency(&mut t, &pk, &sk, &shares, 5, &mut rng).unwrap(),
+            3
+        );
         let mut t2 = Transcript::new(1);
-        let shares2 = select1(&mut t2, &group, &pk, &sk, &db, &[0, 3], field, &mut rng);
-        assert_eq!(frequency(&mut t2, &pk, &sk, &shares2, 7, &mut rng), 0);
+        let shares2 = select1(&mut t2, &group, &pk, &sk, &db, &[0, 3], field, &mut rng).unwrap();
+        assert_eq!(
+            frequency(&mut t2, &pk, &sk, &shares2, 7, &mut rng).unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -574,15 +661,15 @@ mod tests {
         let field = Fp64::new(101).unwrap();
         let indices = [0usize, 1, 2, 4];
         let mut t = Transcript::new(1);
-        let shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng);
+        let shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng).unwrap();
         // Match pattern: x₀==3 ✓, x₁==9 ✗, x₂==15 ✓, x₄==42 ✓ → 3.
-        let got = frequency_multi(&mut t, &pk, &sk, &shares, &[3, 9, 15, 42], &mut rng);
+        let got = frequency_multi(&mut t, &pk, &sk, &shares, &[3, 9, 15, 42], &mut rng).unwrap();
         assert_eq!(got, 3);
         // Uniform keywords degenerate to the plain protocol.
         let mut t2 = Transcript::new(1);
-        let shares2 = select1(&mut t2, &group, &pk, &sk, &db, &[1, 3], field, &mut rng);
+        let shares2 = select1(&mut t2, &group, &pk, &sk, &db, &[1, 3], field, &mut rng).unwrap();
         assert_eq!(
-            frequency_multi(&mut t2, &pk, &sk, &shares2, &[8, 8], &mut rng),
+            frequency_multi(&mut t2, &pk, &sk, &shares2, &[8, 8], &mut rng).unwrap(),
             2
         );
     }
@@ -609,7 +696,8 @@ mod tests {
             &sneaky_weights,
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(
             got,
             reference::weighted_sum(&db, &indices, &sneaky_weights) % field.modulus()

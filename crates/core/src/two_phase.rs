@@ -22,20 +22,24 @@ use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_crypto::SchnorrGroup;
 use spfe_math::{Fp64, Nat, RandomSource};
 use spfe_mpc::yao2pc::{self, to_bits};
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ProtocolError};
 
 /// Yao MPC phase: evaluates the statistic on mod-`p` shares.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics if shares are empty or inconsistent.
+/// Panics if shares are empty or inconsistent (local setup bugs).
 pub fn yao_phase<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     shares: &SharesModP,
     stat: &Statistic,
     rng: &mut R,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ProtocolError> {
     let m = shares.server.len();
     assert!(m > 0 && shares.client.len() == m);
     let _s = spfe_obs::span("yao-phase");
@@ -43,25 +47,29 @@ pub fn yao_phase<R: RandomSource + ?Sized>(
     let w = bits_for(shares.p - 1);
     let server_bits: Vec<bool> = shares.server.iter().flat_map(|&a| to_bits(a, w)).collect();
     let client_bits: Vec<bool> = shares.client.iter().flat_map(|&b| to_bits(b, w)).collect();
-    let out = yao2pc::run(t, group, &circuit, &server_bits, &client_bits, rng);
-    stat.decode_bits(&out, m, shares.p)
+    let out = yao2pc::run(t, group, &circuit, &server_bits, &client_bits, rng)?;
+    Ok(stat.decode_bits(&out, m, shares.p))
 }
 
 /// §3.3.4 arithmetic MPC phase on integer shares: evaluates the statistic
 /// over the client's homomorphic ring. Returns exact integer results
 /// (shares are exact over ℤ and values stay far below the ring modulus).
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics on empty shares or if the ring is too small.
+/// Panics on empty shares or if the ring is too small (local setup bugs).
 pub fn arith_phase<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     pk: &P,
     sk: &S,
     shares: &IntShares,
     stat: &Statistic,
     rng: &mut R,
-) -> Vec<Nat>
+) -> Result<Vec<Nat>, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -83,9 +91,13 @@ where
 }
 
 /// §3.3.1 + Yao: the Table 1 "2 rounds / Weak" row.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 #[allow(clippy::too_many_arguments)]
 pub fn run_select1_yao<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -94,20 +106,24 @@ pub fn run_select1_yao<P, S, R>(
     stat: &Statistic,
     field: Fp64,
     rng: &mut R,
-) -> Vec<u64>
+) -> Result<Vec<u64>, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
     R: RandomSource + ?Sized,
 {
-    let shares = input_select::select1(t, group, pk, sk, db, indices, field, rng);
+    let shares = input_select::select1(t, group, pk, sk, db, indices, field, rng)?;
     yao_phase(t, group, &shares, stat, rng)
 }
 
 /// §3.3.2 (variant 1) + Yao: "2 rounds / Weak, κm² overhead".
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 #[allow(clippy::too_many_arguments)]
 pub fn run_select2v1_yao<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
@@ -116,20 +132,24 @@ pub fn run_select2v1_yao<P, S, R>(
     stat: &Statistic,
     field: Fp64,
     rng: &mut R,
-) -> Vec<u64>
+) -> Result<Vec<u64>, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
     R: RandomSource + ?Sized,
 {
-    let shares = input_select::select2_v1(t, group, pk, sk, db, indices, field, rng);
+    let shares = input_select::select2_v1(t, group, pk, sk, db, indices, field, rng)?;
     yao_phase(t, group, &shares, stat, rng)
 }
 
 /// §3.3.2 (variant 2) + Yao: "2.5 rounds / None*, κm overhead".
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 #[allow(clippy::too_many_arguments)]
 pub fn run_select2v2_yao<PC, SC, PS, SS, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     client_pk: &PC,
     client_sk: &SC,
@@ -140,7 +160,7 @@ pub fn run_select2v2_yao<PC, SC, PS, SS, R>(
     stat: &Statistic,
     field: Fp64,
     rng: &mut R,
-) -> Vec<u64>
+) -> Result<Vec<u64>, ProtocolError>
 where
     PC: HomomorphicPk,
     SC: HomomorphicSk<PC>,
@@ -150,16 +170,20 @@ where
 {
     let shares = input_select::select2_v2(
         t, group, client_pk, client_sk, server_pk, server_sk, db, indices, field, rng,
-    );
+    )?;
     yao_phase(t, group, &shares, stat, rng)
 }
 
 /// §3.3.3 + §3.3.4: "2 rounds / None*", scaling to arithmetic circuits.
 ///
 /// Returns the statistic's outputs as exact integers.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 #[allow(clippy::too_many_arguments)]
 pub fn run_select3_arith<PC, SC, PS, SS, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     client_pk: &PC,
     client_sk: &SC,
@@ -169,7 +193,7 @@ pub fn run_select3_arith<PC, SC, PS, SS, R>(
     indices: &[usize],
     stat: &Statistic,
     rng: &mut R,
-) -> Vec<Nat>
+) -> Result<Vec<Nat>, ProtocolError>
 where
     PC: HomomorphicPk,
     SC: HomomorphicSk<PC>,
@@ -180,7 +204,7 @@ where
     let value_bits = bits_for(db.iter().copied().max().unwrap_or(1));
     let shares = input_select::select3(
         t, group, client_pk, client_sk, server_pk, server_sk, db, indices, value_bits, rng,
-    );
+    )?;
     arith_phase(t, client_pk, client_sk, &shares, stat, rng)
 }
 
@@ -189,6 +213,7 @@ mod tests {
     use super::*;
     use crate::database::reference;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn crypto() -> (
         SchnorrGroup,
@@ -223,7 +248,8 @@ mod tests {
             &Statistic::Sum,
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(
             got,
             vec![reference::sum(&database, &indices) % field.modulus()]
@@ -248,7 +274,8 @@ mod tests {
             &Statistic::Frequency { keyword: 7 },
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(got, vec![3]);
     }
 
@@ -269,7 +296,8 @@ mod tests {
             &Statistic::Sum,
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(
             got,
             vec![reference::sum(&database, &indices) % field.modulus()]
@@ -297,7 +325,8 @@ mod tests {
             &Statistic::Sum,
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(
             got,
             vec![reference::sum(&database, &indices) % field.modulus()]
@@ -323,7 +352,8 @@ mod tests {
             &indices,
             &Statistic::Sum,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(got, vec![Nat::from(reference::sum(&database, &indices))]);
         assert_eq!(t.report().half_rounds, 4, "2 rounds per Table 1");
     }
@@ -346,7 +376,8 @@ mod tests {
             &indices,
             &Statistic::SumAndSquares,
             &mut rng,
-        );
+        )
+        .unwrap();
         let s = reference::sum(&database, &indices);
         let ss: u64 = indices.iter().map(|&i| database[i] * database[i]).sum();
         assert_eq!(got, vec![Nat::from(s), Nat::from(ss)]);
@@ -373,7 +404,8 @@ mod tests {
             &Statistic::Median,
             field,
             &mut rng,
-        );
+        )
+        .unwrap();
         // Values: 50, 3, 77, 12, 30 → sorted 3,12,30,50,77 → median 30.
         assert_eq!(got, vec![30]);
     }
@@ -390,11 +422,12 @@ mod tests {
         let mut t = Transcript::new(1);
         let mut shares = input_select::select1(
             &mut t, &group, &pk, &sk, &database, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         // Malicious shift by Δ = (10, 100).
         shares.client[0] = field.add(shares.client[0], 10);
         shares.client[1] = field.add(shares.client[1], 100);
-        let got = yao_phase(&mut t, &group, &shares, &Statistic::Sum, &mut rng);
+        let got = yao_phase(&mut t, &group, &shares, &Statistic::Sum, &mut rng).unwrap();
         let honest = reference::sum(&database, &indices) % field.modulus();
         assert_eq!(
             got,

@@ -18,7 +18,7 @@ use spfe_circuits::builders::bits_for;
 use spfe_crypto::SchnorrGroup;
 use spfe_math::RandomSource;
 use spfe_mpc::yao2pc::{self, to_bits};
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ProtocolError};
 
 /// Builds the universal circuit for a menu of statistics over `m` shared
 /// items mod `p`.
@@ -146,17 +146,22 @@ fn count_flags(b: &mut CircuitBuilder, flags: Vec<WireId>) -> Vec<WireId> {
 /// The universal MPC phase: like `two_phase::yao_phase` but with the
 /// client's private `choice` of menu entry. The server sees only the menu.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics if `choice >= menu.len()` or shares are inconsistent.
+/// Panics if `choice >= menu.len()` or shares are inconsistent (local
+/// setup bugs, not attacks).
 pub fn universal_yao_phase<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     shares: &SharesModP,
     menu: &[Statistic],
     choice: usize,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     assert!(choice < menu.len(), "choice out of menu");
     let _s = spfe_obs::span("universal-yao-phase");
     let m = shares.server.len();
@@ -168,8 +173,8 @@ pub fn universal_yao_phase<R: RandomSource + ?Sized>(
     // The mux tree consumes selector bits LSB-first over chunked pairs:
     // entry index bit i selects within level i. Encode `choice` directly.
     client_bits.extend(to_bits(choice as u64, sel_bits));
-    let out = yao2pc::run(t, group, &circuit, &server_bits, &client_bits, rng);
-    yao2pc::from_bits(&out)
+    let out = yao2pc::run(t, group, &circuit, &server_bits, &client_bits, rng)?;
+    Ok(yao2pc::from_bits(&out))
 }
 
 #[cfg(test)]
@@ -178,6 +183,7 @@ mod tests {
     use crate::input_select::select1;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
     use spfe_math::Fp64;
+    use spfe_transport::Transcript;
 
     fn menu() -> Vec<Statistic> {
         vec![
@@ -221,8 +227,9 @@ mod tests {
         let expects = [20u64, 2, 3]; // sum, freq(9), count<10
         for (choice, &expect) in expects.iter().enumerate() {
             let mut t = Transcript::new(1);
-            let shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng);
-            let got = universal_yao_phase(&mut t, &group, &shares, &menu(), choice, &mut rng);
+            let shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng).unwrap();
+            let got =
+                universal_yao_phase(&mut t, &group, &shares, &menu(), choice, &mut rng).unwrap();
             assert_eq!(got, expect, "choice={choice}");
         }
     }
@@ -239,8 +246,8 @@ mod tests {
         let mut sizes = Vec::new();
         for choice in 0..3 {
             let mut t = Transcript::new(1);
-            let shares = select1(&mut t, &group, &pk, &sk, &db, &[1, 3], field, &mut rng);
-            universal_yao_phase(&mut t, &group, &shares, &menu(), choice, &mut rng);
+            let shares = select1(&mut t, &group, &pk, &sk, &db, &[1, 3], field, &mut rng).unwrap();
+            universal_yao_phase(&mut t, &group, &shares, &menu(), choice, &mut rng).unwrap();
             sizes.push(t.report().client_to_server as f64);
         }
         // Variable-length bignum encodings jitter by a few bytes; the view

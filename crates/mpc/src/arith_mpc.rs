@@ -22,27 +22,32 @@ use spfe_circuits::arith::{AGate, ArithCircuit};
 use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_math::modular::mod_mul;
 use spfe_math::{Nat, RandomSource};
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ChannelExt, ProtocolError};
 
-/// Runs the §3.3.4 protocol over a metered transcript.
+/// Runs the §3.3.4 protocol over a metered channel.
 ///
 /// The circuit's first `client_inputs.len()` inputs are the client's
 /// (transmitted under encryption), the rest are the server's. The client
 /// learns the output values; the server learns nothing.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message from the
+/// counterparty.
+///
 /// # Panics
 ///
 /// Panics if the circuit modulus differs from the scheme's plaintext
-/// modulus, or input counts mismatch.
+/// modulus, or input counts mismatch (local setup bugs, not attacks).
 pub fn run<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     pk: &P,
     sk: &S,
     circuit: &ArithCircuit,
     client_inputs: &[Nat],
     server_inputs: &[Nat],
     rng: &mut R,
-) -> Vec<Nat>
+) -> Result<Vec<Nat>, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -65,9 +70,13 @@ where
         .iter()
         .map(|v| pk.ciphertext_to_bytes(&pk.encrypt(v, rng)))
         .collect();
-    let client_cts = t
-        .client_to_server(0, "arith-inputs", &client_cts)
-        .expect("codec");
+    let client_cts: Vec<Vec<u8>> = t.client_to_server(0, "arith-inputs", &client_cts)?;
+    if client_cts.len() != client_inputs.len() {
+        return Err(ProtocolError::InvalidMessage {
+            label: "arith-inputs",
+            reason: "wrong number of client input ciphertexts",
+        });
+    }
 
     // Server-side state: one ciphertext per wire, filled in dependency order
     // with multiplication gates batched per depth level.
@@ -87,10 +96,12 @@ where
                 let val = match g {
                     AGate::Input(idx) => {
                         if *idx < client_inputs.len() {
-                            Some(
-                                pk.ciphertext_from_bytes(&client_cts[*idx])
-                                    .expect("malformed client input"),
-                            )
+                            Some(pk.ciphertext_from_bytes(&client_cts[*idx]).ok_or(
+                                ProtocolError::InvalidMessage {
+                                    label: "arith-inputs",
+                                    reason: "malformed client input ciphertext",
+                                },
+                            )?)
                         } else {
                             Some(server_encrypt(
                                 &server_inputs[*idx - client_inputs.len()],
@@ -145,30 +156,42 @@ where
             blinded_pairs.push((pk.ciphertext_to_bytes(&e1), pk.ciphertext_to_bytes(&e2)));
             blinds.push((r1, r2));
         }
-        let blinded_pairs = t
-            .server_to_client(0, "arith-mul-blinded", &blinded_pairs)
-            .expect("codec");
+        let blinded_pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            t.server_to_client(0, "arith-mul-blinded", &blinded_pairs)?;
 
         // Client: decrypt, multiply in the clear, re-encrypt.
+        const BAD_BLINDED: ProtocolError = ProtocolError::InvalidMessage {
+            label: "arith-mul-blinded",
+            reason: "malformed blinded pair",
+        };
         let products: Vec<Vec<u8>> = blinded_pairs
             .iter()
             .map(|(e1, e2)| {
-                let v1 = sk.decrypt(&pk.ciphertext_from_bytes(e1).expect("ct"));
-                let v2 = sk.decrypt(&pk.ciphertext_from_bytes(e2).expect("ct"));
+                let v1 = sk.decrypt(&pk.ciphertext_from_bytes(e1).ok_or(BAD_BLINDED)?);
+                let v2 = sk.decrypt(&pk.ciphertext_from_bytes(e2).ok_or(BAD_BLINDED)?);
                 let prod = mod_mul(&v1, &v2, &u);
-                pk.ciphertext_to_bytes(&pk.encrypt(&prod, rng))
+                Ok(pk.ciphertext_to_bytes(&pk.encrypt(&prod, rng)))
             })
-            .collect();
-        let products = t
-            .client_to_server(0, "arith-mul-products", &products)
-            .expect("codec");
+            .collect::<Result<_, ProtocolError>>()?;
+        let products: Vec<Vec<u8>> = t.client_to_server(0, "arith-mul-products", &products)?;
+        if products.len() != ready.len() {
+            return Err(ProtocolError::InvalidMessage {
+                label: "arith-mul-products",
+                reason: "wrong number of products",
+            });
+        }
 
         // Server: unblind E((v₁+r₁)(v₂+r₂)) → E(v₁v₂).
         for ((&i, (r1, r2)), prod_bytes) in ready.iter().zip(&blinds).zip(&products) {
             let AGate::Mul(a, b) = &gates[i] else {
                 unreachable!()
             };
-            let e = pk.ciphertext_from_bytes(prod_bytes).expect("ct");
+            let e = pk
+                .ciphertext_from_bytes(prod_bytes)
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "arith-mul-products",
+                    reason: "malformed product ciphertext",
+                })?;
             let v1r2 = pk.mul_const(enc[*a].as_ref().unwrap(), r2);
             let v2r1 = pk.mul_const(enc[*b].as_ref().unwrap(), r1);
             let r1r2 = pk.encrypt(&mod_mul(r1, r2, &u), rng);
@@ -188,12 +211,18 @@ where
             pk.ciphertext_to_bytes(&pk.rerandomize(ct, rng))
         })
         .collect();
-    let out_cts = t
-        .server_to_client(0, "arith-outputs", &out_cts)
-        .expect("codec");
+    let out_cts: Vec<Vec<u8>> = t.server_to_client(0, "arith-outputs", &out_cts)?;
     out_cts
         .iter()
-        .map(|b| sk.decrypt(&pk.ciphertext_from_bytes(b).expect("ct")))
+        .map(|b| {
+            Ok(sk.decrypt(
+                &pk.ciphertext_from_bytes(b)
+                    .ok_or(ProtocolError::InvalidMessage {
+                        label: "arith-outputs",
+                        reason: "malformed output ciphertext",
+                    })?,
+            ))
+        })
         .collect()
 }
 
@@ -205,6 +234,7 @@ mod tests {
         ArithCircuitBuilder,
     };
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn setup() -> (spfe_crypto::PaillierPk, spfe_crypto::PaillierSk, ChaChaRng) {
         let mut rng = ChaChaRng::from_u64_seed(0xA21);
@@ -229,7 +259,8 @@ mod tests {
             &nats(&[10, 20]),
             &nats(&[30, 40]),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(out, nats(&[100]));
         // No Mul gates → inputs up, outputs down: exactly 1 round.
         assert_eq!(t.report().half_rounds, 2);
@@ -240,7 +271,7 @@ mod tests {
         let (pk, sk, mut rng) = setup();
         let c = arith_sum_and_squares_circuit(3, pk.n().clone());
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &pk, &sk, &c, &nats(&[3, 4]), &nats(&[5]), &mut rng);
+        let out = run(&mut t, &pk, &sk, &c, &nats(&[3, 4]), &nats(&[5]), &mut rng).unwrap();
         assert_eq!(out, nats(&[12, 50]));
         // inputs (c→s), blinded (s→c), products (c→s), outputs (s→c) = 2 rounds.
         assert_eq!(t.report().half_rounds, 4);
@@ -259,7 +290,7 @@ mod tests {
         let c = b.build();
         assert_eq!(c.mul_depth(), 3);
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &pk, &sk, &c, &nats(&[3]), &[], &mut rng);
+        let out = run(&mut t, &pk, &sk, &c, &nats(&[3]), &[], &mut rng).unwrap();
         assert_eq!(out, nats(&[6561]));
         // 1 (inputs) + 3 mul rounds + 1 output half = 2 + 3·2 = 8 half-rounds.
         assert_eq!(t.report().half_rounds, 8);
@@ -285,7 +316,8 @@ mod tests {
             &nats(&[1, 2, 3, 4]),
             &nats(&[5, 6, 7, 8]),
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(out, nats(&[2, 12, 30, 56]));
         assert_eq!(t.report().half_rounds, 4, "all muls in one round");
     }
@@ -296,7 +328,7 @@ mod tests {
         let coeffs = nats(&[3, 0, 7]);
         let c = arith_weighted_sum_circuit(&coeffs, pk.n().clone());
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &pk, &sk, &c, &nats(&[10, 99, 2]), &[], &mut rng);
+        let out = run(&mut t, &pk, &sk, &c, &nats(&[10, 99, 2]), &[], &mut rng).unwrap();
         assert_eq!(out, nats(&[44]));
         assert_eq!(t.report().half_rounds, 2);
     }
@@ -311,7 +343,7 @@ mod tests {
         b.output(d);
         let c = b.build();
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &pk, &sk, &c, &nats(&[5]), &nats(&[8]), &mut rng);
+        let out = run(&mut t, &pk, &sk, &c, &nats(&[5]), &nats(&[8]), &mut rng).unwrap();
         assert_eq!(out[0], pk.n().sub(&Nat::from(3u64)));
     }
 
@@ -342,7 +374,8 @@ mod tests {
                 &nats(&[xv, yv]),
                 &nats(&[zv]),
                 &mut rng,
-            );
+            )
+            .unwrap();
             assert_eq!(got, nats(&[(xv & yv) ^ zv]), "bits={bits:03b}");
         }
     }

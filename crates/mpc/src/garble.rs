@@ -262,6 +262,24 @@ pub fn evaluate(circuit: &Circuit, gc: &GarbledCircuit, input_labels: &[Label]) 
         .collect()
 }
 
+/// Whether a (possibly attacker-supplied) garbled circuit is structurally
+/// consistent with `circuit`, i.e. [`evaluate`] cannot panic on it: one
+/// table per binary gate, one constant label per `Const` gate, and one
+/// decode bit per output.
+pub fn is_well_formed(circuit: &Circuit, gc: &GarbledCircuit) -> bool {
+    let gates = circuit.gates();
+    if gc.tables.len() != gates.len() || gc.decode.len() != circuit.outputs().len() {
+        return false;
+    }
+    use std::collections::HashMap;
+    let consts: HashMap<usize, Label> = gc.const_labels.iter().copied().collect();
+    gates.iter().enumerate().all(|(g_idx, gate)| match gate {
+        Gate::Const(_) => consts.contains_key(&g_idx),
+        Gate::Xor(..) | Gate::And(..) | Gate::Or(..) => gc.tables[g_idx].is_some(),
+        Gate::Input(_) | Gate::Not(_) => true,
+    })
+}
+
 /// Serialized size in bytes of the garbled tables + decode info — the
 /// `O(κ·C_f)` term in the paper's cost formulas.
 pub fn garbled_size(gc: &GarbledCircuit) -> usize {

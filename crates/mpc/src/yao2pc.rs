@@ -16,7 +16,7 @@ use spfe_circuits::boolean::Circuit;
 use spfe_crypto::SchnorrGroup;
 use spfe_math::RandomSource;
 use spfe_ot::{ot2, ot_n};
-use spfe_transport::{Reader, Transcript, Wire, WireError};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
 /// Domain label for the deterministic OT setup.
 const OT_LABEL: &[u8] = b"spfe-yao2pc-input-ot";
@@ -90,22 +90,24 @@ pub fn client_query<R: RandomSource + ?Sized>(
 
 /// Server: garbles and answers.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `server_bits.len() + query arity != circuit.num_inputs()`.
+/// [`ProtocolError::InvalidMessage`] if the (client-controlled) query
+/// arity does not fit the circuit's input split.
 pub fn server_reply<R: RandomSource + ?Sized>(
     group: &SchnorrGroup,
     circuit: &Circuit,
     server_bits: &[bool],
     query: &YaoQuery,
     rng: &mut R,
-) -> YaoReply {
+) -> Result<YaoReply, ProtocolError> {
     let n_client = query.label_ots.len();
-    assert_eq!(
-        server_bits.len() + n_client,
-        circuit.num_inputs(),
-        "input split mismatch"
-    );
+    if server_bits.len() + n_client != circuit.num_inputs() {
+        return Err(ProtocolError::InvalidMessage {
+            label: "yao-query",
+            reason: "input split does not match circuit",
+        });
+    }
     let mut seed = [0u8; 32];
     rng.fill_bytes(&mut seed);
     let (garbled, secrets) = garble::garble(circuit, seed);
@@ -124,51 +126,62 @@ pub fn server_reply<R: RandomSource + ?Sized>(
             ot2::sender_transfer(group, &setup, q, &l0, &l1, rng)
         })
         .collect();
-    YaoReply {
+    Ok(YaoReply {
         garbled,
         server_labels,
         label_transfers,
-    }
+    })
 }
 
 /// Client: recovers its labels and evaluates.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on structural mismatch between reply and circuit.
+/// [`ProtocolError::InvalidMessage`] on a structurally inconsistent
+/// (server-controlled) reply: wrong OT/label arity, wrong label size, or a
+/// garbled circuit that does not match the agreed circuit shape.
 pub fn client_evaluate(
     group: &SchnorrGroup,
     circuit: &Circuit,
     state: &YaoClientState,
     reply: &YaoReply,
-) -> Vec<bool> {
-    assert_eq!(state.ot_states.len(), reply.label_transfers.len());
+) -> Result<Vec<bool>, ProtocolError> {
+    const BAD: ProtocolError = ProtocolError::InvalidMessage {
+        label: "yao-reply",
+        reason: "reply inconsistent with circuit",
+    };
+    if state.ot_states.len() != reply.label_transfers.len()
+        || reply.server_labels.len() + state.ot_states.len() != circuit.num_inputs()
+        || !garble::is_well_formed(circuit, &reply.garbled)
+    {
+        return Err(BAD);
+    }
     let mut labels: Vec<Label> = reply.server_labels.clone();
     for (st, tr) in state.ot_states.iter().zip(&reply.label_transfers) {
         let bytes = ot2::receiver_output(group, st, tr);
-        labels.push(bytes.as_slice().try_into().expect("label size"));
+        labels.push(Label::try_from(bytes.as_slice()).map_err(|_| BAD)?);
     }
-    garble::evaluate(circuit, &reply.garbled, &labels)
+    Ok(garble::evaluate(circuit, &reply.garbled, &labels))
 }
 
-/// Runs the full 1-round protocol over a metered transcript; returns the
+/// Runs the full 1-round protocol over a metered channel; returns the
 /// output bits (known to the client).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if input splits mismatch the circuit.
+/// [`ProtocolError`] on any transport fault or malformed message.
 pub fn run<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     circuit: &Circuit,
     server_bits: &[bool],
     client_bits: &[bool],
     rng: &mut R,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, ProtocolError> {
     let (q, st) = client_query(group, client_bits, rng);
-    let q = t.client_to_server(0, "yao-query", &q).expect("codec");
-    let reply = server_reply(group, circuit, server_bits, &q, rng);
-    let reply = t.server_to_client(0, "yao-reply", &reply).expect("codec");
+    let q = t.client_to_server(0, "yao-query", &q)?;
+    let reply = server_reply(group, circuit, server_bits, &q, rng)?;
+    let reply = t.server_to_client(0, "yao-reply", &reply)?;
     client_evaluate(group, circuit, &st, &reply)
 }
 
@@ -208,6 +221,7 @@ mod tests {
     use super::*;
     use spfe_circuits::builders::{bits_for, share_sum_mod_circuit, sum_circuit};
     use spfe_crypto::ChaChaRng;
+    use spfe_transport::Transcript;
 
     fn setup() -> (SchnorrGroup, ChaChaRng) {
         let mut rng = ChaChaRng::from_u64_seed(0x2FC);
@@ -224,7 +238,7 @@ mod tests {
         let server_bits: Vec<bool> = server_vals.iter().flat_map(|&v| to_bits(v, 4)).collect();
         let client_bits: Vec<bool> = client_vals.iter().flat_map(|&v| to_bits(v, 4)).collect();
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &group, &c, &server_bits, &client_bits, &mut rng);
+        let out = run(&mut t, &group, &c, &server_bits, &client_bits, &mut rng).unwrap();
         assert_eq!(from_bits(&out), 27);
         assert_eq!(t.report().half_rounds, 2, "must be one round");
     }
@@ -247,7 +261,7 @@ mod tests {
         let server_bits: Vec<bool> = a_shares.iter().flat_map(|&v| to_bits(v, w)).collect();
         let client_bits: Vec<bool> = b_shares.iter().flat_map(|&v| to_bits(v, w)).collect();
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &group, &c, &server_bits, &client_bits, &mut rng);
+        let out = run(&mut t, &group, &c, &server_bits, &client_bits, &mut rng).unwrap();
         assert_eq!(from_bits(&out), xs.iter().sum::<u64>() % p);
     }
 
@@ -257,7 +271,7 @@ mod tests {
         let c = sum_circuit(2, 3);
         let client_bits: Vec<bool> = [5u64, 6].iter().flat_map(|&v| to_bits(v, 3)).collect();
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &group, &c, &[], &client_bits, &mut rng);
+        let out = run(&mut t, &group, &c, &[], &client_bits, &mut rng).unwrap();
         assert_eq!(from_bits(&out), 11);
     }
 
@@ -267,7 +281,7 @@ mod tests {
         let c = sum_circuit(2, 3);
         let server_bits: Vec<bool> = [5u64, 6].iter().flat_map(|&v| to_bits(v, 3)).collect();
         let mut t = Transcript::new(1);
-        let out = run(&mut t, &group, &c, &server_bits, &[], &mut rng);
+        let out = run(&mut t, &group, &c, &server_bits, &[], &mut rng).unwrap();
         assert_eq!(from_bits(&out), 11);
     }
 
@@ -280,14 +294,14 @@ mod tests {
         let client_bits = vec![true; 8];
         let server_bits = vec![false; 8];
         let mut t = Transcript::new(1);
-        run(&mut t, &group, &c, &server_bits, &client_bits, &mut rng);
+        run(&mut t, &group, &c, &server_bits, &client_bits, &mut rng).unwrap();
         let rep = t.report();
         // The reply dominates (garbled circuit ≫ queries).
         assert!(rep.server_to_client > rep.client_to_server);
         // Doubling the circuit roughly doubles the reply.
         let c2 = sum_circuit(8, 4);
         let mut t2 = Transcript::new(1);
-        run(&mut t2, &group, &c2, &[false; 16], &[true; 16], &mut rng);
+        run(&mut t2, &group, &c2, &[false; 16], &[true; 16], &mut rng).unwrap();
         let ratio = t2.report().server_to_client as f64 / rep.server_to_client as f64;
         assert!(ratio > 1.4 && ratio < 3.0, "ratio {ratio}");
     }

@@ -50,10 +50,16 @@ pub enum Op {
     /// Blocks claimed by a worker other than the block's home worker
     /// (gauge; see `spfe-math::par`).
     PoolSteals,
+    /// Transport faults injected by a `FaultyChannel` (gauge: varies with
+    /// the fault seed, not the computation).
+    FaultsInjected,
+    /// Message re-deliveries after transient transport faults (gauge:
+    /// varies with the fault seed, not the computation).
+    Retries,
 }
 
 /// Number of distinct ops (length of the per-shard counter array).
-const NUM_OPS: usize = 17;
+const NUM_OPS: usize = 19;
 
 impl Op {
     /// Every variant, in discriminant order.
@@ -75,6 +81,8 @@ impl Op {
         Op::PoolRuns,
         Op::PoolBlocks,
         Op::PoolSteals,
+        Op::FaultsInjected,
+        Op::Retries,
     ];
 
     /// Stable machine-readable name (used in JSON and on the wire).
@@ -97,6 +105,8 @@ impl Op {
             Op::PoolRuns => "pool_runs",
             Op::PoolBlocks => "pool_blocks",
             Op::PoolSteals => "pool_steals",
+            Op::FaultsInjected => "faults_injected",
+            Op::Retries => "retries",
         }
     }
 
@@ -106,10 +116,16 @@ impl Op {
     }
 
     /// Whether the count is a pure function of the computation (identical
-    /// across thread counts and schedules). `Pool*` gauges are not: the
-    /// sequential fallback at 1 thread never runs the pool at all.
+    /// across thread counts, schedules, and fault seeds). `Pool*` gauges
+    /// are not: the sequential fallback at 1 thread never runs the pool at
+    /// all. Fault/retry tallies are not either: they follow the fault
+    /// seed, while the computation they perturb stays the same (retries
+    /// re-send already encoded bytes).
     pub fn deterministic(self) -> bool {
-        !matches!(self, Op::PoolRuns | Op::PoolBlocks | Op::PoolSteals)
+        !matches!(
+            self,
+            Op::PoolRuns | Op::PoolBlocks | Op::PoolSteals | Op::FaultsInjected | Op::Retries
+        )
     }
 }
 
@@ -248,9 +264,18 @@ mod tests {
     }
 
     #[test]
-    fn gauges_are_exactly_the_pool_ops() {
+    fn gauges_are_exactly_the_pool_and_fault_ops() {
         let gauges: Vec<Op> = Op::ALL.into_iter().filter(|o| !o.deterministic()).collect();
-        assert_eq!(gauges, [Op::PoolRuns, Op::PoolBlocks, Op::PoolSteals]);
+        assert_eq!(
+            gauges,
+            [
+                Op::PoolRuns,
+                Op::PoolBlocks,
+                Op::PoolSteals,
+                Op::FaultsInjected,
+                Op::Retries
+            ]
+        );
     }
 
     #[cfg(feature = "obs")]

@@ -25,7 +25,7 @@ use crate::spir::{self, SpirParams};
 use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_crypto::SchnorrGroup;
 use spfe_math::RandomSource;
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ChannelExt, ProtocolError};
 
 /// Outcome statistics of a batched retrieval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -304,22 +304,32 @@ pub fn client_query<P: HomomorphicPk, R: RandomSource + ?Sized>(
 /// Phase 2 (server): answers every bucket of a query against a (multi-word)
 /// database.
 ///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] on a malformed (client-controlled)
+/// query.
+///
 /// # Panics
 ///
-/// Panics on ragged items or arity mismatch.
+/// Panics on ragged/empty items (the server's own data).
 pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
     group: &SchnorrGroup,
     pk: &P,
     db: &[Vec<u64>],
     query: &BatchedQuery,
     rng: &mut R,
-) -> Vec<spir::SpirWordsAnswer> {
+) -> Result<Vec<spir::SpirWordsAnswer>, ProtocolError> {
     let width = db.first().map_or(0, |it| it.len());
     assert!(width > 0, "empty items");
     assert!(db.iter().all(|it| it.len() == width), "ragged items");
     // Geometry is determined by the query arity: total buckets = 2B.
     let b = query.len() / 2;
-    assert!(b > 0 && query.len() == 2 * b, "malformed batched query");
+    if b == 0 || query.len() != 2 * b {
+        return Err(ProtocolError::InvalidMessage {
+            label: "batched-queries",
+            reason: "bucket query count must be a positive even number",
+        });
+    }
     let layout = BatchLayout { n: db.len(), b };
     let col_params = SpirParams::new(group.clone(), layout.col_bucket_len());
     let row_params = SpirParams::new(group.clone(), layout.row_bucket_len());
@@ -330,11 +340,13 @@ pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
         let bucket_db = bucket_words(&layout, db, width, k);
         let params = if k < b { &col_params } else { &row_params };
         spir::scan_words(params, pk, &bucket_db, q)
-    });
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     // Stage 2 — pads and OT consume the rng, so run serially in bucket
     // order: the draw sequence (and the transcript) is thread-count
     // independent.
-    query
+    Ok(query
         .iter()
         .zip(&scans)
         .enumerate()
@@ -342,30 +354,36 @@ pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
             let params = if k < b { &col_params } else { &row_params };
             spir::pad_answer_words(params, pk, scanned, q, rng)
         })
-        .collect()
+        .collect())
 }
 
 /// Phase 3 (client): decodes the buckets it owns. Positions listed in
 /// `state.leftovers` remain zero-filled and must be fetched by fallback.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed answers.
+/// [`ProtocolError::InvalidMessage`] on malformed (server-controlled)
+/// answers.
 pub fn client_decode_words<P: HomomorphicPk, S: HomomorphicSk<P>>(
     pk: &P,
     sk: &S,
     state: &BatchedClientState,
     answers: &[spir::SpirWordsAnswer],
     width: usize,
-) -> Vec<Vec<u64>> {
-    assert_eq!(answers.len(), state.states.len(), "answer arity");
+) -> Result<Vec<Vec<u64>>, ProtocolError> {
+    if answers.len() != state.states.len() {
+        return Err(ProtocolError::InvalidMessage {
+            label: "batched-answers",
+            reason: "answer count mismatches bucket count",
+        });
+    }
     let mut values = vec![vec![0u64; width]; state.indices.len()];
     for (k, (st, a)) in state.states.iter().zip(answers).enumerate() {
         if let Some(q) = state.owners[k] {
-            values[q] = spir::client_decode_words(state.params_for(k), pk, sk, st, a);
+            values[q] = spir::client_decode_words(state.params_for(k), pk, sk, st, a)?;
         }
     }
-    values
+    Ok(values)
 }
 
 /// Runs the batched `SPIR(n, m, *)` over multi-word items: all bucket
@@ -373,38 +391,38 @@ pub fn client_decode_words<P: HomomorphicPk, S: HomomorphicSk<P>>(
 /// message — a single round plus (rarely) one extra round of full-database
 /// fallbacks.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
 /// Panics if any index is out of range, items are ragged/empty, or
-/// `indices` is empty.
+/// `indices` is empty (driver bugs).
 pub fn run_words<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
     db: &[Vec<u64>],
     indices: &[usize],
     rng: &mut R,
-) -> (Vec<Vec<u64>>, BatchedStats) {
+) -> Result<(Vec<Vec<u64>>, BatchedStats), ProtocolError> {
     let _proto = spfe_obs::span("batched");
     let width = db.first().map_or(0, |it| it.len());
     let (queries, state) = {
         let _s = spfe_obs::span("query-gen");
         client_query(group, pk, db.len(), indices, rng)
     };
-    let queries = t
-        .client_to_server(0, "batched-queries", &queries)
-        .expect("codec");
+    let queries = t.client_to_server(0, "batched-queries", &queries)?;
     let answers = {
         let _s = spfe_obs::span("server-scan");
-        server_answer_words(group, pk, db, &queries, rng)
+        server_answer_words(group, pk, db, &queries, rng)?
     };
-    let answers = t
-        .server_to_client(0, "batched-answers", &answers)
-        .expect("codec");
+    let answers = t.server_to_client(0, "batched-answers", &answers)?;
     let mut values = {
         let _s = spfe_obs::span("reconstruct");
-        client_decode_words(pk, sk, &state, &answers, width)
+        client_decode_words(pk, sk, &state, &answers, width)?
     };
 
     // Fallbacks: full-database retrievals, batched into one extra exchange.
@@ -418,54 +436,56 @@ pub fn run_words<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized
             fqueries.push(fq);
             fstates.push(fst);
         }
-        let fqueries = t
-            .client_to_server(0, "batched-fallback-queries", &fqueries)
-            .expect("codec");
+        let fqueries = t.client_to_server(0, "batched-fallback-queries", &fqueries)?;
         let fanswers: Vec<spir::SpirWordsAnswer> = fqueries
             .iter()
             .map(|fq| spir::server_answer_words(&full_params, pk, db, fq, rng))
-            .collect();
-        let fanswers = t
-            .server_to_client(0, "batched-fallback-answers", &fanswers)
-            .expect("codec");
+            .collect::<Result<_, _>>()?;
+        let fanswers = t.server_to_client(0, "batched-fallback-answers", &fanswers)?;
         for ((&q, st), a) in state.leftovers.iter().zip(&fstates).zip(&fanswers) {
-            values[q] = spir::client_decode_words(&full_params, pk, sk, st, a);
+            values[q] = spir::client_decode_words(&full_params, pk, sk, st, a)?;
         }
     }
 
-    (
+    Ok((
         values,
         BatchedStats {
             bucket_queries: state.owners.len(),
             fallbacks: state.leftovers.len(),
         },
-    )
+    ))
 }
 
 /// Runs the batched `SPIR(n, m, *)` over single-word items, returning the
 /// retrieved items in the order of `indices` plus execution statistics.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics if any index is out of range or `indices` is empty.
+/// Panics if any index is out of range or `indices` is empty (driver
+/// bugs).
 pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
     db: &[u64],
     indices: &[usize],
     rng: &mut R,
-) -> (Vec<u64>, BatchedStats) {
+) -> Result<(Vec<u64>, BatchedStats), ProtocolError> {
     let db_words: Vec<Vec<u64>> = db.iter().map(|&v| vec![v]).collect();
-    let (vals, stats) = run_words(t, group, pk, sk, &db_words, indices, rng);
-    (vals.into_iter().map(|v| v[0]).collect(), stats)
+    let (vals, stats) = run_words(t, group, pk, sk, &db_words, indices, rng)?;
+    Ok((vals.into_iter().map(|v| v[0]).collect(), stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn setup() -> (
         SchnorrGroup,
@@ -503,7 +523,7 @@ mod tests {
         let database = db(60);
         let indices = vec![3usize, 17, 42, 59];
         let mut t = Transcript::new(1);
-        let (values, stats) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng);
+        let (values, stats) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng).unwrap();
         for (v, &i) in values.iter().zip(&indices) {
             assert_eq!(*v, database[i]);
         }
@@ -519,7 +539,7 @@ mod tests {
         // All share column bucket (i mod 8 == 1) but have distinct rows.
         let indices = vec![1usize, 9, 17, 25];
         let mut t = Transcript::new(1);
-        let (values, _) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng);
+        let (values, _) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng).unwrap();
         for (v, &i) in values.iter().zip(&indices) {
             assert_eq!(*v, database[i], "i={i}");
         }
@@ -535,7 +555,7 @@ mod tests {
         // (i div B) ≡ (i' div B) (mod B), i.e. i, i + B², i + 2B².
         let indices = vec![5usize, 5 + b * b, 5 + 2 * b * b];
         let mut t = Transcript::new(1);
-        let (values, stats) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng);
+        let (values, stats) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng).unwrap();
         for (v, &i) in values.iter().zip(&indices) {
             assert_eq!(*v, database[i], "i={i}");
         }
@@ -548,7 +568,7 @@ mod tests {
         let database = db(40);
         let indices = vec![7usize, 7];
         let mut t = Transcript::new(1);
-        let (values, _) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng);
+        let (values, _) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng).unwrap();
         assert_eq!(values, vec![database[7], database[7]]);
     }
 
@@ -557,7 +577,7 @@ mod tests {
         let (group, pk, sk, mut rng) = setup();
         let database = db(20);
         let mut t = Transcript::new(1);
-        let (values, _) = run(&mut t, &group, &pk, &sk, &database, &[11], &mut rng);
+        let (values, _) = run(&mut t, &group, &pk, &sk, &database, &[11], &mut rng).unwrap();
         assert_eq!(values, vec![database[11]]);
     }
 
@@ -567,7 +587,7 @@ mod tests {
         let database = db(100);
         let indices = vec![2usize, 50, 99];
         let mut t = Transcript::new(1);
-        let (_, stats) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng);
+        let (_, stats) = run(&mut t, &group, &pk, &sk, &database, &indices, &mut rng).unwrap();
         assert_eq!(stats.fallbacks, 0);
         assert_eq!(t.report().half_rounds, 2, "must be a single round");
     }
@@ -580,7 +600,7 @@ mod tests {
             .collect();
         let indices = vec![0usize, 13, 39];
         let mut t = Transcript::new(1);
-        let (vals, _) = run_words(&mut t, &group, &pk, &sk, &database, &indices, &mut rng);
+        let (vals, _) = run_words(&mut t, &group, &pk, &sk, &database, &indices, &mut rng).unwrap();
         for (v, &i) in vals.iter().zip(&indices) {
             assert_eq!(*v, database[i]);
         }
@@ -605,7 +625,8 @@ mod tests {
             &database,
             &indices,
             &mut rng,
-        );
+        )
+        .unwrap();
         for (v, &i) in vals.iter().zip(&indices) {
             assert_eq!(*v, database[i]);
         }
@@ -615,7 +636,7 @@ mod tests {
         let params = SpirParams::new(group.clone(), n);
         for &i in &indices {
             assert_eq!(
-                spir::run(&mut t_indep, &params, &pk, &sk, &database, i, &mut rng),
+                spir::run(&mut t_indep, &params, &pk, &sk, &database, i, &mut rng).unwrap(),
                 database[i]
             );
         }

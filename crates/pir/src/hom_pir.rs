@@ -14,7 +14,7 @@
 
 use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_math::{Nat, RandomSource};
-use spfe_transport::{Reader, Transcript, Wire, WireError};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
 /// Matrix layout for a database of `n` items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,17 +118,27 @@ pub fn client_query<P: HomomorphicPk, R: RandomSource + ?Sized>(
 /// Returns the raw selected-row ciphertexts; used directly for PIR and as
 /// the first step of the SPIR transform.
 ///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] if the (client-controlled) query
+/// arity mismatches the layout or a ciphertext is malformed.
+///
 /// # Panics
 ///
-/// Panics if the query arity mismatches the layout, a ciphertext is
-/// malformed, or a database value exceeds the plaintext modulus.
+/// Panics if a database value exceeds the plaintext modulus (the server's
+/// own data).
 pub fn server_answer<P: HomomorphicPk>(
     pk: &P,
     layout: &Layout,
     db: &[u64],
     query: &HomPirQuery,
-) -> Vec<P::Ciphertext> {
-    assert_eq!(query.row_selector.len(), layout.rows, "bad query arity");
+) -> Result<Vec<P::Ciphertext>, ProtocolError> {
+    if query.row_selector.len() != layout.rows {
+        return Err(ProtocolError::InvalidMessage {
+            label: "hompir-query",
+            reason: "query arity mismatches layout",
+        });
+    }
     // Counted once on the calling thread (not inside the parallel closure)
     // so the tally is identical under any worker-pool configuration.
     spfe_obs::count(spfe_obs::Op::PirWordsScanned, layout.cells() as u64);
@@ -137,15 +147,18 @@ pub fn server_answer<P: HomomorphicPk>(
         .iter()
         .map(|b| {
             pk.ciphertext_from_bytes(b)
-                .expect("malformed query ciphertext")
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "hompir-query",
+                    reason: "malformed query ciphertext",
+                })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     // The Ω(n) hot loop: one mod-exp per non-zero cell. Each column is
     // independent and rng-free, so shard columns across the worker pool —
     // `par_map` returns results in column order, keeping the answer (and
     // every transcript built from it) byte-identical to the serial scan.
     let col_idx: Vec<usize> = (0..layout.cols).collect();
-    spfe_math::par::par_map(&col_idx, |&j| {
+    Ok(spfe_math::par::par_map(&col_idx, |&j| {
         let mut acc: Option<P::Ciphertext> = None;
         for (r, sel) in selectors.iter().enumerate() {
             let i = r * layout.cols + j;
@@ -161,7 +174,7 @@ pub fn server_answer<P: HomomorphicPk>(
         }
         // An all-zero column still needs a well-formed ciphertext.
         acc.unwrap_or_else(|| pk.mul_const(&selectors[0], &Nat::zero()))
-    })
+    }))
 }
 
 /// Serializes column ciphertexts into the wire answer.
@@ -173,50 +186,69 @@ pub fn answer_to_wire<P: HomomorphicPk>(pk: &P, columns: &[P::Ciphertext]) -> Ho
 
 /// Client: decrypts the target column of the answer.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the answer is malformed or too short.
+/// [`ProtocolError::InvalidMessage`] if the (server-controlled) answer has
+/// the wrong arity, a malformed ciphertext, or an over-range plaintext.
 pub fn client_decode<P: HomomorphicPk, S: HomomorphicSk<P>>(
     pk: &P,
     sk: &S,
     layout: &Layout,
     index: usize,
     answer: &HomPirAnswer,
-) -> u64 {
-    assert_eq!(answer.columns.len(), layout.cols, "bad answer arity");
+) -> Result<u64, ProtocolError> {
+    if answer.columns.len() != layout.cols {
+        return Err(ProtocolError::InvalidMessage {
+            label: "hompir-answer",
+            reason: "answer arity mismatches layout",
+        });
+    }
     let (_, col) = layout.position(index);
-    let ct = pk
-        .ciphertext_from_bytes(&answer.columns[col])
-        .expect("malformed answer ciphertext");
-    sk.decrypt(&ct).to_u64().expect("item exceeds u64")
+    let ct =
+        pk.ciphertext_from_bytes(&answer.columns[col])
+            .ok_or(ProtocolError::InvalidMessage {
+                label: "hompir-answer",
+                reason: "malformed answer ciphertext",
+            })?;
+    sk.decrypt(&ct)
+        .to_u64()
+        .ok_or(ProtocolError::InvalidMessage {
+            label: "hompir-answer",
+            reason: "decrypted item exceeds u64",
+        })
 }
 
-/// Runs the full single-server protocol over a metered transcript.
+/// Runs the full single-server protocol over a metered channel.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 ///
 /// # Panics
 ///
-/// Panics on index out of range or db values ≥ plaintext modulus.
+/// Panics on index out of range or db values ≥ plaintext modulus (driver
+/// bugs, not attacks).
 pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     pk: &P,
     sk: &S,
     db: &[u64],
     index: usize,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     let _proto = spfe_obs::span("hompir");
     let layout = Layout::square(db.len());
     let q = {
         let _s = spfe_obs::span("query-gen");
         client_query(pk, &layout, index, rng)
     };
-    let q = t.client_to_server(0, "hompir-query", &q).expect("codec");
+    let q = t.client_to_server(0, "hompir-query", &q)?;
     let a = {
         let _s = spfe_obs::span("server-scan");
-        let cols = server_answer(pk, &layout, db, &q);
+        let cols = server_answer(pk, &layout, db, &q)?;
         answer_to_wire(pk, &cols)
     };
-    let a = t.server_to_client(0, "hompir-answer", &a).expect("codec");
+    let a = t.server_to_client(0, "hompir-answer", &a)?;
     let _s = spfe_obs::span("reconstruct");
     client_decode(pk, sk, &layout, index, &a)
 }
@@ -225,6 +257,7 @@ pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
 mod tests {
     use super::*;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn setup() -> (spfe_crypto::PaillierPk, spfe_crypto::PaillierSk, ChaChaRng) {
         let mut rng = ChaChaRng::from_u64_seed(0x9999);
@@ -305,14 +338,14 @@ mod tests {
                 q.to_bytes()
             };
             let q = t.client_to_server(0, "hompir-query", &q).expect("codec");
-            let cols = server_answer(&pk, &layout, &database, &q);
+            let cols = server_answer(&pk, &layout, &database, &q).unwrap();
             let a = answer_to_wire(&pk, &cols);
             let a_wire = {
                 use spfe_transport::Wire as _;
                 a.to_bytes()
             };
             let a = t.server_to_client(0, "hompir-answer", &a).expect("codec");
-            let out = client_decode(&pk, &sk, &layout, 17, &a);
+            let out = client_decode(&pk, &sk, &layout, 17, &a).unwrap();
             spfe_math::par::set_seq_threshold(None);
             spfe_math::par::set_threads(None);
             (q_wire, a_wire, t.report(), out)
@@ -333,7 +366,10 @@ mod tests {
         let database = db(10);
         for i in 0..database.len() {
             let mut t = Transcript::new(1);
-            assert_eq!(run(&mut t, &pk, &sk, &database, i, &mut rng), database[i]);
+            assert_eq!(
+                run(&mut t, &pk, &sk, &database, i, &mut rng).unwrap(),
+                database[i]
+            );
         }
     }
 
@@ -343,7 +379,10 @@ mod tests {
         let database = db(7); // layout 3×3 with 2 padding cells
         for i in 0..7 {
             let mut t = Transcript::new(1);
-            assert_eq!(run(&mut t, &pk, &sk, &database, i, &mut rng), database[i]);
+            assert_eq!(
+                run(&mut t, &pk, &sk, &database, i, &mut rng).unwrap(),
+                database[i]
+            );
         }
     }
 
@@ -353,7 +392,7 @@ mod tests {
         let database = vec![0u64, 0, 0, 5];
         for (i, &v) in database.iter().enumerate() {
             let mut t = Transcript::new(1);
-            assert_eq!(run(&mut t, &pk, &sk, &database, i, &mut rng), v);
+            assert_eq!(run(&mut t, &pk, &sk, &database, i, &mut rng).unwrap(), v);
         }
     }
 
@@ -364,7 +403,7 @@ mod tests {
         for n in [16usize, 64, 256] {
             let database = db(n);
             let mut t = Transcript::new(1);
-            run(&mut t, &pk, &sk, &database, n / 2, &mut rng);
+            run(&mut t, &pk, &sk, &database, n / 2, &mut rng).unwrap();
             totals.push(t.report().total_bytes());
         }
         // Expect ~√n scaling: quadrupling n should roughly double bytes.
@@ -381,7 +420,7 @@ mod tests {
         let (pk, sk, mut rng) = setup();
         let database = db(9);
         let mut t = Transcript::new(1);
-        run(&mut t, &pk, &sk, &database, 4, &mut rng);
+        run(&mut t, &pk, &sk, &database, 4, &mut rng).unwrap();
         assert_eq!(t.report().half_rounds, 2);
     }
 

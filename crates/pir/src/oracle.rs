@@ -19,27 +19,35 @@
 use crate::batched;
 use crate::spir::{self, SpirParams};
 use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier, PaillierPk, PaillierSk, SchnorrGroup};
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ChannelExt, ProtocolError};
 
 /// A (symmetrically private) retrieval black box.
 pub trait SpirOracle {
-    /// Retrieves `db[index]` over the metered transcript.
+    /// Retrieves `db[index]` over the metered channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on any transport fault or malformed message.
     fn retrieve_one(
         &self,
-        t: &mut Transcript,
+        t: &mut dyn Channel,
         db: &[u64],
         index: usize,
         rng: &mut dyn FnMut() -> u64,
-    ) -> u64;
+    ) -> Result<u64, ProtocolError>;
 
     /// Retrieves `m` items (batched where the instantiation supports it).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on any transport fault or malformed message.
     fn retrieve_many(
         &self,
-        t: &mut Transcript,
+        t: &mut dyn Channel,
         db: &[u64],
         indices: &[usize],
         rng: &mut dyn FnMut() -> u64,
-    ) -> Vec<u64>;
+    ) -> Result<Vec<u64>, ProtocolError>;
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -79,11 +87,11 @@ impl HomSpir {
 impl SpirOracle for HomSpir {
     fn retrieve_one(
         &self,
-        t: &mut Transcript,
+        t: &mut dyn Channel,
         db: &[u64],
         index: usize,
         rng: &mut dyn FnMut() -> u64,
-    ) -> u64 {
+    ) -> Result<u64, ProtocolError> {
         let params = SpirParams::new(self.group.clone(), db.len());
         let mut tap = TapRng(rng);
         spir::run(t, &params, &self.pk, &self.sk, db, index, &mut tap)
@@ -91,14 +99,14 @@ impl SpirOracle for HomSpir {
 
     fn retrieve_many(
         &self,
-        t: &mut Transcript,
+        t: &mut dyn Channel,
         db: &[u64],
         indices: &[usize],
         rng: &mut dyn FnMut() -> u64,
-    ) -> Vec<u64> {
+    ) -> Result<Vec<u64>, ProtocolError> {
         let mut tap = TapRng(rng);
-        let (vals, _) = batched::run(t, &self.group, &self.pk, &self.sk, db, indices, &mut tap);
-        vals
+        let (vals, _) = batched::run(t, &self.group, &self.pk, &self.sk, db, indices, &mut tap)?;
+        Ok(vals)
     }
 
     fn name(&self) -> &'static str {
@@ -126,42 +134,41 @@ impl Default for IdealSpir {
 impl SpirOracle for IdealSpir {
     fn retrieve_one(
         &self,
-        t: &mut Transcript,
+        t: &mut dyn Channel,
         db: &[u64],
         index: usize,
         _rng: &mut dyn FnMut() -> u64,
-    ) -> u64 {
+    ) -> Result<u64, ProtocolError> {
         // κ bytes up (the "encrypted index"), κ bytes down (the item).
         let up = vec![0u8; self.kappa_bytes];
-        let _ = t
-            .client_to_server(0, "ideal-spir-query", &up)
-            .expect("codec");
+        let _ = t.client_to_server(0, "ideal-spir-query", &up)?;
         let mut down = vec![0u8; self.kappa_bytes.saturating_sub(8)];
         down.extend(db[index].to_le_bytes());
-        let down = t
-            .server_to_client(0, "ideal-spir-answer", &down)
-            .expect("codec");
-        u64::from_le_bytes(down[down.len() - 8..].try_into().unwrap())
+        let down = t.server_to_client(0, "ideal-spir-answer", &down)?;
+        if down.len() < 8 {
+            return Err(ProtocolError::InvalidMessage {
+                label: "ideal-spir-answer",
+                reason: "answer shorter than one item",
+            });
+        }
+        Ok(u64::from_le_bytes(
+            down[down.len() - 8..].try_into().expect("8-byte slice"),
+        ))
     }
 
     fn retrieve_many(
         &self,
-        t: &mut Transcript,
+        t: &mut dyn Channel,
         db: &[u64],
         indices: &[usize],
         _rng: &mut dyn FnMut() -> u64,
-    ) -> Vec<u64> {
+    ) -> Result<Vec<u64>, ProtocolError> {
         let up = vec![0u8; self.kappa_bytes * indices.len()];
-        let _ = t
-            .client_to_server(0, "ideal-spir-query", &up)
-            .expect("codec");
+        let _ = t.client_to_server(0, "ideal-spir-query", &up)?;
         let items: Vec<u64> = indices.iter().map(|&i| db[i]).collect();
         let pad = vec![0u8; self.kappa_bytes.saturating_sub(8) * indices.len()];
-        let _ = t
-            .server_to_client(0, "ideal-spir-pad", &pad)
-            .expect("codec");
+        let _ = t.server_to_client(0, "ideal-spir-pad", &pad)?;
         t.server_to_client(0, "ideal-spir-answer", &items)
-            .expect("codec")
     }
 
     fn name(&self) -> &'static str {
@@ -172,6 +179,7 @@ impl SpirOracle for IdealSpir {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spfe_transport::Transcript;
 
     fn tap() -> impl FnMut() -> u64 {
         let mut rng = ChaChaRng::from_u64_seed(0x0AC);
@@ -189,13 +197,15 @@ mod tests {
         for oracle in &oracles {
             let mut t = Transcript::new(1);
             assert_eq!(
-                oracle.retrieve_one(&mut t, &db, 17, &mut entropy),
+                oracle.retrieve_one(&mut t, &db, 17, &mut entropy).unwrap(),
                 db[17],
                 "{}",
                 oracle.name()
             );
             let mut t = Transcript::new(1);
-            let got = oracle.retrieve_many(&mut t, &db, &[3, 19, 33], &mut entropy);
+            let got = oracle
+                .retrieve_many(&mut t, &db, &[3, 19, 33], &mut entropy)
+                .unwrap();
             assert_eq!(got, vec![db[3], db[19], db[33]], "{}", oracle.name());
         }
     }
@@ -207,9 +217,12 @@ mod tests {
         let ideal = IdealSpir::default();
         let mut entropy = tap();
         let mut t_real = Transcript::new(1);
-        real.retrieve_one(&mut t_real, &db, 100, &mut entropy);
+        real.retrieve_one(&mut t_real, &db, 100, &mut entropy)
+            .unwrap();
         let mut t_ideal = Transcript::new(1);
-        ideal.retrieve_one(&mut t_ideal, &db, 100, &mut entropy);
+        ideal
+            .retrieve_one(&mut t_ideal, &db, 100, &mut entropy)
+            .unwrap();
         assert!(
             t_ideal.report().total_bytes() < t_real.report().total_bytes() / 4,
             "ideal {} vs real {}",

@@ -16,7 +16,7 @@
 
 use spfe_circuits::formula::{encode_index, index_bits, selector_eval};
 use spfe_math::{Fp64, Poly, RandomSource};
-use spfe_transport::{Reader, Transcript, Wire, WireError};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
 /// Parameters of the scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,26 +102,41 @@ pub fn client_queries<R: RandomSource + ?Sized>(
 
 /// Server: evaluates the database polynomial at the received point.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the query arity does not match `ℓ`.
-pub fn server_answer(params: &PolyItParams, db: &[u64], query: &PolyItQuery) -> u64 {
-    assert_eq!(query.point.len(), params.ell, "bad query arity");
+/// [`ProtocolError::InvalidMessage`] if the (client-controlled) query
+/// arity does not match `ℓ`.
+pub fn server_answer(
+    params: &PolyItParams,
+    db: &[u64],
+    query: &PolyItQuery,
+) -> Result<u64, ProtocolError> {
+    if query.point.len() != params.ell {
+        return Err(ProtocolError::InvalidMessage {
+            label: "polyit-query",
+            reason: "query arity does not match index bits",
+        });
+    }
     spfe_obs::count(spfe_obs::Op::PirWordsScanned, db.len() as u64);
-    selector_eval(db, &query.point, params.field)
+    Ok(selector_eval(db, &query.point, params.field))
 }
 
 /// Server with symmetric privacy: adds the shared blinding polynomial's
 /// value at this server's point (\[25\]).
+///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] on a malformed query (see
+/// [`server_answer`]).
 pub fn server_answer_blinded(
     params: &PolyItParams,
     db: &[u64],
     query: &PolyItQuery,
     blind: &Poly,
     server: usize,
-) -> u64 {
-    let raw = server_answer(params, db, query);
-    params.field.add(raw, blind.eval(params.alpha(server)))
+) -> Result<u64, ProtocolError> {
+    let raw = server_answer(params, db, query)?;
+    Ok(params.field.add(raw, blind.eval(params.alpha(server))))
 }
 
 /// Generates the servers' shared blinding polynomial `R` (degree `ℓ·t`,
@@ -142,18 +157,22 @@ pub fn client_reconstruct(params: &PolyItParams, answers: &[u64]) -> u64 {
     Poly::interpolate_at(&xs, &answers[..k], 0, params.field)
 }
 
-/// Runs the full protocol over a metered transcript (plain PIR).
+/// Runs the full protocol over a metered channel (plain PIR).
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 ///
 /// # Panics
 ///
-/// Panics if the transcript server count is not `k`.
+/// Panics if the channel server count is not `k` (a driver bug).
 pub fn run<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &PolyItParams,
     db: &[u64],
     index: usize,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     assert_eq!(t.num_servers(), params.num_servers());
     let _proto = spfe_obs::span("polyit");
     let queries = {
@@ -163,37 +182,41 @@ pub fn run<R: RandomSource + ?Sized>(
     let received: Vec<PolyItQuery> = queries
         .iter()
         .enumerate()
-        .map(|(h, q)| t.client_to_server(h, "polyit-query", q).expect("codec"))
-        .collect();
+        .map(|(h, q)| t.client_to_server(h, "polyit-query", q))
+        .collect::<Result<_, _>>()?;
     let answers: Vec<u64> = {
         let _s = spfe_obs::span("server-scan");
         received
             .iter()
             .enumerate()
             .map(|(h, q)| {
-                let a = server_answer(params, db, q);
-                t.server_to_client(h, "polyit-answer", &a).expect("codec")
+                let a = server_answer(params, db, q)?;
+                t.server_to_client(h, "polyit-answer", &a)
             })
-            .collect()
+            .collect::<Result<_, _>>()?
     };
     let _s = spfe_obs::span("reconstruct");
-    client_reconstruct(params, &answers)
+    Ok(client_reconstruct(params, &answers))
 }
 
 /// Runs the full protocol with \[25\]-style symmetric privacy (SPIR): the
 /// servers derive a shared blinding polynomial from `shared_seed`.
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
-/// Panics if the transcript server count is not `k`.
+/// Panics if the channel server count is not `k` (a driver bug).
 pub fn run_symmetric<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &PolyItParams,
     db: &[u64],
     index: usize,
     shared_seed: u64,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     assert_eq!(t.num_servers(), params.num_servers());
     let _proto = spfe_obs::span("polyit-sym");
     let queries = {
@@ -203,8 +226,8 @@ pub fn run_symmetric<R: RandomSource + ?Sized>(
     let received: Vec<PolyItQuery> = queries
         .iter()
         .enumerate()
-        .map(|(h, q)| t.client_to_server(h, "polyit-query", q).expect("codec"))
-        .collect();
+        .map(|(h, q)| t.client_to_server(h, "polyit-query", q))
+        .collect::<Result<_, _>>()?;
     let answers: Vec<u64> = {
         let _s = spfe_obs::span("server-scan");
         received
@@ -214,19 +237,20 @@ pub fn run_symmetric<R: RandomSource + ?Sized>(
                 // Each server re-derives the same R from the common random input.
                 let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(shared_seed);
                 let blind = blinding_poly(params, &mut server_rng);
-                let a = server_answer_blinded(params, db, q, &blind, h);
-                t.server_to_client(h, "polyit-answer", &a).expect("codec")
+                let a = server_answer_blinded(params, db, q, &blind, h)?;
+                t.server_to_client(h, "polyit-answer", &a)
             })
-            .collect()
+            .collect::<Result<_, _>>()?
     };
     let _s = spfe_obs::span("reconstruct");
-    client_reconstruct(params, &answers)
+    Ok(client_reconstruct(params, &answers))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use spfe_math::XorShiftRng;
+    use spfe_transport::Transcript;
 
     fn field() -> Fp64 {
         Fp64::new(1_000_003).unwrap()
@@ -245,7 +269,7 @@ mod tests {
             for i in 0..database.len() {
                 let mut tr = Transcript::new(params.num_servers());
                 assert_eq!(
-                    run(&mut tr, &params, &database, i, &mut rng),
+                    run(&mut tr, &params, &database, i, &mut rng).unwrap(),
                     database[i],
                     "t={t_priv} i={i}"
                 );
@@ -266,7 +290,7 @@ mod tests {
         let database = db(16);
         let params = PolyItParams::new(database.len(), 1, field());
         let mut tr = Transcript::new(params.num_servers());
-        run(&mut tr, &params, &database, 3, &mut rng);
+        run(&mut tr, &params, &database, 3, &mut rng).unwrap();
         assert_eq!(tr.report().half_rounds, 2);
     }
 
@@ -309,7 +333,7 @@ mod tests {
         let database = db(8);
         let params = PolyItParams::new(database.len(), 1, field());
         let mut tr = Transcript::new(params.num_servers());
-        let got = run_symmetric(&mut tr, &params, &database, 5, 0x5EED, &mut rng);
+        let got = run_symmetric(&mut tr, &params, &database, 5, 0x5EED, &mut rng).unwrap();
         assert_eq!(got, database[5]);
     }
 
@@ -322,8 +346,8 @@ mod tests {
         let blind = blinding_poly(&params, &mut rng);
         let mut any_diff = false;
         for (h, q) in queries.iter().enumerate() {
-            let raw = server_answer(&params, &database, q);
-            let blinded = server_answer_blinded(&params, &database, q, &blind, h);
+            let raw = server_answer(&params, &database, q).unwrap();
+            let blinded = server_answer_blinded(&params, &database, q, &blind, h).unwrap();
             any_diff |= raw != blinded;
         }
         assert!(any_diff, "blinding had no effect");
@@ -331,7 +355,7 @@ mod tests {
         let answers: Vec<u64> = queries
             .iter()
             .enumerate()
-            .map(|(h, q)| server_answer_blinded(&params, &database, q, &blind, h))
+            .map(|(h, q)| server_answer_blinded(&params, &database, q, &blind, h).unwrap())
             .collect();
         assert_eq!(client_reconstruct(&params, &answers), database[2]);
     }
@@ -345,7 +369,7 @@ mod tests {
             let database = db(n);
             let params = PolyItParams::new(n, 1, f);
             let mut tr = Transcript::new(params.num_servers());
-            run(&mut tr, &params, &database, 1, &mut rng);
+            run(&mut tr, &params, &database, 1, &mut rng).unwrap();
             bytes.push(tr.report().total_bytes());
         }
         // k·ℓ grows ~ quadratically in ℓ; just check monotone growth and

@@ -18,7 +18,7 @@
 use crate::hom_pir::Layout;
 use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_math::{Nat, RandomSource};
-use spfe_transport::{Reader, Transcript, Wire, WireError};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
 /// Dimensions of the two recursion levels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,17 +117,26 @@ pub fn client_query<P: HomomorphicPk, R: RandomSource + ?Sized>(
 
 /// Server: the two folding passes. Returns `c2 × chunks` ciphertext blobs.
 ///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] on a malformed (client-controlled)
+/// query: wrong arity or undecodable ciphertexts.
+///
 /// # Panics
 ///
-/// Panics on malformed queries or db values ≥ plaintext modulus.
+/// Panics on db values ≥ plaintext modulus (the server's own data).
 pub fn server_answer<P: HomomorphicPk>(
     pk: &P,
     layout: &RecursiveLayout,
     db: &[u64],
     query: &RecursiveQuery,
-) -> Vec<Vec<Vec<u8>>> {
-    assert_eq!(query.level1.len(), layout.d1, "bad level-1 arity");
-    assert_eq!(query.level2.len(), layout.r2, "bad level-2 arity");
+) -> Result<Vec<Vec<Vec<u8>>>, ProtocolError> {
+    if query.level1.len() != layout.d1 || query.level2.len() != layout.r2 {
+        return Err(ProtocolError::InvalidMessage {
+            label: "recpir-query",
+            reason: "query arity does not match layout",
+        });
+    }
     // Level 1 touches every (padded) cell of the d1 × d2 matrix.
     spfe_obs::count(
         spfe_obs::Op::PirWordsScanned,
@@ -136,8 +145,14 @@ pub fn server_answer<P: HomomorphicPk>(
     let sel1: Vec<P::Ciphertext> = query
         .level1
         .iter()
-        .map(|b| pk.ciphertext_from_bytes(b).expect("ct"))
-        .collect();
+        .map(|b| {
+            pk.ciphertext_from_bytes(b)
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "recpir-query",
+                    reason: "malformed level-1 ciphertext",
+                })
+        })
+        .collect::<Result<_, _>>()?;
     // Level 1: fold rows into d2 ciphertexts.
     let level1_layout = Layout {
         rows: layout.d1,
@@ -168,9 +183,15 @@ pub fn server_answer<P: HomomorphicPk>(
     let sel2: Vec<P::Ciphertext> = query
         .level2
         .iter()
-        .map(|b| pk.ciphertext_from_bytes(b).expect("ct"))
-        .collect();
-    (0..layout.c2)
+        .map(|b| {
+            pk.ciphertext_from_bytes(b)
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "recpir-query",
+                    reason: "malformed level-2 ciphertext",
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((0..layout.c2)
         .map(|j| {
             (0..n_chunks)
                 .map(|ch| {
@@ -204,64 +225,79 @@ pub fn server_answer<P: HomomorphicPk>(
                 })
                 .collect()
         })
-        .collect()
+        .collect())
 }
 
 /// Client: double decryption.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed answers.
+/// [`ProtocolError::InvalidMessage`] on a malformed (server-controlled)
+/// answer: missing columns, undecodable ciphertexts, or an oversized item.
 pub fn client_decode<P: HomomorphicPk, S: HomomorphicSk<P>>(
     pk: &P,
     sk: &S,
     layout: &RecursiveLayout,
     index: usize,
     answer: &[Vec<Vec<u8>>],
-) -> u64 {
+) -> Result<u64, ProtocolError> {
+    const BAD: ProtocolError = ProtocolError::InvalidMessage {
+        label: "recpir-answer",
+        reason: "malformed answer",
+    };
     let (_, col1) = layout.level1_pos(index);
     let col2 = col1 % layout.c2;
     let cw = chunk_bytes(pk);
     // Outer decryption: recover the level-1 ciphertext bytes.
     let mut level1_ct_bytes = Vec::with_capacity(pk.ciphertext_bytes());
-    for chunk_ct in &answer[col2] {
-        let ct = pk.ciphertext_from_bytes(chunk_ct).expect("ct");
+    for chunk_ct in answer.get(col2).ok_or(BAD)? {
+        let ct = pk.ciphertext_from_bytes(chunk_ct).ok_or(BAD)?;
         let chunk = sk.decrypt(&ct);
-        let remaining = pk.ciphertext_bytes() - level1_ct_bytes.len();
-        level1_ct_bytes.extend(chunk.to_le_bytes_padded(cw.min(remaining)));
+        let width = cw.min(pk.ciphertext_bytes().saturating_sub(level1_ct_bytes.len()));
+        // A tampered answer can decrypt to a value wider than the chunk;
+        // reject it rather than let the padded serializer panic.
+        let mut le = chunk.to_be_bytes();
+        le.reverse();
+        if le.len() > width {
+            return Err(BAD);
+        }
+        le.resize(width, 0);
+        level1_ct_bytes.extend(le);
     }
     // Inner decryption: the actual item.
-    let inner = pk
-        .ciphertext_from_bytes(&level1_ct_bytes)
-        .expect("reassembled ciphertext");
-    sk.decrypt(&inner).to_u64().expect("item fits u64")
+    let inner = pk.ciphertext_from_bytes(&level1_ct_bytes).ok_or(BAD)?;
+    sk.decrypt(&inner).to_u64().ok_or(BAD)
 }
 
-/// Runs the depth-2 scheme over a metered transcript.
+/// Runs the depth-2 scheme over a metered channel.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 ///
 /// # Panics
 ///
-/// Panics on index out of range.
+/// Panics on index out of range (a driver bug, not an attack).
 pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     pk: &P,
     sk: &S,
     db: &[u64],
     index: usize,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     let _proto = spfe_obs::span("recpir");
     let layout = RecursiveLayout::balanced(db.len());
     let q = {
         let _s = spfe_obs::span("query-gen");
         client_query(pk, &layout, index, rng)
     };
-    let q = t.client_to_server(0, "recpir-query", &q).expect("codec");
+    let q = t.client_to_server(0, "recpir-query", &q)?;
     let a = {
         let _s = spfe_obs::span("server-scan");
-        server_answer(pk, &layout, db, &q)
+        server_answer(pk, &layout, db, &q)?
     };
-    let a = t.server_to_client(0, "recpir-answer", &a).expect("codec");
+    let a = t.server_to_client(0, "recpir-answer", &a)?;
     let _s = spfe_obs::span("reconstruct");
     client_decode(pk, sk, &layout, index, &a)
 }
@@ -271,6 +307,7 @@ mod tests {
     use super::*;
     use crate::hom_pir;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn setup() -> (spfe_crypto::PaillierPk, spfe_crypto::PaillierSk, ChaChaRng) {
         let mut rng = ChaChaRng::from_u64_seed(0x2EC);
@@ -298,7 +335,7 @@ mod tests {
         for i in 0..database.len() {
             let mut t = Transcript::new(1);
             assert_eq!(
-                run(&mut t, &pk, &sk, &database, i, &mut rng),
+                run(&mut t, &pk, &sk, &database, i, &mut rng).unwrap(),
                 database[i],
                 "i={i}"
             );
@@ -310,7 +347,7 @@ mod tests {
         let (pk, sk, mut rng) = setup();
         let database = db(64);
         let mut t = Transcript::new(1);
-        run(&mut t, &pk, &sk, &database, 17, &mut rng);
+        run(&mut t, &pk, &sk, &database, 17, &mut rng).unwrap();
         assert_eq!(t.report().half_rounds, 2);
     }
 
@@ -322,10 +359,10 @@ mod tests {
         let n = 20_000;
         let database = db(n);
         let mut t_rec = Transcript::new(1);
-        let got = run(&mut t_rec, &pk, &sk, &database, 12_345, &mut rng);
+        let got = run(&mut t_rec, &pk, &sk, &database, 12_345, &mut rng).unwrap();
         assert_eq!(got, database[12_345]);
         let mut t_sqrt = Transcript::new(1);
-        let got2 = hom_pir::run(&mut t_sqrt, &pk, &sk, &database, 12_345, &mut rng);
+        let got2 = hom_pir::run(&mut t_sqrt, &pk, &sk, &database, 12_345, &mut rng).unwrap();
         assert_eq!(got2, database[12_345]);
         let (rec, sqrt) = (t_rec.report().total_bytes(), t_sqrt.report().total_bytes());
         assert!(rec < sqrt, "depth-2 {rec} should beat sqrt {sqrt} at n={n}");
@@ -337,7 +374,11 @@ mod tests {
         let database = vec![0u64, 5, 0, 0, 9, 0, 0]; // padding beyond 7 cells
         for (i, &v) in database.iter().enumerate() {
             let mut t = Transcript::new(1);
-            assert_eq!(run(&mut t, &pk, &sk, &database, i, &mut rng), v, "i={i}");
+            assert_eq!(
+                run(&mut t, &pk, &sk, &database, i, &mut rng).unwrap(),
+                v,
+                "i={i}"
+            );
         }
     }
 }

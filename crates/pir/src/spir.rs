@@ -19,7 +19,7 @@ use spfe_crypto::SchnorrGroup;
 use spfe_math::modular::mod_sub;
 use spfe_math::{Nat, RandomSource};
 use spfe_ot::{ot2, ot_n};
-use spfe_transport::{Reader, Transcript, Wire, WireError};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
 /// Domain-separation label for the OT's deterministic setup element.
 const OT_SETUP_LABEL: &[u8] = b"spfe-spir-pad-ot";
@@ -140,18 +140,19 @@ pub fn client_query<P: HomomorphicPk, R: RandomSource + ?Sized>(
 
 /// Server: pads every column homomorphically and transfers the pads by OT.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed queries.
+/// [`ProtocolError::InvalidMessage`] on malformed (client-controlled)
+/// queries.
 pub fn server_answer<P: HomomorphicPk, R: RandomSource + ?Sized>(
     params: &SpirParams,
     pk: &P,
     db: &[u64],
     query: &SpirQuery,
     rng: &mut R,
-) -> SpirAnswer {
+) -> Result<SpirAnswer, ProtocolError> {
     let layout = params.layout();
-    let columns = hom_pir::server_answer(pk, &layout, db, &query.pir);
+    let columns = hom_pir::server_answer(pk, &layout, db, &query.pir)?;
     let u = pk.plaintext_modulus().clone();
     let width = pad_bytes(pk);
     // Random pads, applied under encryption.
@@ -175,28 +176,40 @@ pub fn server_answer<P: HomomorphicPk, R: RandomSource + ?Sized>(
         &pad_items,
         rng,
     );
-    SpirAnswer {
+    Ok(SpirAnswer {
         padded: hom_pir::answer_to_wire(pk, &padded),
         pad_ot,
-    }
+    })
 }
 
 /// Client: unpads its single item.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed answers.
+/// [`ProtocolError::InvalidMessage`] on malformed (server-controlled)
+/// answers.
 pub fn client_decode<P: HomomorphicPk, S: HomomorphicSk<P>>(
     params: &SpirParams,
     pk: &P,
     sk: &S,
     state: &SpirClientState,
     answer: &SpirAnswer,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     let (_, col) = state.layout.position(state.index);
+    let ct_bytes = answer
+        .padded
+        .columns
+        .get(col)
+        .ok_or(ProtocolError::InvalidMessage {
+            label: "spir-answer",
+            reason: "answer has too few columns",
+        })?;
     let ct = pk
-        .ciphertext_from_bytes(&answer.padded.columns[col])
-        .expect("malformed answer ciphertext");
+        .ciphertext_from_bytes(ct_bytes)
+        .ok_or(ProtocolError::InvalidMessage {
+            label: "spir-answer",
+            reason: "malformed answer ciphertext",
+        })?;
     let masked = sk.decrypt(&ct);
     let pad = Nat::from_le_bytes(&ot_n::receiver_output(
         &params.group,
@@ -209,7 +222,10 @@ pub fn client_decode<P: HomomorphicPk, S: HomomorphicSk<P>>(
         pk.plaintext_modulus(),
     )
     .to_u64()
-    .expect("item exceeds u64")
+    .ok_or(ProtocolError::InvalidMessage {
+        label: "spir-answer",
+        reason: "unpadded item exceeds u64",
+    })
 }
 
 /// Server answer for multi-word items (width `W`): per column, `W` padded
@@ -248,15 +264,20 @@ impl Wire for SpirWordsAnswer {
 /// [`pad_answer_words`] serially, keeping the rng draw order — and hence
 /// the wire transcript — independent of the thread count.
 ///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] on malformed (client-controlled)
+/// queries.
+///
 /// # Panics
 ///
-/// Panics on ragged items or malformed queries.
+/// Panics on ragged items (the server's own data).
 pub fn scan_words<P: HomomorphicPk>(
     params: &SpirParams,
     pk: &P,
     db_words: &[Vec<u64>],
     query: &SpirQuery,
-) -> Vec<Vec<P::Ciphertext>> {
+) -> Result<Vec<Vec<P::Ciphertext>>, ProtocolError> {
     assert_eq!(db_words.len(), params.n, "db size mismatch");
     let width = db_words.first().map_or(0, |it| it.len());
     assert!(width > 0, "empty items");
@@ -334,108 +355,141 @@ pub fn pad_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
 /// `db_words` (each item a fixed-width `Vec<u64>`) — the scan stage
 /// followed by the pad/OT stage.
 ///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] on malformed (client-controlled)
+/// queries.
+///
 /// # Panics
 ///
-/// Panics on ragged items or malformed queries.
+/// Panics on ragged items (the server's own data).
 pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
     params: &SpirParams,
     pk: &P,
     db_words: &[Vec<u64>],
     query: &SpirQuery,
     rng: &mut R,
-) -> SpirWordsAnswer {
-    let scanned = scan_words(params, pk, db_words, query);
-    pad_answer_words(params, pk, &scanned, query, rng)
+) -> Result<SpirWordsAnswer, ProtocolError> {
+    let scanned = scan_words(params, pk, db_words, query)?;
+    Ok(pad_answer_words(params, pk, &scanned, query, rng))
 }
 
 /// Client: unpads its multi-word item.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on malformed answers.
+/// [`ProtocolError::InvalidMessage`] on malformed (server-controlled)
+/// answers.
 pub fn client_decode_words<P: HomomorphicPk, S: HomomorphicSk<P>>(
     params: &SpirParams,
     pk: &P,
     sk: &S,
     state: &SpirClientState,
     answer: &SpirWordsAnswer,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ProtocolError> {
     let (_, col) = state.layout.position(state.index);
     let pad_w = pad_bytes(pk);
     let pads_bytes = ot_n::receiver_output(&params.group, &state.ot_state, &answer.pad_ot);
     let u = pk.plaintext_modulus();
+    if pads_bytes.len() < answer.padded.len() * pad_w {
+        return Err(ProtocolError::InvalidMessage {
+            label: "spirw-answer",
+            reason: "OT pads shorter than the answer",
+        });
+    }
     answer
         .padded
         .iter()
         .enumerate()
         .map(|(c, chunk)| {
+            let ct_bytes = chunk
+                .columns
+                .get(col)
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "spirw-answer",
+                    reason: "answer has too few columns",
+                })?;
             let ct = pk
-                .ciphertext_from_bytes(&chunk.columns[col])
-                .expect("malformed answer ciphertext");
+                .ciphertext_from_bytes(ct_bytes)
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "spirw-answer",
+                    reason: "malformed answer ciphertext",
+                })?;
             let masked = sk.decrypt(&ct);
             let pad = Nat::from_le_bytes(&pads_bytes[c * pad_w..(c + 1) * pad_w]);
             mod_sub(&masked, &pad.rem(u), u)
                 .to_u64()
-                .expect("item exceeds u64")
+                .ok_or(ProtocolError::InvalidMessage {
+                    label: "spirw-answer",
+                    reason: "unpadded item exceeds u64",
+                })
         })
         .collect()
 }
 
-/// Runs a full 1-round multi-word SPIR over a metered transcript.
+/// Runs a full 1-round multi-word SPIR over a metered channel.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 ///
 /// # Panics
 ///
-/// Panics on index out of range or ragged items.
+/// Panics on index out of range or ragged items (driver bugs).
 pub fn run_words<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &SpirParams,
     pk: &P,
     sk: &S,
     db_words: &[Vec<u64>],
     index: usize,
     rng: &mut R,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ProtocolError> {
     let _proto = spfe_obs::span("spirw");
     let (q, state) = {
         let _s = spfe_obs::span("query-gen");
         client_query(params, pk, index, rng)
     };
-    let q = t.client_to_server(0, "spirw-query", &q).expect("codec");
+    let q = t.client_to_server(0, "spirw-query", &q)?;
     let a = {
         let _s = spfe_obs::span("server-scan");
-        server_answer_words(params, pk, db_words, &q, rng)
+        server_answer_words(params, pk, db_words, &q, rng)?
     };
-    let a = t.server_to_client(0, "spirw-answer", &a).expect("codec");
+    let a = t.server_to_client(0, "spirw-answer", &a)?;
     let _s = spfe_obs::span("reconstruct");
     client_decode_words(params, pk, sk, &state, &a)
 }
 
-/// Runs the full 1-round SPIR over a metered transcript.
+/// Runs the full 1-round SPIR over a metered channel.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 ///
 /// # Panics
 ///
-/// Panics on index out of range.
+/// Panics on index out of range (a driver bug).
 pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     params: &SpirParams,
     pk: &P,
     sk: &S,
     db: &[u64],
     index: usize,
     rng: &mut R,
-) -> u64 {
+) -> Result<u64, ProtocolError> {
     assert_eq!(db.len(), params.n, "db size mismatch");
     let _proto = spfe_obs::span("spir");
     let (q, state) = {
         let _s = spfe_obs::span("query-gen");
         client_query(params, pk, index, rng)
     };
-    let q = t.client_to_server(0, "spir-query", &q).expect("codec");
+    let q = t.client_to_server(0, "spir-query", &q)?;
     let a = {
         let _s = spfe_obs::span("server-scan");
-        server_answer(params, pk, db, &q, rng)
+        server_answer(params, pk, db, &q, rng)?
     };
-    let a = t.server_to_client(0, "spir-answer", &a).expect("codec");
+    let a = t.server_to_client(0, "spir-answer", &a)?;
     let _s = spfe_obs::span("reconstruct");
     client_decode(params, pk, sk, &state, &a)
 }
@@ -444,6 +498,7 @@ pub fn run<P: HomomorphicPk, S: HomomorphicSk<P>, R: RandomSource + ?Sized>(
 mod tests {
     use super::*;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn setup() -> (
         SpirParams,
@@ -468,7 +523,7 @@ mod tests {
         for i in 0..params.n {
             let mut t = Transcript::new(1);
             assert_eq!(
-                run(&mut t, &params, &pk, &sk, &database, i, &mut rng),
+                run(&mut t, &params, &pk, &sk, &database, i, &mut rng).unwrap(),
                 database[i],
                 "i={i}"
             );
@@ -480,7 +535,7 @@ mod tests {
         let (params, pk, sk, mut rng) = setup();
         let database = db(params.n);
         let mut t = Transcript::new(1);
-        run(&mut t, &params, &pk, &sk, &database, 3, &mut rng);
+        run(&mut t, &params, &pk, &sk, &database, 3, &mut rng).unwrap();
         assert_eq!(t.report().half_rounds, 2);
     }
 
@@ -491,7 +546,7 @@ mod tests {
         let (params, pk, sk, mut rng) = setup();
         let database = db(params.n);
         let (q, state) = client_query(&params, &pk, 0, &mut rng);
-        let a = server_answer(&params, &pk, &database, &q, &mut rng);
+        let a = server_answer(&params, &pk, &database, &q, &mut rng).unwrap();
         let layout = params.layout();
         let mut masked_matches = 0;
         for j in 1..layout.cols {
@@ -505,7 +560,10 @@ mod tests {
         }
         assert_eq!(masked_matches, 0, "pads failed to hide other columns");
         // While the target column still decodes correctly.
-        assert_eq!(client_decode(&params, &pk, &sk, &state, &a), database[0]);
+        assert_eq!(
+            client_decode(&params, &pk, &sk, &state, &a).unwrap(),
+            database[0]
+        );
     }
 
     #[test]
@@ -516,7 +574,7 @@ mod tests {
         let database = db(params.n);
         for i in 0..params.n {
             let mut t = Transcript::new(1);
-            let got = run(&mut t, &params, &pk, &sk, &database, i, &mut rng);
+            let got = run(&mut t, &params, &pk, &sk, &database, i, &mut rng).unwrap();
             assert_eq!(got, database[i]);
         }
     }
@@ -530,7 +588,7 @@ mod tests {
             let params = SpirParams::new(group.clone(), n);
             let database = db(n);
             let mut t = Transcript::new(1);
-            run(&mut t, &params, &pk, &sk, &database, 1, &mut rng);
+            run(&mut t, &params, &pk, &sk, &database, 1, &mut rng).unwrap();
             totals.push(t.report().total_bytes());
         }
         let r = totals[2] as f64 / totals[0] as f64;

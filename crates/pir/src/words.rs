@@ -15,23 +15,27 @@ use crate::spir::{self, SpirParams};
 use spfe_crypto::hom::{HomomorphicPk, HomomorphicSk};
 use spfe_crypto::SchnorrGroup;
 use spfe_math::RandomSource;
-use spfe_transport::Transcript;
+use spfe_transport::{Channel, ProtocolError};
 
 /// Retrieves one multi-word item: `items[index]` where every item is a
 /// fixed-width `Vec<u64>`.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 ///
 /// # Panics
 ///
 /// Panics if items are ragged/empty or the index is out of range.
 pub fn retrieve_one<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
     items: &[Vec<u64>],
     index: usize,
     rng: &mut R,
-) -> Vec<u64>
+) -> Result<Vec<u64>, ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -47,18 +51,22 @@ where
 /// Returns the items in query order plus the batching statistics of the
 /// first chunk (all chunks share the same geometry).
 ///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
+///
 /// # Panics
 ///
 /// Panics if items are ragged/empty or any index is out of range.
 pub fn retrieve_many<P, S, R>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     group: &SchnorrGroup,
     pk: &P,
     sk: &S,
     items: &[Vec<u64>],
     indices: &[usize],
     rng: &mut R,
-) -> (Vec<Vec<u64>>, BatchedStats)
+) -> Result<(Vec<Vec<u64>>, BatchedStats), ProtocolError>
 where
     P: HomomorphicPk,
     S: HomomorphicSk<P>,
@@ -99,6 +107,7 @@ pub fn words_to_bytes(words: &[u64], len: usize) -> Vec<u8> {
 mod tests {
     use super::*;
     use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier};
+    use spfe_transport::Transcript;
 
     fn setup() -> (
         SchnorrGroup,
@@ -129,7 +138,7 @@ mod tests {
         for i in [0usize, 4, 8] {
             let mut t = Transcript::new(1);
             assert_eq!(
-                retrieve_one(&mut t, &group, &pk, &sk, &db, i, &mut rng),
+                retrieve_one(&mut t, &group, &pk, &sk, &db, i, &mut rng).unwrap(),
                 db[i]
             );
         }
@@ -141,7 +150,8 @@ mod tests {
         let db = items(30, 2);
         let indices = [1usize, 13, 29];
         let mut t = Transcript::new(1);
-        let (got, stats) = retrieve_many(&mut t, &group, &pk, &sk, &db, &indices, &mut rng);
+        let (got, stats) =
+            retrieve_many(&mut t, &group, &pk, &sk, &db, &indices, &mut rng).unwrap();
         for (g, &i) in got.iter().zip(&indices) {
             assert_eq!(*g, db[i]);
         }
@@ -165,7 +175,7 @@ mod tests {
         let db = vec![vec![u64::MAX, 0], vec![1, u64::MAX - 1]];
         let mut t = Transcript::new(1);
         assert_eq!(
-            retrieve_one(&mut t, &group, &pk, &sk, &db, 0, &mut rng),
+            retrieve_one(&mut t, &group, &pk, &sk, &db, 0, &mut rng).unwrap(),
             db[0]
         );
     }

@@ -8,7 +8,7 @@
 //! item down, per server.
 
 use spfe_math::RandomSource;
-use spfe_transport::{Reader, Transcript, Wire, WireError};
+use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
 /// A query: a subset of `[n]` as a packed bitmask.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,11 +72,21 @@ pub fn client_query<R: RandomSource + ?Sized>(
 
 /// Server: XOR of the selected items.
 ///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] if the (client-controlled) query
+/// length does not match the database.
+///
 /// # Panics
 ///
-/// Panics if the query length does not match the database.
-pub fn server_answer(db: &[Vec<u8>], query: &Xor2Query) -> Vec<u8> {
-    assert_eq!(db.len(), query.n, "query does not match database size");
+/// Panics on a ragged database (the server's own data).
+pub fn server_answer(db: &[Vec<u8>], query: &Xor2Query) -> Result<Vec<u8>, ProtocolError> {
+    if db.len() != query.n {
+        return Err(ProtocolError::InvalidMessage {
+            label: "pir2-query",
+            reason: "query does not match database size",
+        });
+    }
     spfe_obs::count(spfe_obs::Op::PirWordsScanned, db.len() as u64);
     let len = db.first().map_or(0, |v| v.len());
     let mut acc = vec![0u8; len];
@@ -88,46 +98,56 @@ pub fn server_answer(db: &[Vec<u8>], query: &Xor2Query) -> Vec<u8> {
             }
         }
     }
-    acc
+    Ok(acc)
 }
 
 /// Client: combines the two answers.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if answers have different lengths.
-pub fn client_combine(a1: &[u8], a2: &[u8]) -> Vec<u8> {
-    assert_eq!(a1.len(), a2.len());
-    a1.iter().zip(a2).map(|(&x, &y)| x ^ y).collect()
+/// [`ProtocolError::InvalidMessage`] if the (server-controlled) answers
+/// have different lengths.
+pub fn client_combine(a1: &[u8], a2: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    if a1.len() != a2.len() {
+        return Err(ProtocolError::InvalidMessage {
+            label: "pir2-answer",
+            reason: "answer lengths differ",
+        });
+    }
+    Ok(a1.iter().zip(a2).map(|(&x, &y)| x ^ y).collect())
 }
 
-/// Runs the full 2-server protocol over a metered transcript, returning the
+/// Runs the full 2-server protocol over a metered channel, returning the
 /// retrieved item.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on any transport fault or malformed message.
 ///
 /// # Panics
 ///
-/// Panics if the transcript does not have exactly 2 servers, or on index
-/// out of range.
+/// Panics if the channel does not have exactly 2 servers, or on index
+/// out of range (both driver bugs, not attacks).
 pub fn run<R: RandomSource + ?Sized>(
-    t: &mut Transcript,
+    t: &mut dyn Channel,
     db: &[Vec<u8>],
     index: usize,
     rng: &mut R,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, ProtocolError> {
     assert_eq!(t.num_servers(), 2, "xor2 PIR needs exactly 2 servers");
     let _proto = spfe_obs::span("pir2");
     let (q1, q2) = {
         let _s = spfe_obs::span("query-gen");
         client_query(db.len(), index, rng)
     };
-    let q1 = t.client_to_server(0, "pir2-query", &q1).expect("codec");
-    let q2 = t.client_to_server(1, "pir2-query", &q2).expect("codec");
+    let q1 = t.client_to_server(0, "pir2-query", &q1)?;
+    let q2 = t.client_to_server(1, "pir2-query", &q2)?;
     let (a1, a2) = {
         let _s = spfe_obs::span("server-scan");
-        (server_answer(db, &q1), server_answer(db, &q2))
+        (server_answer(db, &q1)?, server_answer(db, &q2)?)
     };
-    let a1 = t.server_to_client(0, "pir2-answer", &a1).expect("codec");
-    let a2 = t.server_to_client(1, "pir2-answer", &a2).expect("codec");
+    let a1 = t.server_to_client(0, "pir2-answer", &a1)?;
+    let a2 = t.server_to_client(1, "pir2-answer", &a2)?;
     let _s = spfe_obs::span("reconstruct");
     client_combine(&a1, &a2)
 }
@@ -136,6 +156,7 @@ pub fn run<R: RandomSource + ?Sized>(
 mod tests {
     use super::*;
     use spfe_math::XorShiftRng;
+    use spfe_transport::Transcript;
 
     fn db(n: usize, len: usize) -> Vec<Vec<u8>> {
         (0..n)
@@ -149,7 +170,11 @@ mod tests {
         let database = db(13, 5);
         for i in 0..13 {
             let mut t = Transcript::new(2);
-            assert_eq!(run(&mut t, &database, i, &mut rng), database[i], "i={i}");
+            assert_eq!(
+                run(&mut t, &database, i, &mut rng).unwrap(),
+                database[i],
+                "i={i}"
+            );
         }
     }
 
@@ -159,7 +184,7 @@ mod tests {
         let n = 64;
         let database = db(n, 16);
         let mut t = Transcript::new(2);
-        run(&mut t, &database, 7, &mut rng);
+        run(&mut t, &database, 7, &mut rng).unwrap();
         let rep = t.report();
         assert_eq!(rep.half_rounds, 2); // one round
                                         // Up: 2 masks of n/8 bytes + framing; down: 2 items of 16 bytes + framing.
@@ -217,6 +242,6 @@ mod tests {
         let mut rng = XorShiftRng::new(6);
         let database = vec![vec![42u8]];
         let mut t = Transcript::new(2);
-        assert_eq!(run(&mut t, &database, 0, &mut rng), vec![42u8]);
+        assert_eq!(run(&mut t, &database, 0, &mut rng).unwrap(), vec![42u8]);
     }
 }

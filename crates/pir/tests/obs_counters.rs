@@ -26,7 +26,10 @@ fn scan_counts(threads: usize, db: &[u64], idx: usize) -> OpsSnapshot {
     spfe_math::par::set_seq_threshold(Some(1));
     spfe_obs::reset_ops();
     let mut t = Transcript::new(1);
-    assert_eq!(hom_pir::run(&mut t, &pk, &sk, db, idx, &mut rng), db[idx]);
+    assert_eq!(
+        hom_pir::run(&mut t, &pk, &sk, db, idx, &mut rng).unwrap(),
+        db[idx]
+    );
     let snap = spfe_obs::ops_snapshot().deterministic_part();
     spfe_math::par::set_seq_threshold(None);
     spfe_math::par::set_threads(None);

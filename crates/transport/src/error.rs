@@ -1,0 +1,166 @@
+//! Typed protocol failures.
+//!
+//! The paper's threat model (§2) lets up to `t` servers misbehave
+//! arbitrarily. A driver that `panic!`s on attacker-controlled bytes hands
+//! those servers a denial-of-service oracle; instead every driver surfaces
+//! a [`ProtocolError`] and the caller decides whether to retry, switch
+//! servers, or abort with a diagnosis.
+
+use crate::wire::WireError;
+
+/// Why a protocol execution could not produce a (trusted) output.
+///
+/// Variants split into *transient* transport faults, which the channel
+/// layer retries against a replacement honest server
+/// ([`ProtocolError::is_transient`]), and *permanent* faults — malformed
+/// or inconsistent attacker-controlled data — which abort the execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Delivered bytes failed to decode as the expected message type.
+    Codec(WireError),
+    /// The message was lost in transit (transient; retried).
+    Dropped {
+        /// Server on the other end of the lost message.
+        server: usize,
+        /// Protocol label of the lost message.
+        label: &'static str,
+    },
+    /// Delivery exceeded the round's tick budget (transient; retried).
+    Timeout {
+        /// Server on the other end.
+        server: usize,
+        /// Protocol label of the late message.
+        label: &'static str,
+    },
+    /// The server stopped responding mid-protocol (transient: the channel
+    /// substitutes a replacement honest server, up to the tolerance).
+    ServerCrashed {
+        /// The crashed server.
+        server: usize,
+    },
+    /// A message decoded fine but violates a protocol invariant
+    /// (wrong arity, out-of-range index, inconsistent ciphertext…).
+    InvalidMessage {
+        /// Protocol label of the offending message.
+        label: &'static str,
+        /// What invariant it broke.
+        reason: &'static str,
+    },
+    /// The database violates a precondition of the selected function
+    /// (e.g. formula-SPFE over a non-Boolean database).
+    InvalidDatabase(&'static str),
+    /// More servers misbehaved than the protocol tolerates — abort with
+    /// diagnosis rather than retry forever.
+    TooManyFaulty {
+        /// Fault budget `t` the execution was configured with.
+        tolerated: usize,
+        /// Misbehaving servers observed so far.
+        observed: usize,
+    },
+    /// Transient faults persisted through every retry attempt.
+    RetriesExhausted {
+        /// Server on the other end.
+        server: usize,
+        /// Protocol label of the message that never got through.
+        label: &'static str,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
+}
+
+impl ProtocolError {
+    /// Whether the channel layer may mask this fault by retrying
+    /// (possibly against a replacement server).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::Dropped { .. }
+                | ProtocolError::Timeout { .. }
+                | ProtocolError::ServerCrashed { .. }
+        )
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Codec(e) => write!(f, "codec failure: {e}"),
+            ProtocolError::Dropped { server, label } => {
+                write!(f, "message {label:?} to/from server {server} was dropped")
+            }
+            ProtocolError::Timeout { server, label } => {
+                write!(f, "message {label:?} to/from server {server} timed out")
+            }
+            ProtocolError::ServerCrashed { server } => {
+                write!(f, "server {server} crashed mid-protocol")
+            }
+            ProtocolError::InvalidMessage { label, reason } => {
+                write!(f, "invalid {label:?} message: {reason}")
+            }
+            ProtocolError::InvalidDatabase(reason) => {
+                write!(f, "invalid database: {reason}")
+            }
+            ProtocolError::TooManyFaulty {
+                tolerated,
+                observed,
+            } => write!(
+                f,
+                "{observed} servers misbehaved but only {tolerated} are tolerated"
+            ),
+            ProtocolError::RetriesExhausted {
+                server,
+                label,
+                attempts,
+            } => write!(
+                f,
+                "message {label:?} to/from server {server} failed after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(ProtocolError::Dropped {
+            server: 0,
+            label: "q"
+        }
+        .is_transient());
+        assert!(ProtocolError::Timeout {
+            server: 0,
+            label: "q"
+        }
+        .is_transient());
+        assert!(ProtocolError::ServerCrashed { server: 1 }.is_transient());
+        assert!(!ProtocolError::Codec(WireError { context: "x" }).is_transient());
+        assert!(!ProtocolError::InvalidDatabase("non-boolean").is_transient());
+        assert!(!ProtocolError::TooManyFaulty {
+            tolerated: 1,
+            observed: 2
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::RetriesExhausted {
+            server: 2,
+            label: "spir-query",
+            attempts: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("spir-query") && s.contains('2') && s.contains('4'));
+    }
+}

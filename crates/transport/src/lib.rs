@@ -14,9 +14,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
+pub mod error;
+pub mod fault;
 pub mod meter;
 pub mod report_wire;
 pub mod wire;
 
+pub use channel::{Channel, ChannelExt, MAX_ATTEMPTS};
+pub use error::ProtocolError;
+pub use fault::{FaultAction, FaultPlan, FaultyChannel, TamperHook, DEFAULT_TIMEOUT_TICKS};
 pub use meter::{CommReport, Direction, MessageRecord, Transcript};
 pub use wire::{Reader, Wire, WireError};

@@ -20,6 +20,15 @@ pub enum Direction {
     ServerToClient(usize),
 }
 
+impl Direction {
+    /// The server on the non-client end of the message.
+    pub fn server(self) -> usize {
+        match self {
+            Direction::ClientToServer(s) | Direction::ServerToClient(s) => s,
+        }
+    }
+}
+
 /// A record of one message on the simulated wire.
 #[derive(Debug, Clone)]
 pub struct MessageRecord {
@@ -185,6 +194,28 @@ impl Transcript {
             half_round,
         });
         T::from_bytes(&bytes)
+    }
+
+    /// Records a raw delivery of `bytes` bytes without exercising the
+    /// codec — the byte-level entry point [`crate::Channel`] builds on.
+    /// Advances the half-round structure exactly like a typed send.
+    pub fn record_raw(&mut self, dir: Direction, label: &'static str, bytes: usize) {
+        let half_round = self.advance(dir);
+        self.records.push(MessageRecord {
+            direction: dir,
+            label,
+            bytes,
+            half_round,
+        });
+    }
+
+    /// Swaps the two most recent records if they share a half-round — the
+    /// metering-level effect of a reorder-within-round transport fault.
+    pub fn swap_last_two_in_round(&mut self) {
+        let n = self.records.len();
+        if n >= 2 && self.records[n - 1].half_round == self.records[n - 2].half_round {
+            self.records.swap(n - 1, n - 2);
+        }
     }
 
     /// All message records so far.

@@ -1,0 +1,108 @@
+//! Interaction of [`FaultyChannel`] with the transcript's per-label
+//! accounting: the meter must reflect what actually crossed the wire —
+//! dropped attempts cost nothing, duplicates cost double — and `reset`
+//! must restore a pristine, replayable channel.
+
+use spfe_transport::{Channel, ChannelExt, FaultAction, FaultPlan, FaultyChannel, Transcript};
+
+/// Drives a fixed two-label exchange (a query up, an answer down) over any
+/// channel.
+fn exchange(ch: &mut dyn Channel) {
+    let q: Vec<u64> = ch.client_to_server(0, "q", &vec![1u64, 2, 3]).unwrap();
+    assert_eq!(q, vec![1, 2, 3]);
+    let a: u64 = ch.server_to_client(0, "a", &99u64).unwrap();
+    assert_eq!(a, 99);
+}
+
+#[test]
+fn dropped_messages_are_absent_from_the_label_report() {
+    // Honest baseline.
+    let mut honest = Transcript::new(1);
+    {
+        let ch: &mut dyn Channel = &mut honest;
+        exchange(ch);
+    }
+    let base = honest.report_by_label();
+
+    // Drop the first attempt of both logical messages (indices shift by
+    // one per retry: attempt 0 drops, attempt 1 delivers "q", attempt 2
+    // drops, attempt 3 delivers "a").
+    let plan = FaultPlan::scripted(vec![(0, FaultAction::Drop), (2, FaultAction::Drop)]);
+    let mut faulty = FaultyChannel::new(1, plan, 0);
+    {
+        let ch: &mut dyn Channel = &mut faulty;
+        exchange(ch);
+    }
+    assert_eq!(faulty.messages_attempted(), 4, "two retries happened");
+    assert_eq!(
+        faulty.inner().report_by_label(),
+        base,
+        "delivered-byte attribution is identical to the honest run"
+    );
+    assert_eq!(
+        faulty.inner().bytes_for_label("q"),
+        honest.bytes_for_label("q")
+    );
+}
+
+#[test]
+fn duplicates_double_one_label_and_leave_the_other_alone() {
+    let plan = FaultPlan::scripted(vec![(0, FaultAction::Duplicate)]);
+    let mut faulty = FaultyChannel::new(1, plan, 0);
+    {
+        let ch: &mut dyn Channel = &mut faulty;
+        exchange(ch);
+    }
+    let stats = faulty.inner().report_by_label();
+    let q = stats.iter().find(|s| s.label == "q").unwrap();
+    let a = stats.iter().find(|s| s.label == "a").unwrap();
+    // Vec<u64> of 3 elements = 8-byte length prefix + 3×8 bytes = 32.
+    assert_eq!(q.up_msgs, 2, "duplicate delivery metered twice");
+    assert_eq!(q.up_bytes, 64);
+    assert_eq!(a.down_msgs, 1);
+    assert_eq!(a.down_bytes, 8);
+}
+
+#[test]
+fn reset_clears_metering_and_replays_the_same_schedule() {
+    let plan = FaultPlan::scripted(vec![(0, FaultAction::Drop)]);
+    let mut faulty = FaultyChannel::new(1, plan, 0);
+    {
+        let ch: &mut dyn Channel = &mut faulty;
+        exchange(ch);
+    }
+    let first = faulty.inner().report_by_label();
+    let attempts = faulty.messages_attempted();
+    assert_eq!(attempts, 3, "one drop, one retry, one clean answer");
+
+    faulty.reset();
+    assert_eq!(faulty.messages_attempted(), 0);
+    assert_eq!(faulty.clock(), 0);
+    assert!(faulty.inner().report_by_label().is_empty());
+    assert_eq!(faulty.inner().report().messages, 0);
+
+    // The plan is message-indexed, so a fresh execution after reset sees
+    // the *same* fault schedule and produces the same accounting.
+    {
+        let ch: &mut dyn Channel = &mut faulty;
+        exchange(ch);
+    }
+    assert_eq!(faulty.inner().report_by_label(), first);
+    assert_eq!(faulty.messages_attempted(), attempts);
+}
+
+#[test]
+fn truncated_delivery_is_metered_at_the_wire_length() {
+    // The truncated bytes did cross the wire; the meter records what was
+    // actually delivered even though decoding then fails.
+    let plan = FaultPlan::scripted(vec![(0, FaultAction::Truncate)]);
+    let mut faulty = FaultyChannel::new(1, plan, 0);
+    let ch: &mut dyn Channel = &mut faulty;
+    let got = ch.client_to_server(0, "q", &vec![1u64, 2, 3]);
+    assert!(got.is_err());
+    let metered = faulty.inner().bytes_for_label("q");
+    assert!(
+        metered > 0 && metered < 32,
+        "a strict prefix of the 32-byte encoding was metered, got {metered}"
+    );
+}

@@ -1,0 +1,127 @@
+//! Decoder-robustness properties for every primitive [`Wire`] impl in
+//! `spfe-transport`: arbitrary bytes, strict prefixes of valid encodings,
+//! and single-bit flips must yield `Ok` or [`WireError`] — never a panic,
+//! never a hostile allocation.
+
+use proptest::prelude::*;
+use spfe_math::Nat;
+use spfe_transport::Wire;
+
+/// Decodes `bytes` as every primitive wire type; the property is simply
+/// that none of these calls panics or allocates per an attacker-chosen
+/// length prefix.
+fn decode_all(bytes: &[u8]) {
+    let _ = u8::from_bytes(bytes);
+    let _ = u16::from_bytes(bytes);
+    let _ = u32::from_bytes(bytes);
+    let _ = u64::from_bytes(bytes);
+    let _ = u128::from_bytes(bytes);
+    let _ = i64::from_bytes(bytes);
+    let _ = bool::from_bytes(bytes);
+    let _ = usize::from_bytes(bytes);
+    let _ = Vec::<u64>::from_bytes(bytes);
+    let _ = Vec::<Vec<u8>>::from_bytes(bytes);
+    let _ = <(u8, u64)>::from_bytes(bytes);
+    let _ = <(u64, Vec<u8>, bool)>::from_bytes(bytes);
+    let _ = Option::<u64>::from_bytes(bytes);
+    let _ = Option::<Vec<u64>>::from_bytes(bytes);
+    let _ = <[u8; 16]>::from_bytes(bytes);
+    let _ = <[u8; 32]>::from_bytes(bytes);
+    let _ = Nat::from_bytes(bytes);
+    let _ = String::from_bytes(bytes);
+}
+
+/// `(name, valid encoding, decoder-rejects predicate)` for one impl shape.
+type Encoding = (&'static str, Vec<u8>, fn(&[u8]) -> bool);
+
+/// A menagerie of valid encodings, one per impl shape.
+fn valid_encodings() -> Vec<Encoding> {
+    fn errs<T: Wire>(b: &[u8]) -> bool {
+        T::from_bytes(b).is_err()
+    }
+    vec![
+        ("u64", u64::MAX.to_bytes(), errs::<u64>),
+        ("u128", (u128::MAX - 5).to_bytes(), errs::<u128>),
+        ("i64", (-42i64).to_bytes(), errs::<i64>),
+        ("bool", true.to_bytes(), errs::<bool>),
+        ("usize", 123_456usize.to_bytes(), errs::<usize>),
+        ("vec-u64", vec![1u64, 2, 3, 4].to_bytes(), errs::<Vec<u64>>),
+        (
+            "vec-vec-u8",
+            vec![vec![1u8, 2], vec![], vec![3]].to_bytes(),
+            errs::<Vec<Vec<u8>>>,
+        ),
+        ("pair", (7u8, 9u64).to_bytes(), errs::<(u8, u64)>),
+        (
+            "triple",
+            (1u64, vec![5u8, 6], true).to_bytes(),
+            errs::<(u64, Vec<u8>, bool)>,
+        ),
+        ("option-some", Some(11u64).to_bytes(), errs::<Option<u64>>),
+        ("array", [9u8; 32].to_bytes(), errs::<[u8; 32]>),
+        (
+            "nat",
+            Nat::from_hex("deadbeefcafebabe0123456789")
+                .unwrap()
+                .to_bytes(),
+            errs::<Nat>,
+        ),
+        (
+            "string",
+            "hello SPFE".to_string().to_bytes(),
+            errs::<String>,
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        decode_all(&bytes);
+    }
+
+    #[test]
+    fn prop_strict_prefixes_of_valid_encodings_are_rejected(
+        cut in any::<proptest::sample::Index>(),
+    ) {
+        for (name, enc, decode_errs) in valid_encodings() {
+            // Every strict prefix misses bytes the decoder needs (the
+            // codec is self-delimiting and length-exact), so decoding
+            // must fail — and in particular must not panic.
+            let keep = cut.index(enc.len());
+            prop_assert!(
+                decode_errs(&enc[..keep]),
+                "{name}: prefix of {keep}/{} bytes decoded",
+                enc.len()
+            );
+        }
+    }
+
+    #[test]
+    fn prop_single_bit_flips_never_panic(
+        pick in any::<proptest::sample::Index>(),
+    ) {
+        for (_name, mut enc, decode_errs) in valid_encodings() {
+            let bit = pick.index(enc.len() * 8);
+            enc[bit / 8] ^= 1 << (bit % 8);
+            // A flipped bit may still decode (to a wrong value) or be
+            // rejected; either way the decoder returns, it never panics
+            // and never trusts a hostile length prefix.
+            let _ = decode_errs(&enc);
+        }
+    }
+
+    #[test]
+    fn prop_trailing_garbage_is_rejected(
+        extra in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        for (name, mut enc, decode_errs) in valid_encodings() {
+            enc.extend_from_slice(&extra);
+            prop_assert!(decode_errs(&enc), "{name}: trailing bytes accepted");
+        }
+    }
+}

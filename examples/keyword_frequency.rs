@@ -34,8 +34,9 @@ fn main() {
 
     // Route 1: the tailored §4 protocol.
     let mut t1 = Transcript::new(1);
-    let shares = select1(&mut t1, &group, &pk, &sk, &codes, &sample, field, &mut rng);
-    let freq1 = frequency(&mut t1, &pk, &sk, &shares, keyword, &mut rng);
+    let shares = select1(&mut t1, &group, &pk, &sk, &codes, &sample, field, &mut rng)
+        .expect("honest transport");
+    let freq1 = frequency(&mut t1, &pk, &sk, &shares, keyword, &mut rng).expect("honest transport");
     println!(
         "§4 tailored protocol : frequency = {freq1} | {} rounds, {} bytes",
         t1.report().rounds(),
@@ -54,7 +55,8 @@ fn main() {
         &Statistic::Frequency { keyword },
         field,
         &mut rng,
-    )[0];
+    )
+    .expect("honest transport")[0];
     println!(
         "generic Yao route    : frequency = {freq2} | {} rounds, {} bytes",
         t2.report().rounds(),

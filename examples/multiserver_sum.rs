@@ -35,7 +35,8 @@ fn main() {
             &squares,
             &sample,
             &mut rng,
-        );
+        )
+        .expect("honest transport");
 
         let expect: u64 = sample.iter().map(|&i| purchases[i]).sum();
         let expect_sq: u64 = sample.iter().map(|&i| squares[i]).sum();

@@ -50,7 +50,8 @@ fn main() {
         &sample,
         field,
         &mut rng,
-    );
+    )
+    .expect("honest transport");
 
     let m = sample.len() as u64;
     let mean = sum / m;

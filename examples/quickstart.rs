@@ -45,7 +45,8 @@ fn main() {
         &weights,
         field,
         &mut rng,
-    );
+    )
+    .expect("honest transport");
 
     let expected: u64 = sample.iter().map(|&i| salaries[i]).sum();
     assert_eq!(sum, expected);

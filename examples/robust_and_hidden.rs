@@ -71,8 +71,10 @@ fn main() {
         let mut t = Transcript::new(1);
         let shares = select1(
             &mut t, &group, &pk, &sk, &small_db, &sample, field, &mut rng,
-        );
-        let got = universal_yao_phase(&mut t, &group, &shares, &menu, choice, &mut rng);
+        )
+        .expect("honest transport");
+        let got = universal_yao_phase(&mut t, &group, &shares, &menu, choice, &mut rng)
+            .expect("honest transport");
         println!(
             "client secretly evaluates entry {choice}: result = {got} \
              (server cannot tell which entry ran)"

@@ -42,7 +42,8 @@ fn main() {
     let mut t = Transcript::new(1);
     let got = run_yao_psm(
         &mut t, &group, &pk, &sk, &db, &indices, &circuit, value_bits, &mut rng,
-    );
+    )
+    .expect("honest transport");
     assert_eq!(got, truth);
     print_row(&t, &table1::PSM);
 
@@ -58,7 +59,8 @@ fn main() {
         &Statistic::Sum,
         field,
         &mut rng,
-    );
+    )
+    .expect("honest transport");
     assert_eq!(got[0], truth % field.modulus());
     print_row(&t, &table1::SELECT1);
 
@@ -74,7 +76,8 @@ fn main() {
         &Statistic::Sum,
         field,
         &mut rng,
-    );
+    )
+    .expect("honest transport");
     assert_eq!(got[0], truth % field.modulus());
     print_row(&t, &table1::SELECT2_V1);
 
@@ -92,7 +95,8 @@ fn main() {
         &Statistic::Sum,
         field,
         &mut rng,
-    );
+    )
+    .expect("honest transport");
     assert_eq!(got[0], truth % field.modulus());
     print_row(&t, &table1::SELECT2_V2);
 
@@ -109,7 +113,8 @@ fn main() {
         &indices,
         &Statistic::Sum,
         &mut rng,
-    );
+    )
+    .expect("honest transport");
     assert_eq!(got[0].to_u64().unwrap(), truth);
     print_row(&t, &table1::SELECT3);
 

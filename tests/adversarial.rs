@@ -1,0 +1,622 @@
+//! Adversarial conformance suite: every protocol driver × every fault
+//! class (DESIGN.md §10).
+//!
+//! Each driver below runs end to end over a [`FaultyChannel`] whose seeded
+//! [`FaultPlan`] perturbs message deliveries. The contract under test:
+//!
+//! * **masked faults** (drop, short delay, timeout, crash within the heal
+//!   budget, duplicate, reorder) are absorbed by the transport's bounded
+//!   retry and the client still computes the *correct* answer;
+//! * **detected faults** (truncation, crash past the budget) surface as
+//!   *typed* [`ProtocolError`]s — `Codec`, `TooManyFaulty` — never panics;
+//! * **byzantine faults** (bit flips, well-formed-but-wrong payloads) may
+//!   yield a wrong value (there is no integrity MAC in the paper's model)
+//!   or a typed error, but never a panic;
+//! * the whole schedule is a pure function of the fault seed, so every
+//!   outcome here is exactly reproducible (`SPFE_FAULT_SEED` in CI).
+
+use spfe::circuits::builders::sum_circuit;
+use spfe::core::database::reference;
+use spfe::core::input_select::select1;
+use spfe::core::multiserver::{self, MsFunction, MultiServerParams};
+use spfe::core::stats;
+use spfe::core::two_phase;
+use spfe::core::universal::universal_yao_phase;
+use spfe::core::{psm_spfe, Statistic};
+use spfe::crypto::{ChaChaRng, HomomorphicScheme, Paillier, PaillierPk, PaillierSk, SchnorrGroup};
+use spfe::math::Fp64;
+use spfe::pir::poly_it::{self, PolyItParams};
+use spfe::pir::spir::{self, SpirParams};
+use spfe::pir::{batched, hom_pir, recursive, xor2};
+use spfe::transport::{
+    Channel, FaultAction, FaultPlan, FaultyChannel, ProtocolError, Wire, MAX_ATTEMPTS,
+};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------------
+// Shared fixture: one (small) Schnorr group and Paillier keypair; key
+// generation dominates test time, the protocols themselves are run on
+// 16–27-item databases.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+    group: SchnorrGroup,
+    pk: PaillierPk,
+    sk: PaillierSk,
+}
+
+fn fx() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = ChaChaRng::from_u64_seed(0xADE5);
+        let group = SchnorrGroup::generate(96, &mut rng);
+        let (pk, sk) = Paillier::keygen(160, &mut rng);
+        Fixture { group, pk, sk }
+    })
+}
+
+fn db16() -> Vec<u64> {
+    (0..16u64).map(|i| (i * 7 + 3) % 50).collect()
+}
+
+fn db27() -> Vec<u64> {
+    (0..27u64).map(|i| (i * 5 + 2) % 40).collect()
+}
+
+fn xor_db() -> Vec<Vec<u8>> {
+    (0..16u8)
+        .map(|i| {
+            (0..4u8)
+                .map(|j| i.wrapping_mul(31).wrapping_add(j * 7 + 1))
+                .collect()
+        })
+        .collect()
+}
+
+fn field() -> Fp64 {
+    Fp64::at_least(1_000)
+}
+
+// ---------------------------------------------------------------------------
+// The driver table: every protocol in the workspace, each reduced to a
+// `u64` digest so one matrix covers them all. Each driver owns its rng
+// seed, so a run is a pure function of the channel's fault plan.
+// ---------------------------------------------------------------------------
+
+type DriverFn = fn(&mut dyn Channel) -> Result<u64, ProtocolError>;
+
+struct Driver {
+    name: &'static str,
+    servers: usize,
+    expect: u64,
+    run: DriverFn,
+}
+
+fn drv_xor2(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA0);
+    let item = xor2::run(t, &xor_db(), 5, &mut rng)?;
+    Ok(item.iter().map(|&b| b as u64).sum())
+}
+
+fn drv_hom_pir(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA1);
+    hom_pir::run(t, &fx().pk, &fx().sk, &db16(), 9, &mut rng)
+}
+
+fn drv_recursive(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA2);
+    recursive::run(t, &fx().pk, &fx().sk, &db27(), 13, &mut rng)
+}
+
+fn drv_spir(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA3);
+    let params = SpirParams::new(fx().group.clone(), 16);
+    spir::run(t, &params, &fx().pk, &fx().sk, &db16(), 7, &mut rng)
+}
+
+fn drv_batched(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA4);
+    let f = fx();
+    let (vals, _) = batched::run(t, &f.group, &f.pk, &f.sk, &db16(), &[1, 5, 9, 14], &mut rng)?;
+    Ok(vals.iter().sum())
+}
+
+fn drv_poly_it(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA5);
+    poly_it::run(t, &poly_params(), &db16(), 5, &mut rng)
+}
+
+fn poly_params() -> PolyItParams {
+    PolyItParams::new(16, 1, field())
+}
+
+fn drv_multiserver(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA6);
+    multiserver::run(t, &ms_params(), &db16(), &[3, 10], None, &mut rng)
+}
+
+fn ms_params() -> MultiServerParams {
+    MultiServerParams::new(16, 1, field(), MsFunction::Sum { m: 2 })
+}
+
+fn drv_select1(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA7);
+    let f = fx();
+    let shares = select1(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16(),
+        &[2, 7],
+        field(),
+        &mut rng,
+    )?;
+    Ok(shares.reconstruct().iter().sum())
+}
+
+fn drv_psm(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA8);
+    let f = fx();
+    let circuit = sum_circuit(2, 8);
+    psm_spfe::run_yao_psm(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16(),
+        &[2, 11],
+        &circuit,
+        8,
+        &mut rng,
+    )
+}
+
+fn drv_two_phase(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA9);
+    let f = fx();
+    let got = two_phase::run_select1_yao(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16(),
+        &[1, 6, 12],
+        &Statistic::Sum,
+        field(),
+        &mut rng,
+    )?;
+    Ok(got[0])
+}
+
+fn drv_universal(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xAA);
+    let f = fx();
+    let shares = select1(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16(),
+        &[0, 4],
+        field(),
+        &mut rng,
+    )?;
+    let menu = [Statistic::Sum, Statistic::Frequency { keyword: 9 }];
+    universal_yao_phase(t, &f.group, &shares, &menu, 0, &mut rng)
+}
+
+fn drv_weighted_sum(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xAB);
+    let f = fx();
+    stats::weighted_sum(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16(),
+        &[1, 4, 9],
+        &[2, 3, 1],
+        field(),
+        &mut rng,
+    )
+}
+
+fn drv_frequency(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xAC);
+    let f = fx();
+    let db = db16();
+    let shares = select1(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db,
+        &[0, 5, 10],
+        field(),
+        &mut rng,
+    )?;
+    stats::frequency(t, &f.pk, &f.sk, &shares, db[5], &mut rng)
+}
+
+fn drivers() -> Vec<Driver> {
+    let db = db16();
+    vec![
+        Driver {
+            name: "xor2",
+            servers: 2,
+            expect: xor_db()[5].iter().map(|&b| b as u64).sum(),
+            run: drv_xor2,
+        },
+        Driver {
+            name: "hom_pir",
+            servers: 1,
+            expect: db[9],
+            run: drv_hom_pir,
+        },
+        Driver {
+            name: "recursive",
+            servers: 1,
+            expect: db27()[13],
+            run: drv_recursive,
+        },
+        Driver {
+            name: "spir",
+            servers: 1,
+            expect: db[7],
+            run: drv_spir,
+        },
+        Driver {
+            name: "batched",
+            servers: 1,
+            expect: [1usize, 5, 9, 14].iter().map(|&i| db[i]).sum(),
+            run: drv_batched,
+        },
+        Driver {
+            name: "poly_it",
+            servers: poly_params().num_servers(),
+            expect: db[5],
+            run: drv_poly_it,
+        },
+        Driver {
+            name: "multiserver",
+            servers: ms_params().num_servers(),
+            expect: db[3] + db[10],
+            run: drv_multiserver,
+        },
+        Driver {
+            name: "input_select",
+            servers: 1,
+            expect: db[2] + db[7],
+            run: drv_select1,
+        },
+        Driver {
+            name: "psm_spfe",
+            servers: 1,
+            expect: db[2] + db[11],
+            run: drv_psm,
+        },
+        Driver {
+            name: "two_phase",
+            servers: 1,
+            expect: reference::sum(&db, &[1, 6, 12]),
+            run: drv_two_phase,
+        },
+        Driver {
+            name: "universal",
+            servers: 1,
+            expect: db[0] + db[4],
+            run: drv_universal,
+        },
+        Driver {
+            name: "weighted_sum",
+            servers: 1,
+            expect: reference::weighted_sum(&db, &[1, 4, 9], &[2, 3, 1]),
+            run: drv_weighted_sum,
+        },
+        Driver {
+            name: "frequency",
+            servers: 1,
+            expect: reference::frequency(&db, &[0, 5, 10], db16()[5]),
+            run: drv_frequency,
+        },
+    ]
+}
+
+fn run_under(d: &Driver, plan: FaultPlan, tolerance: usize) -> Result<u64, ProtocolError> {
+    let mut ch = FaultyChannel::new(d.servers, plan, tolerance);
+    (d.run)(&mut ch)
+}
+
+/// Runs the driver fault-free and returns how many messages it attempts —
+/// the index space the scripted plans below address.
+fn honest_messages(d: &Driver) -> u64 {
+    let mut ch = FaultyChannel::new(d.servers, FaultPlan::honest(), 0);
+    let got = (d.run)(&mut ch);
+    assert_eq!(got, Ok(d.expect), "[{}] honest run", d.name);
+    ch.messages_attempted()
+}
+
+// ---------------------------------------------------------------------------
+// The conformance matrix.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn honest_channel_matches_ground_truth_for_every_driver() {
+    for d in drivers() {
+        let n = honest_messages(&d);
+        assert!(
+            n >= 2,
+            "[{}] at least one round trip, got {n} messages",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn masked_fault_classes_are_retried_to_the_correct_answer() {
+    use FaultAction::*;
+    // (label, scripted plan) — every transient class the retry loop must
+    // absorb without changing the client's output.
+    let plans: Vec<(&str, Vec<(u64, FaultAction)>)> = vec![
+        ("drop", vec![(0, Drop), (2, Drop)]),
+        ("delay-within-budget", vec![(0, Delay(2))]),
+        ("delay-timeout", vec![(1, Delay(10))]),
+        ("crash-healed", vec![(0, Crash)]),
+        ("duplicate", vec![(0, Duplicate), (2, Duplicate)]),
+        ("reorder", vec![(1, Reorder)]),
+    ];
+    for d in drivers() {
+        for (label, script) in &plans {
+            let got = run_under(&d, FaultPlan::scripted(script.clone()), 2);
+            assert_eq!(got, Ok(d.expect), "[{} × {label}]", d.name);
+        }
+    }
+}
+
+#[test]
+fn truncation_surfaces_a_codec_error_never_a_panic() {
+    for d in drivers() {
+        let last = honest_messages(&d) - 1;
+        for idx in [0, last] {
+            let plan = FaultPlan::scripted(vec![(idx, FaultAction::Truncate)]);
+            let got = run_under(&d, plan, 0);
+            assert!(
+                matches!(got, Err(ProtocolError::Codec(_))),
+                "[{} × truncate@{idx}] expected Codec error, got {got:?}",
+                d.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_and_errors_stay_typed() {
+    for d in drivers() {
+        let last = honest_messages(&d) - 1;
+        for idx in [0, last] {
+            let plan = FaultPlan::scripted(vec![(idx, FaultAction::BitFlip)]);
+            // No integrity MAC in the paper's model: a flipped bit may
+            // yield a wrong-but-well-formed value (Ok) or any typed error.
+            // The assertion is the *absence of a panic* plus typed-ness.
+            let _ = run_under(&d, plan, 0);
+        }
+        let rate = FaultPlan::with_rate(0xB17F, FaultAction::BitFlip, 150);
+        let _ = run_under(&d, rate, 0);
+    }
+}
+
+#[test]
+fn byzantine_payloads_never_panic_and_errors_stay_typed() {
+    for d in drivers() {
+        let last = honest_messages(&d) - 1;
+        for idx in [0, last] {
+            let plan = FaultPlan::scripted(vec![(idx, FaultAction::Byzantine)]);
+            let _ = run_under(&d, plan, 0);
+        }
+        let rate = FaultPlan::with_rate(0xB52A, FaultAction::Byzantine, 150);
+        let _ = run_under(&d, rate, 0);
+    }
+}
+
+#[test]
+fn crash_is_healed_within_tolerance_and_aborts_past_it() {
+    for d in drivers() {
+        // Within the budget: the crashed server is replaced and the run
+        // completes correctly.
+        let plan = FaultPlan::scripted(vec![(0, FaultAction::Crash)]);
+        let mut ch = FaultyChannel::new(d.servers, plan, 1);
+        assert_eq!((d.run)(&mut ch), Ok(d.expect), "[{} × crash tol=1]", d.name);
+        assert_eq!(ch.healed_servers(), &[0], "[{}] server 0 replaced", d.name);
+
+        // Past the budget: typed abort with the fault diagnosis.
+        let plan = FaultPlan::scripted(vec![(0, FaultAction::Crash)]);
+        let got = run_under(&d, plan, 0);
+        assert_eq!(
+            got,
+            Err(ProtocolError::TooManyFaulty {
+                tolerated: 0,
+                observed: 1
+            }),
+            "[{} × crash tol=0]",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn crash_after_message_n_is_masked_at_every_position() {
+    // The "crash-server-after-message-N" sweep on one cheap two-server
+    // driver and one single-server statistics driver: whatever the crash
+    // position, one heal suffices and the answer is unchanged.
+    for d in drivers() {
+        if d.name != "xor2" && d.name != "weighted_sum" {
+            continue;
+        }
+        let msgs = honest_messages(&d);
+        for n in 0..msgs {
+            let plan = FaultPlan::scripted(vec![(n, FaultAction::Crash)]);
+            let got = run_under(&d, plan, 1);
+            assert_eq!(got, Ok(d.expect), "[{} × crash@{n}]", d.name);
+        }
+    }
+}
+
+#[test]
+fn repeated_drops_on_one_message_exhaust_the_retry_budget() {
+    // Drop every attempt of the first logical message: after MAX_ATTEMPTS
+    // the transport gives up with a typed RetriesExhausted, not a hang.
+    let script: Vec<(u64, FaultAction)> = (0..MAX_ATTEMPTS as u64)
+        .map(|i| (i, FaultAction::Drop))
+        .collect();
+    for d in drivers() {
+        let got = run_under(&d, FaultPlan::scripted(script.clone()), 0);
+        match got {
+            Err(ProtocolError::RetriesExhausted { attempts, .. }) => {
+                assert_eq!(attempts, MAX_ATTEMPTS, "[{}]", d.name)
+            }
+            other => panic!("[{}] expected RetriesExhausted, got {other:?}", d.name),
+        }
+    }
+}
+
+#[test]
+fn mixed_fault_rates_are_deterministic_per_seed() {
+    use FaultAction::*;
+    let seed = FaultPlan::seed_from_env(0xF00D);
+    let rates = vec![(Drop, 60), (Delay(1), 60), (Duplicate, 60), (Reorder, 40)];
+    for d in drivers() {
+        let a = run_under(&d, FaultPlan::mixed(seed, rates.clone()), 3);
+        let b = run_under(&d, FaultPlan::mixed(seed, rates.clone()), 3);
+        assert_eq!(a, b, "[{}] same seed ⇒ same outcome", d.name);
+        // All classes in this mix are masked, so the outcome is correct
+        // unless the seed stacked >MAX_ATTEMPTS faults on one message —
+        // which the retry budget converts into a typed transient error.
+        match a {
+            Ok(v) => assert_eq!(v, d.expect, "[{}]", d.name),
+            Err(e) => assert!(
+                e.is_transient() || matches!(e, ProtocolError::RetriesExhausted { .. }),
+                "[{}] unexpected error class: {e:?}",
+                d.name
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted byzantine substitutions: well-formed-but-wrong payloads with
+// crisp, typed detection.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn xor2_answer_length_mismatch_is_detected() {
+    // Substitute server 0's answer (message index 2: two queries precede
+    // it) with a well-formed Vec<u8> of the wrong length.
+    let plan = FaultPlan::scripted(vec![(2, FaultAction::Byzantine)]);
+    let mut ch = FaultyChannel::new(2, plan, 0);
+    ch.set_tamper(Box::new(|label, bytes| {
+        assert_eq!(label, "pir2-answer");
+        *bytes = vec![0u8; 3].to_bytes();
+    }));
+    let got = drv_xor2(&mut ch);
+    assert_eq!(
+        got,
+        Err(ProtocolError::InvalidMessage {
+            label: "pir2-answer",
+            reason: "answer lengths differ",
+        })
+    );
+}
+
+#[test]
+fn weighted_sum_functional_reply_tamper_is_detected_or_wrong_never_panic() {
+    // Truncating the functional reply inside the (answers, func) pair to
+    // an empty ciphertext must surface as a typed error.
+    let plan = FaultPlan::scripted(vec![(1, FaultAction::Byzantine)]);
+    let mut ch = FaultyChannel::new(1, plan, 0);
+    ch.set_tamper(Box::new(|label, bytes| {
+        if label == "wsum-answer" {
+            bytes.clear();
+        }
+    }));
+    let got = drv_weighted_sum(&mut ch);
+    assert!(
+        matches!(
+            got,
+            Err(ProtocolError::Codec(_)) | Err(ProtocolError::InvalidMessage { .. })
+        ),
+        "expected a typed decode/validation error, got {got:?}"
+    );
+}
+
+#[test]
+fn robust_multiserver_corrects_byzantine_answers_within_budget() {
+    let params = ms_params();
+    let k = params.num_servers() + 2; // max_faults = 1
+    let db = db16();
+    let expect = db[3] + db[10];
+    let field = field();
+
+    // One tampered answer (first answer message is index k): Berlekamp–
+    // Welch decodes through it.
+    let plan = FaultPlan::scripted(vec![(k as u64, FaultAction::Byzantine)]);
+    let mut ch = FaultyChannel::new(k, plan, 0);
+    ch.set_tamper(Box::new(move |label, bytes| {
+        assert_eq!(label, "ms-answer");
+        let v = u64::from_bytes(bytes).expect("answers are u64");
+        *bytes = field.add(v, 3).to_bytes();
+    }));
+    let mut rng = ChaChaRng::from_u64_seed(0xB0B);
+    let got = multiserver::run_robust(&mut ch, &params, &db, &[3, 10], 1, |_, a| a, &mut rng);
+    assert_eq!(got, Ok(expect), "one fault is within the budget");
+
+    // Three tampered answers exceed max_faults = 1: typed abort with the
+    // fault diagnosis, never a silent wrong answer.
+    let script: Vec<(u64, FaultAction)> = (0..3)
+        .map(|i| (k as u64 + i, FaultAction::Byzantine))
+        .collect();
+    let mut ch = FaultyChannel::new(k, FaultPlan::scripted(script), 0);
+    ch.set_tamper(Box::new(move |_, bytes| {
+        let v = u64::from_bytes(bytes).expect("answers are u64");
+        *bytes = field.add(v, 7).to_bytes();
+    }));
+    let mut rng = ChaChaRng::from_u64_seed(0xB0C);
+    let got = multiserver::run_robust(&mut ch, &params, &db, &[3, 10], 1, |_, a| a, &mut rng);
+    assert!(
+        matches!(got, Err(ProtocolError::TooManyFaulty { tolerated: 1, .. })),
+        "expected TooManyFaulty, got {got:?}"
+    );
+}
+
+#[test]
+fn dropped_messages_cost_no_bytes_and_duplicates_cost_double() {
+    // Metering faithfulness on a real driver: the transcript records what
+    // actually crossed the wire.
+    let d = drivers().into_iter().find(|d| d.name == "hom_pir").unwrap();
+
+    let mut honest = FaultyChannel::new(d.servers, FaultPlan::honest(), 0);
+    assert_eq!((d.run)(&mut honest), Ok(d.expect));
+    let base = honest.inner().report();
+
+    // A dropped first attempt is retried; the delivered traffic is
+    // byte-identical to the honest run.
+    let mut dropped = FaultyChannel::new(
+        d.servers,
+        FaultPlan::scripted(vec![(0, FaultAction::Drop)]),
+        0,
+    );
+    assert_eq!((d.run)(&mut dropped), Ok(d.expect));
+    assert_eq!(dropped.inner().report(), base, "drops are not metered");
+    assert_eq!(dropped.messages_attempted(), base.messages + 1);
+
+    // A duplicated delivery is metered twice.
+    let mut duped = FaultyChannel::new(
+        d.servers,
+        FaultPlan::scripted(vec![(0, FaultAction::Duplicate)]),
+        0,
+    );
+    assert_eq!((d.run)(&mut duped), Ok(d.expect));
+    let rep = duped.inner().report();
+    assert_eq!(rep.messages, base.messages + 1, "duplicate metered twice");
+    assert!(rep.total_bytes() > base.total_bytes());
+}

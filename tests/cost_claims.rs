@@ -42,11 +42,12 @@ fn spfe_beats_linear_baselines_for_small_m() {
         &[1, 1, 1, 1],
         field,
         &mut rng,
-    );
+    )
+    .unwrap();
     let spfe_bytes = t_spfe.report().total_bytes();
 
     let mut t_buy = Transcript::new(1);
-    baseline::buy_the_database(&mut t_buy, &db, &indices, &Statistic::Sum);
+    baseline::buy_the_database(&mut t_buy, &db, &indices, &Statistic::Sum).unwrap();
     let buy_bytes = t_buy.report().total_bytes();
 
     let yao_bytes = baseline::generic_yao_cost_estimate(n, indices.len(), 6);
@@ -74,7 +75,8 @@ fn multiserver_communication_tracks_theorem2_formula() {
         let params = MultiServerParams::new(n, 1, field, MsFunction::Sum { m });
         let k = params.num_servers();
         let mut t = Transcript::new(k);
-        spfe::core::multiserver::run(&mut t, &params, &db, &[1, n / 2, n - 1], None, &mut rng);
+        spfe::core::multiserver::run(&mut t, &params, &db, &[1, n / 2, n - 1], None, &mut rng)
+            .unwrap();
         let bytes = t.report().total_bytes();
         // Formula: k queries of m·ℓ elements + k answers (8 bytes each),
         // plus framing. ℓ = log₂ n, k = ℓ+1.
@@ -112,14 +114,16 @@ fn psm_cost_split_matches_corollary4() {
         &c_small,
         4,
         &mut rng,
-    );
+    )
+    .unwrap();
 
     // Same m (same SPIR cost) but a bigger f: sum of squares-scale circuit.
     let mut t_big = Transcript::new(1);
     let c_big = spfe::circuits::builders::sum_of_squares_circuit(3, 4);
     psm_spfe::run_yao_psm(
         &mut t_big, &group, &pk, &sk, &db, &indices, &c_big, 4, &mut rng,
-    );
+    )
+    .unwrap();
 
     // Upstream (SPIR queries) identical arity → nearly identical bytes.
     let up_s = t_small.report().client_to_server;
@@ -148,12 +152,14 @@ fn select2_overhead_quadratic_vs_linear_in_m() {
         let mut t1 = Transcript::new(1);
         spfe::core::input_select::select2_v1(
             &mut t1, &group, &pk, &sk, &db, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         v1_overheads.push(t1.bytes_for_label("sel2v1-powers"));
         let mut t2 = Transcript::new(1);
         spfe::core::input_select::select2_v2(
             &mut t2, &group, &pk, &sk, &spk, &ssk, &db, &indices, field, &mut rng,
-        );
+        )
+        .unwrap();
         v2_overheads
             .push(t2.bytes_for_label("sel2v2-coeffs") + t2.bytes_for_label("sel2v2-blinded"));
     }
@@ -177,11 +183,13 @@ fn batched_selection_beats_independent_at_large_m() {
     let indices: Vec<usize> = (0..m).map(|j| (j * 61 + 3) % n).collect();
 
     let mut t_ind = Transcript::new(1);
-    spfe::core::input_select::select1(&mut t_ind, &group, &pk, &sk, &db, &indices, field, &mut rng);
+    spfe::core::input_select::select1(&mut t_ind, &group, &pk, &sk, &db, &indices, field, &mut rng)
+        .unwrap();
     let ind_bytes = t_ind.report().total_bytes();
 
     let mut t_bat = Transcript::new(1);
-    let (_, stats) = spfe::pir::batched::run(&mut t_bat, &group, &pk, &sk, &db, &indices, &mut rng);
+    let (_, stats) =
+        spfe::pir::batched::run(&mut t_bat, &group, &pk, &sk, &db, &indices, &mut rng).unwrap();
     assert_eq!(stats.fallbacks, 0);
     let bat_bytes = t_bat.report().total_bytes();
 
@@ -205,7 +213,8 @@ fn avg_var_package_cheaper_than_two_runs() {
     let mut t_pkg = Transcript::new(1);
     stats::average_and_variance(
         &mut t_pkg, &group, &pk, &sk, &db, &sq, &indices, field, &mut rng,
-    );
+    )
+    .unwrap();
 
     let mut t_two = Transcript::new(1);
     stats::weighted_sum(
@@ -218,7 +227,8 @@ fn avg_var_package_cheaper_than_two_runs() {
         &[1, 1, 1],
         field,
         &mut rng,
-    );
+    )
+    .unwrap();
     stats::weighted_sum(
         &mut t_two,
         &group,
@@ -229,7 +239,8 @@ fn avg_var_package_cheaper_than_two_runs() {
         &[1, 1, 1],
         field,
         &mut rng,
-    );
+    )
+    .unwrap();
 
     assert_eq!(t_pkg.report().half_rounds, 2);
     // The package shares the (expensive) query side: upstream ~halves,
@@ -257,7 +268,8 @@ fn table1_round_column_measured() {
     let mut t = Transcript::new(1);
     psm_spfe::run_yao_psm(
         &mut t, &group, &pk, &sk, &db, &indices, &circuit, 5, &mut rng,
-    );
+    )
+    .unwrap();
     assert_eq!(t.report().half_rounds, 2, "§3.2: 1 round");
 
     let mut t = Transcript::new(1);
@@ -271,7 +283,8 @@ fn table1_round_column_measured() {
         &Statistic::Sum,
         field,
         &mut rng,
-    );
+    )
+    .unwrap();
     assert_eq!(t.report().half_rounds, 4, "§3.3.1: 2 rounds");
 
     let mut t = Transcript::new(1);
@@ -285,7 +298,8 @@ fn table1_round_column_measured() {
         &Statistic::Sum,
         field,
         &mut rng,
-    );
+    )
+    .unwrap();
     assert_eq!(t.report().half_rounds, 4, "§3.3.2/v1: 2 rounds");
 
     let mut t = Transcript::new(1);
@@ -301,7 +315,8 @@ fn table1_round_column_measured() {
         &Statistic::Sum,
         field,
         &mut rng,
-    );
+    )
+    .unwrap();
     assert_eq!(t.report().half_rounds, 5, "§3.3.2/v2: 2.5 rounds");
 
     let mut t = Transcript::new(1);
@@ -316,6 +331,7 @@ fn table1_round_column_measured() {
         &indices,
         &Statistic::Sum,
         &mut rng,
-    );
+    )
+    .unwrap();
     assert_eq!(t.report().half_rounds, 4, "§3.3.3: 2 rounds");
 }

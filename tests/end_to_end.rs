@@ -53,7 +53,8 @@ fn all_five_singleserver_constructions_agree() {
     let mut t = Transcript::new(1);
     let got = psm_spfe::run_yao_psm(
         &mut t, &s.group, &s.pk, &s.sk, &db, &indices, &circuit, 8, &mut s.rng,
-    );
+    )
+    .unwrap();
     assert_eq!(got, truth, "§3.2");
 
     // §3.3.1 + Yao.
@@ -68,7 +69,8 @@ fn all_five_singleserver_constructions_agree() {
         &Statistic::Sum,
         field,
         &mut s.rng,
-    );
+    )
+    .unwrap();
     assert_eq!(got[0], truth, "§3.3.1");
 
     // §3.3.2 v1 + Yao.
@@ -83,7 +85,8 @@ fn all_five_singleserver_constructions_agree() {
         &Statistic::Sum,
         field,
         &mut s.rng,
-    );
+    )
+    .unwrap();
     assert_eq!(got[0], truth, "§3.3.2/v1");
 
     // §3.3.2 v2 + Yao.
@@ -100,7 +103,8 @@ fn all_five_singleserver_constructions_agree() {
         &Statistic::Sum,
         field,
         &mut s.rng,
-    );
+    )
+    .unwrap();
     assert_eq!(got[0], truth, "§3.3.2/v2");
 
     // §3.3.3 + §3.3.4.
@@ -116,7 +120,8 @@ fn all_five_singleserver_constructions_agree() {
         &indices,
         &Statistic::Sum,
         &mut s.rng,
-    );
+    )
+    .unwrap();
     assert_eq!(got[0].to_u64().unwrap(), truth, "§3.3.3");
 }
 
@@ -130,7 +135,7 @@ fn multi_server_and_single_server_agree() {
 
     let params = MultiServerParams::new(db.len(), 2, field, MsFunction::Sum { m: 3 });
     let mut t = Transcript::new(params.num_servers());
-    let ms = multiserver::run(&mut t, &params, &db, &indices, Some(42), &mut s.rng);
+    let ms = multiserver::run(&mut t, &params, &db, &indices, Some(42), &mut s.rng).unwrap();
     assert_eq!(ms, truth);
 
     let mut t = Transcript::new(1);
@@ -144,7 +149,8 @@ fn multi_server_and_single_server_agree() {
         &[1, 1, 1],
         field,
         &mut s.rng,
-    );
+    )
+    .unwrap();
     assert_eq!(ws, truth);
 }
 
@@ -170,7 +176,8 @@ fn census_workload_full_pipeline() {
         &vec![1; sample.len()],
         field,
         &mut s.rng,
-    );
+    )
+    .unwrap();
     assert_eq!(got, reference::sum(db.values(), &sample));
 }
 
@@ -188,7 +195,7 @@ fn boolean_formula_spfe_multiserver() {
     let params = MultiServerParams::new(db.len(), 1, field, MsFunction::Formula(phi.clone()));
     for indices in [[0usize, 3, 7], [1, 2, 4], [30, 9, 6]] {
         let mut t = Transcript::new(params.num_servers());
-        let got = multiserver::run(&mut t, &params, &db, &indices, None, &mut s.rng);
+        let got = multiserver::run(&mut t, &params, &db, &indices, None, &mut s.rng).unwrap();
         let expect = phi.evaluate(&[
             db[indices[0]] == 1,
             db[indices[1]] == 1,
@@ -207,11 +214,11 @@ fn bp_psm_matches_formula_semantics() {
     let params = PolyItParams::new(db.len(), 1, field);
     let indices = [1usize, 3, 5]; // all odd → all 1 → AND = 1
     let mut t = Transcript::new(params.num_servers());
-    let got = psm_spfe::run_bp_psm(&mut t, &params, &bp, &db, &indices, 9, &mut s.rng);
+    let got = psm_spfe::run_bp_psm(&mut t, &params, &bp, &db, &indices, 9, &mut s.rng).unwrap();
     assert_eq!(got, 1);
     let indices2 = [0usize, 3, 5]; // db[0] = 0 → AND = 0
     let mut t2 = Transcript::new(params.num_servers());
-    let got2 = psm_spfe::run_bp_psm(&mut t2, &params, &bp, &db, &indices2, 10, &mut s.rng);
+    let got2 = psm_spfe::run_bp_psm(&mut t2, &params, &bp, &db, &indices2, 10, &mut s.rng).unwrap();
     assert_eq!(got2, 0);
 }
 
@@ -227,8 +234,9 @@ fn frequency_both_routes_agree_on_census_data() {
     let mut t = Transcript::new(1);
     let shares = select1(
         &mut t, &s.group, &s.pk, &s.sk, &db, &indices, field, &mut s.rng,
-    );
-    let f1 = stats::frequency(&mut t, &s.pk, &s.sk, &shares, keyword, &mut s.rng);
+    )
+    .unwrap();
+    let f1 = stats::frequency(&mut t, &s.pk, &s.sk, &shares, keyword, &mut s.rng).unwrap();
 
     let mut t2 = Transcript::new(1);
     let f2 = two_phase::run_select1_yao(
@@ -241,14 +249,16 @@ fn frequency_both_routes_agree_on_census_data() {
         &Statistic::Frequency { keyword },
         field,
         &mut s.rng,
-    )[0];
+    )
+    .unwrap()[0];
 
     // And the PSM route with a frequency circuit.
     let circuit = frequency_circuit(indices.len(), 6, keyword);
     let mut t3 = Transcript::new(1);
     let f3 = psm_spfe::run_yao_psm(
         &mut t3, &s.group, &s.pk, &s.sk, &db, &indices, &circuit, 6, &mut s.rng,
-    );
+    )
+    .unwrap();
 
     assert_eq!(f1, truth);
     assert_eq!(f2, truth);

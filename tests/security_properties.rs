@@ -65,7 +65,8 @@ fn multiserver_blinding_randomizes_off_zero_values() {
         let mut srng = ChaChaRng::from_u64_seed(seed);
         let blind = spfe::core::multiserver::blinding_poly(&params, &mut srng);
         let a0 =
-            spfe::core::multiserver::server_answer(&params, &db, &queries[0], Some((&blind, 0)));
+            spfe::core::multiserver::server_answer(&params, &db, &queries[0], Some((&blind, 0)))
+                .unwrap();
         first_answers.insert(a0);
     }
     // Across 30 independent blindings the same server's answer varies.
@@ -84,7 +85,7 @@ fn share_marginals_are_uniform() {
     let runs = 600;
     for _ in 0..runs {
         let mut t = Transcript::new(1);
-        let shares = select1(&mut t, &group, &pk, &sk, &db, &[4], field, &mut rng);
+        let shares = select1(&mut t, &group, &pk, &sk, &db, &[4], field, &mut rng).unwrap();
         client_hist[shares.client[0] as usize] += 1;
     }
     // Every residue should appear, none dominating.
@@ -108,7 +109,7 @@ fn malicious_share_shift_changes_only_the_arguments() {
     // Honest frequency of 42 = 2; a client shifting its first share by 1
     // queries (x₀+1, x₁) instead and must see frequency 1.
     let mut t = Transcript::new(1);
-    let mut shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng);
+    let mut shares = select1(&mut t, &group, &pk, &sk, &db, &indices, field, &mut rng).unwrap();
     shares.client[0] = field.add(shares.client[0], 1);
     let shifted = two_phase::yao_phase(
         &mut t,
@@ -116,7 +117,8 @@ fn malicious_share_shift_changes_only_the_arguments() {
         &shares,
         &Statistic::Frequency { keyword: 42 },
         &mut rng,
-    );
+    )
+    .unwrap();
     assert_eq!(shifted, vec![1], "client learned f on shifted inputs only");
 }
 
@@ -137,7 +139,8 @@ fn weighted_sum_counting_argument() {
         let mut t = Transcript::new(1);
         let got = stats::weighted_sum(
             &mut t, &group, &pk, &sk, &db, &indices, &weights, field, &mut rng,
-        );
+        )
+        .unwrap();
         let expect = indices.iter().zip(&weights).fold(0u64, |acc, (&i, &w)| {
             field.add(acc, field.mul(field.from_u64(w), field.from_u64(db[i])))
         });
@@ -159,8 +162,8 @@ fn frequency_hides_match_positions() {
     let mut counts = Vec::new();
     for db in [&db_a, &db_b] {
         let mut t = Transcript::new(1);
-        let shares = select1(&mut t, &group, &pk, &sk, db, &[0, 1, 2], field, &mut rng);
-        counts.push(stats::frequency(&mut t, &pk, &sk, &shares, 9, &mut rng));
+        let shares = select1(&mut t, &group, &pk, &sk, db, &[0, 1, 2], field, &mut rng).unwrap();
+        counts.push(stats::frequency(&mut t, &pk, &sk, &shares, 9, &mut rng).unwrap());
     }
     assert_eq!(counts, vec![1, 1], "same count regardless of position");
 }
