@@ -33,7 +33,8 @@ echo "==> adversarial conformance suite (two fault seeds + obs compiled out)"
 # test harness converted into a failure (or that unwound inside a should-
 # not-panic cell) would print "panicked at", which must never appear.
 ADV_LOG=$(mktemp)
-trap 'rm -f "$ADV_LOG"' EXIT
+WORK=$(mktemp -d)
+trap 'rm -f "$ADV_LOG"; rm -rf "$WORK"' EXIT
 for seed in 1 77; do
   echo "    SPFE_FAULT_SEED=$seed"
   SPFE_FAULT_SEED=$seed RUST_BACKTRACE=1 \
@@ -51,10 +52,31 @@ if grep -q "panicked at" "$ADV_LOG"; then
   exit 1
 fi
 
+ROOT=$PWD
+TABLES="$ROOT/target/release/spfe-tables"
+
+# The --no-default-features builds above overwrote the release binaries
+# with obs-less ones; the gates below need the instrumented CLI back.
+echo "==> rebuild instrumented CLI"
+cargo build "${OFFLINE[@]}" --release -p spfe-bench --bins
+
 echo "==> cost-report schema gate (spfe-tables e1 --json + validate)"
-rm -f BENCH_costs.json
-cargo run "${OFFLINE[@]}" --release -p spfe-bench --bin spfe-tables -- e1 --json > /dev/null
-cargo run "${OFFLINE[@]}" --release -p spfe-bench --bin spfe-tables -- validate BENCH_costs.json
-grep -q '"schema": "spfe-cost-report/v1"' BENCH_costs.json
+# A fresh suite is generated in a scratch dir so the committed baseline
+# BENCH_costs.json stays pristine for the trend comparison below.
+(cd "$WORK" && "$TABLES" e1 --json > /dev/null)
+"$TABLES" validate "$WORK/BENCH_costs.json"
+grep -q '"schema": "spfe-cost-report/v2"' "$WORK/BENCH_costs.json"
+
+echo "==> cost-trend regression gate (fresh run vs committed baseline)"
+# Deterministic op counters and comm bytes are bit-identical across reruns
+# (DESIGN.md §8), so any regression flagged here is a real cost change.
+# After an intentional change: spfe-tables trend ... --accept (EXPERIMENTS.md).
+"$TABLES" trend --baseline BENCH_costs.json --current "$WORK/BENCH_costs.json"
+
+echo "==> trace smoke (Perfetto JSON + folded stacks)"
+(cd "$WORK" && "$TABLES" trace e1 > /dev/null)
+test -s "$WORK/e1.trace.json"
+test -s "$WORK/e1.folded"
+grep -q '"traceEvents"' "$WORK/e1.trace.json"
 
 echo "CI OK"

@@ -7,6 +7,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod trend;
+
 use spfe::crypto::{ChaChaRng, HomomorphicScheme, Paillier, PaillierPk, PaillierSk, SchnorrGroup};
 use spfe::math::Fp64;
 use spfe::transport::{CommReport, Transcript};

@@ -1,0 +1,252 @@
+//! The cost-trend regression gate: compare two cost-report suites.
+//!
+//! The workspace's determinism contract (DESIGN.md §8) makes this gate
+//! noise-free: deterministic op counters and metered comm bytes are
+//! bit-identical across reruns, thread counts, and fault seeds, so any
+//! delta between a committed baseline `BENCH_costs.json` and a fresh run
+//! is a real change in protocol cost. [`compare_suites`] flags every
+//! metric that grew past a percentage threshold; `spfe-tables trend`
+//! turns the result into an exit code for CI.
+//!
+//! Wall-clock times and scheduler/fault gauges are deliberately *not*
+//! compared — they vary run to run and would make the gate flaky.
+
+use spfe_obs::{CostReport, Suite};
+use std::collections::BTreeMap;
+
+/// One metric that regressed past the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Experiment id of the offending report.
+    pub experiment: String,
+    /// Protocol variant of the offending report.
+    pub protocol: String,
+    /// Metric name (`op:<name>` or `comm:<direction>_bytes`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Current value.
+    pub current: u64,
+}
+
+impl Regression {
+    /// Percentage growth over baseline (`inf` when the baseline is 0).
+    pub fn pct(&self) -> f64 {
+        if self.baseline == 0 {
+            f64::INFINITY
+        } else {
+            100.0 * (self.current as f64 - self.baseline as f64) / self.baseline as f64
+        }
+    }
+}
+
+/// Outcome of a baseline-vs-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// `(experiment, protocol)` pairs present in both suites.
+    pub pairs_compared: usize,
+    /// Individual metric comparisons performed.
+    pub metrics_compared: usize,
+    /// Metrics that grew more than the threshold, in report order.
+    pub regressions: Vec<Regression>,
+}
+
+/// The metrics the gate covers for one report: every *deterministic* op
+/// counter plus the two comm byte totals. Missing ops count as 0, so an
+/// op appearing only in one suite is still compared.
+fn metrics(report: &CostReport) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for s in &report.ops {
+        if s.op.deterministic() {
+            out.insert(format!("op:{}", s.op.name()), s.count);
+        }
+    }
+    out.insert("comm:up_bytes".into(), report.comm.up_bytes);
+    out.insert("comm:down_bytes".into(), report.comm.down_bytes);
+    out
+}
+
+/// Compares `current` against `baseline`, flagging every deterministic
+/// counter or comm byte total that grew more than `threshold_pct` percent
+/// (a metric going from 0 to nonzero always flags). Shrinking is never a
+/// regression.
+///
+/// # Errors
+///
+/// When the suites share no `(experiment, protocol)` pair — a gate that
+/// compares nothing must fail loudly rather than pass vacuously.
+pub fn compare_suites(
+    baseline: &Suite,
+    current: &Suite,
+    threshold_pct: f64,
+) -> Result<TrendReport, String> {
+    let mut rep = TrendReport {
+        pairs_compared: 0,
+        metrics_compared: 0,
+        regressions: Vec::new(),
+    };
+    for cur in &current.reports {
+        let Some(base) = baseline.find(&cur.experiment, &cur.protocol) else {
+            continue;
+        };
+        rep.pairs_compared += 1;
+        let base_metrics = metrics(base);
+        let cur_metrics = metrics(cur);
+        let mut keys: Vec<&String> = base_metrics.keys().chain(cur_metrics.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let b = base_metrics.get(key).copied().unwrap_or(0);
+            let c = cur_metrics.get(key).copied().unwrap_or(0);
+            rep.metrics_compared += 1;
+            let budget = b as f64 * (1.0 + threshold_pct / 100.0);
+            if c as f64 > budget {
+                rep.regressions.push(Regression {
+                    experiment: cur.experiment.clone(),
+                    protocol: cur.protocol.clone(),
+                    metric: key.clone(),
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+    if rep.pairs_compared == 0 {
+        return Err(format!(
+            "no (experiment, protocol) pair in common: baseline has {} report(s), \
+             current has {} — nothing to compare",
+            baseline.reports.len(),
+            current.reports.len()
+        ));
+    }
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfe_obs::{CommStat, Op, OpStat};
+
+    fn report(experiment: &str, protocol: &str, modexps: u64, up: u64) -> CostReport {
+        CostReport {
+            experiment: experiment.into(),
+            protocol: protocol.into(),
+            elapsed_ns: 1_000,
+            spans: Vec::new(),
+            ops: vec![
+                OpStat {
+                    op: Op::Modexp,
+                    count: modexps,
+                },
+                OpStat {
+                    op: Op::Retries, // gauge: must be ignored
+                    count: 1,
+                },
+            ],
+            comm: CommStat {
+                up_bytes: up,
+                down_bytes: 50,
+                messages: 2,
+                half_rounds: 2,
+                labels: Vec::new(),
+            },
+        }
+    }
+
+    fn suite(reports: Vec<CostReport>) -> Suite {
+        Suite {
+            version: 2,
+            threads: 1,
+            reports,
+        }
+    }
+
+    #[test]
+    fn unchanged_rerun_has_no_regressions() {
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 100, 1_000)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert_eq!(out.pairs_compared, 1);
+        assert!(out.regressions.is_empty(), "{out:?}");
+        // modexp + up_bytes + down_bytes (retries is a gauge, excluded).
+        assert_eq!(out.metrics_compared, 3);
+    }
+
+    #[test]
+    fn counter_growth_past_threshold_flags() {
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 110, 1_000)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert_eq!(out.regressions.len(), 1, "{out:?}");
+        let r = &out.regressions[0];
+        assert_eq!(r.metric, "op:modexp");
+        assert_eq!((r.baseline, r.current), (100, 110));
+        assert!((r.pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_within_threshold_passes() {
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 104, 1_040)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.regressions.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn comm_bytes_growth_flags() {
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 100, 1_200)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].metric, "comm:up_bytes");
+    }
+
+    #[test]
+    fn shrinking_is_never_a_regression() {
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 10, 100)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.regressions.is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_going_nonzero_always_flags() {
+        let base = suite(vec![report("e1", "p", 0, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 1, 1_000)]);
+        let out = compare_suites(&base, &cur, 50.0).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert!(out.regressions[0].pct().is_infinite());
+    }
+
+    #[test]
+    fn gauge_counters_are_ignored() {
+        let mut cur_report = report("e1", "p", 100, 1_000);
+        cur_report.ops[1].count = 1_000_000; // retries explode: fault noise
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![cur_report]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.regressions.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unmatched_reports_are_skipped_but_matches_compare() {
+        let base = suite(vec![
+            report("e1", "p", 100, 1_000),
+            report("e2", "q", 7, 10),
+        ]);
+        let cur = suite(vec![
+            report("e1", "p", 200, 1_000),
+            report("e9", "new", 1, 1),
+        ]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert_eq!(out.pairs_compared, 1);
+        assert_eq!(out.regressions.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_suites_error() {
+        let base = suite(vec![report("e1", "p", 1, 1)]);
+        let cur = suite(vec![report("e2", "q", 1, 1)]);
+        assert!(compare_suites(&base, &cur, 5.0).is_err());
+    }
+}

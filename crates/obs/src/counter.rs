@@ -216,10 +216,17 @@ mod imp {
 }
 
 /// Adds `n` to `op`'s counter (relaxed; no-op without the `obs` feature).
+/// With tracing on, the delta is also attributed to the calling thread's
+/// innermost open span in the event journal.
 #[inline]
 pub fn count(op: Op, n: u64) {
     #[cfg(feature = "obs")]
-    imp::count(op, n);
+    {
+        imp::count(op, n);
+        if crate::trace::tracing() {
+            crate::trace::on_op(op, n);
+        }
+    }
     #[cfg(not(feature = "obs"))]
     let _ = (op, n);
 }

@@ -1,0 +1,217 @@
+//! Log-bucketed latency histograms.
+//!
+//! Span aggregates keep, besides the running total, a 65-bucket base-2
+//! histogram of per-call durations: bucket `b` counts values whose bit
+//! length is `b` (value 0 lands in bucket 0, `u64::MAX` in bucket 64).
+//! Quantiles are answered as the *upper bound* of the bucket holding the
+//! requested rank — a conservative estimate with at most 2× relative
+//! error, which is plenty to tell a 1 µs phase from a 1 ms phase and
+//! costs 520 bytes per span path instead of storing every sample.
+
+/// Number of buckets: one per possible bit length of a `u64`, plus zero.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A base-2 log-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histo {
+    counts: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Histo {
+            counts: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+/// The bucket index for `value`: its bit length (0 for 0).
+fn bucket(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `b` can hold (`2^b - 1`; bucket 0 holds only 0).
+fn bucket_max(b: usize) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histo {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histo::default()
+    }
+
+    /// Records one sample (saturating: a bucket pinned at `u64::MAX` stays
+    /// there rather than wrapping).
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples at once.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        let b = bucket(value);
+        self.counts[b] = self.counts[b].saturating_add(n);
+    }
+
+    /// Folds another histogram into this one (saturating per bucket).
+    pub fn merge(&mut self, other: &Histo) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(*b);
+        }
+    }
+
+    /// Total recorded samples (saturating).
+    pub fn count(&self) -> u64 {
+        self.counts
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c))
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, reported as the upper bound of
+    /// the bucket containing that rank. Empty histograms answer 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the requested sample, 1-based, clamped into [1, total].
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_max(b);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (upper-bound estimate).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (upper-bound estimate).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (upper-bound estimate).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// `(bucket upper bound, count)` for every nonzero bucket, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_max(b), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(u64::MAX), 64);
+        assert_eq!(bucket_max(0), 0);
+        assert_eq!(bucket_max(1), 1);
+        assert_eq!(bucket_max(2), 3);
+        assert_eq!(bucket_max(64), u64::MAX);
+    }
+
+    #[test]
+    fn zero_duration_spans_report_zero_quantiles() {
+        // A span cheaper than the clock tick records 0 ns; the histogram
+        // must answer 0 for every quantile, not inflate to a bucket bound.
+        let mut h = Histo::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = Histo::new();
+        h.record(700);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert_eq!(v, 1023, "q={q}: one sample fills every rank");
+            assert!(v >= 700, "upper bound covers the sample");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Histo::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn saturating_counts_never_wrap() {
+        let mut h = Histo::new();
+        h.record_n(5, u64::MAX);
+        h.record(5);
+        h.record_n(5, u64::MAX);
+        assert_eq!(h.count(), u64::MAX, "bucket and total both saturate");
+        assert_eq!(h.p50(), 7, "quantiles still answer the 5-bucket bound");
+        let mut other = Histo::new();
+        other.record_n(5, u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let mut h = Histo::new();
+        // 90 fast samples (~100 ns), 10 slow ones (~1 ms).
+        h.record_n(100, 90);
+        h.record_n(1_000_000, 10);
+        assert_eq!(h.p50(), bucket_max(bucket(100)));
+        assert_eq!(h.p95(), bucket_max(bucket(1_000_000)));
+        assert_eq!(h.p99(), bucket_max(bucket(1_000_000)));
+        assert!(h.p50() < h.p95());
+    }
+
+    #[test]
+    fn merge_adds_distributions() {
+        let mut a = Histo::new();
+        a.record_n(10, 4);
+        let mut b = Histo::new();
+        b.record_n(1_000, 4);
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.p50(), bucket_max(bucket(10)));
+        assert_eq!(a.p99(), bucket_max(bucket(1_000)));
+    }
+
+    #[test]
+    fn nonzero_buckets_enumerate() {
+        let mut h = Histo::new();
+        h.record(0);
+        h.record(6);
+        h.record(6);
+        let got: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(got, vec![(0, 1), (7, 2)]);
+    }
+}

@@ -22,8 +22,17 @@
 //!   tracked per thread; aggregates are keyed by the full `/`-joined path.
 //! * **Reports** ([`CostReport`]) — span timings + op counters + the
 //!   communication breakdown in one struct, with Markdown and JSON
-//!   renderers ([`suite_json`] emits the `spfe-cost-report/v1` schema that
-//!   `spfe-tables --json` writes to `BENCH_costs.json`).
+//!   renderers ([`suite_json`] emits the `spfe-cost-report/v2` schema that
+//!   `spfe-tables --json` writes to `BENCH_costs.json`; [`parse_suite`]
+//!   reads v2 and the older v1 back).
+//!
+//! Beyond the aggregates, the [`trace`] module keeps an opt-in *event
+//! journal*: with [`trace::set_tracing`] on, every span open/close, op
+//! delta, wire message, fault injection and retry becomes a timestamped
+//! event, exportable via [`export`] as Perfetto `trace_event` JSON or a
+//! flamegraph folded-stack file. Spans additionally feed a log-bucketed
+//! latency [`histo::Histo`] per path, surfaced as `p50_ns`/`p95_ns`/
+//! `p99_ns` on [`SpanStat`].
 //!
 //! Everything is feature-gated: with the default `obs` feature the probes
 //! record; built with `--no-default-features` they compile to no-ops and
@@ -44,13 +53,19 @@
 //! ```
 
 mod counter;
+pub mod export;
+pub mod histo;
 pub mod json;
 mod report;
 mod span;
+pub mod suite;
+pub mod trace;
 
 pub use counter::{count, ops_snapshot, reset_ops, Op, OpsSnapshot};
-pub use report::{suite_json, CommStat, CostReport, LabelStat, OpStat, SCHEMA};
+pub use report::{suite_json, CommStat, CostReport, LabelStat, OpStat, SCHEMA, SCHEMA_V1};
 pub use span::{reset_spans, span, spans_snapshot, SpanGuard, SpanStat};
+pub use suite::{parse_suite, Suite};
+pub use trace::{fault_event, retry_event, wire_event};
 
 /// Whether the recording paths are compiled in (the `obs` feature).
 pub const fn enabled() -> bool {
@@ -58,7 +73,20 @@ pub const fn enabled() -> bool {
 }
 
 /// Clears all op counters and span aggregates (start of a measurement).
+/// The trace journal has its own window control ([`trace::reset`],
+/// [`trace::take`]) so one timeline can cover several measured runs.
 pub fn reset() {
     reset_ops();
     reset_spans();
+}
+
+/// Tests across this crate's modules share the process-global span
+/// registry and trace journal; they serialize on one lock.
+#[cfg(all(test, feature = "obs"))]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
 }

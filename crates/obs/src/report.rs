@@ -1,9 +1,10 @@
 //! The unified cost report: spans + op counters + communication.
 //!
 //! One [`CostReport`] describes one measured protocol execution; a suite
-//! of them renders to the `spfe-cost-report/v1` JSON schema (what
+//! of them renders to the `spfe-cost-report/v2` JSON schema (what
 //! `spfe-tables --json` writes to `BENCH_costs.json`) or to Markdown for
-//! humans.
+//! humans. v2 added per-span latency quantiles; `v1` files are still
+//! readable via [`crate::suite::parse_suite`].
 
 use crate::counter::{Op, OpsSnapshot};
 use crate::json::escape;
@@ -110,10 +111,13 @@ impl CostReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"path\":\"{}\",\"calls\":{},\"ns\":{}}}",
+                "{{\"path\":\"{}\",\"calls\":{},\"ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
                 escape(&s.path),
                 s.calls,
-                s.ns
+                s.ns,
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns
             ));
         }
         out.push_str("],\"ops\":[");
@@ -194,9 +198,13 @@ impl CostReport {
 }
 
 /// Schema identifier emitted at the top of every cost-report suite.
-pub const SCHEMA: &str = "spfe-cost-report/v1";
+pub const SCHEMA: &str = "spfe-cost-report/v2";
 
-/// Renders a suite of reports as the `spfe-cost-report/v1` document
+/// The previous schema identifier; [`crate::suite::parse_suite`] still
+/// reads documents carrying it.
+pub const SCHEMA_V1: &str = "spfe-cost-report/v1";
+
+/// Renders a suite of reports as the `spfe-cost-report/v2` document
 /// (pretty enough to diff, strict enough to parse).
 pub fn suite_json(threads: usize, reports: &[CostReport]) -> String {
     let mut out = String::new();
@@ -227,11 +235,17 @@ mod tests {
                     path: "select1".into(),
                     calls: 1,
                     ns: 1_000_000,
+                    p50_ns: 1_048_575,
+                    p95_ns: 1_048_575,
+                    p99_ns: 1_048_575,
                 },
                 SpanStat {
                     path: "select1/server-scan".into(),
                     calls: 2,
                     ns: 800_000,
+                    p50_ns: 524_287,
+                    p95_ns: 524_287,
+                    p99_ns: 524_287,
                 },
             ],
             ops: vec![
@@ -278,6 +292,11 @@ mod tests {
             spans[1].get("path").and_then(Json::as_str),
             Some("select1/server-scan")
         );
+        assert_eq!(
+            spans[0].get("p50_ns").and_then(Json::as_u64),
+            Some(1_048_575)
+        );
+        assert_eq!(spans[1].get("p99_ns").and_then(Json::as_u64), Some(524_287));
         let ops = doc.get("ops").and_then(Json::as_arr).unwrap();
         assert_eq!(ops[0].get("name").and_then(Json::as_str), Some("modexp"));
         assert_eq!(ops[0].get("deterministic"), Some(&Json::Bool(true)));

@@ -16,11 +16,18 @@ pub struct SpanStat {
     pub calls: u64,
     /// Total wall-clock nanoseconds across those calls.
     pub ns: u64,
+    /// Median per-call duration (log-bucket upper bound, see [`crate::histo`]).
+    pub p50_ns: u64,
+    /// 95th-percentile per-call duration (log-bucket upper bound).
+    pub p95_ns: u64,
+    /// 99th-percentile per-call duration (log-bucket upper bound).
+    pub p99_ns: u64,
 }
 
 #[cfg(feature = "obs")]
 mod imp {
     use super::SpanStat;
+    use crate::histo::Histo;
     use std::cell::RefCell;
     use std::collections::BTreeMap;
     use std::sync::Mutex;
@@ -31,15 +38,17 @@ mod imp {
         static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
     }
 
-    /// `path → (calls, total ns)`.
-    static REGISTRY: Mutex<BTreeMap<String, (u64, u64)>> = Mutex::new(BTreeMap::new());
+    /// `path → (calls, total ns, per-call duration histogram)`.
+    static REGISTRY: Mutex<BTreeMap<String, (u64, u64, Histo)>> = Mutex::new(BTreeMap::new());
 
     pub struct SpanGuard {
         path: String,
+        name: &'static str,
         start: Instant,
     }
 
     pub fn span(name: &str) -> SpanGuard {
+        let name = intern(name);
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let mut path = String::new();
@@ -48,11 +57,13 @@ mod imp {
                 path.push('/');
             }
             path.push_str(name);
-            stack.push(intern(name));
+            stack.push(name);
             path
         });
+        crate::trace::on_span_open(name);
         SpanGuard {
             path,
+            name,
             start: Instant::now(),
         }
     }
@@ -77,10 +88,14 @@ mod imp {
             STACK.with(|stack| {
                 stack.borrow_mut().pop();
             });
+            crate::trace::on_span_close(self.name);
             let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-            let entry = reg.entry(std::mem::take(&mut self.path)).or_insert((0, 0));
+            let entry = reg
+                .entry(std::mem::take(&mut self.path))
+                .or_insert_with(|| (0, 0, Histo::new()));
             entry.0 += 1;
             entry.1 = entry.1.saturating_add(ns);
+            entry.2.record(ns);
         }
     }
 
@@ -89,10 +104,13 @@ mod imp {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .map(|(path, &(calls, ns))| SpanStat {
+            .map(|(path, (calls, ns, histo))| SpanStat {
                 path: path.clone(),
-                calls,
-                ns,
+                calls: *calls,
+                ns: *ns,
+                p50_ns: histo.p50(),
+                p95_ns: histo.p95(),
+                p99_ns: histo.p99(),
             })
             .collect()
     }
@@ -151,14 +169,10 @@ pub fn reset_spans() {
 #[cfg(all(test, feature = "obs"))]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, OnceLock};
 
     /// Span tests share the global registry; serialize them.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        LOCK.get_or_init(|| Mutex::new(()))
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        crate::test_guard()
     }
 
     fn get(snapshot: &[SpanStat], path: &str) -> Option<(u64, u64)> {
@@ -229,6 +243,10 @@ mod tests {
         let (calls, ns) = get(&snap, "timed").unwrap();
         assert_eq!(calls, 3);
         assert!(ns >= 3 * 2_000_000, "ns={ns}");
+        let stat = snap.iter().find(|s| s.path == "timed").unwrap();
+        assert!(stat.p50_ns >= 2_000_000, "p50={}", stat.p50_ns);
+        assert!(stat.p95_ns >= stat.p50_ns);
+        assert!(stat.p99_ns >= stat.p95_ns);
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! A version-aware reader for persisted cost-report suites.
+//!
+//! `BENCH_costs.json` files exist in two schema versions: `v1` (PR 2,
+//! spans carry `path`/`calls`/`ns`) and `v2` (this layer, spans add the
+//! `p50_ns`/`p95_ns`/`p99_ns` latency quantiles). [`parse_suite`] accepts
+//! both — strict about every field the version defines — and returns the
+//! reports as in-memory [`CostReport`]s plus the detected version, so the
+//! `spfe-tables validate` and `trend` subcommands share one parser and
+//! old committed baselines keep working.
+
+use crate::counter::Op;
+use crate::json::{parse, Json};
+use crate::report::{CommStat, CostReport, LabelStat, OpStat, SCHEMA, SCHEMA_V1};
+use crate::span::SpanStat;
+
+/// A parsed cost-report suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite {
+    /// Detected schema version (1 or 2).
+    pub version: u32,
+    /// The `threads` header field.
+    pub threads: u64,
+    /// Every report, in file order. For v1 files the quantile fields of
+    /// each span are 0.
+    pub reports: Vec<CostReport>,
+}
+
+impl Suite {
+    /// The schema tag this suite was read under.
+    pub fn schema(&self) -> &'static str {
+        if self.version == 1 {
+            SCHEMA_V1
+        } else {
+            SCHEMA
+        }
+    }
+
+    /// The report for `(experiment, protocol)`, if present.
+    pub fn find(&self, experiment: &str, protocol: &str) -> Option<&CostReport> {
+        self.reports
+            .iter()
+            .find(|r| r.experiment == experiment && r.protocol == protocol)
+    }
+}
+
+fn field_u64(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer `{key}`"))
+}
+
+fn field_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: missing `{key}`"))
+}
+
+/// Parses a suite document in either schema version.
+///
+/// # Errors
+///
+/// A human-readable message on malformed JSON, an unknown schema tag, or
+/// any missing/mistyped field the detected version requires.
+pub fn parse_suite(src: &str) -> Result<Suite, String> {
+    let doc = parse(src)?;
+    let schema = field_str(&doc, "schema", "suite")?;
+    let version = match schema {
+        s if s == SCHEMA_V1 => 1,
+        s if s == SCHEMA => 2,
+        other => {
+            return Err(format!(
+                "unknown schema `{other}` (expected `{SCHEMA_V1}` or `{SCHEMA}`)"
+            ))
+        }
+    };
+    let threads = field_u64(&doc, "threads", "suite")?;
+    if threads == 0 {
+        return Err("`threads` must be >= 1".into());
+    }
+    let raw = doc
+        .get("reports")
+        .and_then(Json::as_arr)
+        .ok_or("missing `reports` array")?;
+    let mut reports = Vec::with_capacity(raw.len());
+    for (i, r) in raw.iter().enumerate() {
+        reports.push(parse_report(r, i, version)?);
+    }
+    Ok(Suite {
+        version,
+        threads,
+        reports,
+    })
+}
+
+fn parse_report(r: &Json, i: usize, version: u32) -> Result<CostReport, String> {
+    let ctx = format!("report {i}");
+    let experiment = field_str(r, "experiment", &ctx)?.to_owned();
+    let protocol = field_str(r, "protocol", &ctx)?.to_owned();
+    let elapsed_ns = field_u64(r, "elapsed_ns", &ctx)?;
+
+    let mut spans = Vec::new();
+    for s in r
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing `spans`"))?
+    {
+        let path = field_str(s, "path", &ctx)?.to_owned();
+        let sctx = format!("{ctx} span `{path}`");
+        let calls = field_u64(s, "calls", &sctx)?;
+        let ns = field_u64(s, "ns", &sctx)?;
+        // v2 requires the quantile fields; v1 predates them (0 if absent).
+        let quant = |key: &str| -> Result<u64, String> {
+            match version {
+                1 => Ok(s.get(key).and_then(Json::as_u64).unwrap_or(0)),
+                _ => field_u64(s, key, &sctx),
+            }
+        };
+        spans.push(SpanStat {
+            path,
+            calls,
+            ns,
+            p50_ns: quant("p50_ns")?,
+            p95_ns: quant("p95_ns")?,
+            p99_ns: quant("p99_ns")?,
+        });
+    }
+
+    let mut ops = Vec::new();
+    for o in r
+        .get("ops")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing `ops`"))?
+    {
+        let name = field_str(o, "name", &ctx)?;
+        let op = Op::from_name(name).ok_or_else(|| format!("{ctx}: unknown op name `{name}`"))?;
+        let count = field_u64(o, "count", &format!("{ctx} op `{name}`"))?;
+        if o.get("deterministic").is_none() {
+            return Err(format!("{ctx}: op `{name}` missing `deterministic`"));
+        }
+        ops.push(OpStat { op, count });
+    }
+
+    let comm = r
+        .get("comm")
+        .ok_or_else(|| format!("{ctx}: missing `comm`"))?;
+    let cctx = format!("{ctx} comm");
+    let mut labels = Vec::new();
+    for l in comm
+        .get("labels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{cctx}: missing `labels`"))?
+    {
+        let label = field_str(l, "label", &cctx)?.to_owned();
+        let lctx = format!("{cctx} label `{label}`");
+        labels.push(LabelStat {
+            label,
+            up_bytes: field_u64(l, "up_bytes", &lctx)?,
+            up_msgs: field_u64(l, "up_msgs", &lctx)?,
+            down_bytes: field_u64(l, "down_bytes", &lctx)?,
+            down_msgs: field_u64(l, "down_msgs", &lctx)?,
+        });
+    }
+    let half_rounds = field_u64(comm, "half_rounds", &cctx)?;
+    let comm = CommStat {
+        up_bytes: field_u64(comm, "up_bytes", &cctx)?,
+        down_bytes: field_u64(comm, "down_bytes", &cctx)?,
+        messages: field_u64(comm, "messages", &cctx)?,
+        half_rounds: u32::try_from(half_rounds)
+            .map_err(|_| format!("{cctx}: `half_rounds` out of range"))?,
+        labels,
+    };
+
+    Ok(CostReport {
+        experiment,
+        protocol,
+        elapsed_ns,
+        spans,
+        ops,
+        comm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::suite_json;
+
+    fn sample_report() -> CostReport {
+        CostReport {
+            experiment: "e1".into(),
+            protocol: "spir".into(),
+            elapsed_ns: 5_000,
+            spans: vec![SpanStat {
+                path: "spir/server-scan".into(),
+                calls: 2,
+                ns: 4_000,
+                p50_ns: 2_047,
+                p95_ns: 2_047,
+                p99_ns: 2_047,
+            }],
+            ops: vec![OpStat {
+                op: Op::Modexp,
+                count: 17,
+            }],
+            comm: CommStat {
+                up_bytes: 64,
+                down_bytes: 32,
+                messages: 2,
+                half_rounds: 2,
+                labels: vec![LabelStat {
+                    label: "spir-query".into(),
+                    up_bytes: 64,
+                    up_msgs: 1,
+                    down_bytes: 0,
+                    down_msgs: 0,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn v2_roundtrips_through_suite_json() {
+        let reports = vec![sample_report()];
+        let suite = parse_suite(&suite_json(4, &reports)).unwrap();
+        assert_eq!(suite.version, 2);
+        assert_eq!(suite.schema(), SCHEMA);
+        assert_eq!(suite.threads, 4);
+        assert_eq!(suite.reports, reports);
+        assert!(suite.find("e1", "spir").is_some());
+        assert!(suite.find("e1", "nope").is_none());
+    }
+
+    /// A hand-written v1 document (the PR 2 schema: spans without
+    /// quantiles) must keep parsing.
+    const V1_DOC: &str = r#"{
+      "schema": "spfe-cost-report/v1",
+      "threads": 1,
+      "reports": [
+        {"experiment":"e1","protocol":"p","elapsed_ns":9,
+         "spans":[{"path":"s","calls":1,"ns":7}],
+         "ops":[{"name":"modexp","count":3,"deterministic":true}],
+         "comm":{"up_bytes":1,"down_bytes":2,"messages":1,"half_rounds":1,
+                 "labels":[{"label":"q","up_bytes":1,"up_msgs":1,"down_bytes":0,"down_msgs":0}]}}
+      ]
+    }"#;
+
+    #[test]
+    fn v1_documents_still_parse() {
+        let suite = parse_suite(V1_DOC).unwrap();
+        assert_eq!(suite.version, 1);
+        assert_eq!(suite.schema(), SCHEMA_V1);
+        let r = suite.find("e1", "p").unwrap();
+        assert_eq!(r.op_count(Op::Modexp), 3);
+        assert_eq!(r.spans[0].p50_ns, 0, "v1 spans default the quantiles");
+    }
+
+    #[test]
+    fn v2_requires_quantile_fields() {
+        let doc = V1_DOC.replace("spfe-cost-report/v1", "spfe-cost-report/v2");
+        let err = parse_suite(&doc).unwrap_err();
+        assert!(err.contains("p50_ns"), "{err}");
+    }
+
+    #[test]
+    fn unknown_schema_and_ops_rejected() {
+        let err = parse_suite(&V1_DOC.replace("/v1", "/v9")).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+        let err = parse_suite(&V1_DOC.replace("modexp", "frobnicate")).unwrap_err();
+        assert!(err.contains("unknown op name"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_name_their_context() {
+        let err = parse_suite(&V1_DOC.replace("\"threads\": 1,", "")).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+        let err = parse_suite(&V1_DOC.replace("\"calls\":1,", "")).unwrap_err();
+        assert!(err.contains("calls"), "{err}");
+    }
+}

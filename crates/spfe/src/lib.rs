@@ -57,6 +57,7 @@ pub use spfe_core as core;
 pub use spfe_crypto as crypto;
 pub use spfe_math as math;
 pub use spfe_mpc as mpc;
+pub use spfe_obs as obs;
 pub use spfe_ot as ot;
 pub use spfe_pir as pir;
 pub use spfe_transport as transport;

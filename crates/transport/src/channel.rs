@@ -158,6 +158,7 @@ fn send<C: Channel + ?Sized, T: Wire>(
     for attempt in 0..MAX_ATTEMPTS {
         if attempt > 0 {
             spfe_obs::count(spfe_obs::Op::Retries, 1);
+            spfe_obs::retry_event(label, server, u64::from(attempt));
         }
         match ch.transfer_raw(dir, label, &bytes) {
             Ok(delivered) => return T::from_bytes(&delivered).map_err(ProtocolError::from),

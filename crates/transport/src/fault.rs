@@ -55,6 +55,22 @@ pub enum FaultAction {
     Byzantine,
 }
 
+impl FaultAction {
+    /// Stable machine-readable class name (used by the event journal).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultAction::Drop => "drop",
+            FaultAction::Truncate => "truncate",
+            FaultAction::BitFlip => "bit_flip",
+            FaultAction::Duplicate => "duplicate",
+            FaultAction::Reorder => "reorder",
+            FaultAction::Delay(_) => "delay",
+            FaultAction::Crash => "crash",
+            FaultAction::Byzantine => "byzantine",
+        }
+    }
+}
+
 /// A seeded, deterministic schedule of [`FaultAction`]s over message
 /// indices.
 #[derive(Debug, Clone, Default)]
@@ -325,8 +341,9 @@ impl Channel for FaultyChannel {
             return Err(ProtocolError::ServerCrashed { server });
         }
         let action = self.plan.action_for(idx);
-        if action.is_some() {
+        if let Some(a) = action {
             spfe_obs::count(spfe_obs::Op::FaultsInjected, 1);
+            spfe_obs::fault_event(a.name(), server);
         }
         match action {
             Some(FaultAction::Drop) => Err(ProtocolError::Dropped { server, label }),
@@ -501,6 +518,43 @@ mod tests {
         assert_ne!(sched_a, sched_c, "different seeds diverge");
         let fired = sched_a.iter().filter(|a| a.is_some()).count();
         assert!(fired > 10 && fired < 100, "rate plausible: {fired}/200");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn faults_and_retries_reach_the_event_journal() {
+        use spfe_obs::trace::{self, EventKind};
+        let mut faulty =
+            FaultyChannel::new(1, FaultPlan::scripted(vec![(0, FaultAction::Drop)]), 0);
+        trace::set_tracing(true);
+        let ch: &mut dyn Channel = &mut faulty;
+        let v: u64 = ch.client_to_server(0, "trace-q", &42u64).unwrap();
+        trace::set_tracing(false);
+        assert_eq!(v, 42);
+        let trace = trace::take();
+        let evs: Vec<_> = trace.threads.iter().flat_map(|t| t.events.iter()).collect();
+        assert!(
+            evs.iter()
+                .any(|e| e.kind == EventKind::Fault && e.label == "drop"),
+            "{evs:?}"
+        );
+        assert!(
+            evs.iter()
+                .any(|e| e.kind == EventKind::Retry && e.label == "trace-q" && e.a == 1),
+            "{evs:?}"
+        );
+        assert!(
+            evs.iter()
+                .any(|e| e.kind == EventKind::WireUp && e.label == "trace-q" && e.a == 8),
+            "{evs:?}"
+        );
+    }
+
+    #[test]
+    fn fault_action_names_are_stable() {
+        assert_eq!(FaultAction::Drop.name(), "drop");
+        assert_eq!(FaultAction::Delay(5).name(), "delay");
+        assert_eq!(FaultAction::Byzantine.name(), "byzantine");
     }
 
     #[test]

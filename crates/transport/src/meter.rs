@@ -193,6 +193,7 @@ impl Transcript {
             bytes: bytes.len(),
             half_round,
         });
+        trace_wire(dir, label, bytes.len());
         T::from_bytes(&bytes)
     }
 
@@ -207,6 +208,7 @@ impl Transcript {
             bytes,
             half_round,
         });
+        trace_wire(dir, label, bytes);
     }
 
     /// Swaps the two most recent records if they share a half-round — the
@@ -297,6 +299,17 @@ impl Transcript {
         self.half_rounds = 0;
         self.phase = Phase::Idle;
     }
+}
+
+/// Mirrors a metered delivery into the event journal (no-op unless
+/// tracing is on).
+fn trace_wire(dir: Direction, label: &'static str, bytes: usize) {
+    spfe_obs::wire_event(
+        matches!(dir, Direction::ClientToServer(_)),
+        dir.server(),
+        label,
+        bytes as u64,
+    );
 }
 
 #[cfg(test)]

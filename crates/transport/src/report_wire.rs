@@ -70,12 +70,18 @@ impl Wire for SpanStat {
         self.path.encode(out);
         self.calls.encode(out);
         self.ns.encode(out);
+        self.p50_ns.encode(out);
+        self.p95_ns.encode(out);
+        self.p99_ns.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SpanStat {
             path: String::decode(r)?,
             calls: u64::decode(r)?,
             ns: u64::decode(r)?,
+            p50_ns: u64::decode(r)?,
+            p95_ns: u64::decode(r)?,
+            p99_ns: u64::decode(r)?,
         })
     }
 }
@@ -134,11 +140,17 @@ mod tests {
                     path: "spir".into(),
                     calls: 1,
                     ns: 900_000,
+                    p50_ns: 1_048_575,
+                    p95_ns: 1_048_575,
+                    p99_ns: 1_048_575,
                 },
                 SpanStat {
                     path: "spir/server-scan".into(),
                     calls: 1,
                     ns: 700_000,
+                    p50_ns: 1_048_575,
+                    p95_ns: 1_048_575,
+                    p99_ns: 1_048_575,
                 },
             ],
             ops: vec![
