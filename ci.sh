@@ -52,31 +52,42 @@ if grep -q "panicked at" "$ADV_LOG"; then
   exit 1
 fi
 
+echo "==> heap-profiling conformance (obs-alloc: instrumented allocator)"
+# The mem_profile suite asserts every driver attributes heap to spans and
+# that single-thread alloc tallies are bit-identical across reruns and
+# masked fault plans (DESIGN.md §12).
+cargo test "${OFFLINE[@]}" --release -p spfe-obs -p spfe --features obs-alloc -q
+
 ROOT=$PWD
 TABLES="$ROOT/target/release/spfe-tables"
 
-# The --no-default-features builds above overwrote the release binaries
-# with obs-less ones; the gates below need the instrumented CLI back.
-echo "==> rebuild instrumented CLI"
-cargo build "${OFFLINE[@]}" --release -p spfe-bench --bins
+# The feature-variant builds above overwrote the release binaries; the
+# gates below need the CLI back *with* the instrumented allocator, so the
+# fresh suite carries the heap axis the committed v3 baseline gates on.
+echo "==> rebuild instrumented CLI (obs-alloc)"
+cargo build "${OFFLINE[@]}" --release -p spfe-bench --features obs-alloc --bins
 
 echo "==> cost-report schema gate (spfe-tables e1 --json + validate)"
 # A fresh suite is generated in a scratch dir so the committed baseline
 # BENCH_costs.json stays pristine for the trend comparison below.
-(cd "$WORK" && "$TABLES" e1 --json > /dev/null)
+# SPFE_THREADS=1 matches the committed baseline: the heap counters are
+# only gated in the single-thread regime (DESIGN.md §12).
+(cd "$WORK" && SPFE_THREADS=1 "$TABLES" e1 --json > /dev/null)
 "$TABLES" validate "$WORK/BENCH_costs.json"
-grep -q '"schema": "spfe-cost-report/v2"' "$WORK/BENCH_costs.json"
+grep -q '"schema": "spfe-cost-report/v3"' "$WORK/BENCH_costs.json"
 
 echo "==> cost-trend regression gate (fresh run vs committed baseline)"
-# Deterministic op counters and comm bytes are bit-identical across reruns
-# (DESIGN.md §8), so any regression flagged here is a real cost change.
+# Deterministic op counters, comm bytes and single-thread heap totals are
+# bit-identical across reruns (DESIGN.md §8, §12), so any regression
+# flagged here is a real cost change.
 # After an intentional change: spfe-tables trend ... --accept (EXPERIMENTS.md).
 "$TABLES" trend --baseline BENCH_costs.json --current "$WORK/BENCH_costs.json"
 
-echo "==> trace smoke (Perfetto JSON + folded stacks)"
-(cd "$WORK" && "$TABLES" trace e1 > /dev/null)
+echo "==> trace smoke (Perfetto JSON + folded stacks, alloc weighting)"
+(cd "$WORK" && "$TABLES" trace e1 --weight alloc_bytes > /dev/null)
 test -s "$WORK/e1.trace.json"
 test -s "$WORK/e1.folded"
+test -s "$WORK/e1.alloc_bytes.folded"
 grep -q '"traceEvents"' "$WORK/e1.trace.json"
 
 echo "CI OK"

@@ -125,6 +125,7 @@ pub fn measure_as<F: FnOnce(&mut Transcript)>(
         spfe_obs::spans_snapshot(),
         &spfe_obs::ops_snapshot(),
         t.comm_stat(),
+        spfe_obs::mem::snapshot(),
     );
     COSTS.lock().unwrap().push(report);
     Measurement {

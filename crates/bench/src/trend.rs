@@ -10,6 +10,15 @@
 //!
 //! Wall-clock times and scheduler/fault gauges are deliberately *not*
 //! compared — they vary run to run and would make the gate flaky.
+//!
+//! The heap axis (schema v3) joins the gate with its own rules: at
+//! `threads == 1` on both sides, `mem:allocs` and `mem:alloc_bytes` are
+//! deterministic (DESIGN.md §12) and gate like op counters — but only
+//! when the baseline actually carries heap data (`mem.allocs > 0`), so a
+//! v3 baseline produced without `obs-alloc` never flags an instrumented
+//! run. `mem:peak_live_bytes` is reported in [`TrendReport::deltas`] but
+//! never gated: the high-water mark depends on allocator reuse and, at
+//! `SPFE_THREADS > 1`, on scheduling.
 
 use spfe_obs::{CostReport, Suite};
 use std::collections::BTreeMap;
@@ -21,7 +30,7 @@ pub struct Regression {
     pub experiment: String,
     /// Protocol variant of the offending report.
     pub protocol: String,
-    /// Metric name (`op:<name>` or `comm:<direction>_bytes`).
+    /// Metric name (`op:<name>`, `comm:<direction>_bytes`, or `mem:<field>`).
     pub metric: String,
     /// Baseline value.
     pub baseline: u64,
@@ -32,11 +41,49 @@ pub struct Regression {
 impl Regression {
     /// Percentage growth over baseline (`inf` when the baseline is 0).
     pub fn pct(&self) -> f64 {
-        if self.baseline == 0 {
-            f64::INFINITY
+        pct(self.baseline, self.current)
+    }
+}
+
+/// One metric comparison, whether or not it flagged — the full record
+/// behind `spfe-tables trend --json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Experiment id of the compared report.
+    pub experiment: String,
+    /// Protocol variant of the compared report.
+    pub protocol: String,
+    /// Metric name (`op:<name>`, `comm:<direction>_bytes`, or `mem:<field>`).
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Current value.
+    pub current: u64,
+    /// Whether this metric participates in the gate. Informational
+    /// metrics (`mem:peak_live_bytes`, heap counters outside the
+    /// single-thread regime) are reported but can never flag.
+    pub gated: bool,
+    /// Whether this metric grew past the threshold *and* is gated.
+    pub flagged: bool,
+}
+
+impl Delta {
+    /// Percentage growth over baseline (`inf` when the baseline is 0,
+    /// negative when the metric shrank).
+    pub fn pct(&self) -> f64 {
+        pct(self.baseline, self.current)
+    }
+}
+
+fn pct(baseline: u64, current: u64) -> f64 {
+    if baseline == 0 {
+        if current == 0 {
+            0.0
         } else {
-            100.0 * (self.current as f64 - self.baseline as f64) / self.baseline as f64
+            f64::INFINITY
         }
+    } else {
+        100.0 * (current as f64 - baseline as f64) / baseline as f64
     }
 }
 
@@ -45,10 +92,13 @@ impl Regression {
 pub struct TrendReport {
     /// `(experiment, protocol)` pairs present in both suites.
     pub pairs_compared: usize,
-    /// Individual metric comparisons performed.
+    /// Individual *gated* metric comparisons performed (informational
+    /// deltas are excluded so the gate's coverage figure stays honest).
     pub metrics_compared: usize,
     /// Metrics that grew more than the threshold, in report order.
     pub regressions: Vec<Regression>,
+    /// Every comparison performed, flagged or not, in report order.
+    pub deltas: Vec<Delta>,
 }
 
 /// The metrics the gate covers for one report: every *deterministic* op
@@ -66,10 +116,47 @@ fn metrics(report: &CostReport) -> BTreeMap<String, u64> {
     out
 }
 
+/// The heap metrics for one pair of reports: `(metric, baseline, current,
+/// gated)`. Emitted only when either side carries heap data at all, so
+/// pre-v3 baselines and non-`obs-alloc` runs produce no `mem:` rows.
+fn mem_metrics(
+    baseline: &Suite,
+    base: &CostReport,
+    current: &Suite,
+    cur: &CostReport,
+) -> Vec<(&'static str, u64, u64, bool)> {
+    if base.mem.allocs == 0 && cur.mem.allocs == 0 {
+        return Vec::new();
+    }
+    // Alloc count/bytes are deterministic only in the single-thread
+    // regime, and comparing an instrumented run against an uninstrumented
+    // baseline (allocs == 0) would always flag; outside that regime the
+    // rows are informational.
+    let gate = baseline.threads == 1 && current.threads == 1 && base.mem.allocs > 0;
+    vec![
+        ("mem:allocs", base.mem.allocs, cur.mem.allocs, gate),
+        (
+            "mem:alloc_bytes",
+            base.mem.alloc_bytes,
+            cur.mem.alloc_bytes,
+            gate,
+        ),
+        // The high-water mark depends on allocator reuse: never gated.
+        (
+            "mem:peak_live_bytes",
+            base.mem.peak_live_bytes,
+            cur.mem.peak_live_bytes,
+            false,
+        ),
+    ]
+}
+
 /// Compares `current` against `baseline`, flagging every deterministic
 /// counter or comm byte total that grew more than `threshold_pct` percent
 /// (a metric going from 0 to nonzero always flags). Shrinking is never a
-/// regression.
+/// regression. Heap counters join the gate under the conditions in the
+/// module docs; every comparison — gated or informational — is recorded
+/// in [`TrendReport::deltas`].
 ///
 /// # Errors
 ///
@@ -84,6 +171,7 @@ pub fn compare_suites(
         pairs_compared: 0,
         metrics_compared: 0,
         regressions: Vec::new(),
+        deltas: Vec::new(),
     };
     for cur in &current.reports {
         let Some(base) = baseline.find(&cur.experiment, &cur.protocol) else {
@@ -95,20 +183,43 @@ pub fn compare_suites(
         let mut keys: Vec<&String> = base_metrics.keys().chain(cur_metrics.keys()).collect();
         keys.sort();
         keys.dedup();
-        for key in keys {
-            let b = base_metrics.get(key).copied().unwrap_or(0);
-            let c = cur_metrics.get(key).copied().unwrap_or(0);
-            rep.metrics_compared += 1;
+        let mut rows: Vec<(String, u64, u64, bool)> = keys
+            .into_iter()
+            .map(|key| {
+                let b = base_metrics.get(key).copied().unwrap_or(0);
+                let c = cur_metrics.get(key).copied().unwrap_or(0);
+                (key.clone(), b, c, true)
+            })
+            .collect();
+        rows.extend(
+            mem_metrics(baseline, base, current, cur)
+                .into_iter()
+                .map(|(k, b, c, gated)| (k.to_owned(), b, c, gated)),
+        );
+        for (metric, b, c, gated) in rows {
+            if gated {
+                rep.metrics_compared += 1;
+            }
             let budget = b as f64 * (1.0 + threshold_pct / 100.0);
-            if c as f64 > budget {
+            let flagged = gated && c as f64 > budget;
+            if flagged {
                 rep.regressions.push(Regression {
                     experiment: cur.experiment.clone(),
                     protocol: cur.protocol.clone(),
-                    metric: key.clone(),
+                    metric: metric.clone(),
                     baseline: b,
                     current: c,
                 });
             }
+            rep.deltas.push(Delta {
+                experiment: cur.experiment.clone(),
+                protocol: cur.protocol.clone(),
+                metric,
+                baseline: b,
+                current: c,
+                gated,
+                flagged,
+            });
         }
     }
     if rep.pairs_compared == 0 {
@@ -125,7 +236,7 @@ pub fn compare_suites(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spfe_obs::{CommStat, Op, OpStat};
+    use spfe_obs::{CommStat, MemStat, Op, OpStat};
 
     fn report(experiment: &str, protocol: &str, modexps: u64, up: u64) -> CostReport {
         CostReport {
@@ -150,13 +261,35 @@ mod tests {
                 half_rounds: 2,
                 labels: Vec::new(),
             },
+            mem: MemStat::default(),
         }
+    }
+
+    fn mem_report(experiment: &str, allocs: u64, bytes: u64, peak: u64) -> CostReport {
+        let mut r = report(experiment, "p", 100, 1_000);
+        r.mem = MemStat {
+            allocs,
+            alloc_bytes: bytes,
+            free_bytes: bytes / 2,
+            reallocs: 1,
+            live_bytes: bytes / 2,
+            peak_live_bytes: peak,
+        };
+        r
     }
 
     fn suite(reports: Vec<CostReport>) -> Suite {
         Suite {
             version: 2,
             threads: 1,
+            reports,
+        }
+    }
+
+    fn suite_at(threads: u64, reports: Vec<CostReport>) -> Suite {
+        Suite {
+            version: 3,
+            threads,
             reports,
         }
     }
@@ -248,5 +381,90 @@ mod tests {
         let base = suite(vec![report("e1", "p", 1, 1)]);
         let cur = suite(vec![report("e2", "q", 1, 1)]);
         assert!(compare_suites(&base, &cur, 5.0).is_err());
+    }
+
+    #[test]
+    fn deltas_record_every_comparison_even_when_nothing_flags() {
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 100, 1_000)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert_eq!(out.deltas.len(), 3, "{out:?}");
+        assert!(out.deltas.iter().all(|d| d.gated && !d.flagged));
+        let metrics: Vec<&str> = out.deltas.iter().map(|d| d.metric.as_str()).collect();
+        assert_eq!(metrics, ["comm:down_bytes", "comm:up_bytes", "op:modexp"]);
+    }
+
+    #[test]
+    fn heap_growth_flags_in_the_single_thread_regime() {
+        let base = suite_at(1, vec![mem_report("e1", 100, 10_000, 4_096)]);
+        let cur = suite_at(1, vec![mem_report("e1", 100, 12_000, 4_096)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert_eq!(out.regressions.len(), 1, "{out:?}");
+        assert_eq!(out.regressions[0].metric, "mem:alloc_bytes");
+        // op:modexp + 2 comm + mem:allocs + mem:alloc_bytes (peak is
+        // informational and excluded from the coverage count).
+        assert_eq!(out.metrics_compared, 5);
+        assert_eq!(out.deltas.len(), 6);
+    }
+
+    #[test]
+    fn heap_is_informational_against_an_uninstrumented_baseline() {
+        // v3 baseline produced without obs-alloc: mem.allocs == 0.
+        let base = suite_at(1, vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite_at(1, vec![mem_report("e1", 500, 50_000, 9_000)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.regressions.is_empty(), "{out:?}");
+        assert_eq!(out.metrics_compared, 3);
+        let allocs = out
+            .deltas
+            .iter()
+            .find(|d| d.metric == "mem:allocs")
+            .unwrap();
+        assert!(!allocs.gated && !allocs.flagged);
+        assert_eq!((allocs.baseline, allocs.current), (0, 500));
+    }
+
+    #[test]
+    fn heap_is_informational_outside_single_thread() {
+        let base = suite_at(4, vec![mem_report("e1", 100, 10_000, 4_096)]);
+        let cur = suite_at(4, vec![mem_report("e1", 1_000, 100_000, 40_960)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.regressions.is_empty(), "{out:?}");
+        assert!(out
+            .deltas
+            .iter()
+            .filter(|d| d.metric.starts_with("mem:"))
+            .all(|d| !d.gated));
+    }
+
+    #[test]
+    fn peak_live_bytes_never_flags() {
+        let base = suite_at(1, vec![mem_report("e1", 100, 10_000, 1_000)]);
+        let cur = suite_at(1, vec![mem_report("e1", 100, 10_000, 100_000)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.regressions.is_empty(), "{out:?}");
+        let peak = out
+            .deltas
+            .iter()
+            .find(|d| d.metric == "mem:peak_live_bytes")
+            .unwrap();
+        assert!(!peak.gated);
+        assert_eq!((peak.baseline, peak.current), (1_000, 100_000));
+    }
+
+    #[test]
+    fn heap_shrink_is_never_a_regression() {
+        let base = suite_at(1, vec![mem_report("e1", 1_000, 100_000, 50_000)]);
+        let cur = suite_at(1, vec![mem_report("e1", 100, 10_000, 5_000)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.regressions.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn zero_mem_reports_add_no_mem_deltas() {
+        let base = suite(vec![report("e1", "p", 100, 1_000)]);
+        let cur = suite(vec![report("e1", "p", 100, 1_000)]);
+        let out = compare_suites(&base, &cur, 5.0).unwrap();
+        assert!(out.deltas.iter().all(|d| !d.metric.starts_with("mem:")));
     }
 }

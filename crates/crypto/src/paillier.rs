@@ -108,17 +108,24 @@ impl HomomorphicPk for PaillierPk {
         // (1 + m·n) · r^n mod n²
         let gm = Nat::one().add(&m.mul(&self.n)).rem(&self.n_sq);
         let rn = self.mont.pow(&r, &self.n);
-        PaillierCt(gm.mul(&rn).rem(&self.n_sq))
+        PaillierCt(self.mont.mul_mod(&gm, &rn))
     }
 
     fn add(&self, a: &PaillierCt, b: &PaillierCt) -> PaillierCt {
         count(Op::HomAdd, 1);
-        PaillierCt(a.0.mul(&b.0).rem(&self.n_sq))
+        PaillierCt(self.mont.mul_mod(&a.0, &b.0))
     }
 
     fn mul_const(&self, a: &PaillierCt, c: &Nat) -> PaillierCt {
         count(Op::HomScalarMul, 1);
-        PaillierCt(self.mont.pow(&a.0, &c.rem(&self.n)))
+        let reduced;
+        let c = if c < &self.n {
+            c
+        } else {
+            reduced = c.rem(&self.n);
+            &reduced
+        };
+        PaillierCt(self.mont.pow(&a.0, c))
     }
 
     /// Batch encryption on the worker pool: the per-ciphertext randomness
@@ -133,7 +140,7 @@ impl HomomorphicPk for PaillierPk {
             let m = m.rem(&self.n);
             let gm = Nat::one().add(&m.mul(&self.n)).rem(&self.n_sq);
             let rn = self.mont.pow(r, &self.n);
-            PaillierCt(gm.mul(&rn).rem(&self.n_sq))
+            PaillierCt(self.mont.mul_mod(&gm, &rn))
         })
     }
 
@@ -144,7 +151,14 @@ impl HomomorphicPk for PaillierPk {
         let jobs: Vec<(&PaillierCt, &Nat)> = cts.iter().zip(cs).collect();
         spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(ct, c)| {
             count(Op::HomScalarMul, 1);
-            PaillierCt(self.mont.pow(&ct.0, &c.rem(&self.n)))
+            let reduced;
+            let c = if c < &self.n {
+                c
+            } else {
+                reduced = c.rem(&self.n);
+                &reduced
+            };
+            PaillierCt(self.mont.pow(&ct.0, c))
         })
     }
 

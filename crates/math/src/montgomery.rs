@@ -6,6 +6,47 @@
 
 use crate::nat::Nat;
 
+/// Operand width (limbs) above which [`Montgomery::mont_mul`] falls back
+/// to a separate Karatsuba product + REDC instead of the fused
+/// schoolbook CIOS pass (matches `Nat::mul`'s Karatsuba threshold).
+const CIOS_MAX_LIMBS: usize = 24;
+
+/// Stack scratch size for CIOS working buffers: covers `k + 2` limbs for
+/// every CIOS-eligible modulus (`k < CIOS_MAX_LIMBS`), so ladders and
+/// product chains can run entirely on the stack.
+const CIOS_STACK_LIMBS: usize = CIOS_MAX_LIMBS + 2;
+
+/// Exponent bit-length at or below which [`Montgomery::pow`] uses a plain
+/// square-and-multiply ladder: the 4-bit window table costs 14
+/// multiplications to build, more than such a short ladder in total.
+const SMALL_EXP_BITS: usize = 32;
+
+/// `true` iff little-endian limb slice `a >= b` (missing high limbs are
+/// treated as zero).
+fn slice_ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len().max(b.len())).rev() {
+        let ai = a.get(i).copied().unwrap_or(0);
+        let bi = b.get(i).copied().unwrap_or(0);
+        if ai != bi {
+            return ai > bi;
+        }
+    }
+    true
+}
+
+/// In-place `a -= b`; requires `a >= b` as limb slices.
+fn slice_sub(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (i, ai) in a.iter_mut().enumerate() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        let (d1, b1) = ai.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = b1 as u64 + b2 as u64;
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
 /// A Montgomery reduction context for an odd modulus `n`.
 ///
 /// # Examples
@@ -85,21 +126,24 @@ impl Montgomery {
                 idx += 1;
             }
         }
-        let mut out = Nat::from_limbs(buf[k..].to_vec());
-        if out >= self.n {
-            out = out.sub(&self.n);
+        // Shift the high half down and reduce into [0, n) in place: the
+        // working buffer doubles as the result, so REDC costs a single
+        // allocation.
+        buf.copy_within(k.., 0);
+        buf.truncate(k + 1);
+        if slice_ge(&buf, n_limbs) {
+            slice_sub(&mut buf, n_limbs);
         }
-        out
+        Nat::from_limbs(buf)
     }
 
     /// Converts `a` into Montgomery form (`a * R mod n`).
     pub fn to_mont(&self, a: &Nat) -> Nat {
-        let a = if a >= &self.n {
-            a.rem(&self.n)
+        if a >= &self.n {
+            self.mont_mul(&a.rem(&self.n), &self.r2_mod_n)
         } else {
-            a.clone()
-        };
-        self.mont_mul(&a, &self.r2_mod_n)
+            self.mont_mul(a, &self.r2_mod_n)
+        }
     }
 
     /// Converts from Montgomery form back to a plain residue.
@@ -108,9 +152,71 @@ impl Montgomery {
     }
 
     /// Montgomery product of two Montgomery-form values.
+    ///
+    /// Reduced operands (`a, b < n` — Montgomery-form values always are)
+    /// take a fused CIOS multiply-and-reduce: one interleaved pass over a
+    /// single `k + 2`-limb buffer instead of a full double-width product
+    /// followed by a separate REDC, cutting both work and heap traffic in
+    /// the modexp inner loop. Wide operands (or moduli past `Nat::mul`'s
+    /// Karatsuba threshold) fall back to the two-step path.
     pub fn mont_mul(&self, a: &Nat, b: &Nat) -> Nat {
-        let prod = a.mul(b);
-        self.redc(prod.limbs())
+        let k = self.k;
+        let (al, bl) = (a.limbs(), b.limbs());
+        if k >= CIOS_MAX_LIMBS || al.len() > k || bl.len() > k {
+            let prod = a.mul(b);
+            return self.redc(prod.limbs());
+        }
+        let mut t = vec![0u64; k + 2];
+        self.cios_into(al, bl, &mut t);
+        t.truncate(k + 1);
+        Nat::from_limbs(t)
+    }
+
+    /// The CIOS kernel behind [`Montgomery::mont_mul`]: computes the
+    /// Montgomery product of the reduced values in limb slices `al` and
+    /// `bl` (any length; missing high limbs read as zero) into `t`, which
+    /// must hold exactly `k + 2` limbs and may contain stale data — it is
+    /// zeroed here, which is what lets callers ping-pong two scratch
+    /// buffers through an entire exponentiation ladder without touching
+    /// the allocator. `t` must not alias the operands.
+    fn cios_into(&self, al: &[u64], bl: &[u64], t: &mut [u64]) {
+        let k = self.k;
+        debug_assert_eq!(t.len(), k + 2);
+        let n_limbs = self.n.limbs();
+        t.fill(0);
+        for i in 0..k {
+            let ai = al.get(i).copied().unwrap_or(0);
+            // t += a_i * b
+            let mut carry = 0u128;
+            for (j, tj) in t.iter_mut().enumerate().take(k) {
+                let bj = bl.get(j).copied().unwrap_or(0);
+                let cur = *tj as u128 + ai as u128 * bj as u128 + carry;
+                *tj = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+            // t = (t + m·n) / 2^64 — the division is the one-limb shift
+            // folded into the store index. t stays < 2n throughout, so
+            // the top limb addition cannot overflow.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let cur = t[0] as u128 + m as u128 * n_limbs[0] as u128;
+            debug_assert_eq!(cur as u64, 0);
+            let mut carry = cur >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m as u128 * n_limbs[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1] + (cur >> 64) as u64;
+            t[k + 1] = 0;
+        }
+        if slice_ge(&t[..k + 1], n_limbs) {
+            slice_sub(&mut t[..k + 1], n_limbs);
+        }
     }
 
     /// Montgomery square.
@@ -125,6 +231,30 @@ impl Montgomery {
             return Nat::one().rem(&self.n);
         }
         let base_m = self.to_mont(base);
+        let bits = exp.bit_len();
+        // Short exponents (homomorphic scalar weights, small plaintexts)
+        // use a plain left-to-right ladder over two reused CIOS scratch
+        // buffers: the whole ladder costs three allocations, not one per
+        // multiplication. See [`SMALL_EXP_BITS`].
+        if bits <= SMALL_EXP_BITS && self.k < CIOS_MAX_LIMBS {
+            let base_l = base_m.limbs();
+            let w = self.k + 2;
+            let mut acc_buf = [0u64; CIOS_STACK_LIMBS];
+            let mut tmp_buf = [0u64; CIOS_STACK_LIMBS];
+            acc_buf[..base_l.len()].copy_from_slice(base_l);
+            let (mut acc, mut tmp) = (&mut acc_buf[..w], &mut tmp_buf[..w]);
+            for i in (0..bits - 1).rev() {
+                self.cios_into(acc, acc, tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+                if exp.bit(i) {
+                    self.cios_into(acc, base_l, tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            // Montgomery product with 1 is exactly `from_mont`.
+            self.cios_into(acc, &[1], tmp);
+            return Nat::from_limbs(tmp[..self.k + 1].to_vec());
+        }
         // Precompute base^0..base^15 in Montgomery form.
         let mut table = Vec::with_capacity(16);
         table.push(self.r_mod_n.clone()); // 1 in Montgomery form
@@ -132,7 +262,6 @@ impl Montgomery {
         for i in 2..16 {
             table.push(self.mont_mul(&table[i - 1], &base_m));
         }
-        let bits = exp.bit_len();
         let top_window = bits.div_ceil(4) - 1;
         let window_at = |w: usize| -> usize {
             let mut v = 0usize;
@@ -158,7 +287,24 @@ impl Montgomery {
     }
 
     /// `(a * b) mod n` for plain (non-Montgomery) residues.
+    ///
+    /// Reduced operands take two fused Montgomery products —
+    /// `(a·b·R⁻¹)·R²·R⁻¹ = a·b mod n` — instead of a double-width
+    /// product followed by long division.
     pub fn mul_mod(&self, a: &Nat, b: &Nat) -> Nat {
+        if a < &self.n && b < &self.n {
+            if self.k < CIOS_MAX_LIMBS {
+                // Both passes run on stack scratch; only the final result
+                // touches the heap.
+                let w = self.k + 2;
+                let mut t1 = [0u64; CIOS_STACK_LIMBS];
+                let mut t2 = [0u64; CIOS_STACK_LIMBS];
+                self.cios_into(a.limbs(), b.limbs(), &mut t1[..w]);
+                self.cios_into(&t1[..w], self.r2_mod_n.limbs(), &mut t2[..w]);
+                return Nat::from_limbs(t2[..self.k + 1].to_vec());
+            }
+            return self.mont_mul(&self.mont_mul(a, b), &self.r2_mod_n);
+        }
         (a * b).rem(&self.n)
     }
 }
@@ -253,20 +399,46 @@ impl FixedBasePow {
             let base = self.mont.from_mont(&self.tables[0][0]);
             return self.mont.pow(&base, exp);
         }
-        let mut acc = self.mont.r_mod_n.clone(); // 1 in Montgomery form
-        for (w, tab) in self.tables.iter().enumerate() {
-            let mut d = 0usize;
-            for b in 0..FB_WINDOW {
-                let i = w * FB_WINDOW + b;
-                if i < bits && exp.bit(i) {
-                    d |= 1 << b;
+        if self.mont.k < CIOS_MAX_LIMBS {
+            // Accumulate the window product on stack scratch (as in
+            // [`Montgomery::pow`]'s short-exponent ladder): the whole
+            // comb walk costs one heap allocation, for the result.
+            let width = self.mont.k + 2;
+            let mut acc_buf = [0u64; CIOS_STACK_LIMBS];
+            let mut tmp_buf = [0u64; CIOS_STACK_LIMBS];
+            let one_m = self.mont.r_mod_n.limbs();
+            acc_buf[..one_m.len()].copy_from_slice(one_m);
+            let (mut acc, mut tmp) = (&mut acc_buf[..width], &mut tmp_buf[..width]);
+            for (w, tab) in self.tables.iter().enumerate() {
+                let d = self.window_digit(w, bits, exp);
+                if d != 0 {
+                    self.mont.cios_into(acc, tab[d - 1].limbs(), tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
                 }
             }
+            self.mont.cios_into(acc, &[1], tmp); // from_mont
+            return Nat::from_limbs(tmp[..self.mont.k + 1].to_vec());
+        }
+        let mut acc = self.mont.r_mod_n.clone(); // 1 in Montgomery form
+        for (w, tab) in self.tables.iter().enumerate() {
+            let d = self.window_digit(w, bits, exp);
             if d != 0 {
                 acc = self.mont.mont_mul(&acc, &tab[d - 1]);
             }
         }
         self.mont.from_mont(&acc)
+    }
+
+    /// The `w`-th FB_WINDOW-bit digit of `exp` (little-endian windows).
+    fn window_digit(&self, w: usize, bits: usize, exp: &Nat) -> usize {
+        let mut d = 0usize;
+        for b in 0..FB_WINDOW {
+            let i = w * FB_WINDOW + b;
+            if i < bits && exp.bit(i) {
+                d |= 1 << b;
+            }
+        }
+        d
     }
 }
 
@@ -383,6 +555,28 @@ mod tests {
             // Generic path (m <= 64 bits goes through plain square-and-multiply).
             let expect = modular::mod_pow(&Nat::from(b), &Nat::from(e), &Nat::from(m));
             prop_assert_eq!(got, expect);
+        }
+
+        /// Multi-limb moduli drive the fused CIOS path through real carry
+        /// chains (the u64-modulus tests above only ever see `k = 1`): it
+        /// must agree with the definitional product-then-REDC two-step,
+        /// and `mul_mod`'s double-REDC shortcut with plain long division.
+        #[test]
+        fn prop_cios_matches_two_step_multi_limb(
+            m_limbs in proptest::collection::vec(any::<u64>(), 3..7),
+            a_limbs in proptest::collection::vec(any::<u64>(), 1..7),
+            b_limbs in proptest::collection::vec(any::<u64>(), 1..7),
+        ) {
+            let mut m_limbs = m_limbs;
+            m_limbs[0] |= 1; // odd
+            let last = m_limbs.len() - 1;
+            m_limbs[last] |= 1 << 63; // keep the top limb populated
+            let n = Nat::from_limbs(m_limbs);
+            let ctx = Montgomery::new(n.clone());
+            let a = Nat::from_limbs(a_limbs).rem(&n);
+            let b = Nat::from_limbs(b_limbs).rem(&n);
+            prop_assert_eq!(ctx.mont_mul(&a, &b), ctx.redc(a.mul(&b).limbs()));
+            prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&n));
         }
 
         #[test]

@@ -8,8 +8,9 @@
 //!   scrub through span nesting, wire messages, fault injections and
 //!   retries on a per-thread timeline.
 //! * [`folded`] emits flamegraph folded-stack lines (`frame;frame weight`),
-//!   one per span path, weighted by wall-time *self* nanoseconds or by a
-//!   chosen op counter's span-attributed deltas — pipe through
+//!   one per span path, weighted by wall-time *self* nanoseconds, by a
+//!   chosen op counter's span-attributed deltas, or (under `obs-alloc`)
+//!   by span-attributed heap allocations/bytes — pipe through
 //!   `flamegraph.pl` or paste into a flamegraph viewer.
 //!
 //! A trace truncated by the journal cap can contain spans whose close was
@@ -28,6 +29,11 @@ pub enum FoldWeight {
     WallNs,
     /// Span-attributed deltas of one op counter.
     Op(Op),
+    /// Span-attributed heap allocation counts (requires a trace captured
+    /// under `obs-alloc`, see [`crate::mem`]).
+    Allocs,
+    /// Span-attributed heap allocated bytes (requires `obs-alloc`).
+    AllocBytes,
 }
 
 /// Renders `trace` as a Chrome `trace_event` JSON object (the format
@@ -75,6 +81,10 @@ pub fn perfetto_json(trace: &Trace) -> String {
                 }
                 EventKind::OpDelta => emit(&mut out, format!(
                     "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"delta\":{}}}}}",
+                    escape(e.label), e.a
+                )),
+                EventKind::MemDelta => emit(&mut out, format!(
+                    "{{\"name\":\"{}\",\"cat\":\"mem\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"delta\":{}}}}}",
                     escape(e.label), e.a
                 )),
                 EventKind::WireUp | EventKind::WireDown => {
@@ -190,6 +200,16 @@ fn fold_thread(t: &ThreadTrace, weight: FoldWeight, weights: &mut BTreeMap<Strin
                     }
                 }
             }
+            EventKind::MemDelta => {
+                let wanted = match weight {
+                    FoldWeight::Allocs => crate::mem::ALLOCS_LABEL,
+                    FoldWeight::AllocBytes => crate::mem::ALLOC_BYTES_LABEL,
+                    _ => continue,
+                };
+                if e.label == wanted && !stack.is_empty() {
+                    *weights.entry(key(&stack)).or_insert(0) += e.a;
+                }
+            }
             _ => {}
         }
     }
@@ -227,10 +247,13 @@ mod tests {
                     ev(EventKind::WireUp, 300, "q", 64, 0),
                     ev(EventKind::WireDown, 400, "a", 32, 0),
                     ev(EventKind::OpDelta, 700, "modexp", 9, 0),
+                    ev(EventKind::MemDelta, 700, "allocs", 3, 0),
+                    ev(EventKind::MemDelta, 700, "alloc_bytes", 2048, 0),
                     ev(EventKind::SpanClose, 700, "inner", 0, 0),
                     ev(EventKind::Fault, 800, "drop", 0, 1),
                     ev(EventKind::Retry, 850, "q", 1, 1),
                     ev(EventKind::OpDelta, 1000, "modexp", 4, 0),
+                    ev(EventKind::MemDelta, 1000, "alloc_bytes", 1024, 0),
                     ev(EventKind::SpanClose, 1000, "outer", 0, 0),
                 ],
                 dropped: 0,
@@ -255,7 +278,16 @@ mod tests {
         };
         assert_eq!(phase("B"), 2);
         assert_eq!(phase("E"), 2);
-        assert_eq!(phase("i"), 6, "2 wire + 2 op + fault + retry");
+        assert_eq!(phase("i"), 9, "2 wire + 2 op + 3 mem + fault + retry");
+        let mem = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("mem"))
+            .unwrap();
+        assert_eq!(mem.get("name").and_then(Json::as_str), Some("allocs"));
+        assert_eq!(
+            mem.get("args").unwrap().get("delta").and_then(Json::as_u64),
+            Some(3)
+        );
         let wire = events
             .iter()
             .find(|e| e.get("cat").and_then(Json::as_str) == Some("wire"))
@@ -319,6 +351,16 @@ mod tests {
         assert_eq!(lines, vec!["outer 4", "outer;inner 9"]);
         // An op nobody counted folds to nothing.
         assert_eq!(folded(&sample_trace(), FoldWeight::Op(Op::GmEncrypt)), "");
+    }
+
+    #[test]
+    fn folded_alloc_weights_use_mem_deltas() {
+        let out = folded(&sample_trace(), FoldWeight::AllocBytes);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines, vec!["outer 1024", "outer;inner 2048"]);
+        let out = folded(&sample_trace(), FoldWeight::Allocs);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines, vec!["outer;inner 3"], "only inner counted allocs");
     }
 
     #[test]

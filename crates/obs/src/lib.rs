@@ -21,10 +21,14 @@
 //!   phases (`query-gen`, `server-scan`, `reconstruct`, …). Nesting is
 //!   tracked per thread; aggregates are keyed by the full `/`-joined path.
 //! * **Reports** ([`CostReport`]) — span timings + op counters + the
-//!   communication breakdown in one struct, with Markdown and JSON
-//!   renderers ([`suite_json`] emits the `spfe-cost-report/v2` schema that
-//!   `spfe-tables --json` writes to `BENCH_costs.json`; [`parse_suite`]
-//!   reads v2 and the older v1 back).
+//!   communication breakdown + heap counters in one struct, with Markdown
+//!   and JSON renderers ([`suite_json`] emits the `spfe-cost-report/v3`
+//!   schema that `spfe-tables --json` writes to `BENCH_costs.json`;
+//!   [`parse_suite`] reads v3 and the older v2/v1 back).
+//! * **Heap profiling** ([`mem`]) — with the opt-in `obs-alloc` feature a
+//!   counting `#[global_allocator]` attributes allocation counts/bytes to
+//!   the open span and tracks the live/peak heap gauge; without it the
+//!   probes compile out and every heap field reads 0.
 //!
 //! Beyond the aggregates, the [`trace`] module keeps an opt-in *event
 //! journal*: with [`trace::set_tracing`] on, every span open/close, op
@@ -56,13 +60,17 @@ mod counter;
 pub mod export;
 pub mod histo;
 pub mod json;
+pub mod mem;
 mod report;
 mod span;
 pub mod suite;
 pub mod trace;
 
 pub use counter::{count, ops_snapshot, reset_ops, Op, OpsSnapshot};
-pub use report::{suite_json, CommStat, CostReport, LabelStat, OpStat, SCHEMA, SCHEMA_V1};
+pub use mem::{alloc_enabled, reset_mem, MemDelta, MemStat};
+pub use report::{
+    suite_json, CommStat, CostReport, LabelStat, OpStat, SCHEMA, SCHEMA_V1, SCHEMA_V2,
+};
 pub use span::{reset_spans, span, spans_snapshot, SpanGuard, SpanStat};
 pub use suite::{parse_suite, Suite};
 pub use trace::{fault_event, retry_event, wire_event};
@@ -72,12 +80,14 @@ pub const fn enabled() -> bool {
     cfg!(feature = "obs")
 }
 
-/// Clears all op counters and span aggregates (start of a measurement).
-/// The trace journal has its own window control ([`trace::reset`],
-/// [`trace::take`]) so one timeline can cover several measured runs.
+/// Clears all op counters, span aggregates and windowed heap tallies
+/// (start of a measurement). The trace journal has its own window control
+/// ([`trace::reset`], [`trace::take`]) so one timeline can cover several
+/// measured runs.
 pub fn reset() {
     reset_ops();
     reset_spans();
+    reset_mem();
 }
 
 /// Tests across this crate's modules share the process-global span

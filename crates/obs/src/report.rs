@@ -1,13 +1,17 @@
-//! The unified cost report: spans + op counters + communication.
+//! The unified cost report: spans + op counters + communication + heap.
 //!
 //! One [`CostReport`] describes one measured protocol execution; a suite
-//! of them renders to the `spfe-cost-report/v2` JSON schema (what
+//! of them renders to the `spfe-cost-report/v3` JSON schema (what
 //! `spfe-tables --json` writes to `BENCH_costs.json`) or to Markdown for
-//! humans. v2 added per-span latency quantiles; `v1` files are still
-//! readable via [`crate::suite::parse_suite`].
+//! humans. v2 added per-span latency quantiles; v3 added the heap axis
+//! (span-attributed `allocs`/`alloc_bytes`/`peak_live_bytes` plus a
+//! report-level [`MemStat`], populated when built with `obs-alloc` and
+//! zero otherwise). `v1`/`v2` files are still readable via
+//! [`crate::suite::parse_suite`].
 
 use crate::counter::{Op, OpsSnapshot};
 use crate::json::escape;
+use crate::mem::MemStat;
 use crate::span::SpanStat;
 
 /// Per-label × per-direction communication attribution.
@@ -64,6 +68,9 @@ pub struct CostReport {
     pub ops: Vec<OpStat>,
     /// Communication totals and per-label attribution.
     pub comm: CommStat,
+    /// Process-wide heap counters over the measurement window (zeros
+    /// unless built with `obs-alloc`, see [`crate::mem`]).
+    pub mem: MemStat,
 }
 
 impl CostReport {
@@ -77,6 +84,7 @@ impl CostReport {
         spans: Vec<SpanStat>,
         ops: &OpsSnapshot,
         comm: CommStat,
+        mem: MemStat,
     ) -> CostReport {
         CostReport {
             experiment: experiment.to_owned(),
@@ -88,6 +96,7 @@ impl CostReport {
                 .map(|(op, count)| OpStat { op, count })
                 .collect(),
             comm,
+            mem,
         }
     }
 
@@ -111,13 +120,16 @@ impl CostReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"path\":\"{}\",\"calls\":{},\"ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                "{{\"path\":\"{}\",\"calls\":{},\"ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"allocs\":{},\"alloc_bytes\":{},\"peak_live_bytes\":{}}}",
                 escape(&s.path),
                 s.calls,
                 s.ns,
                 s.p50_ns,
                 s.p95_ns,
-                s.p99_ns
+                s.p99_ns,
+                s.allocs,
+                s.alloc_bytes,
+                s.peak_live_bytes
             ));
         }
         out.push_str("],\"ops\":[");
@@ -149,7 +161,16 @@ impl CostReport {
                 l.down_msgs
             ));
         }
-        out.push_str("]}}");
+        out.push_str("]},");
+        out.push_str(&format!(
+            "\"mem\":{{\"allocs\":{},\"alloc_bytes\":{},\"free_bytes\":{},\"reallocs\":{},\"live_bytes\":{},\"peak_live_bytes\":{}}}}}",
+            self.mem.allocs,
+            self.mem.alloc_bytes,
+            self.mem.free_bytes,
+            self.mem.reallocs,
+            self.mem.live_bytes,
+            self.mem.peak_live_bytes
+        ));
         out
     }
 
@@ -165,15 +186,40 @@ impl CostReport {
             self.comm.down_bytes,
             self.comm.half_rounds.div_ceil(2),
         ));
+        if self.mem.allocs > 0 {
+            out.push_str(&format!(
+                "heap: {} allocs / {} B · peak live: {} B\n",
+                self.mem.allocs, self.mem.alloc_bytes, self.mem.peak_live_bytes
+            ));
+        }
+        let with_heap = self.spans.iter().any(|s| s.alloc_bytes > 0);
         if !self.spans.is_empty() {
-            out.push_str("\n| span | calls | total ms |\n|---|---:|---:|\n");
+            if with_heap {
+                out.push_str(
+                    "\n| span | calls | total ms | allocs | alloc B | peak live B |\n|---|---:|---:|---:|---:|---:|\n",
+                );
+            } else {
+                out.push_str("\n| span | calls | total ms |\n|---|---:|---:|\n");
+            }
             for s in &self.spans {
-                out.push_str(&format!(
-                    "| `{}` | {} | {:.3} |\n",
-                    s.path,
-                    s.calls,
-                    s.ns as f64 / 1e6
-                ));
+                if with_heap {
+                    out.push_str(&format!(
+                        "| `{}` | {} | {:.3} | {} | {} | {} |\n",
+                        s.path,
+                        s.calls,
+                        s.ns as f64 / 1e6,
+                        s.allocs,
+                        s.alloc_bytes,
+                        s.peak_live_bytes
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "| `{}` | {} | {:.3} |\n",
+                        s.path,
+                        s.calls,
+                        s.ns as f64 / 1e6
+                    ));
+                }
             }
         }
         if !self.ops.is_empty() {
@@ -198,13 +244,17 @@ impl CostReport {
 }
 
 /// Schema identifier emitted at the top of every cost-report suite.
-pub const SCHEMA: &str = "spfe-cost-report/v2";
+pub const SCHEMA: &str = "spfe-cost-report/v3";
 
-/// The previous schema identifier; [`crate::suite::parse_suite`] still
+/// The v2 schema identifier (per-span latency quantiles, no heap axis);
+/// [`crate::suite::parse_suite`] still reads documents carrying it.
+pub const SCHEMA_V2: &str = "spfe-cost-report/v2";
+
+/// The original schema identifier; [`crate::suite::parse_suite`] still
 /// reads documents carrying it.
 pub const SCHEMA_V1: &str = "spfe-cost-report/v1";
 
-/// Renders a suite of reports as the `spfe-cost-report/v2` document
+/// Renders a suite of reports as the `spfe-cost-report/v3` document
 /// (pretty enough to diff, strict enough to parse).
 pub fn suite_json(threads: usize, reports: &[CostReport]) -> String {
     let mut out = String::new();
@@ -238,6 +288,9 @@ mod tests {
                     p50_ns: 1_048_575,
                     p95_ns: 1_048_575,
                     p99_ns: 1_048_575,
+                    allocs: 10,
+                    alloc_bytes: 2_048,
+                    peak_live_bytes: 4_096,
                 },
                 SpanStat {
                     path: "select1/server-scan".into(),
@@ -246,6 +299,9 @@ mod tests {
                     p50_ns: 524_287,
                     p95_ns: 524_287,
                     p99_ns: 524_287,
+                    allocs: 6,
+                    alloc_bytes: 1_024,
+                    peak_live_bytes: 4_000,
                 },
             ],
             ops: vec![
@@ -270,6 +326,14 @@ mod tests {
                     down_bytes: 0,
                     down_msgs: 0,
                 }],
+            },
+            mem: MemStat {
+                allocs: 16,
+                alloc_bytes: 3_072,
+                free_bytes: 2_000,
+                reallocs: 2,
+                live_bytes: 1_072,
+                peak_live_bytes: 4_096,
             },
         }
     }
@@ -297,6 +361,22 @@ mod tests {
             Some(1_048_575)
         );
         assert_eq!(spans[1].get("p99_ns").and_then(Json::as_u64), Some(524_287));
+        assert_eq!(spans[0].get("allocs").and_then(Json::as_u64), Some(10));
+        assert_eq!(
+            spans[0].get("alloc_bytes").and_then(Json::as_u64),
+            Some(2_048)
+        );
+        assert_eq!(
+            spans[1].get("peak_live_bytes").and_then(Json::as_u64),
+            Some(4_000)
+        );
+        let mem = doc.get("mem").unwrap();
+        assert_eq!(mem.get("allocs").and_then(Json::as_u64), Some(16));
+        assert_eq!(mem.get("reallocs").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            mem.get("peak_live_bytes").and_then(Json::as_u64),
+            Some(4_096)
+        );
         let ops = doc.get("ops").and_then(Json::as_arr).unwrap();
         assert_eq!(ops[0].get("name").and_then(Json::as_str), Some("modexp"));
         assert_eq!(ops[0].get("deterministic"), Some(&Json::Bool(true)));
@@ -332,6 +412,22 @@ mod tests {
         assert!(md.contains("modexp"));
         assert!(md.contains("pir-query"));
         assert!(md.contains("rounds: 1"));
+        assert!(md.contains("peak live: 4096 B"), "{md}");
+        assert!(md.contains("| allocs |"), "heap span columns: {md}");
+    }
+
+    #[test]
+    fn markdown_omits_heap_columns_when_zero() {
+        let mut r = sample();
+        r.mem = MemStat::default();
+        for s in &mut r.spans {
+            s.allocs = 0;
+            s.alloc_bytes = 0;
+            s.peak_live_bytes = 0;
+        }
+        let md = r.to_markdown();
+        assert!(!md.contains("heap:"), "{md}");
+        assert!(!md.contains("| allocs |"), "{md}");
     }
 
     #[test]
@@ -344,7 +440,15 @@ mod tests {
     #[test]
     fn assemble_keeps_nonzero_ops_only() {
         let snap = OpsSnapshot::default();
-        let r = CostReport::assemble("e", "p", 1, Vec::new(), &snap, CommStat::default());
+        let r = CostReport::assemble(
+            "e",
+            "p",
+            1,
+            Vec::new(),
+            &snap,
+            CommStat::default(),
+            MemStat::default(),
+        );
         assert!(r.ops.is_empty());
         assert_eq!(r.experiment, "e");
     }

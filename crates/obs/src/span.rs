@@ -8,7 +8,7 @@
 //! drivers time their phases on the orchestrating thread.
 
 /// Aggregate for one span path.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanStat {
     /// Full `/`-joined path, e.g. `"spir/server-scan"`.
     pub path: String,
@@ -22,6 +22,14 @@ pub struct SpanStat {
     pub p95_ns: u64,
     /// 99th-percentile per-call duration (log-bucket upper bound).
     pub p99_ns: u64,
+    /// Heap allocations attributed to this path itself (children
+    /// excluded); zero unless built with `obs-alloc` (see [`crate::mem`]).
+    pub allocs: u64,
+    /// Heap bytes attributed to this path itself (children excluded).
+    pub alloc_bytes: u64,
+    /// Maximum live-heap gauge observed while a span at this path was
+    /// open (children included), over all calls.
+    pub peak_live_bytes: u64,
 }
 
 #[cfg(feature = "obs")]
@@ -38,8 +46,19 @@ mod imp {
         static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
     }
 
-    /// `path → (calls, total ns, per-call duration histogram)`.
-    static REGISTRY: Mutex<BTreeMap<String, (u64, u64, Histo)>> = Mutex::new(BTreeMap::new());
+    /// Per-path aggregate held in the registry.
+    #[derive(Default)]
+    struct Agg {
+        calls: u64,
+        ns: u64,
+        histo: Histo,
+        allocs: u64,
+        alloc_bytes: u64,
+        peak_live_bytes: u64,
+    }
+
+    /// `path → aggregate`.
+    static REGISTRY: Mutex<BTreeMap<String, Agg>> = Mutex::new(BTreeMap::new());
 
     pub struct SpanGuard {
         path: String,
@@ -48,6 +67,12 @@ mod imp {
     }
 
     pub fn span(name: &str) -> SpanGuard {
+        // Interning, path building, the stack push and the trace buffer
+        // are instrumentation bookkeeping with warmup-dependent
+        // allocation patterns (first call interns, first event grows the
+        // buffer); pause the heap tallies so measured spans stay
+        // bit-identical across reruns (DESIGN.md §12).
+        let paused = crate::mem::pause();
         let name = intern(name);
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -61,6 +86,8 @@ mod imp {
             path
         });
         crate::trace::on_span_open(name);
+        drop(paused);
+        crate::mem::frame_open();
         SpanGuard {
             path,
             name,
@@ -85,17 +112,23 @@ mod imp {
     impl Drop for SpanGuard {
         fn drop(&mut self) {
             let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let mem = crate::mem::frame_close();
+            // From here on everything is bookkeeping charged to no span:
+            // the trace buffer and registry allocate on first use, which
+            // must not skew the parent frame (see `span`).
+            let _paused = crate::mem::pause();
             STACK.with(|stack| {
                 stack.borrow_mut().pop();
             });
-            crate::trace::on_span_close(self.name);
+            crate::trace::on_span_close(self.name, mem);
             let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
-            let entry = reg
-                .entry(std::mem::take(&mut self.path))
-                .or_insert_with(|| (0, 0, Histo::new()));
-            entry.0 += 1;
-            entry.1 = entry.1.saturating_add(ns);
-            entry.2.record(ns);
+            let entry = reg.entry(std::mem::take(&mut self.path)).or_default();
+            entry.calls += 1;
+            entry.ns = entry.ns.saturating_add(ns);
+            entry.histo.record(ns);
+            entry.allocs = entry.allocs.saturating_add(mem.allocs);
+            entry.alloc_bytes = entry.alloc_bytes.saturating_add(mem.alloc_bytes);
+            entry.peak_live_bytes = entry.peak_live_bytes.max(mem.peak_live_bytes);
         }
     }
 
@@ -104,13 +137,16 @@ mod imp {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .map(|(path, (calls, ns, histo))| SpanStat {
+            .map(|(path, agg)| SpanStat {
                 path: path.clone(),
-                calls: *calls,
-                ns: *ns,
-                p50_ns: histo.p50(),
-                p95_ns: histo.p95(),
-                p99_ns: histo.p99(),
+                calls: agg.calls,
+                ns: agg.ns,
+                p50_ns: agg.histo.p50(),
+                p95_ns: agg.histo.p95(),
+                p99_ns: agg.histo.p99(),
+                allocs: agg.allocs,
+                alloc_bytes: agg.alloc_bytes,
+                peak_live_bytes: agg.peak_live_bytes,
             })
             .collect()
     }

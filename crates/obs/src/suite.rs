@@ -1,37 +1,40 @@
 //! A version-aware reader for persisted cost-report suites.
 //!
-//! `BENCH_costs.json` files exist in two schema versions: `v1` (PR 2,
-//! spans carry `path`/`calls`/`ns`) and `v2` (this layer, spans add the
-//! `p50_ns`/`p95_ns`/`p99_ns` latency quantiles). [`parse_suite`] accepts
-//! both — strict about every field the version defines — and returns the
-//! reports as in-memory [`CostReport`]s plus the detected version, so the
+//! `BENCH_costs.json` files exist in three schema versions: `v1` (PR 2,
+//! spans carry `path`/`calls`/`ns`), `v2` (spans add the
+//! `p50_ns`/`p95_ns`/`p99_ns` latency quantiles) and `v3` (spans add the
+//! heap axis — `allocs`/`alloc_bytes`/`peak_live_bytes` — and each report
+//! gains a `mem` object). [`parse_suite`] accepts all three — strict
+//! about every field the version defines — and returns the reports as
+//! in-memory [`CostReport`]s plus the detected version, so the
 //! `spfe-tables validate` and `trend` subcommands share one parser and
 //! old committed baselines keep working.
 
 use crate::counter::Op;
 use crate::json::{parse, Json};
-use crate::report::{CommStat, CostReport, LabelStat, OpStat, SCHEMA, SCHEMA_V1};
+use crate::mem::MemStat;
+use crate::report::{CommStat, CostReport, LabelStat, OpStat, SCHEMA, SCHEMA_V1, SCHEMA_V2};
 use crate::span::SpanStat;
 
 /// A parsed cost-report suite.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Suite {
-    /// Detected schema version (1 or 2).
+    /// Detected schema version (1, 2 or 3).
     pub version: u32,
     /// The `threads` header field.
     pub threads: u64,
-    /// Every report, in file order. For v1 files the quantile fields of
-    /// each span are 0.
+    /// Every report, in file order. Fields a version predates parse as 0
+    /// (v1: span quantiles; v1/v2: the heap axis).
     pub reports: Vec<CostReport>,
 }
 
 impl Suite {
     /// The schema tag this suite was read under.
     pub fn schema(&self) -> &'static str {
-        if self.version == 1 {
-            SCHEMA_V1
-        } else {
-            SCHEMA
+        match self.version {
+            1 => SCHEMA_V1,
+            2 => SCHEMA_V2,
+            _ => SCHEMA,
         }
     }
 
@@ -66,10 +69,11 @@ pub fn parse_suite(src: &str) -> Result<Suite, String> {
     let schema = field_str(&doc, "schema", "suite")?;
     let version = match schema {
         s if s == SCHEMA_V1 => 1,
-        s if s == SCHEMA => 2,
+        s if s == SCHEMA_V2 => 2,
+        s if s == SCHEMA => 3,
         other => {
             return Err(format!(
-                "unknown schema `{other}` (expected `{SCHEMA_V1}` or `{SCHEMA}`)"
+                "unknown schema `{other}` (expected `{SCHEMA_V1}`, `{SCHEMA_V2}` or `{SCHEMA}`)"
             ))
         }
     };
@@ -108,10 +112,17 @@ fn parse_report(r: &Json, i: usize, version: u32) -> Result<CostReport, String> 
         let sctx = format!("{ctx} span `{path}`");
         let calls = field_u64(s, "calls", &sctx)?;
         let ns = field_u64(s, "ns", &sctx)?;
-        // v2 requires the quantile fields; v1 predates them (0 if absent).
+        // v2+ requires the quantile fields; v1 predates them (0 if
+        // absent). v3 additionally requires the heap fields.
         let quant = |key: &str| -> Result<u64, String> {
             match version {
                 1 => Ok(s.get(key).and_then(Json::as_u64).unwrap_or(0)),
+                _ => field_u64(s, key, &sctx),
+            }
+        };
+        let heap = |key: &str| -> Result<u64, String> {
+            match version {
+                1 | 2 => Ok(s.get(key).and_then(Json::as_u64).unwrap_or(0)),
                 _ => field_u64(s, key, &sctx),
             }
         };
@@ -122,6 +133,9 @@ fn parse_report(r: &Json, i: usize, version: u32) -> Result<CostReport, String> 
             p50_ns: quant("p50_ns")?,
             p95_ns: quant("p95_ns")?,
             p99_ns: quant("p99_ns")?,
+            allocs: heap("allocs")?,
+            alloc_bytes: heap("alloc_bytes")?,
+            peak_live_bytes: heap("peak_live_bytes")?,
         });
     }
 
@@ -170,6 +184,23 @@ fn parse_report(r: &Json, i: usize, version: u32) -> Result<CostReport, String> 
         labels,
     };
 
+    // The report-level heap object is required in v3, absent before.
+    let mem = match r.get("mem") {
+        Some(m) => {
+            let mctx = format!("{ctx} mem");
+            MemStat {
+                allocs: field_u64(m, "allocs", &mctx)?,
+                alloc_bytes: field_u64(m, "alloc_bytes", &mctx)?,
+                free_bytes: field_u64(m, "free_bytes", &mctx)?,
+                reallocs: field_u64(m, "reallocs", &mctx)?,
+                live_bytes: field_u64(m, "live_bytes", &mctx)?,
+                peak_live_bytes: field_u64(m, "peak_live_bytes", &mctx)?,
+            }
+        }
+        None if version >= 3 => return Err(format!("{ctx}: missing `mem`")),
+        None => MemStat::default(),
+    };
+
     Ok(CostReport {
         experiment,
         protocol,
@@ -177,6 +208,7 @@ fn parse_report(r: &Json, i: usize, version: u32) -> Result<CostReport, String> 
         spans,
         ops,
         comm,
+        mem,
     })
 }
 
@@ -197,6 +229,9 @@ mod tests {
                 p50_ns: 2_047,
                 p95_ns: 2_047,
                 p99_ns: 2_047,
+                allocs: 12,
+                alloc_bytes: 1_536,
+                peak_live_bytes: 9_000,
             }],
             ops: vec![OpStat {
                 op: Op::Modexp,
@@ -215,14 +250,22 @@ mod tests {
                     down_msgs: 0,
                 }],
             },
+            mem: MemStat {
+                allocs: 20,
+                alloc_bytes: 2_560,
+                free_bytes: 2_048,
+                reallocs: 1,
+                live_bytes: 512,
+                peak_live_bytes: 9_500,
+            },
         }
     }
 
     #[test]
-    fn v2_roundtrips_through_suite_json() {
+    fn v3_roundtrips_through_suite_json() {
         let reports = vec![sample_report()];
         let suite = parse_suite(&suite_json(4, &reports)).unwrap();
-        assert_eq!(suite.version, 2);
+        assert_eq!(suite.version, 3);
         assert_eq!(suite.schema(), SCHEMA);
         assert_eq!(suite.threads, 4);
         assert_eq!(suite.reports, reports);
@@ -259,6 +302,46 @@ mod tests {
         let doc = V1_DOC.replace("spfe-cost-report/v1", "spfe-cost-report/v2");
         let err = parse_suite(&doc).unwrap_err();
         assert!(err.contains("p50_ns"), "{err}");
+    }
+
+    /// A hand-written v2 document (quantiles, no heap axis) must keep
+    /// parsing, with the heap fields defaulted to zero.
+    const V2_DOC: &str = r#"{
+      "schema": "spfe-cost-report/v2",
+      "threads": 2,
+      "reports": [
+        {"experiment":"e1","protocol":"p","elapsed_ns":9,
+         "spans":[{"path":"s","calls":1,"ns":7,"p50_ns":7,"p95_ns":7,"p99_ns":7}],
+         "ops":[{"name":"modexp","count":3,"deterministic":true}],
+         "comm":{"up_bytes":1,"down_bytes":2,"messages":1,"half_rounds":1,
+                 "labels":[{"label":"q","up_bytes":1,"up_msgs":1,"down_bytes":0,"down_msgs":0}]}}
+      ]
+    }"#;
+
+    #[test]
+    fn v2_documents_still_parse_with_zero_heap() {
+        let suite = parse_suite(V2_DOC).unwrap();
+        assert_eq!(suite.version, 2);
+        assert_eq!(suite.schema(), SCHEMA_V2);
+        let r = suite.find("e1", "p").unwrap();
+        assert_eq!(r.spans[0].p50_ns, 7);
+        assert_eq!(r.spans[0].alloc_bytes, 0, "v2 spans default the heap axis");
+        assert_eq!(r.mem, MemStat::default(), "v2 reports default `mem`");
+    }
+
+    #[test]
+    fn v3_requires_heap_fields_and_mem() {
+        // Same document claiming v3: the span heap fields are missing.
+        let doc = V2_DOC.replace("spfe-cost-report/v2", "spfe-cost-report/v3");
+        let err = parse_suite(&doc).unwrap_err();
+        assert!(err.contains("allocs"), "{err}");
+        // With the span fields present but no report-level `mem` object.
+        let doc = doc.replace(
+            "\"p99_ns\":7}",
+            "\"p99_ns\":7,\"allocs\":1,\"alloc_bytes\":8,\"peak_live_bytes\":8}",
+        );
+        let err = parse_suite(&doc).unwrap_err();
+        assert!(err.contains("missing `mem`"), "{err}");
     }
 
     #[test]

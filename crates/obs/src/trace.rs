@@ -52,6 +52,10 @@ pub enum EventKind {
     /// An op-counter delta for the span closing right after; `label` is
     /// the op name ([`crate::Op::name`]), `a` the delta.
     OpDelta,
+    /// A heap-allocation delta for the span closing right after; `label`
+    /// is [`crate::mem::ALLOCS_LABEL`] or [`crate::mem::ALLOC_BYTES_LABEL`],
+    /// `a` the span's self delta. Only emitted under `obs-alloc`.
+    MemDelta,
     /// A client→server message; `label` is the wire label, `a` the byte
     /// count, `b` the server index.
     WireUp,
@@ -284,7 +288,7 @@ mod imp {
         });
     }
 
-    pub fn on_span_close(name: &'static str) {
+    pub fn on_span_close(name: &'static str, mem: crate::mem::MemDelta) {
         if !tracing() {
             return;
         }
@@ -302,6 +306,20 @@ mod imp {
                         kind: EventKind::OpDelta,
                         t_ns,
                         label: op.name(),
+                        a: delta,
+                        b: 0,
+                    });
+                }
+            }
+            for (label, delta) in [
+                (crate::mem::ALLOCS_LABEL, mem.allocs),
+                (crate::mem::ALLOC_BYTES_LABEL, mem.alloc_bytes),
+            ] {
+                if delta > 0 {
+                    l.push(Event {
+                        kind: EventKind::MemDelta,
+                        t_ns,
+                        label,
                         a: delta,
                         b: 0,
                     });

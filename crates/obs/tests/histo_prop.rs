@@ -1,0 +1,93 @@
+//! Property tests for the log-bucketed latency histogram (`histo.rs`):
+//! merging preserves total counts, and every reported quantile is a
+//! faithful upper bound landing in the same log2 bucket as the exact
+//! percentile of the recorded samples.
+
+use proptest::prelude::*;
+use spfe_obs::histo::Histo;
+
+/// The bucket index for `value` — mirror of the (private) production
+/// rule: the bit length, with 0 in bucket 0.
+fn bucket(value: u64) -> u32 {
+    u64::BITS - value.leading_zeros()
+}
+
+/// The exact sample at quantile `q` of `sorted` (the same 1-based
+/// ceil-rank rule the histogram uses).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let total = sorted.len() as u64;
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_preserves_total_count(
+        a in proptest::collection::vec(0u64..(1u64 << 62), 0..50),
+        b in proptest::collection::vec(0u64..(1u64 << 62), 0..50),
+    ) {
+        let mut ha = Histo::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histo::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        prop_assert_eq!(ha.count(), a.len() as u64);
+        prop_assert_eq!(hb.count(), b.len() as u64);
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+        // Merging an empty histogram is the identity on counts.
+        ha.merge(&Histo::new());
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_exact_percentiles_bucket(
+        samples in proptest::collection::vec(0u64..(1u64 << 62), 1..120),
+    ) {
+        let mut h = Histo::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (q, got) in [(0.50, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                got >= exact,
+                "q={q}: reported {got} under-estimates the exact percentile {exact}"
+            );
+            let (gb, eb) = (bucket(got), bucket(exact));
+            prop_assert!(
+                gb.abs_diff(eb) <= 1,
+                "q={q}: reported {got} (bucket {gb}) not within one log2 bucket \
+                 of exact {exact} (bucket {eb})"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_match_recording_everything_into_one_histogram(
+        a in proptest::collection::vec(0u64..(1u64 << 62), 1..60),
+        b in proptest::collection::vec(0u64..(1u64 << 62), 1..60),
+    ) {
+        let mut ha = Histo::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histo::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        ha.merge(&hb);
+        let mut all = Histo::new();
+        for &v in a.iter().chain(&b) {
+            all.record(v);
+        }
+        prop_assert_eq!(ha, all, "merge must equal recording the union");
+    }
+}

@@ -332,6 +332,12 @@ impl Channel for FaultyChannel {
         label: &'static str,
         bytes: &[u8],
     ) -> Result<Vec<u8>, ProtocolError> {
+        // Delivery buffers (and retried re-deliveries) allocate as a
+        // function of the fault schedule, not the protocol; pause the
+        // deterministic heap tallies so alloc counters stay bit-identical
+        // across fault seeds (DESIGN.md §12). The live/peak gauges keep
+        // tracking.
+        let _mem_pause = spfe_obs::mem::pause();
         let server = dir.server();
         assert!(server < self.num_servers(), "server index out of range");
         let idx = self.msg_index;

@@ -8,7 +8,7 @@
 
 use crate::meter::CommReport;
 use crate::wire::{Reader, Wire, WireError};
-use spfe_obs::{CommStat, CostReport, LabelStat, Op, OpStat, SpanStat};
+use spfe_obs::{CommStat, CostReport, LabelStat, MemStat, Op, OpStat, SpanStat};
 
 impl Wire for CommReport {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -73,6 +73,9 @@ impl Wire for SpanStat {
         self.p50_ns.encode(out);
         self.p95_ns.encode(out);
         self.p99_ns.encode(out);
+        self.allocs.encode(out);
+        self.alloc_bytes.encode(out);
+        self.peak_live_bytes.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(SpanStat {
@@ -82,6 +85,30 @@ impl Wire for SpanStat {
             p50_ns: u64::decode(r)?,
             p95_ns: u64::decode(r)?,
             p99_ns: u64::decode(r)?,
+            allocs: u64::decode(r)?,
+            alloc_bytes: u64::decode(r)?,
+            peak_live_bytes: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for MemStat {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.allocs.encode(out);
+        self.alloc_bytes.encode(out);
+        self.free_bytes.encode(out);
+        self.reallocs.encode(out);
+        self.live_bytes.encode(out);
+        self.peak_live_bytes.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MemStat {
+            allocs: u64::decode(r)?,
+            alloc_bytes: u64::decode(r)?,
+            free_bytes: u64::decode(r)?,
+            reallocs: u64::decode(r)?,
+            live_bytes: u64::decode(r)?,
+            peak_live_bytes: u64::decode(r)?,
         })
     }
 }
@@ -113,6 +140,7 @@ impl Wire for CostReport {
         self.spans.encode(out);
         self.ops.encode(out);
         self.comm.encode(out);
+        self.mem.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(CostReport {
@@ -122,6 +150,7 @@ impl Wire for CostReport {
             spans: Vec::<SpanStat>::decode(r)?,
             ops: Vec::<OpStat>::decode(r)?,
             comm: CommStat::decode(r)?,
+            mem: MemStat::decode(r)?,
         })
     }
 }
@@ -143,6 +172,9 @@ mod tests {
                     p50_ns: 1_048_575,
                     p95_ns: 1_048_575,
                     p99_ns: 1_048_575,
+                    allocs: 40,
+                    alloc_bytes: 65_536,
+                    peak_live_bytes: 131_072,
                 },
                 SpanStat {
                     path: "spir/server-scan".into(),
@@ -151,6 +183,9 @@ mod tests {
                     p50_ns: 1_048_575,
                     p95_ns: 1_048_575,
                     p99_ns: 1_048_575,
+                    allocs: 30,
+                    alloc_bytes: 32_768,
+                    peak_live_bytes: 131_000,
                 },
             ],
             ops: vec![
@@ -185,7 +220,21 @@ mod tests {
                     },
                 ],
             },
+            mem: MemStat {
+                allocs: 80,
+                alloc_bytes: 262_144,
+                free_bytes: 200_000,
+                reallocs: 5,
+                live_bytes: 62_144,
+                peak_live_bytes: 262_144,
+            },
         }
+    }
+
+    #[test]
+    fn mem_stat_roundtrip() {
+        let mem = sample_report().mem;
+        assert_eq!(MemStat::from_bytes(&mem.to_bytes()).unwrap(), mem);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Heap-profiling conformance suite (DESIGN.md §12): with the
+//! instrumented allocator compiled in, every protocol driver's cost
+//! report carries span-attributed heap tallies, and at one worker thread
+//! those tallies are *bit-identical* across reruns and across masked
+//! fault schedules — the property that lets `spfe-tables trend` gate on
+//! them.
+//!
+//! Span-attributed counters are accumulated from thread-local monotone
+//! counters (see `spfe-obs::mem`), so they are immune to allocation
+//! noise from concurrently starting test threads; the process-global
+//! gauges are only asserted nonzero, never equal. `peak_live_bytes`
+//! depends on what else is live in the process and is excluded from the
+//! equality checks by design.
+
+#![cfg(feature = "obs-alloc")]
+
+mod common;
+
+use common::*;
+use spfe::math::par;
+use spfe::obs::SpanStat;
+use spfe::transport::{FaultAction, FaultPlan, FaultyChannel, ProtocolError};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The span registry and heap counters are process-global; serialize.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the global worker-thread override when a test exits (even by
+/// panic), so a failure doesn't leak its thread count into later tests.
+struct ThreadsGuard;
+
+impl ThreadsGuard {
+    fn set(n: usize) -> ThreadsGuard {
+        par::set_threads(Some(n));
+        ThreadsGuard
+    }
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        par::set_threads(None);
+    }
+}
+
+/// Runs one driver in a fresh measurement window and returns the span
+/// aggregates plus the protocol outcome.
+fn profile(
+    d: &Driver,
+    plan: FaultPlan,
+    tolerance: usize,
+) -> (Vec<SpanStat>, Result<u64, ProtocolError>) {
+    spfe::obs::reset();
+    let mut ch = FaultyChannel::new(d.servers, plan, tolerance);
+    let got = (d.run)(&mut ch);
+    (spfe::obs::spans_snapshot(), got)
+}
+
+/// The deterministic slice of a span snapshot: path, call count, and the
+/// self-attributed alloc tallies (the peak gauge is process-dependent).
+fn heap_key(spans: &[SpanStat]) -> Vec<(String, u64, u64, u64)> {
+    spans
+        .iter()
+        .map(|s| (s.path.clone(), s.calls, s.allocs, s.alloc_bytes))
+        .collect()
+}
+
+#[test]
+fn every_driver_attributes_heap_to_spans() {
+    let _g = lock();
+    let _t = ThreadsGuard::set(1);
+    assert!(spfe::obs::alloc_enabled());
+    for d in drivers() {
+        let (spans, got) = profile(&d, FaultPlan::honest(), 0);
+        assert_eq!(got, Ok(d.expect), "[{}] honest run", d.name);
+        assert!(!spans.is_empty(), "[{}] no spans recorded", d.name);
+        assert!(
+            spans.iter().any(|s| s.alloc_bytes > 0),
+            "[{}] no span-attributed alloc bytes: {spans:?}",
+            d.name
+        );
+        assert!(
+            spans.iter().all(|s| s.peak_live_bytes > 0),
+            "[{}] a span saw a zero live-heap peak: {spans:?}",
+            d.name
+        );
+        let mem = spfe::obs::mem::snapshot();
+        assert!(
+            mem.allocs > 0 && mem.alloc_bytes > 0,
+            "[{}] {mem:?}",
+            d.name
+        );
+        assert!(mem.peak_live_bytes > 0, "[{}] {mem:?}", d.name);
+    }
+}
+
+#[test]
+fn span_heap_tallies_are_bit_identical_across_reruns() {
+    let _g = lock();
+    let _t = ThreadsGuard::set(1);
+    for d in drivers() {
+        let (first, got1) = profile(&d, FaultPlan::honest(), 0);
+        let (second, got2) = profile(&d, FaultPlan::honest(), 0);
+        assert_eq!(got1, Ok(d.expect), "[{}] first run", d.name);
+        assert_eq!(got2, Ok(d.expect), "[{}] second run", d.name);
+        assert_eq!(
+            heap_key(&first),
+            heap_key(&second),
+            "[{}] heap tallies drifted between identical runs",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn span_heap_tallies_are_bit_identical_across_masked_fault_plans() {
+    let _g = lock();
+    let _t = ThreadsGuard::set(1);
+    for d in drivers() {
+        let (honest, got) = profile(&d, FaultPlan::honest(), 0);
+        assert_eq!(got, Ok(d.expect), "[{}] honest run", d.name);
+        for (what, plan) in [
+            ("drop@0", FaultPlan::scripted(vec![(0, FaultAction::Drop)])),
+            (
+                "drop@1+delay@2",
+                FaultPlan::scripted(vec![(1, FaultAction::Drop), (2, FaultAction::Delay(1))]),
+            ),
+        ] {
+            let (faulty, got) = profile(&d, plan, 2);
+            assert_eq!(got, Ok(d.expect), "[{} × {what}] masked faults", d.name);
+            assert_eq!(
+                heap_key(&honest),
+                heap_key(&faulty),
+                "[{} × {what}] fault schedule leaked into heap tallies",
+                d.name
+            );
+        }
+    }
+}

@@ -116,6 +116,15 @@ fn assert_well_formed(name: &str, ctx: &str, tr: &Trace) -> usize {
                         ev.label
                     );
                 }
+                EventKind::MemDelta => {
+                    assert!(
+                        !stack.is_empty(),
+                        "[{name} × {ctx}] thread {}: mem delta '{}' outside any span",
+                        th.thread,
+                        ev.label
+                    );
+                    assert!(ev.a > 0, "[{name} × {ctx}] zero-valued mem delta");
+                }
                 EventKind::Fault | EventKind::Retry => {}
             }
         }
