@@ -90,4 +90,14 @@ test -s "$WORK/e1.folded"
 test -s "$WORK/e1.alloc_bytes.folded"
 grep -q '"traceEvents"' "$WORK/e1.trace.json"
 
+echo "==> parallel-scaling gate (fresh pir-scan + trend --scaling)"
+# A fresh scan is measured in the scratch dir; the gate's rule is
+# hardware-aware (cores >= threads: >=10% speedup at n >= 4096; fewer
+# cores: pool overhead bounded at 10%), so it is honest on any machine.
+(cd "$WORK" && "$TABLES" pir-scan > /dev/null)
+"$TABLES" trend --scaling --scan "$WORK/BENCH_pir_scan.json"
+
+echo "==> scaling smoke test (synthetic heavy kernel, ignored in plain test runs)"
+cargo test "${OFFLINE[@]}" --release -p spfe --test scaling_smoke -q -- --ignored
+
 echo "CI OK"

@@ -26,6 +26,12 @@
 //!   counters, exiting nonzero on any growth past the threshold (default
 //!   5%); `--json` prints every delta machine-readably; `--accept`
 //!   instead copies `B` over `A` to bless an intentional change.
+//! * `trend --scaling [--scan PATH] [--min-n N] [--speedup PCT]
+//!   [--overhead PCT]` — the parallel-scaling gate over
+//!   `BENCH_pir_scan.json`: on a machine with `cores ≥ threads` the
+//!   multi-thread scan must beat serial by ≥ `--speedup` (default 10%) at
+//!   every `n ≥ --min-n` (default 4096); with fewer cores the gate
+//!   degrades to a pool-overhead bound of `--overhead` (default 10%).
 //!
 //! Setting `SPFE_TRACE=1` makes a normal table run also record the journal
 //! and write `spfe.trace.json`/`spfe.folded` covering every experiment
@@ -408,13 +414,20 @@ fn mem_cmd(args: &[String]) {
     }
 }
 
-/// `trend --baseline A --current B [--threshold PCT] [--json] [--accept]`.
+/// `trend --baseline A --current B [--threshold PCT] [--json] [--accept]`
+/// or `trend --scaling [--scan PATH] [--min-n N] [--speedup PCT]
+/// [--overhead PCT]`.
 fn trend_cmd(args: &[String]) {
     let mut baseline: Option<&str> = None;
     let mut current: Option<&str> = None;
     let mut threshold = 5.0f64;
     let mut accept = false;
     let mut json = false;
+    let mut scaling = false;
+    let mut scan_path = "BENCH_pir_scan.json";
+    let mut min_n = 4_096u64;
+    let mut speedup_pct = 10.0f64;
+    let mut overhead_pct = 10.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take_value = |flag: &str| {
@@ -423,31 +436,45 @@ fn trend_cmd(args: &[String]) {
                 std::process::exit(2);
             })
         };
+        let parse_num = |flag: &str, v: &str| -> f64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} needs a number");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
             "--baseline" => baseline = Some(take_value("--baseline")),
             "--current" => current = Some(take_value("--current")),
-            "--threshold" => {
-                threshold = take_value("--threshold").parse().unwrap_or_else(|_| {
-                    eprintln!("error: --threshold needs a number (percent)");
-                    std::process::exit(2);
-                })
-            }
+            "--threshold" => threshold = parse_num("--threshold", take_value("--threshold")),
             "--accept" => accept = true,
             "--json" => json = true,
+            "--scaling" => scaling = true,
+            "--scan" => scan_path = take_value("--scan"),
+            "--min-n" => min_n = parse_num("--min-n", take_value("--min-n")) as u64,
+            "--speedup" => speedup_pct = parse_num("--speedup", take_value("--speedup")),
+            "--overhead" => overhead_pct = parse_num("--overhead", take_value("--overhead")),
             other => {
                 eprintln!("error: unknown trend argument `{other}`");
                 eprintln!(
                     "usage: spfe-tables trend --baseline A --current B \
-                     [--threshold PCT] [--json] [--accept]"
+                     [--threshold PCT] [--json] [--accept]\n\
+                     \x20      spfe-tables trend --scaling [--scan PATH] [--min-n N] \
+                     [--speedup PCT] [--overhead PCT]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if scaling {
+        scaling_cmd(scan_path, min_n, speedup_pct, overhead_pct);
+        return;
+    }
     let (Some(baseline), Some(current)) = (baseline, current) else {
         eprintln!(
             "usage: spfe-tables trend --baseline A --current B [--threshold PCT] \
-             [--json] [--accept]"
+             [--json] [--accept]\n\
+             \x20      spfe-tables trend --scaling [--scan PATH] [--min-n N] \
+             [--speedup PCT] [--overhead PCT]"
         );
         std::process::exit(2);
     };
@@ -519,6 +546,58 @@ fn trend_cmd(args: &[String]) {
     std::process::exit(1);
 }
 
+/// `trend --scaling`: the parallel-scaling gate over `BENCH_pir_scan.json`
+/// (see [`spfe_bench::trend::check_scaling`] for the hardware-aware rules).
+fn scaling_cmd(scan_path: &str, min_n: u64, speedup_pct: f64, overhead_pct: f64) {
+    use spfe_bench::trend::{check_scaling, parse_scan, ScalingRule};
+    let src = std::fs::read_to_string(scan_path).unwrap_or_else(|e| {
+        eprintln!("error: {scan_path}: {e}");
+        std::process::exit(1);
+    });
+    let rows = parse_scan(&src).unwrap_or_else(|e| {
+        eprintln!("error: {scan_path}: {e}");
+        std::process::exit(1);
+    });
+    let verdicts = check_scaling(&rows, min_n, speedup_pct, overhead_pct).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let mut failed = 0usize;
+    for v in &verdicts {
+        let rule = match v.rule {
+            ScalingRule::Speedup(pct) => format!("speedup ≥ {pct}% (cores ≥ threads)"),
+            ScalingRule::OverheadBound(pct) => {
+                format!(
+                    "overhead ≤ {pct}% ({} core(s) < {} threads)",
+                    v.cores, v.threads
+                )
+            }
+        };
+        let status = if v.pass { "ok  " } else { "FAIL" };
+        println!(
+            "scaling {status} n={}: {} threads {:.2}ms vs serial {:.2}ms — {:.2}x [{rule}]",
+            v.n,
+            v.threads,
+            v.parallel_ns as f64 / 1e6,
+            v.serial_ns as f64 / 1e6,
+            v.speedup,
+        );
+        if !v.pass {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "scaling: {failed} of {} size(s) failed the gate; \
+             regenerate with `spfe-tables pir-scan` on quiet hardware \
+             or investigate the pool (see EXPERIMENTS.md)",
+            verdicts.len()
+        );
+        std::process::exit(1);
+    }
+    println!("scaling: OK — all {} size(s) passed", verdicts.len());
+}
+
 /// Renders a [`spfe_bench::trend::TrendReport`] as the `trend --json`
 /// document: the verdict plus every per-(experiment, protocol) delta with
 /// its gating status, in the hand-built style of the suite renderer.
@@ -576,6 +655,9 @@ fn pir_scan() {
     let mut b = Bench::new();
     let mut rows = Vec::new();
     let mut json = Vec::new();
+    // Recorded per row so the `trend --scaling` gate can tell real
+    // non-scaling from a machine that physically cannot run the threads.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     for n in [256usize, 1_024, 4_096] {
         let db = make_db(n, 1_000);
         let layout = Layout::square(n);
@@ -604,7 +686,8 @@ fn pir_scan() {
                 fmt_bytes(bytes_down as u64),
             ]);
             json.push(format!(
-                "{{\"n\":{n},\"threads\":{threads},\"ns_per_query\":{ns_per_query},\
+                "{{\"n\":{n},\"threads\":{threads},\"cores\":{cores},\
+                 \"ns_per_query\":{ns_per_query},\
                  \"bytes_up\":{bytes_up},\"bytes_down\":{bytes_down}}}"
             ));
         }

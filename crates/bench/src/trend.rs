@@ -233,6 +233,148 @@ pub fn compare_suites(
     Ok(rep)
 }
 
+// ---------------------------------------------------------------------------
+// The parallel-scaling gate: `spfe-tables trend --scaling`.
+// ---------------------------------------------------------------------------
+
+/// One measurement row of `BENCH_pir_scan.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRow {
+    /// Database size.
+    pub n: u64,
+    /// Worker-pool thread count the row was measured at.
+    pub threads: u64,
+    /// Wall time per scan.
+    pub ns_per_query: u64,
+    /// CPU cores available on the measuring machine (0 = unknown — rows
+    /// written before the field existed).
+    pub cores: u64,
+}
+
+/// Which rule [`check_scaling`] applied to a size, decided by the
+/// hardware the rows were measured on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScalingRule {
+    /// `cores ≥ threads`: the pool has real parallel hardware, so the
+    /// multi-thread scan must beat serial by at least this percentage.
+    Speedup(f64),
+    /// `cores < threads` (including unknown cores): no speedup is
+    /// physically possible, so the gate degrades to an overhead bound —
+    /// the pool must cost at most this percentage over serial.
+    OverheadBound(f64),
+}
+
+/// One size's verdict from [`check_scaling`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingVerdict {
+    /// Database size.
+    pub n: u64,
+    /// Thread count of the parallel row.
+    pub threads: u64,
+    /// Cores recorded for the parallel row.
+    pub cores: u64,
+    /// Serial (threads = 1) wall time.
+    pub serial_ns: u64,
+    /// Parallel wall time.
+    pub parallel_ns: u64,
+    /// `serial / parallel` (> 1 means the pool won).
+    pub speedup: f64,
+    /// The rule this size was held to.
+    pub rule: ScalingRule,
+    /// Whether the rule was satisfied.
+    pub pass: bool,
+}
+
+/// Parses the `BENCH_pir_scan.json` array into [`ScanRow`]s. Rows without
+/// a `cores` field (pre-gate baselines) parse with `cores = 0`.
+///
+/// # Errors
+///
+/// On malformed JSON or a row missing `n` / `threads` / `ns_per_query`.
+pub fn parse_scan(src: &str) -> Result<Vec<ScanRow>, String> {
+    let doc = spfe_obs::json::parse(src)?;
+    let arr = doc.as_arr().ok_or("scan file: expected a JSON array")?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let field = |key: &str| {
+                row.get(key)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| format!("scan row {i}: missing or non-integer `{key}`"))
+            };
+            Ok(ScanRow {
+                n: field("n")?,
+                threads: field("threads")?,
+                ns_per_query: field("ns_per_query")?,
+                cores: row.get("cores").and_then(|v| v.as_u64()).unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+/// The parallel-scaling gate over a set of [`ScanRow`]s: for every size
+/// `n ≥ min_n` that has both a serial and a multi-thread row, require
+///
+/// * **speedup ≥ `min_speedup_pct`** when the rows were measured on a
+///   machine with at least as many cores as pool threads (the CI rule:
+///   4 threads must beat 1 by ≥ 10% at n ≥ 4096), or
+/// * **overhead ≤ `max_overhead_pct`** when the machine cannot run the
+///   threads concurrently (`cores < threads`) — a single-core box can
+///   never show a speedup, but the persistent pool must still be close to
+///   free, which is exactly the property the spawn-per-call engine lacked.
+///
+/// Wall-clock is inherently noisy, which is why this gate (unlike the
+/// deterministic counter gate) only runs against sizes big enough for the
+/// signal to dominate and with a generous threshold.
+///
+/// # Errors
+///
+/// When no size `≥ min_n` has both a serial and a parallel row — a gate
+/// that checks nothing must fail loudly.
+pub fn check_scaling(
+    rows: &[ScanRow],
+    min_n: u64,
+    min_speedup_pct: f64,
+    max_overhead_pct: f64,
+) -> Result<Vec<ScalingVerdict>, String> {
+    let mut verdicts = Vec::new();
+    let mut sizes: Vec<u64> = rows.iter().map(|r| r.n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for n in sizes.into_iter().filter(|&n| n >= min_n) {
+        let serial = rows.iter().find(|r| r.n == n && r.threads == 1);
+        let parallel = rows.iter().find(|r| r.n == n && r.threads > 1);
+        let (Some(s), Some(p)) = (serial, parallel) else {
+            continue;
+        };
+        let speedup = s.ns_per_query as f64 / (p.ns_per_query as f64).max(1.0);
+        let (rule, pass) = if p.cores >= p.threads {
+            let rule = ScalingRule::Speedup(min_speedup_pct);
+            (rule, speedup >= 1.0 + min_speedup_pct / 100.0)
+        } else {
+            let rule = ScalingRule::OverheadBound(max_overhead_pct);
+            (rule, speedup >= 1.0 / (1.0 + max_overhead_pct / 100.0))
+        };
+        verdicts.push(ScalingVerdict {
+            n,
+            threads: p.threads,
+            cores: p.cores,
+            serial_ns: s.ns_per_query,
+            parallel_ns: p.ns_per_query,
+            speedup,
+            rule,
+            pass,
+        });
+    }
+    if verdicts.is_empty() {
+        return Err(format!(
+            "no size ≥ {min_n} with both a serial and a parallel row — \
+             regenerate the scan file (`spfe-tables pir-scan`)"
+        ));
+    }
+    Ok(verdicts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -466,5 +608,83 @@ mod tests {
         let cur = suite(vec![report("e1", "p", 100, 1_000)]);
         let out = compare_suites(&base, &cur, 5.0).unwrap();
         assert!(out.deltas.iter().all(|d| !d.metric.starts_with("mem:")));
+    }
+
+    // --- the scaling gate ---
+
+    fn scan(n: u64, threads: u64, ns: u64, cores: u64) -> ScanRow {
+        ScanRow {
+            n,
+            threads,
+            ns_per_query: ns,
+            cores,
+        }
+    }
+
+    #[test]
+    fn scaling_speedup_rule_passes_on_real_parallel_hardware() {
+        // 4 cores, 4 threads, 2× faster: comfortably over the 10% bar.
+        let rows = [scan(4096, 1, 20_000_000, 4), scan(4096, 4, 10_000_000, 4)];
+        let out = check_scaling(&rows, 4096, 10.0, 10.0).unwrap();
+        assert_eq!(out.len(), 1);
+        let v = &out[0];
+        assert!(v.pass, "{v:?}");
+        assert!(matches!(v.rule, ScalingRule::Speedup(_)));
+        assert!((v.speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_speedup_rule_flags_a_pool_that_does_not_scale() {
+        // 4 cores available but the pool only breaks even: gate fails.
+        let rows = [scan(4096, 1, 20_000_000, 4), scan(4096, 4, 19_500_000, 4)];
+        let out = check_scaling(&rows, 4096, 10.0, 10.0).unwrap();
+        assert!(!out[0].pass, "{:?}", out[0]);
+    }
+
+    #[test]
+    fn scaling_degrades_to_overhead_bound_on_a_small_machine() {
+        // 1 core: no speedup possible, but ≤10% overhead passes…
+        let rows = [scan(4096, 1, 20_000_000, 1), scan(4096, 4, 21_000_000, 1)];
+        let out = check_scaling(&rows, 4096, 10.0, 10.0).unwrap();
+        assert!(out[0].pass, "{:?}", out[0]);
+        assert!(matches!(out[0].rule, ScalingRule::OverheadBound(_)));
+        // …while the seed's spawn-per-call engine at +30% would not.
+        let rows = [scan(4096, 1, 20_000_000, 1), scan(4096, 4, 26_000_000, 1)];
+        let out = check_scaling(&rows, 4096, 10.0, 10.0).unwrap();
+        assert!(!out[0].pass, "{:?}", out[0]);
+    }
+
+    #[test]
+    fn scaling_ignores_sizes_below_min_n() {
+        let rows = [
+            scan(256, 1, 1_000, 4),
+            scan(256, 4, 5_000, 4), // tiny size allowed to be slower
+            scan(4096, 1, 20_000_000, 4),
+            scan(4096, 4, 10_000_000, 4),
+        ];
+        let out = check_scaling(&rows, 4096, 10.0, 10.0).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].n, 4096);
+        assert!(out[0].pass);
+    }
+
+    #[test]
+    fn scaling_errors_when_nothing_qualifies() {
+        let rows = [scan(256, 1, 1_000, 4), scan(256, 4, 900, 4)];
+        assert!(check_scaling(&rows, 4096, 10.0, 10.0).is_err());
+        assert!(check_scaling(&[], 4096, 10.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn scan_rows_parse_with_and_without_cores() {
+        let src = r#"[
+            {"n":4096,"threads":1,"ns_per_query":100,"bytes_up":1,"bytes_down":2,"cores":4},
+            {"n":4096,"threads":4,"ns_per_query":50,"bytes_up":1,"bytes_down":2}
+        ]"#;
+        let rows = parse_scan(src).unwrap();
+        assert_eq!(rows[0], scan(4096, 1, 100, 4));
+        assert_eq!(rows[1].cores, 0, "missing cores parses as unknown");
+        assert!(parse_scan("{}").is_err());
+        assert!(parse_scan("[{\"n\":1}]").is_err());
     }
 }

@@ -293,14 +293,17 @@ where
     }
     drop(_qg);
 
-    // Server: pick the masking polynomial P_s, mask the database.
+    // Server: pick the masking polynomial P_s, mask the database. The
+    // masking pass is Ω(n·m) field ops but each item is cheap
+    // (`CostClass::Light`): it shards only once the database is large
+    // enough to amortize the pool handshake.
     let _se = spfe_obs::span("server-eval");
     let s_poly = Poly::random(m.saturating_sub(1), field, rng);
-    let masked: Vec<u64> = db
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| field.add(x, s_poly.eval(i as u64)))
-        .collect();
+    let db_idx: Vec<(usize, u64)> = db.iter().copied().enumerate().collect();
+    let masked: Vec<u64> =
+        spfe_math::par::par_map_cost(spfe_math::par::CostClass::Light, &db_idx, |&(i, x)| {
+            field.add(x, s_poly.eval(i as u64))
+        });
 
     // Homomorphic evaluation: E(P_s(i_j) − r_j) with integer-safe blinding.
     // The m² scalar products are rng-free — flatten them into one batch for

@@ -16,6 +16,7 @@
 //! squared `x'` for average+variance, §4) at one extra field element each.
 
 use spfe_circuits::formula::{encode_index, eval_formula_poly, index_bits, selector_eval, Formula};
+use spfe_math::par::{par_map_cost, CostClass};
 use spfe_math::{Fp64, Poly, RandomSource};
 use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
 
@@ -209,13 +210,14 @@ pub fn client_queries<R: RandomSource + ?Sized>(
 
 /// Evaluates every coordinate curve at each server's point — rng-free, so
 /// the per-server work shards across the worker pool (ordered by `h`).
+/// One item is every curve evaluated at one point: `Heavy`.
 fn eval_curves_at_servers(
     params: &MultiServerParams,
     curves: &[Vec<Poly>],
     k: usize,
 ) -> Vec<MsQuery> {
     let hs: Vec<usize> = (0..k).collect();
-    spfe_math::par::par_map(&hs, |&h| {
+    par_map_cost(CostClass::Heavy, &hs, |&h| {
         let tau = params.alpha(h);
         MsQuery {
             slot_points: curves
@@ -376,12 +378,14 @@ where
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q))
         .collect::<Result<_, _>>()?;
-    // Honest evaluation is rng-free → pool; corruption and metering stay
-    // serial (the corruptor is FnMut and may be stateful).
-    let honest: Vec<u64> =
-        spfe_math::par::par_map(&received, |q| server_answer(params, db, q, None))
-            .into_iter()
-            .collect::<Result<_, _>>()?;
+    // Honest evaluation is rng-free → pool (one item = a full Ω(n)
+    // server evaluation, so Heavy); corruption and metering stay serial
+    // (the corruptor is FnMut and may be stateful).
+    let honest: Vec<u64> = par_map_cost(CostClass::Heavy, &received, |q| {
+        server_answer(params, db, q, None)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
     let answers: Vec<u64> = honest
         .iter()
         .enumerate()
@@ -429,7 +433,7 @@ pub fn run<R: RandomSource + ?Sized>(
     let jobs: Vec<(usize, &MsQuery)> = received.iter().enumerate().collect();
     let computed: Vec<u64> = {
         let _s = spfe_obs::span("server-eval");
-        spfe_math::par::par_map(&jobs, |&(h, q)| match shared_seed {
+        par_map_cost(CostClass::Heavy, &jobs, |&(h, q)| match shared_seed {
             None => server_answer(params, db, q, None),
             Some(seed) => {
                 let mut server_rng = spfe_crypto::ChaChaRng::from_u64_seed(seed);
@@ -479,7 +483,7 @@ pub fn run_sum_and_squares<R: RandomSource + ?Sized>(
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q))
         .collect::<Result<_, _>>()?;
-    let computed: Vec<(u64, u64)> = spfe_math::par::par_map(&received, |q| {
+    let computed: Vec<(u64, u64)> = par_map_cost(CostClass::Heavy, &received, |q| {
         Ok::<_, ProtocolError>((
             server_answer(params, db, q, None)?,
             server_answer(params, db_squared, q, None)?,
@@ -532,7 +536,7 @@ pub fn run_many_databases<R: RandomSource + ?Sized>(
         .enumerate()
         .map(|(h, q)| t.client_to_server(h, "ms-query", q))
         .collect::<Result<_, _>>()?;
-    let computed: Vec<Vec<u64>> = spfe_math::par::par_map(&received, |q| {
+    let computed: Vec<Vec<u64>> = par_map_cost(CostClass::Heavy, &received, |q| {
         dbs.iter()
             .map(|db| server_answer(params, db, q, None))
             .collect::<Result<_, _>>()

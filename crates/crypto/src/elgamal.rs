@@ -11,7 +11,7 @@
 //! can be made small").
 
 use crate::hom::{HomomorphicPk, HomomorphicSk};
-use crate::paillier::PAR_MIN_OPS;
+use spfe_math::par::CostClass;
 use spfe_math::prime::gen_safe_prime;
 use spfe_math::{FixedBasePow, Montgomery, Nat, RandomSource};
 use spfe_obs::{count, Op};
@@ -322,13 +322,13 @@ impl HomomorphicPk for ElGamalPk {
         // the serial loop), then fan the rng-free exponentiations out.
         let rs: Vec<Nat> = ms.iter().map(|_| self.group.random_exponent(rng)).collect();
         let jobs: Vec<(&Nat, &Nat)> = ms.iter().zip(&rs).collect();
-        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(m, r)| self.encrypt_with_r(m, r))
+        spfe_math::par::par_map_cost(CostClass::Heavy, &jobs, |&(m, r)| self.encrypt_with_r(m, r))
     }
 
     fn scalar_mul_batch(&self, cts: &[ElGamalCt], cs: &[Nat]) -> Vec<ElGamalCt> {
         assert_eq!(cts.len(), cs.len(), "batch length mismatch");
         let jobs: Vec<(&ElGamalCt, &Nat)> = cts.iter().zip(cs).collect();
-        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(ct, c)| self.mul_const(ct, c))
+        spfe_math::par::par_map_cost(CostClass::Heavy, &jobs, |&(ct, c)| self.mul_const(ct, c))
     }
 }
 

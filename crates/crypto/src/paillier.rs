@@ -16,10 +16,7 @@ use spfe_math::{Montgomery, Nat, RandomSource};
 use spfe_obs::{count, Op};
 use std::sync::Arc;
 
-/// Minimum batch size before public-key batches go parallel: one modular
-/// exponentiation already dwarfs thread-dispatch overhead, so the bar is
-/// low (and [`spfe_math::par`] still falls back serially on one thread).
-pub(crate) const PAR_MIN_OPS: usize = 4;
+use spfe_math::par::CostClass;
 
 /// A Paillier ciphertext: a residue mod `n²`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,7 +132,7 @@ impl HomomorphicPk for PaillierPk {
     fn encrypt_batch<R: RandomSource + ?Sized>(&self, ms: &[Nat], rng: &mut R) -> Vec<PaillierCt> {
         let rs: Vec<Nat> = ms.iter().map(|_| self.random_unit(rng)).collect();
         let jobs: Vec<(&Nat, &Nat)> = ms.iter().zip(&rs).collect();
-        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(m, r)| {
+        spfe_math::par::par_map_cost(CostClass::Heavy, &jobs, |&(m, r)| {
             count(Op::PaillierEncrypt, 1);
             let m = m.rem(&self.n);
             let gm = Nat::one().add(&m.mul(&self.n)).rem(&self.n_sq);
@@ -149,7 +146,7 @@ impl HomomorphicPk for PaillierPk {
     fn scalar_mul_batch(&self, cts: &[PaillierCt], cs: &[Nat]) -> Vec<PaillierCt> {
         assert_eq!(cts.len(), cs.len(), "batch length mismatch");
         let jobs: Vec<(&PaillierCt, &Nat)> = cts.iter().zip(cs).collect();
-        spfe_math::par::par_map_min(PAR_MIN_OPS, &jobs, |&(ct, c)| {
+        spfe_math::par::par_map_cost(CostClass::Heavy, &jobs, |&(ct, c)| {
             count(Op::HomScalarMul, 1);
             let reduced;
             let c = if c < &self.n {

@@ -14,8 +14,8 @@
 //! * [`Fp64`], [`Poly`], [`MPoly`] — word-sized prime fields and the
 //!   polynomials at the heart of the paper's protocols;
 //! * [`RandomSource`] — the workspace-wide randomness abstraction;
-//! * [`par`] — the scoped worker pool behind every parallel server scan
-//!   and batch encryption (`SPFE_THREADS`, deterministic ordering).
+//! * [`par`] — the persistent worker pool behind every parallel server
+//!   scan and batch encryption (`SPFE_THREADS`, deterministic ordering).
 //!
 //! # Examples
 //!
@@ -30,7 +30,12 @@
 //! assert_eq!(Poly::interpolate_at(&xs, &ys, 0, field), 42);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide, not forbidden: the [`par`] engine's slab
+// placement and persistent-worker job handoff are the two audited
+// exceptions (each site carries a SAFETY comment and is covered by the
+// serial-equivalence proptests). Everything else in the crate remains
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fp64;

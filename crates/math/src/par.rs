@@ -1,29 +1,61 @@
-//! The workspace-wide parallel kernel engine.
+//! The workspace-wide parallel kernel engine: a persistent worker pool.
 //!
 //! Every Ω(n) server scan and O(m)/O(√n) client batch in the SPFE
 //! protocols is a *data-parallel map over independent items* — modular
 //! exponentiations per database cell, encryptions per selector entry,
 //! per-server query evaluation. This module provides the one primitive they
-//! all share: a scoped fork-join pool ([`par_map`] / [`par_chunks_map`])
-//! with
+//! all share: [`par_map`] / [`par_map_cost`] / [`par_chunks_map`] over a
+//! **persistent, lazily-started worker pool** with
 //!
-//! * **deterministic output ordering** — results land by input index, never
+//! * **deterministic output ordering** — each result is written directly
+//!   into its input-index slot of a preallocated output slab, never placed
 //!   by completion order, so wire transcripts and communication meters are
 //!   byte-identical to the sequential path;
+//! * **zero per-call allocation in the engine** — no thread spawns, no
+//!   channels, no per-block buffers or reassembly: workers park between
+//!   jobs and wake to write disjoint `[start, end)` regions of the slab
+//!   (the slab itself is the result `Vec` the caller would have allocated
+//!   anyway);
 //! * **dynamic load balancing** — workers claim fixed-size blocks from a
 //!   shared atomic cursor, so one slow item (e.g. a column with many
 //!   non-zero cells) cannot serialize the scan;
-//! * **automatic sequential fallback** — inputs smaller than a tunable
-//!   threshold run inline on the calling thread, paying zero spawn cost;
+//! * **cost-classed sequential fallback** — call sites declare whether an
+//!   item is exponentiation-heavy or a cheap field op ([`CostClass`]), and
+//!   inputs too small to amortize even the pool's wake/join handshake run
+//!   inline on the calling thread;
 //! * **configuration** — thread count from the `SPFE_THREADS` environment
 //!   variable (default: available parallelism), overridable per-process
 //!   with [`set_threads`]; fallback threshold from `SPFE_PAR_THRESHOLD`,
-//!   overridable with [`set_seq_threshold`].
+//!   overridable with [`set_seq_threshold`]. Environment variables are
+//!   resolved **once, at first use**, into cached atomics — changing them
+//!   afterwards (e.g. via `std::env::set_var`) has no effect; use the
+//!   setters instead.
 //!
-//! Workers are plain `std::thread::scope` spawns (the std descendant of
-//! `crossbeam::scope`), so borrowed inputs — a `&Montgomery` context, a
-//! `&[u64]` database — are shared by reference across workers without any
-//! cloning or `'static` gymnastics.
+//! # Pool architecture
+//!
+//! Worker threads are spawned on demand (the first job that wants `k`
+//! threads spawns `k − 1` workers) and then live for the rest of the
+//! process, parked on a condvar. A job is published as a type-erased
+//! pointer to a stack-allocated descriptor plus a participation-ticket
+//! count; each woken worker claims one ticket under the pool lock (the
+//! last ticket retires the job from the publication slot, so a late waker
+//! can never observe a dangling job), runs the shared atomic-cursor block
+//! loop, and decrements a completion latch. The calling thread is always
+//! worker 0 and the job does not return until every ticket holder has
+//! finished, which is what makes the borrowed-closure `unsafe` sound.
+//! Top-level parallel regions are serialized by a process-wide job lock:
+//! the pool's thread budget is `SPFE_THREADS`, not
+//! `SPFE_THREADS × concurrent callers`.
+//!
+//! **Reentrancy:** a `par_*` call made *from inside* a pool job (on the
+//! calling thread or a worker) runs inline sequentially — same results,
+//! no deadlock, no oversubscription.
+//!
+//! **Panics** in the mapped closure abort the remaining blocks, propagate
+//! to the caller after all participants have stopped, and leave the pool
+//! fully usable. Results computed before the panic are leaked (never
+//! double-dropped); the panic path is a driver bug by contract, not a
+//! recoverable state.
 //!
 //! # Examples
 //!
@@ -34,8 +66,20 @@
 //! assert_eq!(doubled, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::cell::Cell;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::AtomicU64;
+
+/// Poison-tolerant lock: a panic that unwound through a guard (the
+/// propagated worker-panic path) must not wedge the pool for later jobs.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Scheduling tallies for the most recent *parallel* [`par_map`] /
 /// [`par_chunks_map`] run in this process (sequential fallbacks do not
@@ -57,17 +101,14 @@ pub struct PoolStats {
 }
 
 #[cfg(feature = "obs")]
-static LAST_POOL_STATS: std::sync::Mutex<Option<PoolStats>> = std::sync::Mutex::new(None);
+static LAST_POOL_STATS: Mutex<Option<PoolStats>> = Mutex::new(None);
 
 /// The [`PoolStats`] of the most recent parallel run, if any (always
 /// `None` without the `obs` feature).
 pub fn last_pool_stats() -> Option<PoolStats> {
     #[cfg(feature = "obs")]
     {
-        LAST_POOL_STATS
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        lock(&LAST_POOL_STATS).clone()
     }
     #[cfg(not(feature = "obs"))]
     {
@@ -75,13 +116,26 @@ pub fn last_pool_stats() -> Option<PoolStats> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Configuration: overrides beat cached env beats defaults.
+// ---------------------------------------------------------------------------
+
 /// Process-wide thread-count override (0 = unset, use env/default).
 static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Process-wide sequential-fallback threshold override (0 = unset).
 static THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Default minimum number of items before a map goes parallel.
+/// Cached `SPFE_THREADS` resolution (`usize::MAX` = not yet resolved;
+/// resolved values are always ≥ 1). Read once — see the module docs.
+static THREADS_ENV: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Cached `SPFE_PAR_THRESHOLD` resolution (`usize::MAX` = not yet
+/// resolved; 0 = the variable is absent, fall back to per-call defaults).
+static THRESHOLD_ENV: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Default minimum number of items before an unclassified map goes
+/// parallel ([`par_map`]; classified call sites use [`CostClass`]).
 const DEFAULT_SEQ_THRESHOLD: usize = 16;
 
 fn env_usize(name: &str) -> Option<usize> {
@@ -97,10 +151,19 @@ fn env_usize(name: &str) -> Option<usize> {
 ///
 /// Resolution order: [`set_threads`] override, then the `SPFE_THREADS`
 /// environment variable, then [`std::thread::available_parallelism`].
+/// The environment is consulted **once** (first call) and cached; later
+/// env changes are ignored — use [`set_threads`].
 pub fn threads() -> usize {
     match THREADS_OVERRIDE.load(Ordering::Relaxed) {
-        0 => env_usize("SPFE_THREADS")
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        0 => match THREADS_ENV.load(Ordering::Relaxed) {
+            usize::MAX => {
+                let v = env_usize("SPFE_THREADS")
+                    .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+                THREADS_ENV.store(v, Ordering::Relaxed);
+                v
+            }
+            v => v,
+        },
         n => n,
     }
 }
@@ -112,65 +175,179 @@ pub fn set_threads(n: Option<usize>) {
     THREADS_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
 }
 
-/// The minimum input length at which maps go parallel.
+/// The cached `SPFE_PAR_THRESHOLD` value (0 = absent), resolved on first
+/// use.
+fn threshold_env() -> usize {
+    match THRESHOLD_ENV.load(Ordering::Relaxed) {
+        usize::MAX => {
+            let v = env_usize("SPFE_PAR_THRESHOLD").unwrap_or(0);
+            THRESHOLD_ENV.store(v, Ordering::Relaxed);
+            v
+        }
+        v => v,
+    }
+}
+
+/// The minimum input length at which unclassified maps go parallel.
 ///
 /// Resolution order: [`set_seq_threshold`] override, then the
-/// `SPFE_PAR_THRESHOLD` environment variable, then a built-in default.
+/// `SPFE_PAR_THRESHOLD` environment variable (read once and cached), then
+/// a built-in default. Cost-classed call sites resolve through
+/// [`seq_threshold_for`] instead.
 pub fn seq_threshold() -> usize {
     match THRESHOLD_OVERRIDE.load(Ordering::Relaxed) {
-        0 => env_usize("SPFE_PAR_THRESHOLD").unwrap_or(DEFAULT_SEQ_THRESHOLD),
+        0 => match threshold_env() {
+            0 => DEFAULT_SEQ_THRESHOLD,
+            v => v,
+        },
         n => n,
     }
 }
 
 /// Overrides the sequential-fallback threshold for this process (`None`
-/// restores the default).
+/// restores the default). An explicit override also beats every
+/// [`CostClass`] default — that is how tests force the pool on.
 pub fn set_seq_threshold(n: Option<usize>) {
     THRESHOLD_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Cost classes: per-call-site fallback thresholds and block granularity.
+// ---------------------------------------------------------------------------
+
+/// How expensive one mapped item is, declared by the call site so the
+/// engine can pick a sane sequential-fallback threshold and block
+/// granularity. An explicit [`set_seq_threshold`] / `SPFE_PAR_THRESHOLD`
+/// beats the class default at every call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Items dominated by modular exponentiation — a PIR column scan, a
+    /// batch encryption, a whole per-server evaluation. Hundreds of
+    /// microseconds and up per item: parallelism pays almost immediately,
+    /// and fine-grained blocks keep stragglers rebalanced.
+    Heavy,
+    /// Cheap word/field-level items — a masked-database cell, a
+    /// homomorphic add. Tens of nanoseconds per item: only large batches
+    /// amortize even the persistent pool's wake/join handshake, and
+    /// blocks must be coarse so cursor traffic doesn't dominate.
+    Light,
+}
+
+impl CostClass {
+    /// The default minimum number of items before this class goes
+    /// parallel.
+    pub const fn min_items(self) -> usize {
+        match self {
+            CostClass::Heavy => 4,
+            CostClass::Light => 1024,
+        }
+    }
+
+    /// The minimum scheduler block size for this class (heavy items
+    /// rebalance item-by-item; light items batch to keep the atomic
+    /// cursor cold).
+    const fn min_block(self) -> usize {
+        match self {
+            CostClass::Heavy => 1,
+            CostClass::Light => 256,
+        }
+    }
+}
+
+/// The resolved sequential-fallback threshold for a call site of class
+/// `class`: [`set_seq_threshold`], then `SPFE_PAR_THRESHOLD`, then the
+/// class default.
+pub fn seq_threshold_for(class: CostClass) -> usize {
+    match THRESHOLD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => match threshold_env() {
+            0 => class.min_items(),
+            v => v,
+        },
+        n => n,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public mapping API.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// True while this thread is executing pool-job blocks (always true on
+    /// pool workers; true on the calling thread only during its worker-0
+    /// participation). Nested `par_*` calls check it and run inline.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_pool_worker() -> bool {
+    IN_POOL.with(Cell::get)
 }
 
 /// Maps `f` over `items`, in parallel when it pays.
 ///
 /// Semantically identical to `items.iter().map(f).collect()`: the output is
 /// ordered by input index regardless of which worker computed what. Inputs
-/// shorter than [`seq_threshold`] (or a 1-thread configuration) run inline
-/// on the calling thread.
+/// shorter than [`seq_threshold`] (or a 1-thread configuration, or a call
+/// from inside a pool job) run inline on the calling thread. Call sites
+/// that know their per-item weight should prefer [`par_map_cost`].
 ///
 /// # Panics
 ///
-/// Panics if `f` panics on any item (the panic is propagated).
+/// Panics if `f` panics on any item (the panic is propagated; the pool
+/// stays usable).
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    par_map_min(seq_threshold(), items, f)
+    par_map_grained(seq_threshold(), 1, items, f)
 }
 
 /// [`par_map`] with an explicit sequential-fallback threshold, for call
-/// sites whose per-item cost is far from the workspace default (e.g. a
-/// cheap field evaluation wants a much larger threshold than a 2048-bit
-/// exponentiation).
+/// sites whose per-item cost is far from both class presets (e.g.
+/// `multiserver::run_parallel` forces the pool on with `min_len = 1`).
 pub fn par_map_min<T, U, F>(min_len: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_grained(min_len, 1, items, f)
+}
+
+/// [`par_map`] with a per-call-site [`CostClass`]: the class picks the
+/// sequential-fallback threshold ([`seq_threshold_for`]) and the scheduler
+/// block granularity.
+pub fn par_map_cost<T, U, F>(class: CostClass, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_grained(seq_threshold_for(class), class.min_block(), items, f)
+}
+
+fn par_map_grained<T, U, F>(min_len: usize, min_block: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let nt = threads();
-    if nt <= 1 || items.len() < min_len.max(2) {
+    if nt <= 1 || items.len() < min_len.max(2) || in_pool_worker() {
         return items.iter().map(f).collect();
     }
-    run_blocks(items.len(), nt, |start, end| {
-        items[start..end].iter().map(&f).collect()
-    })
+    pooled_index_map(items.len(), nt, min_block, |i| f(&items[i]))
 }
 
 /// Maps `f` over disjoint contiguous chunks of `items` of length
 /// `chunk_len` (the last may be shorter), concatenating the per-chunk
 /// outputs in input order. Use when per-item closures would allocate or
 /// when the kernel wants to amortize setup across a run of items.
+///
+/// The sequential fallback gates on the *parallel grain* (the number of
+/// chunks), not the raw item count: a large `chunk_len` that folds the
+/// whole input into one chunk runs inline, paying zero pool overhead.
 ///
 /// # Panics
 ///
@@ -183,101 +360,351 @@ where
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
     let nt = threads();
-    if nt <= 1 || items.len() < seq_threshold().max(2) {
+    let nchunks = items.len().div_ceil(chunk_len);
+    if nt <= 1 || items.len() < seq_threshold().max(2) || nchunks < 2 || in_pool_worker() {
         return items.chunks(chunk_len).flat_map(&f).collect();
     }
-    let nchunks = items.len().div_ceil(chunk_len);
-    let per_chunk: Vec<Vec<U>> = run_blocks(nchunks, nt, |start, end| {
-        (start..end)
-            .map(|c| f(&items[c * chunk_len..((c + 1) * chunk_len).min(items.len())]))
-            .collect()
+    let last = items.len();
+    let per_chunk: Vec<Vec<U>> = pooled_index_map(nchunks, nt, 1, |c| {
+        f(&items[c * chunk_len..((c + 1) * chunk_len).min(last)])
     });
     per_chunk.into_iter().flatten().collect()
 }
 
-/// Runs `index ∈ [0, len)` through `work` on a scoped worker pool and
-/// returns the concatenated results in index order.
-///
-/// `work(start, end)` must produce exactly `end - start` outputs for the
-/// half-open index block `[start, end)`. Blocks are claimed dynamically
-/// from an atomic cursor (load balancing); results are keyed by block index
-/// and reassembled in order (determinism).
-fn run_blocks<U, W>(len: usize, nt: usize, work: W) -> Vec<U>
+// ---------------------------------------------------------------------------
+// The engine: slab placement over the persistent pool.
+// ---------------------------------------------------------------------------
+
+/// A raw pointer into the output slab, shareable across workers because
+/// every block writes a disjoint `[start, end)` region.
+struct SlabPtr<U>(*mut MaybeUninit<U>);
+
+// SAFETY: workers only write through the pointer, each to disjoint
+// indices; `U: Send` moves the produced values across threads exactly
+// once (worker → slab → caller).
+#[allow(unsafe_code)]
+unsafe impl<U: Send> Sync for SlabPtr<U> {}
+
+impl<U> SlabPtr<U> {
+    /// Writes `v` into slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the slab, written at most once across all
+    /// threads, and the slab must outlive the call.
+    #[allow(unsafe_code)]
+    unsafe fn write(&self, i: usize, v: U) {
+        unsafe { (*self.0.add(i)).write(v) };
+    }
+}
+
+/// Runs `index ∈ [0, len)` through `g` on the persistent pool and returns
+/// the results in index order. Caller guarantees `len ≥ 2` and `nt ≥ 2`.
+#[allow(unsafe_code)]
+fn pooled_index_map<U, G>(len: usize, nt: usize, min_block: usize, g: G) -> Vec<U>
 where
     U: Send,
-    W: Fn(usize, usize) -> Vec<U> + Sync,
+    G: Fn(usize) -> U + Sync,
 {
-    // Aim for ~4 blocks per worker so stragglers rebalance, but never
-    // blocks so small that cursor traffic dominates.
-    let nt = nt.min(len);
-    let block = len.div_ceil(nt * 4).max(1);
-    let nblocks = len.div_ceil(block);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, usize, Vec<U>)>();
-
-    let worker = |w: usize, tx: mpsc::Sender<(usize, usize, Vec<U>)>| loop {
-        let b = cursor.fetch_add(1, Ordering::Relaxed);
-        if b >= nblocks {
-            break;
-        }
-        let start = b * block;
-        let end = (start + block).min(len);
-        let out = work(start, end);
-        debug_assert_eq!(out.len(), end - start, "work() must be 1:1 with its block");
-        if tx.send((w, b, out)).is_err() {
-            break;
+    let mut slab: Vec<MaybeUninit<U>> = Vec::with_capacity(len);
+    // SAFETY: `MaybeUninit<U>` is valid uninitialized; length == capacity.
+    unsafe { slab.set_len(len) };
+    let out = SlabPtr(slab.as_mut_ptr());
+    let work = |start: usize, end: usize| {
+        for i in start..end {
+            let v = g(i);
+            // SAFETY: blocks are disjoint, so index `i` is written exactly
+            // once, and the slab outlives the job (run_pooled joins every
+            // participant before returning).
+            unsafe { out.write(i, v) };
         }
     };
+    run_pooled(len, nt, min_block, &work);
+    // SAFETY: run_pooled returns normally only after every block in
+    // [0, len) completed, so all `len` slots are initialized;
+    // Vec<MaybeUninit<U>> and Vec<U> have identical layout.
+    let mut slab = ManuallyDrop::new(slab);
+    unsafe { Vec::from_raw_parts(slab.as_mut_ptr().cast::<U>(), len, slab.capacity()) }
+}
 
-    // (tasks, steals) per worker — pure observation, folded into the cost
-    // reports; the results themselves are ordered by block index below.
+/// One in-flight job, shared between the caller and its ticket-holding
+/// workers. Lives on the caller's stack; the pool hands workers a
+/// type-erased pointer whose validity is guaranteed by the
+/// ticket/completion protocol (see the module docs).
+struct Shared<'w> {
+    /// Next unclaimed block index.
+    cursor: AtomicUsize,
+    /// Set on the first panic: remaining blocks are abandoned.
+    abort: AtomicBool,
+    len: usize,
+    block: usize,
+    nblocks: usize,
+    nt: usize,
+    /// `work(start, end)` computes the half-open block `[start, end)`.
+    work: &'w (dyn Fn(usize, usize) + Sync),
+    /// Pool participants (excluding the caller) still running.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload out of any participant (including the caller).
+    panic_slot: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// (blocks claimed, blocks stolen) per worker ordinal — gauges.
     #[cfg(feature = "obs")]
-    let mut per_worker: Vec<(u64, u64)> = vec![(0, 0); nt];
-    let mut slots: Vec<Option<Vec<U>>> = Vec::new();
-    slots.resize_with(nblocks, || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (1..nt)
-            .map(|w| {
-                let tx = tx.clone();
-                s.spawn(move || worker(w, tx))
-            })
-            .collect();
-        // The calling thread is worker 0.
-        worker(0, tx);
-        for (_w, b, out) in rx.iter() {
-            #[cfg(feature = "obs")]
-            {
-                per_worker[_w].0 += 1;
-                if _w != b % nt {
-                    per_worker[_w].1 += 1;
+    claims: Vec<(AtomicU64, AtomicU64)>,
+}
+
+impl Shared<'_> {
+    /// The block-claim loop every participant runs; never unwinds.
+    fn participate(&self, ordinal: usize) {
+        let res = panic::catch_unwind(AssertUnwindSafe(|| {
+            loop {
+                if self.abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let b = self.cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= self.nblocks {
+                    break;
+                }
+                let start = b * self.block;
+                let end = (start + self.block).min(self.len);
+                (self.work)(start, end);
+                #[cfg(feature = "obs")]
+                if let Some((tasks, steals)) = self.claims.get(ordinal) {
+                    tasks.fetch_add(1, Ordering::Relaxed);
+                    if ordinal != b % self.nt {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
-            slots[b] = Some(out);
+            #[cfg(not(feature = "obs"))]
+            let _ = ordinal;
+        }));
+        if let Err(payload) = res {
+            self.abort.store(true, Ordering::Relaxed);
+            let mut slot = lock(&self.panic_slot);
+            slot.get_or_insert(payload);
         }
-        for h in handles {
-            if let Err(payload) = h.join() {
-                std::panic::resume_unwind(payload);
+    }
+
+    /// Pool-worker epilogue: count down the completion latch.
+    fn finish_participant(&self) {
+        let mut p = lock(&self.pending);
+        *p -= 1;
+        if *p == 0 {
+            self.done.notify_one();
+        }
+    }
+}
+
+/// A published job: a type-erased [`Shared`] pointer.
+#[derive(Clone, Copy)]
+struct Job {
+    ctx: *const (),
+}
+// SAFETY: the pointee is Sync (all-atomic/Mutex state + a Sync closure)
+// and outlives every access per the ticket/completion protocol.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+
+/// The publication slot all workers park on.
+struct PoolSlot {
+    /// Monotone job id: distinguishes a new job from a spurious wake.
+    seq: u64,
+    /// The current job, until its last ticket is claimed.
+    job: Option<Job>,
+    /// Participation tickets remaining for `job`.
+    tickets: usize,
+    /// Next participant ordinal (the caller is always 0).
+    next_ordinal: usize,
+    /// Workers spawned so far (pool size only ever grows).
+    spawned: usize,
+}
+
+struct Pool {
+    slot: Mutex<PoolSlot>,
+    cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Serializes top-level parallel regions: one job owns the pool at a
+/// time, so concurrent callers queue instead of oversubscribing the
+/// thread budget.
+static JOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        slot: Mutex::new(PoolSlot {
+            seq: 0,
+            job: None,
+            tickets: 0,
+            next_ordinal: 1,
+            spawned: 0,
+        }),
+        cv: Condvar::new(),
+    })
+}
+
+/// The persistent-worker main loop: park until a job with a free ticket
+/// appears, claim it, run the block loop, count down, repeat forever.
+fn worker_main() {
+    IN_POOL.with(|f| f.set(true));
+    let pool = pool();
+    let mut last_seq = 0u64;
+    loop {
+        let (job, ordinal) = {
+            let mut slot = lock(&pool.slot);
+            loop {
+                if slot.seq != last_seq {
+                    last_seq = slot.seq;
+                    if slot.tickets > 0 {
+                        if let Some(job) = slot.job {
+                            slot.tickets -= 1;
+                            let ordinal = slot.next_ordinal;
+                            slot.next_ordinal += 1;
+                            if slot.tickets == 0 {
+                                // Last ticket: retire the job so a late
+                                // waker can never see a dangling pointer.
+                                slot.job = None;
+                            }
+                            break (job, ordinal);
+                        }
+                    }
+                }
+                slot = pool.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: holding a ticket guarantees the Shared outlives this
+        // access — the publishing caller blocks until finish_participant.
+        #[allow(unsafe_code)]
+        let shared = unsafe { &*(job.ctx as *const Shared<'static>) };
+        shared.participate(ordinal);
+        shared.finish_participant();
+    }
+}
+
+/// Restores the calling thread's `IN_POOL` flag when the caller finishes
+/// its worker-0 participation (drop-safe against propagated panics).
+struct InPoolGuard {
+    prev: bool,
+}
+
+impl InPoolGuard {
+    fn enter() -> Self {
+        let prev = IN_POOL.with(Cell::get);
+        IN_POOL.with(|f| f.set(true));
+        InPoolGuard { prev }
+    }
+}
+
+impl Drop for InPoolGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL.with(|f| f.set(prev));
+    }
+}
+
+/// Runs `work` over `[0, len)` in blocks on the persistent pool with the
+/// calling thread as worker 0. Returns after every participant finished;
+/// propagates the first panic. Caller guarantees `len ≥ 2`, `nt ≥ 2`.
+fn run_pooled(len: usize, nt: usize, min_block: usize, work: &(dyn Fn(usize, usize) + Sync)) {
+    let nt = nt.min(len);
+    // Aim for ~4 blocks per worker so stragglers rebalance, but respect
+    // the cost class's floor so cheap items don't thrash the cursor.
+    let block = len.div_ceil(nt * 4).max(min_block).max(1);
+    let nblocks = len.div_ceil(block);
+    let participants = nt - 1;
+
+    let _region = lock(&JOB_LOCK);
+    let shared = Shared {
+        cursor: AtomicUsize::new(0),
+        abort: AtomicBool::new(false),
+        len,
+        block,
+        nblocks,
+        nt,
+        work,
+        pending: Mutex::new(participants),
+        done: Condvar::new(),
+        panic_slot: Mutex::new(None),
+        #[cfg(feature = "obs")]
+        claims: {
+            // Engine bookkeeping, not protocol cost: keep it out of the
+            // span-attributed heap tallies.
+            let _pause = spfe_obs::mem::pause();
+            (0..nt)
+                .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+                .collect()
+        },
+    };
+
+    let pool = pool();
+    {
+        let mut slot = lock(&pool.slot);
+        if slot.spawned < participants {
+            // Lazy growth, paid once per high-water mark — pool-internal,
+            // so the thread bootstrap never lands in a protocol span.
+            #[cfg(feature = "obs")]
+            let _pause = spfe_obs::mem::pause();
+            while slot.spawned < participants {
+                std::thread::Builder::new()
+                    .name(format!("spfe-par-{}", slot.spawned + 1))
+                    .spawn(worker_main)
+                    .expect("spawn spfe-par worker");
+                slot.spawned += 1;
             }
         }
-    });
+        slot.seq += 1;
+        slot.job = Some(Job {
+            ctx: (&shared as *const Shared<'_>).cast(),
+        });
+        slot.tickets = participants;
+        slot.next_ordinal = 1;
+    }
+    pool.cv.notify_all();
+
+    // The calling thread is worker 0; nested par_* calls on it run inline.
+    {
+        let _in_pool = InPoolGuard::enter();
+        shared.participate(0);
+    }
+
+    // Join: the job is over only when every ticket holder checked out.
+    {
+        let mut p = lock(&shared.pending);
+        while *p > 0 {
+            p = shared.done.wait(p).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
     #[cfg(feature = "obs")]
     {
         use spfe_obs::Op;
         spfe_obs::count(Op::PoolRuns, 1);
         spfe_obs::count(Op::PoolBlocks, nblocks as u64);
-        let steals: u64 = per_worker.iter().map(|&(_, s)| s).sum();
-        spfe_obs::count(Op::PoolSteals, steals);
-        *LAST_POOL_STATS.lock().unwrap_or_else(|e| e.into_inner()) = Some(PoolStats {
+        let tasks: Vec<u64> = shared
+            .claims
+            .iter()
+            .map(|(t, _)| t.load(Ordering::Relaxed))
+            .collect();
+        let steals: Vec<u64> = shared
+            .claims
+            .iter()
+            .map(|(_, s)| s.load(Ordering::Relaxed))
+            .collect();
+        spfe_obs::count(Op::PoolSteals, steals.iter().sum());
+        let _pause = spfe_obs::mem::pause();
+        *lock(&LAST_POOL_STATS) = Some(PoolStats {
             threads: nt,
             blocks: nblocks,
-            tasks_per_worker: per_worker.iter().map(|&(t, _)| t).collect(),
-            steals_per_worker: per_worker.iter().map(|&(_, s)| s).collect(),
+            tasks_per_worker: tasks,
+            steals_per_worker: steals,
         });
     }
-    slots
-        .into_iter()
-        .flat_map(|s| s.expect("every block computed"))
-        .collect()
+
+    let payload = lock(&shared.panic_slot).take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +768,21 @@ mod tests {
     }
 
     #[test]
+    fn par_chunks_map_single_chunk_runs_inline() {
+        // chunk_len ≥ items.len() means one chunk — the parallel grain is
+        // 1, so the engine must stay on the calling thread even above the
+        // item-count threshold.
+        with_config(4, 1, || {
+            let main_id = std::thread::current().id();
+            let xs = [1u64; 300];
+            let ids = par_chunks_map(1000, &xs, |c| {
+                c.iter().map(|_| std::thread::current().id()).collect()
+            });
+            assert!(ids.iter().all(|&id| id == main_id));
+        });
+    }
+
+    #[test]
     fn sequential_fallback_below_threshold() {
         // Below the threshold the calling thread does all the work; observable
         // via thread-id equality inside the closure.
@@ -349,6 +791,70 @@ mod tests {
             let ids = par_map(&[1u64; 100], |_| std::thread::current().id());
             assert!(ids.iter().all(|&id| id == main_id));
         });
+    }
+
+    #[test]
+    fn cost_class_thresholds_resolve() {
+        // Class defaults apply when nothing is overridden…
+        assert_eq!(CostClass::Heavy.min_items(), 4);
+        assert!(CostClass::Light.min_items() > CostClass::Heavy.min_items());
+        // …and an explicit override beats both classes.
+        with_config(4, 7, || {
+            assert_eq!(seq_threshold_for(CostClass::Heavy), 7);
+            assert_eq!(seq_threshold_for(CostClass::Light), 7);
+        });
+    }
+
+    #[test]
+    fn light_class_stays_inline_below_its_threshold() {
+        // 4 threads but only 100 cheap items: Light's threshold keeps the
+        // map on the calling thread. (Config lock held to pin the globals;
+        // threshold override left unset via direct set_threads.)
+        with_config(4, 1, || {
+            set_seq_threshold(None); // restore class-default resolution
+            let main_id = std::thread::current().id();
+            let ids = par_map_cost(CostClass::Light, &[1u64; 100], |_| {
+                std::thread::current().id()
+            });
+            assert!(ids.iter().all(|&id| id == main_id));
+            let got = par_map_cost(CostClass::Heavy, &(0..64u64).collect::<Vec<_>>(), |&x| {
+                x * 3
+            });
+            assert_eq!(got, (0..64u64).map(|x| x * 3).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn pool_reuse_repeated_jobs_stay_deterministic() {
+        // The same persistent pool serves many jobs; every one must land
+        // byte-identical to serial, with no warm-up or drift.
+        let xs: Vec<u64> = (0..500).collect();
+        let expect: Vec<u64> = xs.iter().map(|&x| x.rotate_left(9) ^ 55).collect();
+        with_config(4, 1, || {
+            for round in 0..50 {
+                let got = par_map(&xs, |&x| x.rotate_left(9) ^ 55);
+                assert_eq!(got, expect, "round={round}");
+            }
+        });
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_without_deadlock() {
+        // A par_map inside a pool job (on the caller *or* a worker) must
+        // run inline: same results, no second job, no deadlock.
+        let xs: Vec<u64> = (0..64).collect();
+        let inner: Vec<u64> = (1..=8).collect();
+        let expect: Vec<u64> = xs
+            .iter()
+            .map(|&x| inner.iter().map(|y| y * x).sum())
+            .collect();
+        let got = with_config(4, 1, || {
+            par_map(&xs, |&x| {
+                let prods = par_map(&inner, |&y| y * x);
+                prods.iter().sum::<u64>()
+            })
+        });
+        assert_eq!(got, expect);
     }
 
     #[test]
@@ -361,6 +867,27 @@ mod tests {
                 }
                 x
             });
+        });
+    }
+
+    #[test]
+    fn pool_stays_usable_after_a_panicked_job() {
+        with_config(4, 1, || {
+            let xs: Vec<u64> = (0..128).collect();
+            let boom = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                par_map(&xs, |&x| {
+                    if x == 77 {
+                        panic!("first job dies");
+                    }
+                    x
+                })
+            }));
+            assert!(boom.is_err(), "panic must propagate");
+            // The very next job on the same pool must run clean.
+            let expect: Vec<u64> = xs.iter().map(|&x| x + 1).collect();
+            for _ in 0..5 {
+                assert_eq!(par_map(&xs, |&x| x + 1), expect);
+            }
         });
     }
 

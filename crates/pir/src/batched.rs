@@ -334,15 +334,17 @@ pub fn server_answer_words<P: HomomorphicPk, R: RandomSource + ?Sized>(
     let col_params = SpirParams::new(group.clone(), layout.col_bucket_len());
     let row_params = SpirParams::new(group.clone(), layout.row_bucket_len());
     // Stage 1 — the Ω(n) work: every bucket's scan is rng-free, so the 2B
-    // scans fan out across the worker pool.
+    // scans fan out across the worker pool. A bucket scan is Θ(n/B)
+    // modexps — `CostClass::Heavy`.
     let jobs: Vec<(usize, &spir::SpirQuery)> = query.iter().enumerate().collect();
-    let scans: Vec<Vec<Vec<P::Ciphertext>>> = spfe_math::par::par_map(&jobs, |&(k, q)| {
-        let bucket_db = bucket_words(&layout, db, width, k);
-        let params = if k < b { &col_params } else { &row_params };
-        spir::scan_words(params, pk, &bucket_db, q)
-    })
-    .into_iter()
-    .collect::<Result<_, _>>()?;
+    let scans: Vec<Vec<Vec<P::Ciphertext>>> =
+        spfe_math::par::par_map_cost(spfe_math::par::CostClass::Heavy, &jobs, |&(k, q)| {
+            let bucket_db = bucket_words(&layout, db, width, k);
+            let params = if k < b { &col_params } else { &row_params };
+            spir::scan_words(params, pk, &bucket_db, q)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
     // Stage 2 — pads and OT consume the rng, so run serially in bucket
     // order: the draw sequence (and the transcript) is thread-count
     // independent.

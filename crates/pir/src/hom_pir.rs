@@ -155,26 +155,31 @@ pub fn server_answer<P: HomomorphicPk>(
         .collect::<Result<_, _>>()?;
     // The Ω(n) hot loop: one mod-exp per non-zero cell. Each column is
     // independent and rng-free, so shard columns across the worker pool —
-    // `par_map` returns results in column order, keeping the answer (and
-    // every transcript built from it) byte-identical to the serial scan.
+    // results come back in column order, keeping the answer (and every
+    // transcript built from it) byte-identical to the serial scan. Each
+    // column is √n modexps: squarely `CostClass::Heavy`.
     let col_idx: Vec<usize> = (0..layout.cols).collect();
-    Ok(spfe_math::par::par_map(&col_idx, |&j| {
-        let mut acc: Option<P::Ciphertext> = None;
-        for (r, sel) in selectors.iter().enumerate() {
-            let i = r * layout.cols + j;
-            let v = if i < db.len() { db[i] } else { 0 };
-            if v == 0 {
-                continue;
+    Ok(spfe_math::par::par_map_cost(
+        spfe_math::par::CostClass::Heavy,
+        &col_idx,
+        |&j| {
+            let mut acc: Option<P::Ciphertext> = None;
+            for (r, sel) in selectors.iter().enumerate() {
+                let i = r * layout.cols + j;
+                let v = if i < db.len() { db[i] } else { 0 };
+                if v == 0 {
+                    continue;
+                }
+                let term = pk.mul_const(sel, &Nat::from(v));
+                acc = Some(match acc {
+                    None => term,
+                    Some(prev) => pk.add(&prev, &term),
+                });
             }
-            let term = pk.mul_const(sel, &Nat::from(v));
-            acc = Some(match acc {
-                None => term,
-                Some(prev) => pk.add(&prev, &term),
-            });
-        }
-        // An all-zero column still needs a well-formed ciphertext.
-        acc.unwrap_or_else(|| pk.mul_const(&selectors[0], &Nat::zero()))
-    }))
+            // An all-zero column still needs a well-formed ciphertext.
+            acc.unwrap_or_else(|| pk.mul_const(&selectors[0], &Nat::zero()))
+        },
+    ))
 }
 
 /// Serializes column ciphertexts into the wire answer.

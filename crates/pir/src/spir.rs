@@ -160,11 +160,15 @@ pub fn server_answer<P: HomomorphicPk, R: RandomSource + ?Sized>(
         .map(|_| Nat::random_below(rng, &u))
         .collect();
     let enc_pads = pk.encrypt_batch(&pads, rng);
-    let padded: Vec<P::Ciphertext> = columns
-        .iter()
-        .zip(&enc_pads)
-        .map(|(c, enc_pad)| pk.add(c, enc_pad))
-        .collect();
+    // Pad application is one homomorphic add per column — no modexp, so
+    // `CostClass::Light`: it only fans out for very wide answers and runs
+    // inline at typical √n column counts.
+    let pad_jobs: Vec<(&P::Ciphertext, &P::Ciphertext)> = columns.iter().zip(&enc_pads).collect();
+    let padded: Vec<P::Ciphertext> = spfe_math::par::par_map_cost(
+        spfe_math::par::CostClass::Light,
+        &pad_jobs,
+        |&(c, enc_pad)| pk.add(c, enc_pad),
+    );
     let pad_items: Vec<Vec<u8>> = pads
         .iter()
         .map(|rho| rho.to_le_bytes_padded(width))
