@@ -83,6 +83,19 @@ echo "==> cost-trend regression gate (fresh run vs committed baseline)"
 # After an intentional change: spfe-tables trend ... --accept (EXPERIMENTS.md).
 "$TABLES" trend --baseline BENCH_costs.json --current "$WORK/BENCH_costs.json"
 
+echo "==> leakage-audit gate (differential obliviousness vs committed baseline)"
+# Each harness driver is swept over 3 secret-input variants x (honest +
+# masked drops at the two audit fault seeds); every party's view
+# fingerprint must match the committed BENCH_audit.json bit-for-bit
+# (DESIGN.md §14). Fingerprints are thread-invariant, so one committed
+# baseline gates both thread settings.
+for threads in 1 4; do
+  echo "    SPFE_THREADS=$threads"
+  SPFE_THREADS=$threads "$TABLES" audit all --check
+done
+(cd "$WORK" && SPFE_THREADS=1 "$TABLES" audit e1 --json > /dev/null)
+"$TABLES" validate "$WORK/e1.audit.json"
+
 echo "==> trace smoke (Perfetto JSON + folded stacks, alloc weighting)"
 (cd "$WORK" && "$TABLES" trace e1 --weight alloc_bytes > /dev/null)
 test -s "$WORK/e1.trace.json"

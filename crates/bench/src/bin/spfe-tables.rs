@@ -8,9 +8,17 @@
 //! (with latency quantiles and the heap axis), op counters, and per-label
 //! communication for every measured execution. Subcommands:
 //!
-//! * `validate [paths...]` — re-parses each suite file (v3, or the older
-//!   v2/v1, reporting which) and fails on schema drift; with several
-//!   files it prints a per-schema-version tally at the end.
+//! * `validate [paths...]` — re-parses each document (cost-report suite
+//!   v3 or the older v2/v1, or an `spfe-audit/v1` leakage audit,
+//!   reporting which) and fails on schema drift; with several files it
+//!   prints a per-schema tally at the end.
+//! * `audit [driver|eN|all ...] [--json] [--check] [--accept]
+//!   [--baseline PATH]` — the differential obliviousness gate (DESIGN.md
+//!   §14): re-runs every selected harness driver over its secret-input
+//!   variants and the masked fault seeds, prints per-party view
+//!   fingerprints, writes `spfe-audit/v1` JSON (`--json`), and compares
+//!   against / blesses the committed `BENCH_audit.json` baseline
+//!   (`--check` / `--accept`).
 //! * `trace <id> [--weight <op>|allocs|alloc_bytes]` — re-runs one
 //!   experiment with the event journal on and writes `<id>.trace.json`
 //!   (Perfetto/Chrome `trace_event` format) plus `<id>.folded`
@@ -103,22 +111,21 @@ fn main() {
             trend_cmd(&args[1..]);
             return;
         }
+        Some("audit") => {
+            audit_cmd(&args[1..]);
+            return;
+        }
         _ => {}
     }
 
     let mut json = false;
     let mut selected: Vec<&str> = Vec::new();
     for arg in &args {
-        let arg = arg.to_lowercase();
-        let id = match arg.as_str() {
-            "--json" => {
-                json = true;
-                continue;
-            }
-            // E4 and E5 share one table.
-            "e5" => "e4",
-            id => id,
-        };
+        if arg == "--json" {
+            json = true;
+            continue;
+        }
+        let id = canonical_id(arg);
         let Some(exp) = EXPERIMENTS.iter().find(|(k, _, _)| *k == id) else {
             eprintln!("error: unknown experiment id `{arg}`");
             list_ids();
@@ -157,6 +164,18 @@ fn main() {
     }
 }
 
+/// Resolves a user-facing experiment id to its canonical lowercase form.
+/// E4 and E5 share one table, so `e5` is an alias for `e4` everywhere an
+/// id is accepted.
+fn canonical_id(raw: &str) -> String {
+    let lower = raw.to_lowercase();
+    if lower == "e5" {
+        "e4".to_owned()
+    } else {
+        lower
+    }
+}
+
 fn list_ids() {
     eprintln!("available ids:");
     for (k, what, _) in EXPERIMENTS {
@@ -164,23 +183,36 @@ fn list_ids() {
     }
     eprintln!(
         "  (plus the `validate [paths...]`, `trace <id> [--weight <op>]`, `mem <id>`, \
-         and `trend --baseline A --current B` subcommands and the `--json` flag)"
+         `trend --baseline A --current B`, and `audit [driver|eN|all]` subcommands \
+         and the `--json` flag)"
     );
 }
 
-/// `validate [paths...]`: checks each suite file and, given several,
-/// prints a per-schema-version tally. Exits nonzero if any file fails.
+/// `validate [paths...]`: checks each document — cost-report suite
+/// (v1/v2/v3) or `spfe-audit/v1` leakage audit, dispatching on the
+/// `schema` field — and, given several, prints a per-schema tally. Exits
+/// nonzero if any file fails.
 fn validate_cmd(args: &[String]) {
+    use spfe_bench::audit::DocKind;
     let default = ["BENCH_costs.json".to_owned()];
     let paths: &[String] = if args.is_empty() { &default } else { args };
-    let mut by_version = [0usize; 3]; // v1, v2, v3
+    let mut by_version = [0usize; 3]; // cost v1, v2, v3
+    let mut audits = 0usize;
     let mut failures = 0usize;
     for path in paths {
-        match validate(path) {
-            Ok((summary, version)) => {
-                println!("{summary}");
-                if let Some(slot) = by_version.get_mut(version as usize - 1) {
-                    *slot += 1;
+        let checked = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|src| spfe_bench::audit::validate_doc(&src));
+        match checked {
+            Ok((summary, kind)) => {
+                println!("{path}: {summary}");
+                match kind {
+                    DocKind::Audit => audits += 1,
+                    DocKind::Cost(version) => {
+                        if let Some(slot) = by_version.get_mut(version as usize - 1) {
+                            *slot += 1;
+                        }
+                    }
                 }
             }
             Err(e) => {
@@ -191,7 +223,7 @@ fn validate_cmd(args: &[String]) {
     }
     if paths.len() > 1 {
         println!(
-            "schemas: v1={} v2={} v3={} ({} file(s), {} failure(s))",
+            "schemas: v1={} v2={} v3={} audit={audits} ({} file(s), {} failure(s))",
             by_version[0],
             by_version[1],
             by_version[2],
@@ -204,34 +236,193 @@ fn validate_cmd(args: &[String]) {
     }
 }
 
-/// Checks a cost-report suite file: parseable under the v3 schema or the
-/// older v2/v1 (reporting which), every field the version defines
-/// present, op names known, and (when instrumentation is compiled in) a
-/// nonzero modexp tally somewhere in the suite. Returns the summary line
-/// and the detected schema version.
-fn validate(path: &str) -> Result<(String, u32), String> {
-    let src = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let suite = spfe_obs::parse_suite(&src)?;
-    if suite.reports.is_empty() {
-        return Err("empty `reports` array".into());
+/// `audit [selectors...] [--json] [--check] [--accept] [--baseline PATH]`:
+/// the differential obliviousness gate (DESIGN.md §14). Selectors are
+/// harness driver names (`xor2`, `spir`, …), experiment ids (`e1`, …,
+/// mapped to the drivers they exercise), or `all` (the default). Every
+/// selected driver is swept over its secret-input variants and the masked
+/// fault seeds; `--json` writes the `spfe-audit/v1` document, `--check`
+/// compares fingerprints against the committed baseline, `--accept`
+/// blesses the current sweep as the new baseline.
+fn audit_cmd(args: &[String]) {
+    use spfe_bench::audit::{self, AUDIT_GROUPS, AUDIT_SEEDS};
+    let mut json = false;
+    let mut check = false;
+    let mut accept = false;
+    let mut baseline_path = "BENCH_audit.json".to_owned();
+    let mut selectors: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--check" => check = true,
+            "--accept" => accept = true,
+            "--baseline" => {
+                let Some(path) = it.next() else {
+                    eprintln!("error: --baseline needs a path");
+                    std::process::exit(2);
+                };
+                baseline_path = path.clone();
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown audit argument `{other}`");
+                eprintln!(
+                    "usage: spfe-tables audit [driver|eN|all ...] [--json] [--check] \
+                     [--accept] [--baseline PATH]"
+                );
+                std::process::exit(2);
+            }
+            other => selectors.push(canonical_id(other)),
+        }
     }
-    let modexps: u64 = suite
-        .reports
+
+    let table = spfe::harness::drivers();
+    let mut names: Vec<&str> = Vec::new();
+    let push = |names: &mut Vec<&str>, n: &'static str| {
+        if !names.contains(&n) {
+            names.push(n);
+        }
+    };
+    if selectors.is_empty() || selectors.iter().any(|s| s == "all") {
+        for d in &table {
+            push(&mut names, d.name);
+        }
+    }
+    for sel in &selectors {
+        if sel == "all" {
+            continue;
+        }
+        if let Some(d) = table.iter().find(|d| d.name == *sel) {
+            push(&mut names, d.name);
+        } else if let Some((_, group)) = AUDIT_GROUPS.iter().find(|(id, _)| id == sel) {
+            for n in *group {
+                push(&mut names, n);
+            }
+        } else {
+            eprintln!("error: unknown audit selector `{sel}`");
+            eprintln!("drivers:");
+            for d in &table {
+                eprintln!("  {}", d.name);
+            }
+            eprintln!("experiment groups:");
+            for (id, group) in AUDIT_GROUPS {
+                eprintln!("  {id:<4} -> {}", group.join(", "));
+            }
+            std::process::exit(2);
+        }
+    }
+
+    let threads = spfe::math::par::threads();
+    let reports: Vec<audit::AuditReport> = table
         .iter()
-        .map(|r| r.op_count(spfe_obs::Op::Modexp))
-        .sum();
-    if spfe_obs::enabled() && modexps == 0 {
-        return Err("no nonzero `modexp` counter in any report".into());
-    }
-    Ok((
-        format!(
-            "{path}: valid {} — {} report(s), {modexps} modexps, threads={}",
-            suite.schema(),
-            suite.reports.len(),
-            suite.threads
+        .filter(|d| names.contains(&d.name))
+        .map(audit::audit_driver)
+        .collect();
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            let (client_sent, client_recv) = r
+                .parties
+                .first()
+                .map(|p| (p.sent_bytes, p.recv_bytes))
+                .unwrap_or((0, 0));
+            vec![
+                r.driver.clone(),
+                if r.ok() { "ok".into() } else { "LEAK".into() },
+                r.servers.to_string(),
+                r.parties
+                    .first()
+                    .map(|p| p.fingerprint[..16].to_owned())
+                    .unwrap_or_default(),
+                fmt_bytes(client_sent),
+                fmt_bytes(client_recv),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "AUDIT — view-shape fingerprints ({} variant(s) × honest+{} masked seed(s))",
+            spfe::harness::NUM_VARIANTS,
+            AUDIT_SEEDS.len()
         ),
-        suite.version,
-    ))
+        &[
+            "driver",
+            "verdict",
+            "servers",
+            "client fp (prefix)",
+            "client sent",
+            "client recv",
+        ],
+        &rows,
+    );
+
+    let mut leaks = 0usize;
+    for r in &reports {
+        for d in &r.divergences {
+            eprintln!("LEAK {}: {d}", r.driver);
+        }
+        if !r.ok() {
+            leaks += 1;
+        }
+    }
+
+    if accept {
+        std::fs::write(&baseline_path, audit::audit_json(threads, &reports)).unwrap_or_else(|e| {
+            eprintln!("error: writing {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "accepted: wrote {baseline_path} ({} driver(s))",
+            reports.len()
+        );
+    } else if json {
+        let out = if selectors.len() == 1 && selectors[0] != "all" {
+            format!("{}.audit.json", selectors[0])
+        } else {
+            "BENCH_audit.json".to_owned()
+        };
+        std::fs::write(&out, audit::audit_json(threads, &reports)).unwrap_or_else(|e| {
+            eprintln!("error: writing {out}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {out} ({} driver(s))", reports.len());
+    }
+
+    if check {
+        let src = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!(
+                "error: {baseline_path}: {e} (generate one with `spfe-tables audit --accept`)"
+            );
+            std::process::exit(1);
+        });
+        let base = audit::parse_audit(&src).unwrap_or_else(|e| {
+            eprintln!("error: {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let diffs = audit::compare_audits(&base, &reports);
+        if diffs.is_empty() {
+            println!(
+                "audit: OK — {} driver(s) match the baseline at threads={threads}",
+                reports.len()
+            );
+        } else {
+            for d in &diffs {
+                eprintln!("AUDIT DRIFT {d}");
+            }
+            eprintln!(
+                "audit: {} divergence(s) vs {baseline_path}; if the wire format changed \
+                 intentionally, re-bless with `spfe-tables audit --accept` (see EXPERIMENTS.md)",
+                diffs.len()
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if leaks > 0 {
+        eprintln!("audit: {leaks} driver(s) with a leak verdict");
+        std::process::exit(1);
+    }
 }
 
 /// `trace <id> [--weight <op>|allocs|alloc_bytes]`: re-runs one experiment
@@ -276,13 +467,7 @@ fn trace_cmd(args: &[String]) {
                 }
                 weight = Some((w, name.clone()));
             }
-            a => {
-                id = Some(if a.eq_ignore_ascii_case("e5") {
-                    "e4"
-                } else {
-                    a
-                })
-            }
+            a => id = Some(a),
         }
     }
     let Some(id) = id else {
@@ -290,7 +475,7 @@ fn trace_cmd(args: &[String]) {
         list_ids();
         std::process::exit(2);
     };
-    let lower = id.to_lowercase();
+    let lower = canonical_id(id);
     let Some(&(id, _, run)) = EXPERIMENTS.iter().find(|(k, _, _)| *k == lower) else {
         eprintln!("error: unknown experiment id `{id}`");
         list_ids();
@@ -352,11 +537,7 @@ fn mem_cmd(args: &[String]) {
         list_ids();
         std::process::exit(2);
     };
-    let lower = if raw.eq_ignore_ascii_case("e5") {
-        "e4".to_owned()
-    } else {
-        raw.to_lowercase()
-    };
+    let lower = canonical_id(raw);
     let Some(&(id, _, run)) = EXPERIMENTS.iter().find(|(k, _, _)| *k == lower) else {
         eprintln!("error: unknown experiment id `{raw}`");
         list_ids();

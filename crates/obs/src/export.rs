@@ -102,6 +102,10 @@ pub fn perfetto_json(trace: &Trace) -> String {
                     "{{\"name\":\"retry:{}\",\"cat\":\"retry\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"attempt\":{},\"server\":{}}}}}",
                     escape(e.label), e.a, e.b
                 )),
+                EventKind::ViewSeal => emit(&mut out, format!(
+                    "{{\"name\":\"view:{}\",\"cat\":\"view\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"events\":{},\"server\":{}}}}}",
+                    escape(e.label), e.a, e.b
+                )),
             }
         }
         // Repair: close cap-truncated spans at the last seen timestamp.

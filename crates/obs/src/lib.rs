@@ -56,6 +56,7 @@
 //! assert!(!obs::enabled() || ops.get(obs::Op::Modexp) == 3);
 //! ```
 
+pub mod audit;
 mod counter;
 pub mod export;
 pub mod histo;
@@ -73,7 +74,7 @@ pub use report::{
 };
 pub use span::{reset_spans, span, spans_snapshot, SpanGuard, SpanStat};
 pub use suite::{parse_suite, Suite};
-pub use trace::{fault_event, retry_event, wire_event};
+pub use trace::{fault_event, retry_event, view_event, wire_event};
 
 /// Whether the recording paths are compiled in (the `obs` feature).
 pub const fn enabled() -> bool {

@@ -67,6 +67,10 @@ pub enum EventKind {
     /// A delivery retry; `label` is the wire label, `a` the attempt
     /// number (1 = first retry), `b` the server index.
     Retry,
+    /// A party's view was sealed (fingerprinted) by the leakage-audit
+    /// layer; `label` is `"client"` or `"server"`, `a` the number of
+    /// messages in the view, `b` the server index (0 for the client).
+    ViewSeal,
 }
 
 /// One timestamped journal entry.
@@ -463,6 +467,17 @@ pub fn retry_event(label: &'static str, server: usize, attempt: u64) {
         return;
     }
     imp::record(EventKind::Retry, label, attempt, server as u64);
+}
+
+/// Records a view-seal event: the leakage-audit layer fingerprinted one
+/// party's view of `events` messages. A no-op unless tracing is on.
+#[inline]
+pub fn view_event(party_is_client: bool, server: usize, events: u64) {
+    if !imp::tracing() {
+        return;
+    }
+    let label = if party_is_client { "client" } else { "server" };
+    imp::record(EventKind::ViewSeal, label, events, server as u64);
 }
 
 /// Drains everything recorded since the last [`take`]/[`reset`] (flushing

@@ -1,0 +1,608 @@
+//! The shared conformance harness: every protocol in the workspace as a
+//! uniform driver table, with secret-input variants for the leakage audit.
+//!
+//! Both the test suites (`tests/adversarial.rs`, `tests/trace_conformance.rs`,
+//! `tests/mem_profile.rs`, `tests/leakage_audit.rs`) and the `spfe-tables
+//! audit` differential harness consume this table, so the set of audited
+//! protocols and the set of conformance-tested protocols can never drift
+//! apart.
+//!
+//! One (small) Schnorr group and Paillier keypair are generated once per
+//! process; key generation dominates setup time, the protocols themselves
+//! run on 16–27-item databases. Each driver owns its rng seed, so a run is
+//! a pure function of `(channel fault plan, secret variant)` — the
+//! reproducibility property every suite leans on.
+//!
+//! **Secret variants.** Each driver runs under [`NUM_VARIANTS`] systematic
+//! variations of its *secret* inputs — the client's indices, the database
+//! contents, the weight/coefficient vector, the selected statistic — while
+//! every *public* parameter (database size, sample size `m`, field, keys,
+//! circuit shape, rng seeds) stays fixed. Variant 0 is the canonical run
+//! the conformance suites use. The differential leakage audit (DESIGN.md
+//! §14) asserts that every party-view fingerprint is bit-identical across
+//! all variants: the wire shape must not depend on what the protocol is
+//! hiding.
+
+use spfe_circuits::builders::sum_circuit;
+use spfe_core::database::reference;
+use spfe_core::input_select::select1;
+use spfe_core::multiserver::{self, MsFunction, MultiServerParams};
+use spfe_core::stats;
+use spfe_core::two_phase;
+use spfe_core::universal::universal_yao_phase;
+use spfe_core::{psm_spfe, Statistic};
+use spfe_crypto::{ChaChaRng, HomomorphicScheme, Paillier, PaillierPk, PaillierSk, SchnorrGroup};
+use spfe_math::Fp64;
+use spfe_pir::poly_it::{self, PolyItParams};
+use spfe_pir::spir::{self, SpirParams};
+use spfe_pir::{batched, hom_pir, recursive, xor2};
+use spfe_transport::{Channel, FaultPlan, FaultyChannel, ProtocolError};
+use std::sync::OnceLock;
+
+/// How many secret-input variants every driver supports (variant 0 is the
+/// canonical conformance run).
+pub const NUM_VARIANTS: usize = 3;
+
+/// The process-wide crypto fixture shared by every driver.
+pub struct Fixture {
+    /// A small Schnorr group (96-bit prime) for the SPIR/OT substrates.
+    pub group: SchnorrGroup,
+    /// Paillier public key (160-bit modulus).
+    pub pk: PaillierPk,
+    /// Paillier secret key.
+    pub sk: PaillierSk,
+}
+
+/// The lazily generated [`Fixture`] (one keygen per process).
+pub fn fx() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = ChaChaRng::from_u64_seed(0xADE5);
+        let group = SchnorrGroup::generate(96, &mut rng);
+        let (pk, sk) = Paillier::keygen(160, &mut rng);
+        Fixture { group, pk, sk }
+    })
+}
+
+/// The canonical 16-item database (variant 0 of [`db16_v`]).
+pub fn db16() -> Vec<u64> {
+    db16_v(0)
+}
+
+/// A 16-item database whose *contents* (not size) vary with the secret
+/// variant `v`.
+pub fn db16_v(v: usize) -> Vec<u64> {
+    assert!(v < NUM_VARIANTS);
+    (0..16u64)
+        .map(|i| (i * 7 + 3 + 11 * v as u64) % 50)
+        .collect()
+}
+
+/// The canonical 27-item database (variant 0 of [`db27_v`]).
+pub fn db27() -> Vec<u64> {
+    db27_v(0)
+}
+
+/// A 27-item database whose contents vary with the secret variant `v`.
+pub fn db27_v(v: usize) -> Vec<u64> {
+    assert!(v < NUM_VARIANTS);
+    (0..27u64)
+        .map(|i| (i * 5 + 2 + 7 * v as u64) % 40)
+        .collect()
+}
+
+/// The canonical 16×4-byte XOR-PIR database (variant 0 of [`xor_db_v`]).
+pub fn xor_db() -> Vec<Vec<u8>> {
+    xor_db_v(0)
+}
+
+/// A 16-record byte database whose contents vary with the secret variant.
+pub fn xor_db_v(v: usize) -> Vec<Vec<u8>> {
+    assert!(v < NUM_VARIANTS);
+    let salt = (v as u8) * 13;
+    (0..16u8)
+        .map(|i| {
+            (0..4u8)
+                .map(|j| {
+                    i.wrapping_mul(31)
+                        .wrapping_add(j * 7 + 1)
+                        .wrapping_add(salt)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The shared arithmetic field (public parameter, never varied).
+pub fn field() -> Fp64 {
+    Fp64::at_least(1_000)
+}
+
+/// Per-variant client index into a 16-item database (single-index
+/// protocols).
+fn idx16(v: usize, choices: [usize; NUM_VARIANTS]) -> usize {
+    assert!(v < NUM_VARIANTS);
+    choices[v]
+}
+
+// ---------------------------------------------------------------------------
+// The driver table: every protocol in the workspace, each reduced to a
+// `u64` digest so one matrix covers them all.
+// ---------------------------------------------------------------------------
+
+/// A canonical (variant-0) driver entry point.
+pub type DriverFn = fn(&mut dyn Channel) -> Result<u64, ProtocolError>;
+
+/// A driver entry point under secret variant `v < NUM_VARIANTS`.
+pub type VariantFn = fn(&mut dyn Channel, usize) -> Result<u64, ProtocolError>;
+
+/// One row of the conformance/audit driver table.
+pub struct Driver {
+    /// Stable driver name (doubles as the audit-report id).
+    pub name: &'static str,
+    /// Number of servers the protocol runs against.
+    pub servers: usize,
+    /// Expected digest of the canonical (variant-0) run.
+    pub expect: u64,
+    /// The canonical run (variant 0).
+    pub run: DriverFn,
+    /// The run under a chosen secret variant.
+    pub run_variant: VariantFn,
+    /// Expected digest per secret variant.
+    pub expect_variant: fn(usize) -> u64,
+}
+
+/// xor2 variant `v`: two-server XOR PIR; the record index is the secret.
+pub fn drv_xor2_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA0);
+    let item = xor2::run(t, &xor_db_v(v), idx16(v, [5, 3, 12]), &mut rng)?;
+    Ok(item.iter().map(|&b| b as u64).sum())
+}
+
+fn expect_xor2(v: usize) -> u64 {
+    xor_db_v(v)[idx16(v, [5, 3, 12])]
+        .iter()
+        .map(|&b| b as u64)
+        .sum()
+}
+
+/// The canonical xor2 run.
+pub fn drv_xor2(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_xor2_v(t, 0)
+}
+
+/// hom_pir variant `v`: √n homomorphic PIR; index and db are the secrets.
+pub fn drv_hom_pir_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA1);
+    hom_pir::run(
+        t,
+        &fx().pk,
+        &fx().sk,
+        &db16_v(v),
+        idx16(v, [9, 0, 15]),
+        &mut rng,
+    )
+}
+
+fn expect_hom_pir(v: usize) -> u64 {
+    db16_v(v)[idx16(v, [9, 0, 15])]
+}
+
+/// The canonical hom_pir run.
+pub fn drv_hom_pir(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_hom_pir_v(t, 0)
+}
+
+/// recursive variant `v`: depth-2 recursive PIR on the 27-item db.
+pub fn drv_recursive_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA2);
+    let idx = [13, 1, 26][v];
+    recursive::run(t, &fx().pk, &fx().sk, &db27_v(v), idx, &mut rng)
+}
+
+fn expect_recursive(v: usize) -> u64 {
+    db27_v(v)[[13, 1, 26][v]]
+}
+
+/// The canonical recursive run.
+pub fn drv_recursive(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_recursive_v(t, 0)
+}
+
+/// spir variant `v`: single-server SPIR; index and db are the secrets.
+pub fn drv_spir_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA3);
+    let params = SpirParams::new(fx().group.clone(), 16);
+    spir::run(
+        t,
+        &params,
+        &fx().pk,
+        &fx().sk,
+        &db16_v(v),
+        idx16(v, [7, 2, 11]),
+        &mut rng,
+    )
+}
+
+fn expect_spir(v: usize) -> u64 {
+    db16_v(v)[idx16(v, [7, 2, 11])]
+}
+
+/// The canonical spir run.
+pub fn drv_spir(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_spir_v(t, 0)
+}
+
+const BATCHED_INDICES: [[usize; 4]; NUM_VARIANTS] = [[1, 5, 9, 14], [0, 2, 3, 15], [4, 7, 8, 12]];
+
+/// batched variant `v`: cuckoo-batched SPIR; the index *set* is the secret.
+pub fn drv_batched_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA4);
+    let f = fx();
+    let (vals, _) = batched::run(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16_v(v),
+        &BATCHED_INDICES[v],
+        &mut rng,
+    )?;
+    Ok(vals.iter().sum())
+}
+
+fn expect_batched(v: usize) -> u64 {
+    let db = db16_v(v);
+    BATCHED_INDICES[v].iter().map(|&i| db[i]).sum()
+}
+
+/// The canonical batched run.
+pub fn drv_batched(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_batched_v(t, 0)
+}
+
+/// poly_it variant `v`: polynomial-interpolation PIR.
+pub fn drv_poly_it_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA5);
+    poly_it::run(t, &poly_params(), &db16_v(v), idx16(v, [5, 8, 2]), &mut rng)
+}
+
+fn expect_poly_it(v: usize) -> u64 {
+    db16_v(v)[idx16(v, [5, 8, 2])]
+}
+
+/// The canonical poly_it run.
+pub fn drv_poly_it(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_poly_it_v(t, 0)
+}
+
+/// The shared poly_it parameters (public).
+pub fn poly_params() -> PolyItParams {
+    PolyItParams::new(16, 1, field())
+}
+
+const MS_INDICES: [[usize; 2]; NUM_VARIANTS] = [[3, 10], [0, 15], [6, 7]];
+
+/// multiserver variant `v`: Theorem 2 multi-server SPFE, f = sum.
+pub fn drv_multiserver_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA6);
+    multiserver::run(t, &ms_params(), &db16_v(v), &MS_INDICES[v], None, &mut rng)
+}
+
+fn expect_multiserver(v: usize) -> u64 {
+    let db = db16_v(v);
+    (db[MS_INDICES[v][0]] + db[MS_INDICES[v][1]]) % field().modulus()
+}
+
+/// The canonical multiserver run.
+pub fn drv_multiserver(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_multiserver_v(t, 0)
+}
+
+/// The shared multiserver parameters (public).
+pub fn ms_params() -> MultiServerParams {
+    MultiServerParams::new(16, 1, field(), MsFunction::Sum { m: 2 })
+}
+
+const SELECT1_INDICES: [[usize; 2]; NUM_VARIANTS] = [[2, 7], [1, 14], [0, 9]];
+
+/// input_select variant `v`: §3.3.1 input selection into shares.
+pub fn drv_select1_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA7);
+    let f = fx();
+    let shares = select1(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16_v(v),
+        &SELECT1_INDICES[v],
+        field(),
+        &mut rng,
+    )?;
+    Ok(shares.reconstruct().iter().sum())
+}
+
+fn expect_select1(v: usize) -> u64 {
+    let db = db16_v(v);
+    SELECT1_INDICES[v].iter().map(|&i| db[i]).sum()
+}
+
+/// The canonical input_select run.
+pub fn drv_select1(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_select1_v(t, 0)
+}
+
+const PSM_INDICES: [[usize; 2]; NUM_VARIANTS] = [[2, 11], [5, 6], [0, 13]];
+
+/// psm_spfe variant `v`: PSM-based SPFE over the 2-input sum circuit.
+pub fn drv_psm_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA8);
+    let f = fx();
+    let circuit = sum_circuit(2, 8);
+    psm_spfe::run_yao_psm(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16_v(v),
+        &PSM_INDICES[v],
+        &circuit,
+        8,
+        &mut rng,
+    )
+}
+
+fn expect_psm(v: usize) -> u64 {
+    let db = db16_v(v);
+    PSM_INDICES[v].iter().map(|&i| db[i]).sum()
+}
+
+/// The canonical psm_spfe run.
+pub fn drv_psm(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_psm_v(t, 0)
+}
+
+const TWO_PHASE_INDICES: [[usize; 3]; NUM_VARIANTS] = [[1, 6, 12], [0, 3, 5], [2, 9, 15]];
+
+/// two_phase variant `v`: select1 + Yao evaluation of the sum statistic.
+pub fn drv_two_phase_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xA9);
+    let f = fx();
+    let got = two_phase::run_select1_yao(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16_v(v),
+        &TWO_PHASE_INDICES[v],
+        &Statistic::Sum,
+        field(),
+        &mut rng,
+    )?;
+    Ok(got[0])
+}
+
+fn expect_two_phase(v: usize) -> u64 {
+    reference::sum(&db16_v(v), &TWO_PHASE_INDICES[v])
+}
+
+/// The canonical two_phase run.
+pub fn drv_two_phase(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_two_phase_v(t, 0)
+}
+
+const UNIVERSAL_INDICES: [[usize; 2]; NUM_VARIANTS] = [[0, 4], [3, 12], [5, 9]];
+/// Which entry of the (public) statistic menu the client secretly selects.
+const UNIVERSAL_SELECTION: [usize; NUM_VARIANTS] = [0, 1, 0];
+
+fn universal_menu() -> [Statistic; 2] {
+    [Statistic::Sum, Statistic::Frequency { keyword: 9 }]
+}
+
+/// universal variant `v`: the function-hiding phase — indices *and* the
+/// selected menu entry are secrets.
+pub fn drv_universal_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xAA);
+    let f = fx();
+    let shares = select1(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16_v(v),
+        &UNIVERSAL_INDICES[v],
+        field(),
+        &mut rng,
+    )?;
+    universal_yao_phase(
+        t,
+        &f.group,
+        &shares,
+        &universal_menu(),
+        UNIVERSAL_SELECTION[v],
+        &mut rng,
+    )
+}
+
+fn expect_universal(v: usize) -> u64 {
+    let db = db16_v(v);
+    let indices = UNIVERSAL_INDICES[v];
+    match universal_menu()[UNIVERSAL_SELECTION[v]] {
+        Statistic::Sum => reference::sum(&db, &indices),
+        Statistic::Frequency { keyword } => reference::frequency(&db, &indices, keyword),
+        _ => unreachable!("menu holds only sum and frequency"),
+    }
+}
+
+/// The canonical universal run.
+pub fn drv_universal(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_universal_v(t, 0)
+}
+
+const WS_INDICES: [[usize; 3]; NUM_VARIANTS] = [[1, 4, 9], [0, 2, 3], [5, 10, 15]];
+const WS_WEIGHTS: [[u64; 3]; NUM_VARIANTS] = [[2, 3, 1], [1, 1, 4], [3, 2, 2]];
+
+/// weighted_sum variant `v`: §4 weighted sum — indices *and* the weight
+/// vector are secrets.
+pub fn drv_weighted_sum_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xAB);
+    let f = fx();
+    stats::weighted_sum(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db16_v(v),
+        &WS_INDICES[v],
+        &WS_WEIGHTS[v],
+        field(),
+        &mut rng,
+    )
+}
+
+fn expect_weighted_sum(v: usize) -> u64 {
+    reference::weighted_sum(&db16_v(v), &WS_INDICES[v], &WS_WEIGHTS[v])
+}
+
+/// The canonical weighted_sum run.
+pub fn drv_weighted_sum(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_weighted_sum_v(t, 0)
+}
+
+const FREQ_INDICES: [[usize; 3]; NUM_VARIANTS] = [[0, 5, 10], [1, 2, 3], [4, 8, 12]];
+/// Which database slot's value the client secretly counts.
+const FREQ_KEYWORD_SLOT: [usize; NUM_VARIANTS] = [5, 2, 9];
+
+/// frequency variant `v`: §4 frequency counting — indices *and* the
+/// keyword are secrets.
+pub fn drv_frequency_v(t: &mut dyn Channel, v: usize) -> Result<u64, ProtocolError> {
+    let mut rng = ChaChaRng::from_u64_seed(0xAC);
+    let f = fx();
+    let db = db16_v(v);
+    let keyword = db[FREQ_KEYWORD_SLOT[v]];
+    let shares = select1(
+        t,
+        &f.group,
+        &f.pk,
+        &f.sk,
+        &db,
+        &FREQ_INDICES[v],
+        field(),
+        &mut rng,
+    )?;
+    stats::frequency(t, &f.pk, &f.sk, &shares, keyword, &mut rng)
+}
+
+fn expect_frequency(v: usize) -> u64 {
+    let db = db16_v(v);
+    reference::frequency(&db, &FREQ_INDICES[v], db[FREQ_KEYWORD_SLOT[v]])
+}
+
+/// The canonical frequency run.
+pub fn drv_frequency(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
+    drv_frequency_v(t, 0)
+}
+
+/// The full driver table, in stable order.
+pub fn drivers() -> Vec<Driver> {
+    fn row(
+        name: &'static str,
+        servers: usize,
+        run: DriverFn,
+        run_variant: VariantFn,
+        expect_variant: fn(usize) -> u64,
+    ) -> Driver {
+        Driver {
+            name,
+            servers,
+            expect: expect_variant(0),
+            run,
+            run_variant,
+            expect_variant,
+        }
+    }
+    vec![
+        row("xor2", 2, drv_xor2, drv_xor2_v, expect_xor2),
+        row("hom_pir", 1, drv_hom_pir, drv_hom_pir_v, expect_hom_pir),
+        row(
+            "recursive",
+            1,
+            drv_recursive,
+            drv_recursive_v,
+            expect_recursive,
+        ),
+        row("spir", 1, drv_spir, drv_spir_v, expect_spir),
+        row("batched", 1, drv_batched, drv_batched_v, expect_batched),
+        row(
+            "poly_it",
+            poly_params().num_servers(),
+            drv_poly_it,
+            drv_poly_it_v,
+            expect_poly_it,
+        ),
+        row(
+            "multiserver",
+            ms_params().num_servers(),
+            drv_multiserver,
+            drv_multiserver_v,
+            expect_multiserver,
+        ),
+        row(
+            "input_select",
+            1,
+            drv_select1,
+            drv_select1_v,
+            expect_select1,
+        ),
+        row("psm_spfe", 1, drv_psm, drv_psm_v, expect_psm),
+        row(
+            "two_phase",
+            1,
+            drv_two_phase,
+            drv_two_phase_v,
+            expect_two_phase,
+        ),
+        row(
+            "universal",
+            1,
+            drv_universal,
+            drv_universal_v,
+            expect_universal,
+        ),
+        row(
+            "weighted_sum",
+            1,
+            drv_weighted_sum,
+            drv_weighted_sum_v,
+            expect_weighted_sum,
+        ),
+        row(
+            "frequency",
+            1,
+            drv_frequency,
+            drv_frequency_v,
+            expect_frequency,
+        ),
+    ]
+}
+
+/// Runs driver `d` (canonical variant) over a fresh [`FaultyChannel`]
+/// under `plan`, tolerating up to `tolerance` healed servers.
+pub fn run_under(d: &Driver, plan: FaultPlan, tolerance: usize) -> Result<u64, ProtocolError> {
+    let mut ch = FaultyChannel::new(d.servers, plan, tolerance);
+    (d.run)(&mut ch)
+}
+
+/// Runs the driver fault-free and returns how many messages it attempts —
+/// the index space scripted plans address.
+///
+/// # Panics
+///
+/// Panics if the honest run does not produce the expected digest.
+pub fn honest_messages(d: &Driver) -> u64 {
+    let mut ch = FaultyChannel::new(d.servers, FaultPlan::honest(), 0);
+    let got = (d.run)(&mut ch);
+    assert_eq!(got, Ok(d.expect), "[{}] honest run", d.name);
+    ch.messages_attempted()
+}

@@ -52,6 +52,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 pub use spfe_circuits as circuits;
 pub use spfe_core as core;
 pub use spfe_crypto as crypto;

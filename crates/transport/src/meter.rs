@@ -292,6 +292,45 @@ impl Transcript {
         }
     }
 
+    /// The per-party shape views of this transcript: the client (who
+    /// observes every message) followed by each server (who observes only
+    /// the messages on its own wire), in the form the leakage-audit layer
+    /// fingerprints ([`spfe_obs::audit`]). `sent` is relative to the
+    /// observing party. Op vectors are left empty — op counters are
+    /// process-global, so their windowing belongs to the caller.
+    ///
+    /// Each call also marks the sealed view boundaries in the event
+    /// journal (no-op unless tracing is on).
+    pub fn party_views(&self) -> Vec<spfe_obs::audit::PartyView> {
+        use spfe_obs::audit::{Party, PartyView, ViewEvent};
+        let mut views = Vec::with_capacity(self.num_servers + 1);
+        views.push(PartyView::new(Party::Client));
+        for s in 0..self.num_servers {
+            views.push(PartyView::new(Party::Server(s)));
+        }
+        for r in &self.records {
+            let (client_sent, server) = match r.direction {
+                Direction::ClientToServer(s) => (true, s),
+                Direction::ServerToClient(s) => (false, s),
+            };
+            let event = |sent: bool| ViewEvent {
+                half_round: r.half_round,
+                sent,
+                label: r.label.to_owned(),
+                bytes: r.bytes as u64,
+            };
+            views[0].events.push(event(client_sent));
+            views[server + 1].events.push(event(!client_sent));
+        }
+        for v in &views {
+            match v.party {
+                Party::Client => spfe_obs::view_event(true, 0, v.events.len() as u64),
+                Party::Server(i) => spfe_obs::view_event(false, i, v.events.len() as u64),
+            }
+        }
+        views
+    }
+
     /// Clears all records and round state so the transcript can be reused
     /// for another execution (the server count is kept).
     pub fn reset(&mut self) {
@@ -415,6 +454,67 @@ mod tests {
     fn bad_server_index_panics() {
         let mut t = Transcript::new(1);
         let _ = t.client_to_server(1, "q", &1u64);
+    }
+
+    #[test]
+    fn begin_round_and_rounds_semantics() {
+        // Auto-advance: a direction flip opens a new half-round; repeats
+        // in the same direction do not.
+        let mut t = Transcript::new(2);
+        t.client_to_server(0, "q", &1u64).unwrap();
+        t.client_to_server(1, "q", &2u64).unwrap();
+        assert_eq!(t.report().half_rounds, 1, "same direction, one half-round");
+        t.server_to_client(0, "a", &3u64).unwrap();
+        assert_eq!(t.report().half_rounds, 2);
+        assert!((t.report().rounds() - 1.0).abs() < f64::EPSILON);
+        // begin_round resets the phase, so the *next* send opens a fresh
+        // half-round even in the direction that was already speaking.
+        t.begin_round();
+        t.server_to_client(1, "a2", &4u64).unwrap();
+        assert_eq!(
+            t.report().half_rounds,
+            3,
+            "begin_round forces a new half-round"
+        );
+        assert!(
+            (t.report().rounds() - 1.5).abs() < f64::EPSILON,
+            "fractional"
+        );
+        // A redundant begin_round before a natural flip changes nothing.
+        t.begin_round();
+        t.client_to_server(0, "q2", &5u64).unwrap();
+        assert_eq!(t.report().half_rounds, 4);
+        // Records carry the half-round they were sent in (1-based).
+        let rounds: Vec<u32> = t.records().iter().map(|r| r.half_round).collect();
+        assert_eq!(rounds, vec![1, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn party_views_split_the_wire_per_party() {
+        let mut t = Transcript::new(2);
+        t.client_to_server(0, "q", &1u64).unwrap();
+        t.client_to_server(1, "q", &2u64).unwrap();
+        t.server_to_client(0, "a", &vec![1u8, 2, 3]).unwrap();
+        let views = t.party_views();
+        assert_eq!(views.len(), 3, "client + 2 servers");
+        let client = &views[0];
+        assert_eq!(client.party, spfe_obs::audit::Party::Client);
+        assert_eq!(client.events.len(), 3, "client observes every message");
+        assert!(client.events[0].sent && client.events[1].sent);
+        assert!(!client.events[2].sent, "the answer was received");
+        let s0 = &views[1];
+        assert_eq!(s0.party, spfe_obs::audit::Party::Server(0));
+        assert_eq!(s0.events.len(), 2, "server 0 sees only its own wire");
+        assert!(!s0.events[0].sent, "the query arrived at server 0");
+        assert!(s0.events[1].sent, "the answer left server 0");
+        assert_eq!(s0.events[1].bytes, 3 + 8, "Vec<u8> length prefix included");
+        assert_eq!(s0.events[1].half_round, 2);
+        let s1 = &views[2];
+        assert_eq!(s1.events.len(), 1, "server 1 never answered");
+        // Same wire shape ⇒ same fingerprint; different wires differ.
+        assert_eq!(t.party_views()[1].fingerprint(), s0.fingerprint());
+        assert_ne!(s0.fingerprint(), s1.fingerprint());
+        assert_ne!(client.fingerprint(), s0.fingerprint());
     }
 
     #[test]

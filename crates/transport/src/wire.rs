@@ -217,8 +217,15 @@ impl<const N: usize> Wire for [u8; N] {
 
 impl Wire for spfe_math::Nat {
     fn encode(&self, out: &mut Vec<u8>) {
+        // Padded to the next limb (8-byte) boundary, not minimal-length:
+        // a minimal encoding makes the wire size a function of the value
+        // (a uniform 96-bit group element sheds its top byte with
+        // probability ~1/256), which is exactly the length side-channel
+        // the leakage audit gates against. Decode skips leading zeros.
         let bytes = self.to_be_bytes();
-        (bytes.len() as u64).encode(out);
+        let padded = bytes.len().div_ceil(8) * 8;
+        (padded as u64).encode(out);
+        out.resize(out.len() + (padded - bytes.len()), 0);
         out.extend_from_slice(&bytes);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {

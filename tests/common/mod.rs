@@ -1,324 +1,7 @@
-//! Shared conformance fixture: the driver table used by both the
-//! adversarial suite (`adversarial.rs`) and the trace conformance suite
-//! (`trace_conformance.rs`).
-//!
-//! One (small) Schnorr group and Paillier keypair are generated once per
-//! process; key generation dominates test time, the protocols themselves
-//! run on 16–27-item databases. Each driver owns its rng seed, so a run
-//! is a pure function of the channel's fault plan — the property both
-//! suites lean on for reproducibility.
+//! Shared conformance fixture — now a thin shim over [`spfe::harness`],
+//! where the driver table lives so the `spfe-tables audit` differential
+//! harness and the test suites consume the same registry.
 
 #![allow(dead_code)] // each consuming suite uses a different subset
 
-use spfe::circuits::builders::sum_circuit;
-use spfe::core::database::reference;
-use spfe::core::input_select::select1;
-use spfe::core::multiserver::{self, MsFunction, MultiServerParams};
-use spfe::core::stats;
-use spfe::core::two_phase;
-use spfe::core::universal::universal_yao_phase;
-use spfe::core::{psm_spfe, Statistic};
-use spfe::crypto::{ChaChaRng, HomomorphicScheme, Paillier, PaillierPk, PaillierSk, SchnorrGroup};
-use spfe::math::Fp64;
-use spfe::pir::poly_it::{self, PolyItParams};
-use spfe::pir::spir::{self, SpirParams};
-use spfe::pir::{batched, hom_pir, recursive, xor2};
-use spfe::transport::{Channel, FaultPlan, FaultyChannel, ProtocolError};
-use std::sync::OnceLock;
-
-pub struct Fixture {
-    pub group: SchnorrGroup,
-    pub pk: PaillierPk,
-    pub sk: PaillierSk,
-}
-
-pub fn fx() -> &'static Fixture {
-    static FIX: OnceLock<Fixture> = OnceLock::new();
-    FIX.get_or_init(|| {
-        let mut rng = ChaChaRng::from_u64_seed(0xADE5);
-        let group = SchnorrGroup::generate(96, &mut rng);
-        let (pk, sk) = Paillier::keygen(160, &mut rng);
-        Fixture { group, pk, sk }
-    })
-}
-
-pub fn db16() -> Vec<u64> {
-    (0..16u64).map(|i| (i * 7 + 3) % 50).collect()
-}
-
-pub fn db27() -> Vec<u64> {
-    (0..27u64).map(|i| (i * 5 + 2) % 40).collect()
-}
-
-pub fn xor_db() -> Vec<Vec<u8>> {
-    (0..16u8)
-        .map(|i| {
-            (0..4u8)
-                .map(|j| i.wrapping_mul(31).wrapping_add(j * 7 + 1))
-                .collect()
-        })
-        .collect()
-}
-
-pub fn field() -> Fp64 {
-    Fp64::at_least(1_000)
-}
-
-// ---------------------------------------------------------------------------
-// The driver table: every protocol in the workspace, each reduced to a
-// `u64` digest so one matrix covers them all.
-// ---------------------------------------------------------------------------
-
-pub type DriverFn = fn(&mut dyn Channel) -> Result<u64, ProtocolError>;
-
-pub struct Driver {
-    pub name: &'static str,
-    pub servers: usize,
-    pub expect: u64,
-    pub run: DriverFn,
-}
-
-pub fn drv_xor2(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA0);
-    let item = xor2::run(t, &xor_db(), 5, &mut rng)?;
-    Ok(item.iter().map(|&b| b as u64).sum())
-}
-
-pub fn drv_hom_pir(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA1);
-    hom_pir::run(t, &fx().pk, &fx().sk, &db16(), 9, &mut rng)
-}
-
-pub fn drv_recursive(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA2);
-    recursive::run(t, &fx().pk, &fx().sk, &db27(), 13, &mut rng)
-}
-
-pub fn drv_spir(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA3);
-    let params = SpirParams::new(fx().group.clone(), 16);
-    spir::run(t, &params, &fx().pk, &fx().sk, &db16(), 7, &mut rng)
-}
-
-pub fn drv_batched(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA4);
-    let f = fx();
-    let (vals, _) = batched::run(t, &f.group, &f.pk, &f.sk, &db16(), &[1, 5, 9, 14], &mut rng)?;
-    Ok(vals.iter().sum())
-}
-
-pub fn drv_poly_it(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA5);
-    poly_it::run(t, &poly_params(), &db16(), 5, &mut rng)
-}
-
-pub fn poly_params() -> PolyItParams {
-    PolyItParams::new(16, 1, field())
-}
-
-pub fn drv_multiserver(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA6);
-    multiserver::run(t, &ms_params(), &db16(), &[3, 10], None, &mut rng)
-}
-
-pub fn ms_params() -> MultiServerParams {
-    MultiServerParams::new(16, 1, field(), MsFunction::Sum { m: 2 })
-}
-
-pub fn drv_select1(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA7);
-    let f = fx();
-    let shares = select1(
-        t,
-        &f.group,
-        &f.pk,
-        &f.sk,
-        &db16(),
-        &[2, 7],
-        field(),
-        &mut rng,
-    )?;
-    Ok(shares.reconstruct().iter().sum())
-}
-
-pub fn drv_psm(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA8);
-    let f = fx();
-    let circuit = sum_circuit(2, 8);
-    psm_spfe::run_yao_psm(
-        t,
-        &f.group,
-        &f.pk,
-        &f.sk,
-        &db16(),
-        &[2, 11],
-        &circuit,
-        8,
-        &mut rng,
-    )
-}
-
-pub fn drv_two_phase(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xA9);
-    let f = fx();
-    let got = two_phase::run_select1_yao(
-        t,
-        &f.group,
-        &f.pk,
-        &f.sk,
-        &db16(),
-        &[1, 6, 12],
-        &Statistic::Sum,
-        field(),
-        &mut rng,
-    )?;
-    Ok(got[0])
-}
-
-pub fn drv_universal(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xAA);
-    let f = fx();
-    let shares = select1(
-        t,
-        &f.group,
-        &f.pk,
-        &f.sk,
-        &db16(),
-        &[0, 4],
-        field(),
-        &mut rng,
-    )?;
-    let menu = [Statistic::Sum, Statistic::Frequency { keyword: 9 }];
-    universal_yao_phase(t, &f.group, &shares, &menu, 0, &mut rng)
-}
-
-pub fn drv_weighted_sum(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xAB);
-    let f = fx();
-    stats::weighted_sum(
-        t,
-        &f.group,
-        &f.pk,
-        &f.sk,
-        &db16(),
-        &[1, 4, 9],
-        &[2, 3, 1],
-        field(),
-        &mut rng,
-    )
-}
-
-pub fn drv_frequency(t: &mut dyn Channel) -> Result<u64, ProtocolError> {
-    let mut rng = ChaChaRng::from_u64_seed(0xAC);
-    let f = fx();
-    let db = db16();
-    let shares = select1(
-        t,
-        &f.group,
-        &f.pk,
-        &f.sk,
-        &db,
-        &[0, 5, 10],
-        field(),
-        &mut rng,
-    )?;
-    stats::frequency(t, &f.pk, &f.sk, &shares, db[5], &mut rng)
-}
-
-pub fn drivers() -> Vec<Driver> {
-    let db = db16();
-    vec![
-        Driver {
-            name: "xor2",
-            servers: 2,
-            expect: xor_db()[5].iter().map(|&b| b as u64).sum(),
-            run: drv_xor2,
-        },
-        Driver {
-            name: "hom_pir",
-            servers: 1,
-            expect: db[9],
-            run: drv_hom_pir,
-        },
-        Driver {
-            name: "recursive",
-            servers: 1,
-            expect: db27()[13],
-            run: drv_recursive,
-        },
-        Driver {
-            name: "spir",
-            servers: 1,
-            expect: db[7],
-            run: drv_spir,
-        },
-        Driver {
-            name: "batched",
-            servers: 1,
-            expect: [1usize, 5, 9, 14].iter().map(|&i| db[i]).sum(),
-            run: drv_batched,
-        },
-        Driver {
-            name: "poly_it",
-            servers: poly_params().num_servers(),
-            expect: db[5],
-            run: drv_poly_it,
-        },
-        Driver {
-            name: "multiserver",
-            servers: ms_params().num_servers(),
-            expect: db[3] + db[10],
-            run: drv_multiserver,
-        },
-        Driver {
-            name: "input_select",
-            servers: 1,
-            expect: db[2] + db[7],
-            run: drv_select1,
-        },
-        Driver {
-            name: "psm_spfe",
-            servers: 1,
-            expect: db[2] + db[11],
-            run: drv_psm,
-        },
-        Driver {
-            name: "two_phase",
-            servers: 1,
-            expect: reference::sum(&db, &[1, 6, 12]),
-            run: drv_two_phase,
-        },
-        Driver {
-            name: "universal",
-            servers: 1,
-            expect: db[0] + db[4],
-            run: drv_universal,
-        },
-        Driver {
-            name: "weighted_sum",
-            servers: 1,
-            expect: reference::weighted_sum(&db, &[1, 4, 9], &[2, 3, 1]),
-            run: drv_weighted_sum,
-        },
-        Driver {
-            name: "frequency",
-            servers: 1,
-            expect: reference::frequency(&db, &[0, 5, 10], db16()[5]),
-            run: drv_frequency,
-        },
-    ]
-}
-
-pub fn run_under(d: &Driver, plan: FaultPlan, tolerance: usize) -> Result<u64, ProtocolError> {
-    let mut ch = FaultyChannel::new(d.servers, plan, tolerance);
-    (d.run)(&mut ch)
-}
-
-/// Runs the driver fault-free and returns how many messages it attempts —
-/// the index space scripted plans address.
-pub fn honest_messages(d: &Driver) -> u64 {
-    let mut ch = FaultyChannel::new(d.servers, FaultPlan::honest(), 0);
-    let got = (d.run)(&mut ch);
-    assert_eq!(got, Ok(d.expect), "[{}] honest run", d.name);
-    ch.messages_attempted()
-}
+pub use spfe::harness::*;

@@ -125,7 +125,7 @@ fn assert_well_formed(name: &str, ctx: &str, tr: &Trace) -> usize {
                     );
                     assert!(ev.a > 0, "[{name} × {ctx}] zero-valued mem delta");
                 }
-                EventKind::Fault | EventKind::Retry => {}
+                EventKind::Fault | EventKind::Retry | EventKind::ViewSeal => {}
             }
         }
         assert!(
