@@ -103,6 +103,40 @@ test -s "$WORK/e1.folded"
 test -s "$WORK/e1.alloc_bytes.folded"
 grep -q '"traceEvents"' "$WORK/e1.trace.json"
 
+echo "==> cross-transport conformance matrix (SPFE_THREADS=1 and 4)"
+# Every harness driver over in-memory, masked-faulty, and loopback-TCP
+# transports: identical digests, per-label comm bytes, half-round
+# structure, view fingerprints, and deterministic op counters
+# (DESIGN.md §15). The matrix also re-runs internally at both thread
+# settings; the env sweep covers the default-resolution path too.
+for threads in 1 4; do
+  echo "    SPFE_THREADS=$threads"
+  SPFE_THREADS=$threads cargo test "${OFFLINE[@]}" --release -p spfe --test net_conformance -q
+done
+SPFE_THREADS=1 cargo test "${OFFLINE[@]}" --release -p spfe --test net_timeout -q
+
+echo "==> networked service smoke (spfe-server + spfe-client over loopback TCP)"
+# The --no-default-features build above overwrote the release binaries;
+# put the instrumented service binaries back first.
+cargo build "${OFFLINE[@]}" --release -p spfe-net --bins
+SRV_LOG="$WORK/server.log"
+CTL="$WORK/ctl"
+mkfifo "$CTL"
+target/release/spfe-server --read-deadline-ms 30000 < "$CTL" > "$SRV_LOG" &
+SRV_PID=$!
+exec 9> "$CTL" # hold the fifo open so the server's stdin stays alive
+for _ in $(seq 1 50); do
+  grep -q "^listening on " "$SRV_LOG" && break
+  sleep 0.1
+done
+ADDR=$(awk '/^listening on /{print $3; exit}' "$SRV_LOG")
+test -n "$ADDR"
+target/release/spfe-client --addr "$ADDR" e1 e2 e11
+echo quit >&9
+exec 9>&-
+wait "$SRV_PID"
+grep -q "failed=0" "$SRV_LOG"
+
 echo "==> parallel-scaling gate (fresh pir-scan + trend --scaling)"
 # A fresh scan is measured in the scratch dir; the gate's rule is
 # hardware-aware (cores >= threads: >=10% speedup at n >= 4096; fewer

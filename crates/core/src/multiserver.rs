@@ -18,7 +18,10 @@
 use spfe_circuits::formula::{encode_index, eval_formula_poly, index_bits, selector_eval, Formula};
 use spfe_math::par::{par_map_cost, CostClass};
 use spfe_math::{Fp64, Poly, RandomSource};
-use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
+use spfe_transport::{
+    Channel, ChannelExt, ClientCore, OutMsg, ProtocolError, Reader, SessionCore, SessionState,
+    Wire, WireError,
+};
 
 /// The function being evaluated, in a representation the protocol can
 /// arithmetize.
@@ -599,6 +602,145 @@ pub fn run_parallel<R: RandomSource + ?Sized>(
         .map(|(h, &a)| t.server_to_client(h, "ms-answer", &a))
         .collect::<Result<_, _>>()?;
     Ok(client_reconstruct(params, &answers))
+}
+
+// ---------------------------------------------------------------------------
+// Sans-io state machines (DESIGN.md §15) for the unblinded configuration
+// the conformance harness runs (`shared_seed = None`). They call the same
+// client_queries/server_answer/client_reconstruct as the monolithic
+// [`run`], so every transport yields identical bytes and op counts.
+// ---------------------------------------------------------------------------
+
+/// Server `h` of the Theorem 2 multi-server SPFE as a sans-io machine.
+#[derive(Debug)]
+pub struct MsServerCore {
+    index: usize,
+    params: MultiServerParams,
+    db: Vec<u64>,
+    answered: bool,
+}
+
+impl MsServerCore {
+    /// A core for server `index` holding `db` under `params`.
+    pub fn new(index: usize, params: MultiServerParams, db: Vec<u64>) -> Self {
+        MsServerCore {
+            index,
+            params,
+            db,
+            answered: false,
+        }
+    }
+}
+
+impl SessionCore for MsServerCore {
+    fn on_message(
+        &mut self,
+        _half_round: u32,
+        _server: usize,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        if label != "ms-query" || self.answered {
+            return Err(ProtocolError::InvalidMessage {
+                label: "ms-query",
+                reason: "unexpected message for a multiserver server",
+            });
+        }
+        let query = MsQuery::from_bytes(payload)?;
+        let answer = server_answer(&self.params, &self.db, &query, None)?;
+        self.answered = true;
+        Ok((
+            SessionState::Done,
+            vec![OutMsg::to_client(
+                self.index,
+                "ms-answer",
+                answer.to_bytes(),
+            )],
+        ))
+    }
+}
+
+/// Client half of the Theorem 2 protocol: all `k` queries at start,
+/// interpolation once every answer arrived.
+#[derive(Debug)]
+pub struct MsClientCore {
+    params: MultiServerParams,
+    queries: Option<Vec<MsQuery>>,
+    answers: Vec<Option<u64>>,
+    result: Option<u64>,
+}
+
+impl MsClientCore {
+    /// A client core evaluating the configured function on `indices`; the
+    /// random curves are drawn here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index count mismatches the function arity or an
+    /// index does not fit in `ℓ` bits.
+    pub fn new<R: RandomSource + ?Sized>(
+        params: MultiServerParams,
+        indices: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        let queries = client_queries(&params, indices, rng);
+        let k = params.num_servers();
+        MsClientCore {
+            params,
+            queries: Some(queries),
+            answers: vec![None; k],
+            result: None,
+        }
+    }
+}
+
+impl SessionCore for MsClientCore {
+    fn start(&mut self) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        let queries = self.queries.take().ok_or(ProtocolError::InvalidMessage {
+            label: "ms-query",
+            reason: "multiserver client core started twice",
+        })?;
+        Ok((
+            SessionState::Running,
+            queries
+                .iter()
+                .enumerate()
+                .map(|(h, q)| OutMsg::to_server(h, "ms-query", q.to_bytes()))
+                .collect(),
+        ))
+    }
+
+    fn on_message(
+        &mut self,
+        _half_round: u32,
+        server: usize,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        if label != "ms-answer" || server >= self.answers.len() || self.answers[server].is_some() {
+            return Err(ProtocolError::InvalidMessage {
+                label: "ms-answer",
+                reason: "unexpected message for the multiserver client",
+            });
+        }
+        self.answers[server] = Some(u64::from_bytes(payload)?);
+        if self.answers.iter().all(Option::is_some) {
+            let answers: Vec<u64> = self.answers.iter().map(|a| a.unwrap()).collect();
+            self.result = Some(client_reconstruct(&self.params, &answers));
+            return Ok((SessionState::Done, Vec::new()));
+        }
+        Ok((SessionState::Running, Vec::new()))
+    }
+}
+
+impl ClientCore for MsClientCore {
+    fn digest(&self) -> Option<u64> {
+        self.result
+    }
+
+    fn static_label(&self, label: &str) -> Option<&'static str> {
+        (label == "ms-answer").then_some("ms-answer")
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,104 @@
+//! The SPFE network client binary.
+//!
+//! ```text
+//! spfe-client --addr HOST:PORT [--deadline-ms MS] TARGET...
+//! ```
+//!
+//! Each `TARGET` is either a harness driver name (`xor2`, `hom_pir`, …)
+//! or an experiment id from the audit table (`e1`, `e2`, `e11`, …),
+//! which expands to that experiment's driver list. Every driver runs
+//! over TCP — compute mode when it has an extracted sans-io core, relay
+//! mode otherwise — and its digest is checked against the driver table's
+//! expected value. Exit status is 0 only if every run completed with the
+//! right digest.
+
+use spfe::harness;
+use spfe_bench::audit::AUDIT_GROUPS;
+use spfe_net::run_driver;
+use spfe_transport::SessionMode;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: spfe-client --addr HOST:PORT [--deadline-ms MS] TARGET...");
+    eprintln!("  TARGET: a driver name (xor2, hom_pir, ...) or an experiment id (e1, e2, ...)");
+    std::process::exit(2);
+}
+
+fn expand(target: &str) -> Vec<String> {
+    if let Some((_, group)) = AUDIT_GROUPS.iter().find(|(id, _)| *id == target) {
+        return group.iter().map(|d| (*d).to_owned()).collect();
+    }
+    vec![target.to_owned()]
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut deadline_ms = 30_000u64;
+    let mut targets: Vec<String> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(value(i));
+                i += 2;
+            }
+            "--deadline-ms" => {
+                deadline_ms = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                targets.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    if targets.is_empty() {
+        usage();
+    }
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let drivers = harness::drivers();
+    let mut failures = 0u32;
+    for target in &targets {
+        for name in expand(target) {
+            let expect = match drivers.iter().find(|d| d.name == name) {
+                Some(d) => d.expect,
+                None => {
+                    eprintln!("FAIL {name}: unknown driver");
+                    failures += 1;
+                    continue;
+                }
+            };
+            match run_driver(&addr, &name, deadline) {
+                Ok(run) if run.digest == expect => {
+                    let rep = run.transcript.report();
+                    let mode = match run.mode {
+                        SessionMode::Compute => "compute",
+                        SessionMode::Relay => "relay",
+                    };
+                    println!(
+                        "ok {name} mode={mode} digest={} bytes={} half_rounds={}",
+                        run.digest,
+                        rep.total_bytes(),
+                        rep.half_rounds
+                    );
+                }
+                Ok(run) => {
+                    eprintln!("FAIL {name}: digest {} != expected {expect}", run.digest);
+                    failures += 1;
+                }
+                Err(e) => {
+                    eprintln!("FAIL {name}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} failure(s)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,75 @@
+//! The SPFE session server binary.
+//!
+//! ```text
+//! spfe-server [--addr HOST] [--port PORT] [--read-deadline-ms MS]
+//! ```
+//!
+//! Binds `HOST:PORT` (default `127.0.0.1:0` — an ephemeral port), prints
+//! a single `listening on <addr>` line to stdout (the CI smoke stage
+//! parses it), then serves sessions until stdin reaches EOF or a line
+//! reading `quit` arrives, at which point it shuts down gracefully and
+//! prints the session counters.
+
+use spfe_net::{Server, ServerConfig};
+use std::io::BufRead;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: spfe-server [--addr HOST] [--port PORT] [--read-deadline-ms MS]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut host = "127.0.0.1".to_owned();
+    let mut port = 0u16;
+    let mut deadline_ms = 30_000u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                host = value(i);
+                i += 2;
+            }
+            "--port" => {
+                port = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--read-deadline-ms" => {
+                deadline_ms = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let config = ServerConfig {
+        read_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+    };
+    let mut server = match Server::bind(&format!("{host}:{port}"), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("spfe-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    // Serve until the controller closes stdin or says quit. This keeps
+    // shutdown portable (no signal handling) and scriptable from CI.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    server.shutdown();
+    println!(
+        "sessions opened={} completed={} failed={}",
+        server.sessions_opened(),
+        server.sessions_completed(),
+        server.sessions_failed()
+    );
+}

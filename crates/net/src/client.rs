@@ -1,0 +1,243 @@
+//! The networked client runner: drives a sans-io [`ClientCore`] over a
+//! connected stream, metering every frame on a local [`Transcript`].
+//!
+//! [`run_core`] delivers messages in the same phase order as
+//! [`spfe_transport::pump`] — every client → server message of a burst,
+//! then the server replies in arrival order (which, over one ordered
+//! stream and a sequential peer, is server order) — so the metered
+//! transcript, and hence the digest, per-label byte totals, and the
+//! `spfe-view/v1` fingerprints, are byte-identical to the in-memory run
+//! of the same core and to the monolithic driver.
+//!
+//! [`run_driver`] is the convenience entry point the `spfe-client` binary
+//! and the conformance matrix use: it looks the driver up in
+//! `spfe::harness`, picks compute mode when the driver has an extracted
+//! core and relay mode otherwise, and returns the digest plus the
+//! client-side transcript.
+
+use spfe::harness;
+use spfe_transport::frame::{read_frame, write_frame};
+use spfe_transport::{
+    Channel, ClientCore, Direction, Frame, FrameKind, ProtocolError, SessionMode, SessionState,
+    SocketChannel, Transcript,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A fresh process-unique session identifier.
+pub fn next_session_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The result of one networked driver run.
+#[derive(Debug)]
+pub struct NetRun {
+    /// The protocol digest (same convention as the harness driver table).
+    pub digest: u64,
+    /// The client-side metered transcript.
+    pub transcript: Transcript,
+    /// The mode the session ran in.
+    pub mode: SessionMode,
+}
+
+fn invalid(reason: &'static str) -> ProtocolError {
+    ProtocolError::InvalidMessage {
+        label: "net-msg",
+        reason,
+    }
+}
+
+/// Drives `core` over `stream` in compute mode: handshake, burst-wise
+/// message exchange, Bye. Returns the digest and the metered transcript.
+///
+/// # Errors
+///
+/// Any transport, framing, or core [`ProtocolError`]; a read deadline on
+/// the stream surfaces as [`ProtocolError::Timeout`].
+pub fn run_core<S: Read + Write>(
+    mut stream: S,
+    driver: &str,
+    core: &mut dyn ClientCore,
+    num_servers: usize,
+    session: u64,
+) -> Result<(u64, Transcript), ProtocolError> {
+    let hello = Frame {
+        kind: FrameKind::Hello,
+        client_to_server: true,
+        session,
+        half_round: 0,
+        server: 0,
+        label: driver.to_owned(),
+        payload: vec![SessionMode::Compute as u8],
+    };
+    write_frame(&mut stream, &hello, 0, "net-hello")?;
+    let ack = read_frame(&mut stream, 0, "net-hello")?;
+    if ack.kind == FrameKind::Error {
+        return Err(ProtocolError::InvalidMessage {
+            label: "net-hello",
+            reason: "peer rejected the session",
+        });
+    }
+    if ack.kind != FrameKind::Hello || ack.session != session {
+        return Err(ProtocolError::InvalidMessage {
+            label: "net-hello",
+            reason: "malformed hello acknowledgement",
+        });
+    }
+    let mut transcript = Transcript::new(num_servers);
+    let (mut state, mut outbox) = core.start()?;
+    let mut expected = 0usize;
+    while !(state == SessionState::Done && outbox.is_empty() && expected == 0) {
+        // Burst-send everything the core queued, in emission order.
+        for m in outbox.drain(..) {
+            if !m.client_to_server || m.server >= num_servers {
+                return Err(invalid("client core emitted a misdirected message"));
+            }
+            transcript.record_raw(
+                Direction::ClientToServer(m.server),
+                m.label,
+                m.payload.len(),
+            );
+            let frame = Frame::msg(
+                true,
+                session,
+                transcript.report().half_rounds,
+                m.server,
+                m.label,
+                m.payload,
+            );
+            write_frame(&mut stream, &frame, m.server, m.label)?;
+            expected += 1;
+        }
+        if state == SessionState::Done && expected == 0 {
+            break;
+        }
+        if expected == 0 {
+            return Err(invalid("session stalled: no messages in flight"));
+        }
+        // One reply per delivered message in this protocol family.
+        let frame = read_frame(&mut stream, 0, "net-msg")?;
+        expected -= 1;
+        match frame.kind {
+            FrameKind::Msg if frame.session == session => {
+                let server = frame.server as usize;
+                if server >= num_servers {
+                    return Err(invalid("reply from an unknown server"));
+                }
+                let label = core
+                    .static_label(&frame.label)
+                    .ok_or_else(|| invalid("reply label is foreign to this protocol"))?;
+                transcript.record_raw(
+                    Direction::ServerToClient(server),
+                    label,
+                    frame.payload.len(),
+                );
+                let (s, outs) = core.on_message(
+                    transcript.report().half_rounds,
+                    server,
+                    &frame.label,
+                    &frame.payload,
+                )?;
+                state = s;
+                outbox.extend(outs);
+            }
+            FrameKind::Error => return Err(invalid("server aborted the session")),
+            _ => return Err(invalid("unexpected frame from server")),
+        }
+    }
+    let bye = Frame {
+        kind: FrameKind::Bye,
+        client_to_server: true,
+        session,
+        half_round: transcript.report().half_rounds,
+        server: 0,
+        label: String::new(),
+        payload: Vec::new(),
+    };
+    let _ = write_frame(&mut stream, &bye, 0, "net-bye");
+    let digest = core
+        .digest()
+        .ok_or_else(|| invalid("client core finished without a digest"))?;
+    Ok((digest, transcript))
+}
+
+/// Runs harness driver `name` over TCP in relay mode: the monolithic
+/// driver plays both parties locally, every message crossing the wire
+/// through the echoing peer.
+///
+/// # Errors
+///
+/// Any [`ProtocolError`] from the handshake, the transport, or the
+/// driver itself.
+pub fn run_driver_relay(
+    addr: &str,
+    d: &harness::Driver,
+    deadline: Option<Duration>,
+) -> Result<NetRun, ProtocolError> {
+    let stream = connect(addr, deadline)?;
+    let mut ch = SocketChannel::connect(
+        stream,
+        d.servers,
+        d.name,
+        SessionMode::Relay,
+        next_session_id(),
+    )?;
+    let digest = (d.run)(&mut ch)?;
+    ch.bye();
+    Ok(NetRun {
+        digest,
+        transcript: ch.transcript().clone(),
+        mode: SessionMode::Relay,
+    })
+}
+
+/// Runs harness driver `name` over TCP: compute mode when the driver has
+/// an extracted sans-io core, relay mode otherwise.
+///
+/// # Errors
+///
+/// [`ProtocolError::InvalidMessage`] for an unknown driver name, else as
+/// [`run_core`] / [`run_driver_relay`].
+pub fn run_driver(
+    addr: &str,
+    name: &str,
+    deadline: Option<Duration>,
+) -> Result<NetRun, ProtocolError> {
+    let drivers = harness::drivers();
+    let d = drivers
+        .iter()
+        .find(|d| d.name == name)
+        .ok_or(ProtocolError::InvalidMessage {
+            label: "net-hello",
+            reason: "unknown driver name",
+        })?;
+    match harness::net_client_core(name) {
+        Some(mut core) => {
+            let stream = connect(addr, deadline)?;
+            let (digest, transcript) =
+                run_core(stream, name, core.as_mut(), d.servers, next_session_id())?;
+            Ok(NetRun {
+                digest,
+                transcript,
+                mode: SessionMode::Compute,
+            })
+        }
+        None => run_driver_relay(addr, d, deadline),
+    }
+}
+
+fn connect(addr: &str, deadline: Option<Duration>) -> Result<TcpStream, ProtocolError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|_| ProtocolError::ServerCrashed { server: 0 })?;
+    stream
+        .set_read_timeout(deadline)
+        .and_then(|()| stream.set_write_timeout(deadline))
+        .map_err(|_| ProtocolError::InvalidMessage {
+            label: "net-hello",
+            reason: "could not configure socket deadlines",
+        })?;
+    Ok(stream)
+}

@@ -1,0 +1,32 @@
+//! # spfe-net
+//!
+//! The networked SPFE service: a TCP server hosting protocol sessions and
+//! a client runner that drives sans-io session cores
+//! ([`spfe_transport::SessionCore`]) over real sockets.
+//!
+//! The layer is deliberately thin — all protocol logic lives in the cores
+//! and all metering in [`spfe_transport::Transcript`] — so a networked run
+//! is the *same computation* as an in-memory run, with only the byte
+//! carrier swapped. DESIGN.md §15 documents the contract; the
+//! cross-transport conformance matrix (`tests/net_conformance.rs`) holds
+//! it in place.
+//!
+//! * [`Server`] — a `TcpListener` accept loop with one thread per
+//!   session, serving both Hello modes: **relay** (echo every frame; the
+//!   blanket adapter that runs all monolithic harness drivers over TCP
+//!   unchanged) and **compute** (host the genuine server state machines
+//!   from `spfe::harness::net_server_cores`).
+//! * [`run_core`] / [`run_driver`] — the client side: drive a
+//!   [`spfe_transport::ClientCore`] over a connected stream in the same
+//!   phase order as [`spfe_transport::pump`], metering every frame on a
+//!   local transcript so digests, per-label comm bytes, and audit
+//!   fingerprints are byte-identical to the in-memory run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+
+pub use client::{next_session_id, run_core, run_driver, run_driver_relay, NetRun};
+pub use server::{Server, ServerConfig};

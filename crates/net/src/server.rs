@@ -1,0 +1,347 @@
+//! The SPFE session server: a TCP accept loop multiplexing concurrent
+//! sessions, one thread per connection.
+//!
+//! Each connection carries exactly one session, opened by a Hello frame
+//! whose label names the driver and whose payload selects the mode
+//! ([`SessionMode`]). Sessions are fully isolated: a connection that
+//! stalls, dies mid-protocol, or sends garbage poisons only its own
+//! thread — the accept loop and every other session keep running, which
+//! is the property `tests/net_timeout.rs` pins down.
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] flips a flag and nudges
+//! the accept loop awake with a loopback connection, then joins it. No
+//! signal handling, no non-std dependencies.
+
+use spfe::harness;
+use spfe_transport::frame::{read_frame_or_eof, write_frame};
+use spfe_transport::{Frame, FrameKind, ProtocolError, SessionCore, SessionMode};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection read deadline. A session whose client goes quiet
+    /// for longer is torn down (its thread exits); other sessions are
+    /// unaffected. `None` waits forever.
+    pub read_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Counters published by a running server (for smoke tests and the CI
+/// gate; monotonic, best-effort ordering).
+#[derive(Debug, Default)]
+struct Counters {
+    opened: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// A running SPFE session server.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from binding the listener.
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || accept_loop(&listener, &config, &stop, &counters))
+        };
+        Ok(Server {
+            addr: local,
+            stop,
+            counters,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions opened so far.
+    pub fn sessions_opened(&self) -> u64 {
+        self.counters.opened.load(Ordering::Relaxed)
+    }
+
+    /// Sessions that ran to a clean close (Bye or clean EOF).
+    pub fn sessions_completed(&self) -> u64 {
+        self.counters.completed.load(Ordering::Relaxed)
+    }
+
+    /// Sessions torn down on an error (timeout, crash, protocol
+    /// violation).
+    pub fn sessions_failed(&self) -> u64 {
+        self.counters.failed.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins it. In-flight
+    /// session threads run to completion on their own; their sockets are
+    /// not yanked.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept() awake with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    counters: &Arc<Counters>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let deadline = config.read_deadline;
+        let counters = Arc::clone(counters);
+        std::thread::spawn(move || {
+            counters.opened.fetch_add(1, Ordering::Relaxed);
+            match handle_session(stream, deadline) {
+                Ok(()) => counters.completed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+            };
+        });
+    }
+}
+
+/// Sends an Error frame (best effort) and returns the protocol error.
+fn abort(stream: &mut TcpStream, session: u64, label: &str, reason: &'static str) -> ProtocolError {
+    let e = ProtocolError::InvalidMessage {
+        label: "net-session",
+        reason,
+    };
+    let frame = Frame {
+        kind: FrameKind::Error,
+        client_to_server: false,
+        session,
+        half_round: 0,
+        server: 0,
+        label: label.to_owned(),
+        payload: reason.as_bytes().to_vec(),
+    };
+    let _ = write_frame(stream, &frame, 0, "net-error");
+    e
+}
+
+/// Runs one session to completion on the session's own thread.
+fn handle_session(mut stream: TcpStream, deadline: Option<Duration>) -> Result<(), ProtocolError> {
+    stream
+        .set_read_timeout(deadline)
+        .and_then(|()| stream.set_write_timeout(deadline))
+        .map_err(|_| ProtocolError::InvalidMessage {
+            label: "net-session",
+            reason: "could not configure socket deadlines",
+        })?;
+    let hello = match read_frame_or_eof(&mut stream, true, 0, "net-hello")? {
+        Some(f) => f,
+        // The shutdown nudge (and port scanners) connect and immediately
+        // close; that is a no-op, not a failed session.
+        None => return Ok(()),
+    };
+    if hello.kind != FrameKind::Hello {
+        return Err(abort(
+            &mut stream,
+            hello.session,
+            "",
+            "expected a hello frame",
+        ));
+    }
+    let session = hello.session;
+    let mode = match hello.payload.first() {
+        Some(0) => SessionMode::Relay,
+        Some(1) => SessionMode::Compute,
+        _ => {
+            return Err(abort(
+                &mut stream,
+                session,
+                &hello.label,
+                "unknown session mode",
+            ))
+        }
+    };
+    let cores = if mode == SessionMode::Compute {
+        match harness::net_server_cores(&hello.label) {
+            Some(c) => Some(c),
+            None => {
+                return Err(abort(
+                    &mut stream,
+                    session,
+                    &hello.label,
+                    "no server cores for this driver",
+                ))
+            }
+        }
+    } else {
+        None
+    };
+    let ack = Frame {
+        kind: FrameKind::Hello,
+        client_to_server: false,
+        session,
+        half_round: 0,
+        server: 0,
+        label: hello.label.clone(),
+        payload: vec![mode as u8],
+    };
+    write_frame(&mut stream, &ack, 0, "net-hello")?;
+    match cores {
+        None => relay_session(&mut stream, session),
+        Some(mut cores) => compute_session(&mut stream, session, &mut cores),
+    }
+}
+
+/// Relay mode: echo every Msg frame back verbatim until Bye or EOF.
+fn relay_session(stream: &mut TcpStream, session: u64) -> Result<(), ProtocolError> {
+    loop {
+        let frame = match read_frame_or_eof(stream, true, 0, "net-relay")? {
+            Some(f) => f,
+            None => return Ok(()),
+        };
+        match frame.kind {
+            FrameKind::Msg if frame.session == session => {
+                write_frame(stream, &frame, frame.server as usize, "net-relay")?;
+            }
+            FrameKind::Bye => return Ok(()),
+            _ => {
+                return Err(abort(
+                    stream,
+                    session,
+                    &frame.label,
+                    "unexpected frame in relay session",
+                ))
+            }
+        }
+    }
+}
+
+/// Compute mode: feed each Msg frame to the addressed server core and
+/// write its replies back, until every core is consumed (the client sends
+/// Bye) or an error tears the session down.
+fn compute_session(
+    stream: &mut TcpStream,
+    session: u64,
+    cores: &mut [Box<dyn SessionCore + Send>],
+) -> Result<(), ProtocolError> {
+    for core in cores.iter_mut() {
+        let (_, outs) = core.start()?;
+        if !outs.is_empty() {
+            return Err(abort(
+                stream,
+                session,
+                "",
+                "server core tried to speak first",
+            ));
+        }
+    }
+    loop {
+        let frame = match read_frame_or_eof(stream, true, 0, "net-compute")? {
+            Some(f) => f,
+            None => return Ok(()),
+        };
+        match frame.kind {
+            FrameKind::Bye => return Ok(()),
+            FrameKind::Msg if frame.session == session => {
+                let idx = frame.server as usize;
+                if idx >= cores.len() {
+                    return Err(abort(
+                        stream,
+                        session,
+                        &frame.label,
+                        "message addresses an unknown server",
+                    ));
+                }
+                let step =
+                    cores[idx].on_message(frame.half_round, idx, &frame.label, &frame.payload);
+                let (_, outs) = match step {
+                    Ok(r) => r,
+                    Err(e) => {
+                        let _ = abort(
+                            stream,
+                            session,
+                            &frame.label,
+                            "server core rejected the message",
+                        );
+                        return Err(e);
+                    }
+                };
+                for m in outs {
+                    if m.client_to_server {
+                        return Err(abort(
+                            stream,
+                            session,
+                            m.label,
+                            "server core emitted a misdirected message",
+                        ));
+                    }
+                    let reply = Frame {
+                        kind: FrameKind::Msg,
+                        client_to_server: false,
+                        session,
+                        half_round: frame.half_round + 1,
+                        server: m.server as u32,
+                        label: m.label.to_owned(),
+                        payload: m.payload,
+                    };
+                    write_frame(stream, &reply, m.server, m.label)?;
+                }
+            }
+            _ => {
+                return Err(abort(
+                    stream,
+                    session,
+                    &frame.label,
+                    "unexpected frame in compute session",
+                ))
+            }
+        }
+    }
+}

@@ -16,7 +16,10 @@
 
 use spfe_circuits::formula::{encode_index, index_bits, selector_eval};
 use spfe_math::{Fp64, Poly, RandomSource};
-use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
+use spfe_transport::{
+    Channel, ChannelExt, ClientCore, OutMsg, ProtocolError, Reader, SessionCore, SessionState,
+    Wire, WireError,
+};
 
 /// Parameters of the scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +247,142 @@ pub fn run_symmetric<R: RandomSource + ?Sized>(
     };
     let _s = spfe_obs::span("reconstruct");
     Ok(client_reconstruct(params, &answers))
+}
+
+// ---------------------------------------------------------------------------
+// Sans-io state machines (DESIGN.md §15) for the plain (unblinded) scheme
+// — the configuration the conformance harness runs. They call the same
+// client_queries/server_answer/client_reconstruct as the monolithic
+// [`run`], so every transport yields identical bytes and op counts.
+// ---------------------------------------------------------------------------
+
+/// Server `h` of the k-server interpolation PIR as a sans-io machine.
+#[derive(Debug)]
+pub struct PolyItServerCore {
+    index: usize,
+    params: PolyItParams,
+    db: Vec<u64>,
+    answered: bool,
+}
+
+impl PolyItServerCore {
+    /// A core for server `index` holding `db` under `params`.
+    pub fn new(index: usize, params: PolyItParams, db: Vec<u64>) -> Self {
+        PolyItServerCore {
+            index,
+            params,
+            db,
+            answered: false,
+        }
+    }
+}
+
+impl SessionCore for PolyItServerCore {
+    fn on_message(
+        &mut self,
+        _half_round: u32,
+        _server: usize,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        if label != "polyit-query" || self.answered {
+            return Err(ProtocolError::InvalidMessage {
+                label: "polyit-query",
+                reason: "unexpected message for a poly_it server",
+            });
+        }
+        let query = PolyItQuery::from_bytes(payload)?;
+        let answer = server_answer(&self.params, &self.db, &query)?;
+        self.answered = true;
+        Ok((
+            SessionState::Done,
+            vec![OutMsg::to_client(
+                self.index,
+                "polyit-answer",
+                answer.to_bytes(),
+            )],
+        ))
+    }
+}
+
+/// Client half of the k-server interpolation PIR: all `k` queries at
+/// start, reconstruct once every answer arrived.
+#[derive(Debug)]
+pub struct PolyItClientCore {
+    params: PolyItParams,
+    queries: Option<Vec<PolyItQuery>>,
+    answers: Vec<Option<u64>>,
+    result: Option<u64>,
+}
+
+impl PolyItClientCore {
+    /// A client core retrieving `index`; the random curves are drawn here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in the parameters' `ℓ` bits.
+    pub fn new<R: RandomSource + ?Sized>(params: PolyItParams, index: usize, rng: &mut R) -> Self {
+        let queries = client_queries(&params, index, rng);
+        let k = params.num_servers();
+        PolyItClientCore {
+            params,
+            queries: Some(queries),
+            answers: vec![None; k],
+            result: None,
+        }
+    }
+}
+
+impl SessionCore for PolyItClientCore {
+    fn start(&mut self) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        let queries = self.queries.take().ok_or(ProtocolError::InvalidMessage {
+            label: "polyit-query",
+            reason: "poly_it client core started twice",
+        })?;
+        Ok((
+            SessionState::Running,
+            queries
+                .iter()
+                .enumerate()
+                .map(|(h, q)| OutMsg::to_server(h, "polyit-query", q.to_bytes()))
+                .collect(),
+        ))
+    }
+
+    fn on_message(
+        &mut self,
+        _half_round: u32,
+        server: usize,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        if label != "polyit-answer"
+            || server >= self.answers.len()
+            || self.answers[server].is_some()
+        {
+            return Err(ProtocolError::InvalidMessage {
+                label: "polyit-answer",
+                reason: "unexpected message for the poly_it client",
+            });
+        }
+        self.answers[server] = Some(u64::from_bytes(payload)?);
+        if self.answers.iter().all(Option::is_some) {
+            let answers: Vec<u64> = self.answers.iter().map(|a| a.unwrap()).collect();
+            self.result = Some(client_reconstruct(&self.params, &answers));
+            return Ok((SessionState::Done, Vec::new()));
+        }
+        Ok((SessionState::Running, Vec::new()))
+    }
+}
+
+impl ClientCore for PolyItClientCore {
+    fn digest(&self) -> Option<u64> {
+        self.result
+    }
+
+    fn static_label(&self, label: &str) -> Option<&'static str> {
+        (label == "polyit-answer").then_some("polyit-answer")
+    }
 }
 
 #[cfg(test)]

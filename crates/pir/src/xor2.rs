@@ -8,7 +8,10 @@
 //! item down, per server.
 
 use spfe_math::RandomSource;
-use spfe_transport::{Channel, ChannelExt, ProtocolError, Reader, Wire, WireError};
+use spfe_transport::{
+    Channel, ChannelExt, ClientCore, OutMsg, ProtocolError, Reader, SessionCore, SessionState,
+    Wire, WireError,
+};
 
 /// A query: a subset of `[n]` as a packed bitmask.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,6 +153,141 @@ pub fn run<R: RandomSource + ?Sized>(
     let a2 = t.server_to_client(1, "pir2-answer", &a2)?;
     let _s = spfe_obs::span("reconstruct");
     client_combine(&a1, &a2)
+}
+
+// ---------------------------------------------------------------------------
+// Sans-io state machines (DESIGN.md §15). The cores call exactly the
+// client_query/server_answer/client_combine functions the monolithic
+// [`run`] calls, so a pumped or networked execution produces the same
+// wire bytes and deterministic op counts as an in-memory run.
+// ---------------------------------------------------------------------------
+
+/// Server half of 2-server XOR PIR as a sans-io state machine: one query
+/// in, one answer out.
+#[derive(Debug)]
+pub struct Xor2ServerCore {
+    index: usize,
+    db: Vec<Vec<u8>>,
+    answered: bool,
+}
+
+impl Xor2ServerCore {
+    /// A core for server `index` holding `db`.
+    pub fn new(index: usize, db: Vec<Vec<u8>>) -> Self {
+        Xor2ServerCore {
+            index,
+            db,
+            answered: false,
+        }
+    }
+}
+
+impl SessionCore for Xor2ServerCore {
+    fn on_message(
+        &mut self,
+        _half_round: u32,
+        _server: usize,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        if label != "pir2-query" || self.answered {
+            return Err(ProtocolError::InvalidMessage {
+                label: "pir2-query",
+                reason: "unexpected message for a xor2 server",
+            });
+        }
+        let query = Xor2Query::from_bytes(payload)?;
+        let answer = server_answer(&self.db, &query)?;
+        self.answered = true;
+        Ok((
+            SessionState::Done,
+            vec![OutMsg::to_client(
+                self.index,
+                "pir2-answer",
+                answer.to_bytes(),
+            )],
+        ))
+    }
+}
+
+/// Client half of 2-server XOR PIR: emits both queries at start, combines
+/// the two answers. All randomness is consumed at construction.
+#[derive(Debug)]
+pub struct Xor2ClientCore {
+    queries: Option<(Xor2Query, Xor2Query)>,
+    answers: [Option<Vec<u8>>; 2],
+    item: Option<Vec<u8>>,
+}
+
+impl Xor2ClientCore {
+    /// A client core retrieving `index` from an `n`-item database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n` or `n == 0`.
+    pub fn new<R: RandomSource + ?Sized>(n: usize, index: usize, rng: &mut R) -> Self {
+        Xor2ClientCore {
+            queries: Some(client_query(n, index, rng)),
+            answers: [None, None],
+            item: None,
+        }
+    }
+
+    /// The retrieved item, once the session is done.
+    pub fn item(&self) -> Option<&[u8]> {
+        self.item.as_deref()
+    }
+}
+
+impl SessionCore for Xor2ClientCore {
+    fn start(&mut self) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        let (q1, q2) = self.queries.take().ok_or(ProtocolError::InvalidMessage {
+            label: "pir2-query",
+            reason: "xor2 client core started twice",
+        })?;
+        Ok((
+            SessionState::Running,
+            vec![
+                OutMsg::to_server(0, "pir2-query", q1.to_bytes()),
+                OutMsg::to_server(1, "pir2-query", q2.to_bytes()),
+            ],
+        ))
+    }
+
+    fn on_message(
+        &mut self,
+        _half_round: u32,
+        server: usize,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        if label != "pir2-answer" || server > 1 || self.answers[server].is_some() {
+            return Err(ProtocolError::InvalidMessage {
+                label: "pir2-answer",
+                reason: "unexpected message for the xor2 client",
+            });
+        }
+        self.answers[server] = Some(Vec::<u8>::from_bytes(payload)?);
+        if let [Some(a1), Some(a2)] = &self.answers {
+            self.item = Some(client_combine(a1, a2)?);
+            return Ok((SessionState::Done, Vec::new()));
+        }
+        Ok((SessionState::Running, Vec::new()))
+    }
+}
+
+impl ClientCore for Xor2ClientCore {
+    /// Digest convention of the conformance harness: the byte-sum of the
+    /// retrieved item.
+    fn digest(&self) -> Option<u64> {
+        self.item
+            .as_ref()
+            .map(|item| item.iter().map(|&b| u64::from(b)).sum())
+    }
+
+    fn static_label(&self, label: &str) -> Option<&'static str> {
+        (label == "pir2-answer").then_some("pir2-answer")
+    }
 }
 
 #[cfg(test)]

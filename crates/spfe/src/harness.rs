@@ -36,7 +36,7 @@ use spfe_math::Fp64;
 use spfe_pir::poly_it::{self, PolyItParams};
 use spfe_pir::spir::{self, SpirParams};
 use spfe_pir::{batched, hom_pir, recursive, xor2};
-use spfe_transport::{Channel, FaultPlan, FaultyChannel, ProtocolError};
+use spfe_transport::{Channel, ClientCore, FaultPlan, FaultyChannel, ProtocolError, SessionCore};
 use std::sync::OnceLock;
 
 /// How many secret-input variants every driver supports (variant 0 is the
@@ -585,6 +585,91 @@ pub fn drivers() -> Vec<Driver> {
             expect_frequency,
         ),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// Networked-service wiring (DESIGN.md §15): the sans-io state machines of
+// the PIR/multiserver driver family, constructed with the *same* seeds,
+// databases, and indices as the canonical monolithic drivers above — so a
+// socket compute-mode run reproduces the canonical digest and transcript
+// byte-for-byte.
+// ---------------------------------------------------------------------------
+
+/// The drivers with genuine sans-io state machines ([`net_server_cores`] /
+/// [`net_client_core`]); every other driver runs over sockets through the
+/// relay-mode blanket adapter ([`spfe_transport::SocketChannel`]).
+pub const NET_CORE_DRIVERS: &[&str] = &["xor2", "hom_pir", "poly_it", "multiserver"];
+
+/// The server state machines hosting driver `name`'s canonical database,
+/// one per logical server; `None` for drivers without an extracted core.
+pub fn net_server_cores(name: &str) -> Option<Vec<Box<dyn SessionCore + Send>>> {
+    Some(match name {
+        "xor2" => (0..2)
+            .map(|i| {
+                Box::new(xor2::Xor2ServerCore::new(i, xor_db())) as Box<dyn SessionCore + Send>
+            })
+            .collect(),
+        "hom_pir" => vec![Box::new(hom_pir::HomPirServerCore::new(
+            fx().pk.clone(),
+            db16(),
+        ))],
+        "poly_it" => {
+            let params = poly_params();
+            (0..params.num_servers())
+                .map(|i| {
+                    Box::new(poly_it::PolyItServerCore::new(i, params, db16()))
+                        as Box<dyn SessionCore + Send>
+                })
+                .collect()
+        }
+        "multiserver" => {
+            let params = ms_params();
+            (0..params.num_servers())
+                .map(|i| {
+                    Box::new(multiserver::MsServerCore::new(i, params.clone(), db16()))
+                        as Box<dyn SessionCore + Send>
+                })
+                .collect()
+        }
+        _ => return None,
+    })
+}
+
+/// The client state machine for driver `name`'s canonical run (same rng
+/// seed, index, and database as the monolithic driver, so the digest —
+/// and the transcript — are identical); `None` for drivers without an
+/// extracted core.
+pub fn net_client_core(name: &str) -> Option<Box<dyn ClientCore>> {
+    Some(match name {
+        "xor2" => {
+            let mut rng = ChaChaRng::from_u64_seed(0xA0);
+            Box::new(xor2::Xor2ClientCore::new(16, 5, &mut rng)) as Box<dyn ClientCore>
+        }
+        "hom_pir" => {
+            let mut rng = ChaChaRng::from_u64_seed(0xA1);
+            let f = fx();
+            Box::new(hom_pir::HomPirClientCore::new(
+                f.pk.clone(),
+                f.sk.clone(),
+                16,
+                9,
+                &mut rng,
+            ))
+        }
+        "poly_it" => {
+            let mut rng = ChaChaRng::from_u64_seed(0xA5);
+            Box::new(poly_it::PolyItClientCore::new(poly_params(), 5, &mut rng))
+        }
+        "multiserver" => {
+            let mut rng = ChaChaRng::from_u64_seed(0xA6);
+            Box::new(multiserver::MsClientCore::new(
+                ms_params(),
+                &MS_INDICES[0],
+                &mut rng,
+            ))
+        }
+        _ => return None,
+    })
 }
 
 /// Runs driver `d` (canonical variant) over a fresh [`FaultyChannel`]

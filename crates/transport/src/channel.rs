@@ -144,6 +144,52 @@ pub trait ChannelExt: Channel {
 
 impl<C: Channel + ?Sized> ChannelExt for C {}
 
+/// Delivers already-encoded bytes with the shared bounded-retry policy:
+/// transient faults are retried up to [`MAX_ATTEMPTS`] times (healing a
+/// crashed server first), permanent faults surface immediately. This is
+/// the raw primitive under [`ChannelExt`]; the sans-io
+/// [`crate::session::pump`] uses it too, so state-machine executions mask
+/// faults exactly like the monolithic drivers.
+///
+/// # Errors
+///
+/// [`ProtocolError::RetriesExhausted`] once transient faults outlast the
+/// budget; any permanent [`ProtocolError`] as soon as it occurs.
+///
+/// # Panics
+///
+/// Panics if the directed server index is out of range (a driver bug).
+pub fn deliver_with_retry<C: Channel + ?Sized>(
+    ch: &mut C,
+    dir: Direction,
+    label: &'static str,
+    bytes: &[u8],
+) -> Result<Vec<u8>, ProtocolError> {
+    let server = dir.server();
+    assert!(server < ch.num_servers(), "server index out of range");
+    for attempt in 0..MAX_ATTEMPTS {
+        if attempt > 0 {
+            spfe_obs::count(spfe_obs::Op::Retries, 1);
+            spfe_obs::retry_event(label, server, u64::from(attempt));
+        }
+        match ch.transfer_raw(dir, label, bytes) {
+            Ok(delivered) => return Ok(delivered),
+            Err(e) if e.is_transient() => {
+                if let ProtocolError::ServerCrashed { server } = e {
+                    // Abort with diagnosis once the fault budget is spent.
+                    ch.heal_server(server)?;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ProtocolError::RetriesExhausted {
+        server,
+        label,
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
 /// One encode, up to [`MAX_ATTEMPTS`] deliveries, one decode.
 fn send<C: Channel + ?Sized, T: Wire>(
     ch: &mut C,
@@ -151,33 +197,9 @@ fn send<C: Channel + ?Sized, T: Wire>(
     label: &'static str,
     msg: &T,
 ) -> Result<T, ProtocolError> {
-    let server = dir.server();
-    assert!(server < ch.num_servers(), "server index out of range");
     let bytes = msg.to_bytes();
-    let mut last: Option<ProtocolError> = None;
-    for attempt in 0..MAX_ATTEMPTS {
-        if attempt > 0 {
-            spfe_obs::count(spfe_obs::Op::Retries, 1);
-            spfe_obs::retry_event(label, server, u64::from(attempt));
-        }
-        match ch.transfer_raw(dir, label, &bytes) {
-            Ok(delivered) => return T::from_bytes(&delivered).map_err(ProtocolError::from),
-            Err(e) if e.is_transient() => {
-                if let ProtocolError::ServerCrashed { server } = e {
-                    // Abort with diagnosis once the fault budget is spent.
-                    ch.heal_server(server)?;
-                }
-                last = Some(e);
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    let _ = last;
-    Err(ProtocolError::RetriesExhausted {
-        server,
-        label,
-        attempts: MAX_ATTEMPTS,
-    })
+    let delivered = deliver_with_retry(ch, dir, label, &bytes)?;
+    T::from_bytes(&delivered).map_err(ProtocolError::from)
 }
 
 #[cfg(test)]

@@ -84,7 +84,7 @@ impl CommReport {
 /// assert_eq!(report.half_rounds, 2);
 /// assert_eq!(report.messages, 2);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Transcript {
     num_servers: usize,
     records: Vec<MessageRecord>,

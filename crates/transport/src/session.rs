@@ -1,0 +1,318 @@
+//! Sans-io session cores: protocol state machines with the transport
+//! fully external.
+//!
+//! A [`SessionCore`] is one party's half of a protocol as a pure message
+//! processor — *message in → new state + messages out* — with no channel,
+//! socket, rng, or clock inside. The driver that owns the transport feeds
+//! it delivered bytes and carries its emissions; the same core therefore
+//! runs unchanged over the in-memory [`Transcript`](crate::Transcript),
+//! the fault-injecting [`crate::FaultyChannel`], or a TCP stream, and the
+//! conformance matrix (`tests/net_conformance.rs`) proves all three
+//! produce byte-identical transcripts.
+//!
+//! [`pump`] is the in-memory driver: it runs a client core against a set
+//! of server cores over any [`Channel`], delivering messages in the same
+//! phase order as the monolithic `run()` functions (all client → server
+//! messages of a burst, then all server replies in server order), so the
+//! metered half-round structure — and hence every audit fingerprint —
+//! matches the monolithic execution exactly.
+
+use crate::channel::{deliver_with_retry, Channel};
+use crate::error::ProtocolError;
+use crate::meter::Direction;
+
+/// Where a session core stands after processing a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// More messages are expected.
+    Running,
+    /// The core has produced its final output (or sent its last message).
+    Done,
+}
+
+/// A message a core asks its driver to deliver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutMsg {
+    /// The server on the non-client end of the message.
+    pub server: usize,
+    /// Direction (`true` = client → server).
+    pub client_to_server: bool,
+    /// Protocol label (the same label the monolithic driver meters).
+    pub label: &'static str,
+    /// The `Wire` encoding of the protocol message.
+    pub payload: Vec<u8>,
+}
+
+impl OutMsg {
+    /// A client → server message.
+    pub fn to_server(server: usize, label: &'static str, payload: Vec<u8>) -> OutMsg {
+        OutMsg {
+            server,
+            client_to_server: true,
+            label,
+            payload,
+        }
+    }
+
+    /// A server → client message from server `server`.
+    pub fn to_client(server: usize, label: &'static str, payload: Vec<u8>) -> OutMsg {
+        OutMsg {
+            server,
+            client_to_server: false,
+            label,
+            payload,
+        }
+    }
+}
+
+/// One party's half of a protocol as an explicit state machine.
+///
+/// Object-safe; implementations live next to the protocol code they
+/// extract (e.g. `spfe_pir::xor2::Xor2ServerCore`). Any randomness is
+/// consumed at construction time, so a core's behaviour is a pure
+/// function of the messages fed to it.
+pub trait SessionCore {
+    /// Messages to send before anything is received (client cores emit
+    /// their opening queries here; server cores usually emit nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] if the core cannot open the session.
+    fn start(&mut self) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+        Ok((SessionState::Running, Vec::new()))
+    }
+
+    /// Feeds one delivered message: `server` is the peer on the other end
+    /// (for a server core, its own index), `half_round` the receiver-side
+    /// half-round counter, `payload` the bytes as seen by this party.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] on malformed bytes or protocol violations; the
+    /// driver aborts the session and surfaces the error.
+    fn on_message(
+        &mut self,
+        half_round: u32,
+        server: usize,
+        label: &str,
+        payload: &[u8],
+    ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError>;
+}
+
+/// A client-side [`SessionCore`] that reduces the protocol result to the
+/// `u64` digest convention the conformance harness uses.
+pub trait ClientCore: SessionCore {
+    /// The digest of the protocol result, once [`SessionState::Done`].
+    fn digest(&self) -> Option<u64>;
+
+    /// Maps a wire label back into the protocol's static label set, so a
+    /// networked driver can meter received frames with the same
+    /// `&'static str` labels the in-memory transcript uses. `None` marks
+    /// the label as foreign to this protocol.
+    fn static_label(&self, label: &str) -> Option<&'static str>;
+}
+
+/// Runs a client core against its server cores over any [`Channel`],
+/// phase-synchronized: each burst delivers every client → server message
+/// (feeding the server cores), then every server reply in server order —
+/// the exact delivery order of the monolithic `run()` functions, so the
+/// metered transcript is byte-identical to theirs. Transient transport
+/// faults are retried with the same bounded policy as
+/// [`crate::ChannelExt`].
+///
+/// # Errors
+///
+/// Any [`ProtocolError`] surfaced by the transport or either side's core,
+/// or [`ProtocolError::InvalidMessage`] if the client core stops without
+/// a digest.
+pub fn pump(
+    ch: &mut dyn Channel,
+    client: &mut dyn ClientCore,
+    servers: &mut [Box<dyn SessionCore + Send>],
+) -> Result<u64, ProtocolError> {
+    for s in servers.iter_mut() {
+        // Server cores may not speak first in this driver family.
+        let (_, outs) = s.start()?;
+        if !outs.is_empty() {
+            return Err(ProtocolError::InvalidMessage {
+                label: "session",
+                reason: "server core tried to speak before the client",
+            });
+        }
+    }
+    let (mut state, mut outbox) = client.start()?;
+    let mut half_round = 0u32;
+    while !outbox.is_empty() {
+        let mut replies: Vec<OutMsg> = Vec::new();
+        half_round += 1;
+        for m in outbox.drain(..) {
+            if !m.client_to_server || m.server >= servers.len() {
+                return Err(ProtocolError::InvalidMessage {
+                    label: m.label,
+                    reason: "client core emitted a misdirected message",
+                });
+            }
+            let delivered =
+                deliver_with_retry(ch, Direction::ClientToServer(m.server), m.label, &m.payload)?;
+            let (_, outs) =
+                servers[m.server].on_message(half_round, m.server, m.label, &delivered)?;
+            replies.extend(outs);
+        }
+        half_round += 1;
+        let mut next: Vec<OutMsg> = Vec::new();
+        for m in replies {
+            if m.client_to_server || m.server >= servers.len() {
+                return Err(ProtocolError::InvalidMessage {
+                    label: m.label,
+                    reason: "server core emitted a misdirected message",
+                });
+            }
+            let delivered =
+                deliver_with_retry(ch, Direction::ServerToClient(m.server), m.label, &m.payload)?;
+            let (s, outs) = client.on_message(half_round, m.server, m.label, &delivered)?;
+            state = s;
+            next.extend(outs);
+        }
+        outbox = next;
+        if state == SessionState::Done && outbox.is_empty() {
+            break;
+        }
+        if outbox.is_empty() && state == SessionState::Running {
+            return Err(ProtocolError::InvalidMessage {
+                label: "session",
+                reason: "session stalled: no messages in flight and client not done",
+            });
+        }
+    }
+    client.digest().ok_or(ProtocolError::InvalidMessage {
+        label: "session",
+        reason: "client core finished without a digest",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::Transcript;
+    use crate::wire::Wire;
+
+    /// Toy protocol: client sends `x` to each server, server replies
+    /// `x + server`, client sums the replies.
+    struct ToyClient {
+        x: u64,
+        k: usize,
+        got: Vec<Option<u64>>,
+        sum: Option<u64>,
+    }
+
+    impl SessionCore for ToyClient {
+        fn start(&mut self) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+            let outs = (0..self.k)
+                .map(|s| OutMsg::to_server(s, "toy-q", self.x.to_bytes()))
+                .collect();
+            Ok((SessionState::Running, outs))
+        }
+
+        fn on_message(
+            &mut self,
+            _half_round: u32,
+            server: usize,
+            label: &str,
+            payload: &[u8],
+        ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+            assert_eq!(label, "toy-a");
+            let v = u64::from_bytes(payload)?;
+            self.got[server] = Some(v);
+            if self.got.iter().all(Option::is_some) {
+                self.sum = Some(self.got.iter().map(|v| v.unwrap()).sum());
+                return Ok((SessionState::Done, Vec::new()));
+            }
+            Ok((SessionState::Running, Vec::new()))
+        }
+    }
+
+    impl ClientCore for ToyClient {
+        fn digest(&self) -> Option<u64> {
+            self.sum
+        }
+        fn static_label(&self, label: &str) -> Option<&'static str> {
+            (label == "toy-a").then_some("toy-a")
+        }
+    }
+
+    struct ToyServer {
+        index: usize,
+    }
+
+    impl SessionCore for ToyServer {
+        fn on_message(
+            &mut self,
+            _half_round: u32,
+            server: usize,
+            label: &str,
+            payload: &[u8],
+        ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+            assert_eq!(server, self.index);
+            assert_eq!(label, "toy-q");
+            let x = u64::from_bytes(payload)?;
+            let reply = (x + self.index as u64).to_bytes();
+            Ok((
+                SessionState::Done,
+                vec![OutMsg::to_client(self.index, "toy-a", reply)],
+            ))
+        }
+    }
+
+    #[test]
+    fn pump_runs_the_toy_protocol() {
+        let k = 3;
+        let mut client = ToyClient {
+            x: 10,
+            k,
+            got: vec![None; k],
+            sum: None,
+        };
+        let mut servers: Vec<Box<dyn SessionCore + Send>> = (0..k)
+            .map(|index| Box::new(ToyServer { index }) as Box<dyn SessionCore + Send>)
+            .collect();
+        let mut t = Transcript::new(k);
+        let got = pump(&mut t, &mut client, &mut servers).unwrap();
+        assert_eq!(got, 33);
+        let rep = t.report();
+        assert_eq!(rep.half_rounds, 2, "one full round");
+        assert_eq!(rep.messages, 2 * k as u64);
+    }
+
+    #[test]
+    fn pump_surfaces_misdirected_messages() {
+        struct Bad;
+        impl SessionCore for Bad {
+            fn start(&mut self) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+                Ok((
+                    SessionState::Running,
+                    vec![OutMsg::to_server(5, "bad", vec![])],
+                ))
+            }
+            fn on_message(
+                &mut self,
+                _: u32,
+                _: usize,
+                _: &str,
+                _: &[u8],
+            ) -> Result<(SessionState, Vec<OutMsg>), ProtocolError> {
+                unreachable!()
+            }
+        }
+        impl ClientCore for Bad {
+            fn digest(&self) -> Option<u64> {
+                None
+            }
+            fn static_label(&self, _: &str) -> Option<&'static str> {
+                None
+            }
+        }
+        let mut t = Transcript::new(1);
+        let err = pump(&mut t, &mut Bad, &mut []).unwrap_err();
+        assert!(matches!(err, ProtocolError::InvalidMessage { .. }));
+    }
+}

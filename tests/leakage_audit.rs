@@ -120,6 +120,78 @@ fn client_view_is_the_union_of_server_views() {
     }
 }
 
+/// Extracts the ordered party fingerprints committed for `driver` in
+/// `BENCH_audit.json` (client first, then server0, server1, …).
+fn committed_fingerprints(baseline: &str, driver: &str) -> Vec<String> {
+    let needle = format!("\"driver\": \"{driver}\"");
+    let start = baseline
+        .find(&needle)
+        .unwrap_or_else(|| panic!("driver {driver} missing from BENCH_audit.json"));
+    let rest = &baseline[start + needle.len()..];
+    let end = rest.find("\"driver\":").unwrap_or(rest.len());
+    let report = &rest[..end];
+    let mut fps = Vec::new();
+    let mut cursor = report;
+    while let Some(at) = cursor.find("\"fingerprint\": \"") {
+        let hex = &cursor[at + 16..];
+        let close = hex.find('"').expect("unterminated fingerprint");
+        fps.push(hex[..close].to_owned());
+        cursor = &hex[close..];
+    }
+    assert!(!fps.is_empty(), "no fingerprints for {driver}");
+    fps
+}
+
+/// The networked gate: a loopback-TCP relay session of every driver must
+/// reproduce the *committed* `BENCH_audit.json` per-party `spfe-view/v1`
+/// fingerprints bit-for-bit — the wire carrier (in-memory vs. real
+/// sockets) is outside the view definition. Compute-mode sessions against
+/// hosted server cores must reproduce the client fingerprint too.
+#[test]
+fn socket_sessions_reproduce_committed_fingerprints() {
+    let _g = LOCK.lock().unwrap();
+    let baseline = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_audit.json"
+    ))
+    .expect("committed BENCH_audit.json");
+    // The committed baseline was captured at SPFE_THREADS=1.
+    spfe::math::par::set_threads(Some(1));
+    let server =
+        spfe_net::Server::bind("127.0.0.1:0", spfe_net::ServerConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let deadline = Some(std::time::Duration::from_secs(30));
+    for d in drivers() {
+        let committed = committed_fingerprints(&baseline, d.name);
+        let _ = fx();
+        spfe::obs::reset();
+        let run = spfe_net::run_driver_relay(&addr, &d, deadline).expect("relay session");
+        assert_eq!(run.digest, d.expect, "[{}] relay digest", d.name);
+        let mut views = run.transcript.party_views();
+        views[0].ops = deterministic_ops(&spfe::obs::ops_snapshot());
+        let fps: Vec<String> = views.iter().map(|v| v.fingerprint_hex()).collect();
+        assert_eq!(
+            fps, committed,
+            "[{}] loopback-TCP fingerprints diverge from the committed audit baseline",
+            d.name
+        );
+    }
+    for name in NET_CORE_DRIVERS {
+        let committed = committed_fingerprints(&baseline, name);
+        let _ = fx();
+        spfe::obs::reset();
+        let run = spfe_net::run_driver(&addr, name, deadline).expect("compute session");
+        let mut views = run.transcript.party_views();
+        views[0].ops = deterministic_ops(&spfe::obs::ops_snapshot());
+        let fps: Vec<String> = views.iter().map(|v| v.fingerprint_hex()).collect();
+        assert_eq!(
+            fps, committed,
+            "[{name}] compute-mode fingerprints diverge from the committed audit baseline"
+        );
+    }
+    spfe::math::par::set_threads(None);
+}
+
 fn arb_event() -> impl Strategy<Value = (u32, bool, String, u64)> {
     (1u32..6, any::<bool>(), "[a-z]{1,6}", 0u64..4096)
 }
