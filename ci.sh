@@ -121,8 +121,11 @@ echo "==> networked service smoke (spfe-server + spfe-client over loopback TCP)"
 cargo build "${OFFLINE[@]}" --release -p spfe-net --bins
 SRV_LOG="$WORK/server.log"
 CTL="$WORK/ctl"
+SNAP_MID="$WORK/metrics_mid.json"
+SNAP_FINAL="$WORK/metrics_final.json"
 mkfifo "$CTL"
-target/release/spfe-server --read-deadline-ms 30000 < "$CTL" > "$SRV_LOG" &
+SPFE_LOG=1 target/release/spfe-server --read-deadline-ms 30000 \
+  --metrics-json "$SNAP_FINAL" < "$CTL" > "$SRV_LOG" &
 SRV_PID=$!
 exec 9> "$CTL" # hold the fifo open so the server's stdin stays alive
 for _ in $(seq 1 50); do
@@ -132,10 +135,26 @@ done
 ADDR=$(awk '/^listening on /{print $3; exit}' "$SRV_LOG")
 test -n "$ADDR"
 target/release/spfe-client --addr "$ADDR" e1 e2 e11
+# Mid-run scrapes over the same listener: spfe-metrics/v1 JSON and
+# Prometheus text exposition, both while sessions are being served.
+target/release/spfe-client stats --addr "$ADDR" > "$SNAP_MID"
+target/release/spfe-client stats --addr "$ADDR" --prom > "$WORK/metrics.prom"
+grep -q '# TYPE spfe_sessions_opened_total counter' "$WORK/metrics.prom"
+grep -q 'spfe_sessions_failed_total{kind="panic"} 0' "$WORK/metrics.prom"
 echo quit >&9
 exec 9>&-
 wait "$SRV_PID"
 grep -q "failed=0" "$SRV_LOG"
+
+echo "==> service health + drift gates (spfe-tables serve-report)"
+# The mid-run scrape must already attest a healthy service (zero failed
+# sessions, nonzero payload traffic, registry invariants intact), the
+# shutdown snapshot must show no failure drift relative to it, and the
+# metrics schema must validate alongside cost/audit docs in one batch.
+test -s "$SNAP_FINAL"
+"$TABLES" validate "$WORK/BENCH_costs.json" "$WORK/e1.audit.json" "$SNAP_MID" "$SNAP_FINAL"
+"$TABLES" serve-report "$SNAP_MID"
+"$TABLES" serve-report "$SNAP_FINAL" --baseline "$SNAP_MID"
 
 echo "==> parallel-scaling gate (fresh pir-scan + trend --scaling)"
 # A fresh scan is measured in the scratch dir; the gate's rule is

@@ -451,16 +451,32 @@ pub enum DocKind {
     Cost(u32),
     /// An `spfe-audit/v1` leakage-audit document.
     Audit,
+    /// An `spfe-metrics/v1` operational-telemetry snapshot.
+    Metrics,
 }
 
-/// Validates one document of either family — cost suite (v1/v2/v3) or
-/// audit — dispatching on the `schema` field. Returns the human summary
-/// line (without the path prefix) and the detected kind.
+/// Validates one document of any family — cost suite (v1/v2/v3), audit,
+/// or metrics snapshot — dispatching on the `schema` field. Returns the
+/// human summary line (without the path prefix) and the detected kind.
 pub fn validate_doc(src: &str) -> Result<(String, DocKind), String> {
     let schema = json::parse(src)?
         .get("schema")
         .and_then(|s| s.as_str().map(str::to_owned))
         .ok_or("missing `schema` field")?;
+    if schema == spfe_obs::metrics::METRICS_SCHEMA {
+        let snap = spfe_obs::metrics::parse_snapshot(src)?;
+        return Ok((
+            format!(
+                "valid {} — {} session(s) ({} failed), {} driver row(s), {} byte(s)",
+                spfe_obs::metrics::METRICS_SCHEMA,
+                snap.sessions_opened,
+                snap.sessions_failed(),
+                snap.drivers.len(),
+                snap.bytes_total()
+            ),
+            DocKind::Metrics,
+        ));
+    }
     if schema == AUDIT_SCHEMA {
         let doc = parse_audit(src)?;
         let leaks: Vec<&str> = doc
@@ -623,9 +639,9 @@ mod tests {
         assert!(validate_doc("{\"schema\": \"spfe-audit/v1\", \"threads\": 1}").is_err());
         assert!(validate_doc("{\"threads\": 1}").is_err());
 
-        // A mixed batch — one audit doc between cost suites of different
-        // versions — classifies file-by-file, the tally `validate`
-        // prints: v1=1 v3=1 audit=1.
+        // A mixed batch — an audit doc and a metrics snapshot between
+        // cost suites of different versions — classifies file-by-file,
+        // the tally `validate` prints: v1=1 v3=1 audit=1 metrics=1.
         let cost_v3 = spfe_obs::suite_json(
             2,
             &[spfe_obs::CostReport {
@@ -638,16 +654,40 @@ mod tests {
                 ..Default::default()
             }],
         );
+        let registry = spfe_obs::metrics::Metrics::new();
+        registry.session_opened();
+        registry.session_closed(
+            "xor2",
+            "relay",
+            Ok(()),
+            spfe_obs::metrics::SessionUsage {
+                bytes_in: 64,
+                bytes_out: 32,
+                ..Default::default()
+            },
+        );
+        let metrics_doc = registry.snapshot().to_json();
+        let (summary, kind) = validate_doc(&metrics_doc).expect("metrics doc");
+        assert_eq!(kind, DocKind::Metrics);
+        assert!(summary.contains("spfe-metrics/v1"));
         let mut audits = 0usize;
+        let mut metrics = 0usize;
         let mut by_version = [0usize; 3];
-        for doc in [COST_V1_DOC, audit.as_str(), cost_v3.as_str()] {
+        for doc in [
+            COST_V1_DOC,
+            audit.as_str(),
+            cost_v3.as_str(),
+            metrics_doc.as_str(),
+        ] {
             let (_, kind) = validate_doc(doc).expect("each mixed file is valid");
             match kind {
                 DocKind::Audit => audits += 1,
+                DocKind::Metrics => metrics += 1,
                 DocKind::Cost(v) => by_version[v as usize - 1] += 1,
             }
         }
         assert_eq!(audits, 1);
+        assert_eq!(metrics, 1);
         assert_eq!(by_version, [1, 0, 1]);
     }
 

@@ -40,6 +40,12 @@
 //!   multi-thread scan must beat serial by ≥ `--speedup` (default 10%) at
 //!   every `n ≥ --min-n` (default 4096); with fewer cores the gate
 //!   degrades to a pool-overhead bound of `--overhead` (default 10%).
+//! * `serve-report SNAPSHOT [--baseline EARLIER]` — the service-health
+//!   gate over `spfe-metrics/v1` snapshots scraped from a running
+//!   `spfe-server` (`spfe-client stats`): absolute health rules (zero
+//!   failed sessions, nonzero traffic, registry invariants), plus — with
+//!   `--baseline` — a drift diff against an earlier scrape of the same
+//!   run that pinpoints which failure kind fired inside the window.
 //!
 //! Setting `SPFE_TRACE=1` makes a normal table run also record the journal
 //! and write `spfe.trace.json`/`spfe.folded` covering every experiment
@@ -115,6 +121,10 @@ fn main() {
             audit_cmd(&args[1..]);
             return;
         }
+        Some("serve-report") => {
+            serve_report_cmd(&args[1..]);
+            return;
+        }
         _ => {}
     }
 
@@ -183,21 +193,22 @@ fn list_ids() {
     }
     eprintln!(
         "  (plus the `validate [paths...]`, `trace <id> [--weight <op>]`, `mem <id>`, \
-         `trend --baseline A --current B`, and `audit [driver|eN|all]` subcommands \
-         and the `--json` flag)"
+         `trend --baseline A --current B`, `audit [driver|eN|all]`, and \
+         `serve-report SNAPSHOT [--baseline EARLIER]` subcommands and the `--json` flag)"
     );
 }
 
 /// `validate [paths...]`: checks each document — cost-report suite
-/// (v1/v2/v3) or `spfe-audit/v1` leakage audit, dispatching on the
-/// `schema` field — and, given several, prints a per-schema tally. Exits
-/// nonzero if any file fails.
+/// (v1/v2/v3), `spfe-audit/v1` leakage audit, or `spfe-metrics/v1`
+/// operational snapshot, dispatching on the `schema` field — and, given
+/// several, prints a per-schema tally. Exits nonzero if any file fails.
 fn validate_cmd(args: &[String]) {
     use spfe_bench::audit::DocKind;
     let default = ["BENCH_costs.json".to_owned()];
     let paths: &[String] = if args.is_empty() { &default } else { args };
     let mut by_version = [0usize; 3]; // cost v1, v2, v3
     let mut audits = 0usize;
+    let mut metrics = 0usize;
     let mut failures = 0usize;
     for path in paths {
         let checked = std::fs::read_to_string(path)
@@ -208,6 +219,7 @@ fn validate_cmd(args: &[String]) {
                 println!("{path}: {summary}");
                 match kind {
                     DocKind::Audit => audits += 1,
+                    DocKind::Metrics => metrics += 1,
                     DocKind::Cost(version) => {
                         if let Some(slot) = by_version.get_mut(version as usize - 1) {
                             *slot += 1;
@@ -223,7 +235,8 @@ fn validate_cmd(args: &[String]) {
     }
     if paths.len() > 1 {
         println!(
-            "schemas: v1={} v2={} v3={} audit={audits} ({} file(s), {} failure(s))",
+            "schemas: v1={} v2={} v3={} audit={audits} metrics={metrics} \
+             ({} file(s), {} failure(s))",
             by_version[0],
             by_version[1],
             by_version[2],
@@ -234,6 +247,87 @@ fn validate_cmd(args: &[String]) {
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// `serve-report SNAPSHOT [--baseline EARLIER]`: the service-health gate
+/// over `spfe-metrics/v1` snapshots (DESIGN.md §16). Always applies the
+/// absolute health rules to `SNAPSHOT` (no failed sessions, nonzero
+/// traffic, registry invariants intact); with `--baseline` additionally
+/// diffs against an earlier scrape of the same server run, flagging any
+/// failure counter that grew inside the window and any monotonic counter
+/// that went backwards. Exits nonzero on any violation.
+fn serve_report_cmd(args: &[String]) {
+    use spfe_bench::serve;
+    let mut snapshot_path: Option<&str> = None;
+    let mut baseline_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                let Some(path) = it.next() else {
+                    eprintln!("error: --baseline needs a path");
+                    std::process::exit(2);
+                };
+                baseline_path = Some(path);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown serve-report argument `{other}`");
+                eprintln!("usage: spfe-tables serve-report SNAPSHOT [--baseline EARLIER]");
+                std::process::exit(2);
+            }
+            other => snapshot_path = Some(other),
+        }
+    }
+    let Some(snapshot_path) = snapshot_path else {
+        eprintln!("usage: spfe-tables serve-report SNAPSHOT [--baseline EARLIER]");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> spfe_obs::metrics::MetricsSnapshot {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        });
+        spfe_obs::metrics::parse_snapshot(&src).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let snap = load(snapshot_path);
+    println!(
+        "serve-report: {} session(s) opened, {} completed, {} failed, {} over {} driver row(s)",
+        snap.sessions_opened,
+        snap.sessions_completed,
+        snap.sessions_failed(),
+        fmt_bytes(snap.bytes_total()),
+        snap.drivers.len()
+    );
+    let mut violations = serve::check_health(&snap).violations;
+    if let Some(baseline_path) = baseline_path {
+        let base = load(baseline_path);
+        let drift = serve::compare_snapshots(&base, &snap).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        for d in drift.deltas.iter().filter(|d| d.baseline != d.current) {
+            println!(
+                "  delta {}: {} -> {}{}",
+                d.metric,
+                d.baseline,
+                d.current,
+                if d.flagged { "  [FLAGGED]" } else { "" }
+            );
+        }
+        violations.extend(drift.violations);
+    }
+    if violations.is_empty() {
+        println!("serve-report: OK — healthy service, no failure drift");
+        return;
+    }
+    for v in &violations {
+        eprintln!("SERVE VIOLATION {v}");
+    }
+    eprintln!("serve-report: {} violation(s)", violations.len());
+    std::process::exit(1);
 }
 
 /// `audit [selectors...] [--json] [--check] [--accept] [--baseline PATH]`:

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! spfe-client --addr HOST:PORT [--deadline-ms MS] TARGET...
+//! spfe-client stats --addr HOST:PORT [--prom] [--watch] [--interval-ms MS] [--count N]
 //! ```
 //!
 //! Each `TARGET` is either a harness driver name (`xor2`, `hom_pir`, …)
@@ -10,16 +11,26 @@
 //! over TCP — compute mode when it has an extracted sans-io core, relay
 //! mode otherwise — and its digest is checked against the driver table's
 //! expected value. Exit status is 0 only if every run completed with the
-//! right digest.
+//! right digest; on failure the exit summary breaks the failures down by
+//! [`FailureKind`]. Set `SPFE_LOG=1` for per-run JSONL log lines on
+//! stderr, mirroring the server's session logs.
+//!
+//! The `stats` subcommand scrapes the live metrics endpoint of a running
+//! `spfe-server`: `spfe-metrics/v1` JSON by default, Prometheus text
+//! exposition with `--prom`. `--watch` keeps one connection open and
+//! re-fetches every `--interval-ms` (default 1000) until interrupted or
+//! `--count` snapshots have been printed.
 
 use spfe::harness;
 use spfe_bench::audit::AUDIT_GROUPS;
-use spfe_net::run_driver;
+use spfe_net::{classify_failure, run_driver, StatsConn};
+use spfe_obs::metrics::{epoch_micros, FailureKind, Metrics, SessionLogRecord, SessionUsage};
 use spfe_transport::SessionMode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!("usage: spfe-client --addr HOST:PORT [--deadline-ms MS] TARGET...");
+    eprintln!("       spfe-client stats --addr HOST:PORT [--prom] [--watch] [--interval-ms MS] [--count N]");
     eprintln!("  TARGET: a driver name (xor2, hom_pir, ...) or an experiment id (e1, e2, ...)");
     std::process::exit(2);
 }
@@ -31,11 +42,95 @@ fn expand(target: &str) -> Vec<String> {
     vec![target.to_owned()]
 }
 
+/// `spfe-client stats ...`: scrape the live metrics endpoint.
+fn stats_main(args: &[String]) -> ! {
+    let mut addr: Option<String> = None;
+    let mut deadline_ms = 30_000u64;
+    let mut prom = false;
+    let mut watch = false;
+    let mut interval_ms = 1_000u64;
+    let mut count = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(value(i));
+                i += 2;
+            }
+            "--deadline-ms" => {
+                deadline_ms = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--interval-ms" => {
+                interval_ms = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--count" => {
+                count = value(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--prom" => {
+                prom = true;
+                i += 1;
+            }
+            "--watch" => {
+                watch = true;
+                i += 1;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    let limit = if count > 0 {
+        count
+    } else if watch {
+        u64::MAX
+    } else {
+        1
+    };
+    let mut conn = match StatsConn::connect(&addr, deadline) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("spfe-client: stats connect failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut fetched = 0u64;
+    while fetched < limit {
+        if fetched > 0 {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        match conn.fetch(prom) {
+            Ok(body) => {
+                use std::io::Write;
+                let mut out = std::io::stdout().lock();
+                // A closed pipe (e.g. `... | head`) ends the scrape
+                // cleanly; println! would panic on it.
+                if writeln!(out, "{body}").and_then(|()| out.flush()).is_err() {
+                    std::process::exit(0);
+                }
+            }
+            Err(e) => {
+                eprintln!("spfe-client: stats fetch failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        fetched += 1;
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("stats") {
+        stats_main(&args[1..]);
+    }
     let mut addr: Option<String> = None;
     let mut deadline_ms = 30_000u64;
     let mut targets: Vec<String> = Vec::new();
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
@@ -61,24 +156,80 @@ fn main() {
     }
     let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
     let drivers = harness::drivers();
-    let mut failures = 0u32;
+    // A client-side registry mirroring the server's: the same taxonomy
+    // (plus digest mismatches, which only the client can detect) and the
+    // same per-driver aggregates, so both ends of a run can be compared.
+    let metrics = Metrics::new();
     for target in &targets {
         for name in expand(target) {
             let expect = match drivers.iter().find(|d| d.name == name) {
                 Some(d) => d.expect,
                 None => {
                     eprintln!("FAIL {name}: unknown driver");
-                    failures += 1;
+                    metrics.session_opened();
+                    metrics.session_closed(
+                        &name,
+                        "client",
+                        Err(FailureKind::ProtocolError),
+                        SessionUsage::default(),
+                    );
                     continue;
                 }
             };
-            match run_driver(&addr, &name, deadline) {
-                Ok(run) if run.digest == expect => {
-                    let rep = run.transcript.report();
-                    let mode = match run.mode {
+            metrics.session_opened();
+            let start = Instant::now();
+            let run = run_driver(&addr, &name, deadline);
+            let wall_micros = start.elapsed().as_micros() as u64;
+            let (mode, outcome, usage) = match &run {
+                Ok(r) => {
+                    let rep = r.transcript.report();
+                    let mode = match r.mode {
                         SessionMode::Compute => "compute",
                         SessionMode::Relay => "relay",
                     };
+                    let usage = SessionUsage {
+                        bytes_in: rep.client_to_server,
+                        bytes_out: rep.server_to_client,
+                        frames_in: 0,
+                        frames_out: 0,
+                        half_rounds: u64::from(rep.half_rounds),
+                        wall_micros,
+                    };
+                    let outcome = if r.digest == expect {
+                        Ok(())
+                    } else {
+                        Err(FailureKind::DigestMismatch)
+                    };
+                    (mode, outcome, usage)
+                }
+                Err(e) => {
+                    let usage = SessionUsage {
+                        wall_micros,
+                        ..SessionUsage::default()
+                    };
+                    ("client", Err(classify_failure(false, e)), usage)
+                }
+            };
+            metrics.session_closed(&name, mode, outcome, usage);
+            SessionLogRecord {
+                ts_micros: epoch_micros(),
+                session: 0,
+                peer: &addr,
+                driver: &name,
+                mode,
+                outcome: match outcome {
+                    Ok(()) => "ok",
+                    Err(kind) => kind.name(),
+                },
+                wall_micros: usage.wall_micros,
+                bytes_in: usage.bytes_in,
+                bytes_out: usage.bytes_out,
+                half_rounds: usage.half_rounds,
+            }
+            .emit();
+            match run {
+                Ok(run) if run.digest == expect => {
+                    let rep = run.transcript.report();
                     println!(
                         "ok {name} mode={mode} digest={} bytes={} half_rounds={}",
                         run.digest,
@@ -88,17 +239,22 @@ fn main() {
                 }
                 Ok(run) => {
                     eprintln!("FAIL {name}: digest {} != expected {expect}", run.digest);
-                    failures += 1;
                 }
                 Err(e) => {
                     eprintln!("FAIL {name}: {e}");
-                    failures += 1;
                 }
             }
         }
     }
-    if failures > 0 {
-        eprintln!("{failures} failure(s)");
+    let failed = metrics.sessions_failed();
+    if failed > 0 {
+        let snapshot = metrics.snapshot();
+        let breakdown: Vec<String> = FailureKind::ALL
+            .iter()
+            .filter(|k| snapshot.failure(**k) > 0)
+            .map(|k| format!("{}={}", k.name(), snapshot.failure(*k)))
+            .collect();
+        eprintln!("{failed} failure(s): {}", breakdown.join(" "));
         std::process::exit(1);
     }
 }

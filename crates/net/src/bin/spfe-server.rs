@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! spfe-server [--addr HOST] [--port PORT] [--read-deadline-ms MS]
+//!             [--metrics-json PATH]
 //! ```
 //!
 //! Binds `HOST:PORT` (default `127.0.0.1:0` — an ephemeral port), prints
 //! a single `listening on <addr>` line to stdout (the CI smoke stage
 //! parses it), then serves sessions until stdin reaches EOF or a line
 //! reading `quit` arrives, at which point it shuts down gracefully and
-//! prints the session counters.
+//! prints the session counters (with a per-kind failure breakdown when
+//! anything failed). With `--metrics-json PATH` the final
+//! `spfe-metrics/v1` snapshot is also written to `PATH` — the artifact
+//! CI uploads. Set `SPFE_LOG=1` for per-session JSONL logs on stderr;
+//! a live snapshot is always scrapeable via `spfe-client stats`.
 
 use spfe_net::{Server, ServerConfig};
+use spfe_obs::metrics::FailureKind;
 use std::io::BufRead;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: spfe-server [--addr HOST] [--port PORT] [--read-deadline-ms MS]");
+    eprintln!(
+        "usage: spfe-server [--addr HOST] [--port PORT] [--read-deadline-ms MS] \
+         [--metrics-json PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -23,6 +32,7 @@ fn main() {
     let mut host = "127.0.0.1".to_owned();
     let mut port = 0u16;
     let mut deadline_ms = 30_000u64;
+    let mut metrics_json: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -40,12 +50,17 @@ fn main() {
                 deadline_ms = value(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--metrics-json" => {
+                metrics_json = Some(value(i));
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
     let config = ServerConfig {
         read_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        inject_panic_driver: None,
     };
     let mut server = match Server::bind(&format!("{host}:{port}"), config) {
         Ok(s) => s,
@@ -66,10 +81,25 @@ fn main() {
         }
     }
     server.shutdown();
+    let snapshot = server.snapshot();
     println!(
         "sessions opened={} completed={} failed={}",
-        server.sessions_opened(),
-        server.sessions_completed(),
-        server.sessions_failed()
+        snapshot.sessions_opened,
+        snapshot.sessions_completed,
+        snapshot.sessions_failed()
     );
+    if snapshot.sessions_failed() > 0 {
+        let breakdown: Vec<String> = FailureKind::ALL
+            .iter()
+            .filter(|k| snapshot.failure(**k) > 0)
+            .map(|k| format!("{}={}", k.name(), snapshot.failure(*k)))
+            .collect();
+        println!("failures {}", breakdown.join(" "));
+    }
+    if let Some(path) = metrics_json {
+        if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("spfe-server: writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -229,6 +229,77 @@ pub fn run_driver(
     }
 }
 
+/// A held-open metrics scrape connection (one TCP connect amortized
+/// over many probes — what `spfe-client stats --watch` uses).
+///
+/// Each [`StatsConn::fetch`] sends one [`FrameKind::Stats`] request and
+/// returns the rendered snapshot; the server answers on the same
+/// connection until it is dropped.
+#[derive(Debug)]
+pub struct StatsConn {
+    stream: TcpStream,
+    session: u64,
+}
+
+impl StatsConn {
+    /// Connects to a running `spfe-server` for scraping.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::ServerCrashed`] when the connect fails, else any
+    /// socket-configuration error.
+    pub fn connect(addr: &str, deadline: Option<Duration>) -> Result<StatsConn, ProtocolError> {
+        Ok(StatsConn {
+            stream: connect(addr, deadline)?,
+            session: next_session_id(),
+        })
+    }
+
+    /// Fetches one snapshot: Prometheus text exposition when `prom`,
+    /// `spfe-metrics/v1` JSON otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Any transport error, or [`ProtocolError::InvalidMessage`] when the
+    /// peer answers with anything but a UTF-8 Stats frame.
+    pub fn fetch(&mut self, prom: bool) -> Result<String, ProtocolError> {
+        let request = Frame {
+            kind: FrameKind::Stats,
+            client_to_server: true,
+            session: self.session,
+            half_round: 0,
+            server: 0,
+            label: "stats".to_owned(),
+            payload: vec![u8::from(prom)],
+        };
+        write_frame(&mut self.stream, &request, 0, "net-stats")?;
+        let reply = read_frame(&mut self.stream, 0, "net-stats")?;
+        if reply.kind != FrameKind::Stats {
+            return Err(ProtocolError::InvalidMessage {
+                label: "net-stats",
+                reason: "peer did not answer the stats request",
+            });
+        }
+        String::from_utf8(reply.payload).map_err(|_| ProtocolError::InvalidMessage {
+            label: "net-stats",
+            reason: "stats payload is not UTF-8",
+        })
+    }
+}
+
+/// One-shot metrics scrape: connect, fetch one snapshot, hang up.
+///
+/// # Errors
+///
+/// As [`StatsConn::connect`] / [`StatsConn::fetch`].
+pub fn fetch_stats(
+    addr: &str,
+    prom: bool,
+    deadline: Option<Duration>,
+) -> Result<String, ProtocolError> {
+    StatsConn::connect(addr, deadline)?.fetch(prom)
+}
+
 fn connect(addr: &str, deadline: Option<Duration>) -> Result<TcpStream, ProtocolError> {
     let stream =
         TcpStream::connect(addr).map_err(|_| ProtocolError::ServerCrashed { server: 0 })?;

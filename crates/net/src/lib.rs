@@ -21,6 +21,14 @@
 //!   phase order as [`spfe_transport::pump`], metering every frame on a
 //!   local transcript so digests, per-label comm bytes, and audit
 //!   fingerprints are byte-identical to the in-memory run.
+//! * **Operational telemetry** (DESIGN.md §16) — every session settles
+//!   into a [`spfe_obs::metrics::Metrics`] registry (typed failure
+//!   taxonomy, per-driver latency histograms, byte totals), scrapeable
+//!   live over the same listener via [`fetch_stats`] /
+//!   `spfe-client stats`, with `SPFE_LOG`-gated JSONL session logs on
+//!   stderr. The registry's per-driver byte and half-round totals match
+//!   the client-side transcripts *exactly* — the conformance contract
+//!   `tests/net_metrics.rs` pins down.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +36,7 @@
 pub mod client;
 pub mod server;
 
-pub use client::{next_session_id, run_core, run_driver, run_driver_relay, NetRun};
-pub use server::{Server, ServerConfig};
+pub use client::{
+    fetch_stats, next_session_id, run_core, run_driver, run_driver_relay, NetRun, StatsConn,
+};
+pub use server::{classify_failure, Server, ServerConfig};

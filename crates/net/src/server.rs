@@ -3,24 +3,37 @@
 //!
 //! Each connection carries exactly one session, opened by a Hello frame
 //! whose label names the driver and whose payload selects the mode
-//! ([`SessionMode`]). Sessions are fully isolated: a connection that
-//! stalls, dies mid-protocol, or sends garbage poisons only its own
-//! thread — the accept loop and every other session keep running, which
-//! is the property `tests/net_timeout.rs` pins down.
+//! ([`SessionMode`]) — or a [`FrameKind::Stats`] scrape, answered with a
+//! live `spfe-metrics/v1` snapshot on the same listener (DESIGN.md §16).
+//! Sessions are fully isolated: a connection that stalls, dies
+//! mid-protocol, sends garbage, or even panics its session thread poisons
+//! only its own session — the accept loop and every other session keep
+//! running, which is the property `tests/net_timeout.rs` pins down.
+//!
+//! Every session settles into the operational [`Metrics`] registry:
+//! opened/completed counters, the typed [`FailureKind`] taxonomy instead
+//! of one opaque `failed` count, per-frame byte totals, and a
+//! per-`(driver, mode)` wall-clock histogram folded at close. With
+//! `SPFE_LOG` set, each session additionally emits one structured JSONL
+//! line on stderr ([`SessionLogRecord`]).
 //!
 //! Shutdown is cooperative: [`Server::shutdown`] flips a flag and nudges
 //! the accept loop awake with a loopback connection, then joins it. No
 //! signal handling, no non-std dependencies.
 
 use spfe::harness;
+use spfe_obs::metrics::{
+    epoch_micros, FailureKind, Metrics, MetricsSnapshot, SessionLogRecord, SessionUsage,
+};
 use spfe_transport::frame::{read_frame_or_eof, write_frame};
-use spfe_transport::{Frame, FrameKind, ProtocolError, SessionCore, SessionMode};
+use spfe_transport::{FlowMeter, Frame, FrameKind, ProtocolError, SessionCore, SessionMode};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -29,23 +42,19 @@ pub struct ServerConfig {
     /// for longer is torn down (its thread exits); other sessions are
     /// unaffected. `None` waits forever.
     pub read_deadline: Option<Duration>,
+    /// Fault injection for tests: a Hello naming this driver makes the
+    /// session thread panic mid-handshake, exercising the unwind-capture
+    /// path (counted as [`FailureKind::Panic`]). Never set in production.
+    pub inject_panic_driver: Option<String>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             read_deadline: Some(Duration::from_secs(30)),
+            inject_panic_driver: None,
         }
     }
-}
-
-/// Counters published by a running server (for smoke tests and the CI
-/// gate; monotonic, best-effort ordering).
-#[derive(Debug, Default)]
-struct Counters {
-    opened: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
 }
 
 /// A running SPFE session server.
@@ -53,7 +62,7 @@ struct Counters {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    counters: Arc<Counters>,
+    metrics: Arc<Metrics>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -68,16 +77,16 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
+        let metrics = Arc::new(Metrics::new());
         let accept = {
             let stop = Arc::clone(&stop);
-            let counters = Arc::clone(&counters);
-            std::thread::spawn(move || accept_loop(&listener, &config, &stop, &counters))
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || accept_loop(&listener, &config, &stop, &metrics))
         };
         Ok(Server {
             addr: local,
             stop,
-            counters,
+            metrics,
             accept: Some(accept),
         })
     }
@@ -87,20 +96,35 @@ impl Server {
         self.addr
     }
 
-    /// Sessions opened so far.
+    /// The live metrics registry (shared with the accept loop).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A point-in-time copy of every operational counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Sessions opened so far (a connection that showed frame activity;
+    /// clean connect-and-close probes and metrics scrapes are excluded).
     pub fn sessions_opened(&self) -> u64 {
-        self.counters.opened.load(Ordering::Relaxed)
+        self.metrics.sessions_opened()
     }
 
     /// Sessions that ran to a clean close (Bye or clean EOF).
     pub fn sessions_completed(&self) -> u64 {
-        self.counters.completed.load(Ordering::Relaxed)
+        self.metrics.sessions_completed()
     }
 
-    /// Sessions torn down on an error (timeout, crash, protocol
-    /// violation).
+    /// Sessions torn down on an error, summed over the failure taxonomy.
     pub fn sessions_failed(&self) -> u64 {
-        self.counters.failed.load(Ordering::Relaxed)
+        self.metrics.sessions_failed()
+    }
+
+    /// Sessions torn down with one specific [`FailureKind`].
+    pub fn failures(&self, kind: FailureKind) -> u64 {
+        self.metrics.failures(kind)
     }
 
     /// Stops accepting, wakes the accept loop, and joins it. In-flight
@@ -122,11 +146,25 @@ impl Drop for Server {
     }
 }
 
+/// Maps a session-stage [`ProtocolError`] into the failure taxonomy.
+/// `handshake` is true until the Hello acknowledgement was written.
+pub fn classify_failure(handshake: bool, e: &ProtocolError) -> FailureKind {
+    match e {
+        ProtocolError::Codec(_) => FailureKind::CodecReject,
+        ProtocolError::Timeout { .. } if handshake => FailureKind::HandshakeTimeout,
+        ProtocolError::Timeout { .. } | ProtocolError::RetriesExhausted { .. } => {
+            FailureKind::TransferTimeout
+        }
+        ProtocolError::ServerCrashed { .. } | ProtocolError::Dropped { .. } => FailureKind::Io,
+        _ => FailureKind::ProtocolError,
+    }
+}
+
 fn accept_loop(
     listener: &TcpListener,
     config: &ServerConfig,
     stop: &AtomicBool,
-    counters: &Arc<Counters>,
+    metrics: &Arc<Metrics>,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -141,16 +179,131 @@ fn accept_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let deadline = config.read_deadline;
-        let counters = Arc::clone(counters);
-        std::thread::spawn(move || {
-            counters.opened.fetch_add(1, Ordering::Relaxed);
-            match handle_session(stream, deadline) {
-                Ok(()) => counters.completed.fetch_add(1, Ordering::Relaxed),
-                Err(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
-            };
-        });
+        let config = config.clone();
+        let metrics = Arc::clone(metrics);
+        std::thread::spawn(move || run_session(stream, &config, &metrics));
     }
+}
+
+/// How a session ended when no failure tore it down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionEnd {
+    /// Clean EOF before any frame (the shutdown nudge, port scanners):
+    /// not a session, nothing counted.
+    Noop,
+    /// A metrics scrape; tracked as `stats_probes`, not as a session.
+    Stats,
+    /// A session that ran to Bye or clean EOF.
+    Completed,
+}
+
+/// A torn-down session: the classification plus the underlying error.
+#[derive(Debug)]
+struct SessionFailure {
+    kind: FailureKind,
+    #[allow(dead_code)] // kept for debug formatting in logs/tests
+    error: ProtocolError,
+}
+
+/// What the session thread knows about itself, shared across the unwind
+/// boundary so a panicking session still settles its partial accounting.
+#[derive(Debug, Default)]
+struct SessionCtx {
+    session: u64,
+    driver: String,
+    mode: &'static str,
+    opened: bool,
+    flow: FlowMeter,
+}
+
+fn lock_ctx<'a>(ctx: &'a Mutex<SessionCtx>) -> std::sync::MutexGuard<'a, SessionCtx> {
+    ctx.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Counts the session as opened exactly once (first frame activity).
+fn ensure_opened(ctx: &Mutex<SessionCtx>, metrics: &Metrics) {
+    let mut c = lock_ctx(ctx);
+    if !c.opened {
+        c.opened = true;
+        metrics.session_opened();
+    }
+}
+
+/// Builds a classified failure, making sure the session was counted as
+/// opened first so `opened == completed + failed + active` always holds.
+fn fail(
+    ctx: &Mutex<SessionCtx>,
+    metrics: &Metrics,
+    handshake: bool,
+    error: ProtocolError,
+) -> SessionFailure {
+    ensure_opened(ctx, metrics);
+    SessionFailure {
+        kind: classify_failure(handshake, &error),
+        error,
+    }
+}
+
+/// Runs one connection to completion and settles its metrics + log line.
+fn run_session(mut stream: TcpStream, config: &ServerConfig, metrics: &Arc<Metrics>) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_owned());
+    let start = Instant::now();
+    let ctx = Mutex::new(SessionCtx::default());
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        serve_connection(&mut stream, config, metrics, &ctx)
+    }));
+    let ctx = ctx.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let outcome: Result<(), FailureKind> = match &result {
+        Ok(Ok(SessionEnd::Noop)) | Ok(Ok(SessionEnd::Stats)) => return,
+        Ok(Ok(SessionEnd::Completed)) => Ok(()),
+        Ok(Err(f)) => Err(f.kind),
+        Err(_) => {
+            // The session thread panicked. The unwind is contained here:
+            // count it, log it, and let the thread exit quietly.
+            if !ctx.opened {
+                metrics.session_opened();
+            }
+            Err(FailureKind::Panic)
+        }
+    };
+    let usage = SessionUsage {
+        bytes_in: ctx.flow.bytes_in,
+        bytes_out: ctx.flow.bytes_out,
+        frames_in: ctx.flow.frames_in,
+        frames_out: ctx.flow.frames_out,
+        half_rounds: u64::from(ctx.flow.half_rounds()),
+        wall_micros: start.elapsed().as_micros() as u64,
+    };
+    let driver = if ctx.driver.is_empty() {
+        "unknown"
+    } else {
+        ctx.driver.as_str()
+    };
+    let mode = if ctx.mode.is_empty() {
+        "unknown"
+    } else {
+        ctx.mode
+    };
+    metrics.session_closed(driver, mode, outcome, usage);
+    SessionLogRecord {
+        ts_micros: epoch_micros(),
+        session: ctx.session,
+        peer: &peer,
+        driver,
+        mode,
+        outcome: match outcome {
+            Ok(()) => "ok",
+            Err(kind) => kind.name(),
+        },
+        wall_micros: usage.wall_micros,
+        bytes_in: usage.bytes_in,
+        bytes_out: usage.bytes_out,
+        half_rounds: usage.half_rounds,
+    }
+    .emit();
 }
 
 /// Sends an Error frame (best effort) and returns the protocol error.
@@ -172,27 +325,50 @@ fn abort(stream: &mut TcpStream, session: u64, label: &str, reason: &'static str
     e
 }
 
-/// Runs one session to completion on the session's own thread.
-fn handle_session(mut stream: TcpStream, deadline: Option<Duration>) -> Result<(), ProtocolError> {
-    stream
-        .set_read_timeout(deadline)
-        .and_then(|()| stream.set_write_timeout(deadline))
-        .map_err(|_| ProtocolError::InvalidMessage {
-            label: "net-session",
-            reason: "could not configure socket deadlines",
-        })?;
-    let hello = match read_frame_or_eof(&mut stream, true, 0, "net-hello")? {
-        Some(f) => f,
+/// Runs one session (or scrape) on the session's own thread.
+fn serve_connection(
+    stream: &mut TcpStream,
+    config: &ServerConfig,
+    metrics: &Metrics,
+    ctx: &Mutex<SessionCtx>,
+) -> Result<SessionEnd, SessionFailure> {
+    if stream
+        .set_read_timeout(config.read_deadline)
+        .and_then(|()| stream.set_write_timeout(config.read_deadline))
+        .is_err()
+    {
+        return Err(fail(
+            ctx,
+            metrics,
+            true,
+            ProtocolError::InvalidMessage {
+                label: "net-session",
+                reason: "could not configure socket deadlines",
+            },
+        ));
+    }
+    let hello = match read_frame_or_eof(stream, true, 0, "net-hello") {
         // The shutdown nudge (and port scanners) connect and immediately
         // close; that is a no-op, not a failed session.
-        None => return Ok(()),
+        Ok(None) => return Ok(SessionEnd::Noop),
+        Ok(Some(f)) => f,
+        Err(e) => return Err(fail(ctx, metrics, true, e)),
     };
+    if hello.kind == FrameKind::Stats {
+        return Ok(stats_session(stream, metrics, hello));
+    }
+    ensure_opened(ctx, metrics);
+    {
+        let mut c = lock_ctx(ctx);
+        c.session = hello.session;
+        c.driver = hello.label.clone();
+    }
     if hello.kind != FrameKind::Hello {
-        return Err(abort(
-            &mut stream,
-            hello.session,
-            "",
-            "expected a hello frame",
+        return Err(fail(
+            ctx,
+            metrics,
+            true,
+            abort(stream, hello.session, "", "expected a hello frame"),
         ));
     }
     let session = hello.session;
@@ -200,23 +376,35 @@ fn handle_session(mut stream: TcpStream, deadline: Option<Duration>) -> Result<(
         Some(0) => SessionMode::Relay,
         Some(1) => SessionMode::Compute,
         _ => {
-            return Err(abort(
-                &mut stream,
-                session,
-                &hello.label,
-                "unknown session mode",
+            return Err(fail(
+                ctx,
+                metrics,
+                true,
+                abort(stream, session, &hello.label, "unknown session mode"),
             ))
         }
     };
+    lock_ctx(ctx).mode = match mode {
+        SessionMode::Relay => "relay",
+        SessionMode::Compute => "compute",
+    };
+    if config.inject_panic_driver.as_deref() == Some(hello.label.as_str()) {
+        panic!("injected session panic (ServerConfig::inject_panic_driver)");
+    }
     let cores = if mode == SessionMode::Compute {
         match harness::net_server_cores(&hello.label) {
             Some(c) => Some(c),
             None => {
-                return Err(abort(
-                    &mut stream,
-                    session,
-                    &hello.label,
-                    "no server cores for this driver",
+                return Err(fail(
+                    ctx,
+                    metrics,
+                    true,
+                    abort(
+                        stream,
+                        session,
+                        &hello.label,
+                        "no server cores for this driver",
+                    ),
                 ))
             }
         }
@@ -232,31 +420,90 @@ fn handle_session(mut stream: TcpStream, deadline: Option<Duration>) -> Result<(
         label: hello.label.clone(),
         payload: vec![mode as u8],
     };
-    write_frame(&mut stream, &ack, 0, "net-hello")?;
+    if let Err(e) = write_frame(stream, &ack, 0, "net-hello") {
+        return Err(fail(ctx, metrics, true, e));
+    }
     match cores {
-        None => relay_session(&mut stream, session),
-        Some(mut cores) => compute_session(&mut stream, session, &mut cores),
+        None => relay_session(stream, session, metrics, ctx),
+        Some(mut cores) => compute_session(stream, session, &mut cores, metrics, ctx),
+    }
+    .map(|()| SessionEnd::Completed)
+}
+
+/// Answers [`FrameKind::Stats`] requests until the scraper hangs up.
+/// Scrapes are best effort and never count as session failures; each
+/// answered request bumps `stats_probes`. The request payload selects
+/// the format: `[0]` (or empty) = `spfe-metrics/v1` JSON, `[1]` =
+/// Prometheus text exposition.
+fn stats_session(stream: &mut TcpStream, metrics: &Metrics, first: Frame) -> SessionEnd {
+    let mut request = first;
+    loop {
+        metrics.stats_probe();
+        let snap = metrics.snapshot();
+        let (label, body) = if request.payload.first() == Some(&1) {
+            ("prom", snap.prometheus())
+        } else {
+            ("json", snap.to_json())
+        };
+        let reply = Frame {
+            kind: FrameKind::Stats,
+            client_to_server: false,
+            session: request.session,
+            half_round: 0,
+            server: 0,
+            label: label.to_owned(),
+            payload: body.into_bytes(),
+        };
+        if write_frame(stream, &reply, 0, "net-stats").is_err() {
+            return SessionEnd::Stats;
+        }
+        request = match read_frame_or_eof(stream, true, 0, "net-stats") {
+            // `--watch` holds the connection and sends further Stats
+            // frames; anything else ends the scrape.
+            Ok(Some(f)) if f.kind == FrameKind::Stats => f,
+            _ => return SessionEnd::Stats,
+        };
     }
 }
 
 /// Relay mode: echo every Msg frame back verbatim until Bye or EOF.
-fn relay_session(stream: &mut TcpStream, session: u64) -> Result<(), ProtocolError> {
+/// Each received frame is metered once by its *logical* direction flag;
+/// the echo is the same logical message and is not counted.
+fn relay_session(
+    stream: &mut TcpStream,
+    session: u64,
+    metrics: &Metrics,
+    ctx: &Mutex<SessionCtx>,
+) -> Result<(), SessionFailure> {
     loop {
-        let frame = match read_frame_or_eof(stream, true, 0, "net-relay")? {
-            Some(f) => f,
-            None => return Ok(()),
+        let frame = match read_frame_or_eof(stream, true, 0, "net-relay") {
+            Ok(None) => return Ok(()),
+            Ok(Some(f)) => f,
+            Err(e) => return Err(fail(ctx, metrics, false, e)),
         };
         match frame.kind {
             FrameKind::Msg if frame.session == session => {
-                write_frame(stream, &frame, frame.server as usize, "net-relay")?;
+                metrics.transfer(frame.client_to_server, frame.payload.len() as u64);
+                lock_ctx(ctx).flow.observe_msg(&frame);
+                if let Err(e) = write_frame(stream, &frame, frame.server as usize, "net-relay") {
+                    return Err(fail(ctx, metrics, false, e));
+                }
             }
-            FrameKind::Bye => return Ok(()),
+            FrameKind::Bye => {
+                lock_ctx(ctx).flow.observe_bye(&frame);
+                return Ok(());
+            }
             _ => {
-                return Err(abort(
-                    stream,
-                    session,
-                    &frame.label,
-                    "unexpected frame in relay session",
+                return Err(fail(
+                    ctx,
+                    metrics,
+                    false,
+                    abort(
+                        stream,
+                        session,
+                        &frame.label,
+                        "unexpected frame in relay session",
+                    ),
                 ))
             }
         }
@@ -265,38 +512,52 @@ fn relay_session(stream: &mut TcpStream, session: u64) -> Result<(), ProtocolErr
 
 /// Compute mode: feed each Msg frame to the addressed server core and
 /// write its replies back, until every core is consumed (the client sends
-/// Bye) or an error tears the session down.
+/// Bye) or an error tears the session down. Incoming frames meter as
+/// client → server traffic, originated replies as server → client.
 fn compute_session(
     stream: &mut TcpStream,
     session: u64,
     cores: &mut [Box<dyn SessionCore + Send>],
-) -> Result<(), ProtocolError> {
+    metrics: &Metrics,
+    ctx: &Mutex<SessionCtx>,
+) -> Result<(), SessionFailure> {
+    let proto = |ctx: &Mutex<SessionCtx>, e: ProtocolError| fail(ctx, metrics, false, e);
     for core in cores.iter_mut() {
-        let (_, outs) = core.start()?;
+        let (_, outs) = match core.start() {
+            Ok(r) => r,
+            Err(e) => return Err(proto(ctx, e)),
+        };
         if !outs.is_empty() {
-            return Err(abort(
-                stream,
-                session,
-                "",
-                "server core tried to speak first",
+            return Err(proto(
+                ctx,
+                abort(stream, session, "", "server core tried to speak first"),
             ));
         }
     }
     loop {
-        let frame = match read_frame_or_eof(stream, true, 0, "net-compute")? {
-            Some(f) => f,
-            None => return Ok(()),
+        let frame = match read_frame_or_eof(stream, true, 0, "net-compute") {
+            Ok(None) => return Ok(()),
+            Ok(Some(f)) => f,
+            Err(e) => return Err(proto(ctx, e)),
         };
         match frame.kind {
-            FrameKind::Bye => return Ok(()),
+            FrameKind::Bye => {
+                lock_ctx(ctx).flow.observe_bye(&frame);
+                return Ok(());
+            }
             FrameKind::Msg if frame.session == session => {
+                metrics.transfer(frame.client_to_server, frame.payload.len() as u64);
+                lock_ctx(ctx).flow.observe_msg(&frame);
                 let idx = frame.server as usize;
                 if idx >= cores.len() {
-                    return Err(abort(
-                        stream,
-                        session,
-                        &frame.label,
-                        "message addresses an unknown server",
+                    return Err(proto(
+                        ctx,
+                        abort(
+                            stream,
+                            session,
+                            &frame.label,
+                            "message addresses an unknown server",
+                        ),
                     ));
                 }
                 let step =
@@ -310,16 +571,19 @@ fn compute_session(
                             &frame.label,
                             "server core rejected the message",
                         );
-                        return Err(e);
+                        return Err(proto(ctx, e));
                     }
                 };
                 for m in outs {
                     if m.client_to_server {
-                        return Err(abort(
-                            stream,
-                            session,
-                            m.label,
-                            "server core emitted a misdirected message",
+                        return Err(proto(
+                            ctx,
+                            abort(
+                                stream,
+                                session,
+                                m.label,
+                                "server core emitted a misdirected message",
+                            ),
                         ));
                     }
                     let reply = Frame {
@@ -331,15 +595,22 @@ fn compute_session(
                         label: m.label.to_owned(),
                         payload: m.payload,
                     };
-                    write_frame(stream, &reply, m.server, m.label)?;
+                    metrics.transfer(false, reply.payload.len() as u64);
+                    lock_ctx(ctx).flow.observe_msg(&reply);
+                    if let Err(e) = write_frame(stream, &reply, m.server, m.label) {
+                        return Err(proto(ctx, e));
+                    }
                 }
             }
             _ => {
-                return Err(abort(
-                    stream,
-                    session,
-                    &frame.label,
-                    "unexpected frame in compute session",
+                return Err(proto(
+                    ctx,
+                    abort(
+                        stream,
+                        session,
+                        &frame.label,
+                        "unexpected frame in compute session",
+                    ),
                 ))
             }
         }

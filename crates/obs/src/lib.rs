@@ -62,6 +62,7 @@ pub mod export;
 pub mod histo;
 pub mod json;
 pub mod mem;
+pub mod metrics;
 mod report;
 mod span;
 pub mod suite;

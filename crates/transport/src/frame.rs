@@ -49,6 +49,11 @@ pub enum FrameKind {
     Bye = 2,
     /// The peer aborted the session; payload is a display string.
     Error = 3,
+    /// A metrics scrape: the request payload is `[format]` (0 = JSON,
+    /// 1 = Prometheus text), the reply payload is the rendered
+    /// `spfe-metrics/v1` snapshot. Served on the same listener as
+    /// sessions so operators need no second port.
+    Stats = 4,
 }
 
 impl FrameKind {
@@ -58,6 +63,7 @@ impl FrameKind {
             1 => Some(FrameKind::Msg),
             2 => Some(FrameKind::Bye),
             3 => Some(FrameKind::Error),
+            4 => Some(FrameKind::Stats),
             _ => None,
         }
     }

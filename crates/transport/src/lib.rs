@@ -28,7 +28,7 @@ pub use channel::{deliver_with_retry, Channel, ChannelExt, MAX_ATTEMPTS};
 pub use error::ProtocolError;
 pub use fault::{FaultAction, FaultPlan, FaultyChannel, TamperHook, DEFAULT_TIMEOUT_TICKS};
 pub use frame::{Frame, FrameKind, HEADER_LEN, MAGIC, MAX_LABEL_LEN, MAX_PAYLOAD_LEN, VERSION};
-pub use meter::{CommReport, Direction, MessageRecord, Transcript};
+pub use meter::{CommReport, Direction, FlowMeter, MessageRecord, Transcript};
 pub use session::{pump, ClientCore, OutMsg, SessionCore, SessionState};
 pub use socket::{SessionMode, SocketChannel};
 pub use wire::{Reader, Wire, WireError};

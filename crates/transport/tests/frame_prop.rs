@@ -21,6 +21,7 @@ fn frame_from(
         FrameKind::Msg,
         FrameKind::Bye,
         FrameKind::Error,
+        FrameKind::Stats,
     ];
     // Labels are short ASCII identifiers on the real wire; the codec only
     // requires utf-8 and the length bound.
@@ -45,7 +46,7 @@ proptest! {
 
     #[test]
     fn prop_frame_roundtrips(
-        kind_pick in 0usize..4,
+        kind_pick in 0usize..5,
         c2s in any::<bool>(),
         session in any::<u64>(),
         half_round in any::<u32>(),

@@ -13,6 +13,7 @@ use spfe::transport::{
     Channel, Direction, Frame, FrameKind, ProtocolError, SessionMode, SocketChannel,
 };
 use spfe_net::{next_session_id, run_driver, Server, ServerConfig};
+use spfe_obs::metrics::FailureKind;
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
@@ -249,4 +250,32 @@ fn killed_session_leaves_other_sessions_serving() {
             "[{name}] session after a killed session must still be correct"
         );
     }
+
+    // The failure taxonomy pins down *which* disruption was counted:
+    // the victim's silent disconnect is a clean EOF (completed), the
+    // garbage frame is exactly one codec reject — not a generic "failed"
+    // blur. Session threads settle asynchronously; poll until they do.
+    let start = Instant::now();
+    let snap = loop {
+        let snap = server.snapshot();
+        if snap.sessions_opened >= 5 && snap.sessions_active == 0 {
+            break snap;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "sessions never settled: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(snap.sessions_opened, 5);
+    assert_eq!(
+        snap.sessions_completed, 4,
+        "victim EOF + three driver runs all complete: {snap:?}"
+    );
+    assert_eq!(snap.sessions_failed(), 1);
+    assert_eq!(
+        server.failures(FailureKind::CodecReject),
+        1,
+        "the garbage frame must be counted as a codec reject, not io/protocol"
+    );
 }
