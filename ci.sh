@@ -115,6 +115,16 @@ for threads in 1 4; do
 done
 SPFE_THREADS=1 cargo test "${OFFLINE[@]}" --release -p spfe --test net_timeout -q
 
+echo "==> distributed tracing conformance (Lamport stamps, in-process merge gate)"
+# Stamps are issued once per logical delivery (masked-fault retries at
+# the audit seeds reproduce the honest stamp sequence), TraceCtx frames
+# are absorbed unmetered, and in-process loopback journals merge into a
+# causally consistent timeline at both thread settings (DESIGN.md §17).
+for threads in 1 4; do
+  echo "    SPFE_THREADS=$threads"
+  SPFE_THREADS=$threads cargo test "${OFFLINE[@]}" --release -p spfe --test net_trace -q
+done
+
 echo "==> networked service smoke (spfe-server + spfe-client over loopback TCP)"
 # The --no-default-features build above overwrote the release binaries;
 # put the instrumented service binaries back first.
@@ -123,9 +133,11 @@ SRV_LOG="$WORK/server.log"
 CTL="$WORK/ctl"
 SNAP_MID="$WORK/metrics_mid.json"
 SNAP_FINAL="$WORK/metrics_final.json"
+TRACE_CLIENT="$WORK/client.trace.json"
+TRACE_SERVER="$WORK/server.trace.json"
 mkfifo "$CTL"
 SPFE_LOG=1 target/release/spfe-server --read-deadline-ms 30000 \
-  --metrics-json "$SNAP_FINAL" < "$CTL" > "$SRV_LOG" &
+  --metrics-json "$SNAP_FINAL" --trace "$TRACE_SERVER" < "$CTL" > "$SRV_LOG" &
 SRV_PID=$!
 exec 9> "$CTL" # hold the fifo open so the server's stdin stays alive
 for _ in $(seq 1 50); do
@@ -134,7 +146,9 @@ for _ in $(seq 1 50); do
 done
 ADDR=$(awk '/^listening on /{print $3; exit}' "$SRV_LOG")
 test -n "$ADDR"
-target/release/spfe-client --addr "$ADDR" e1 e2 e11
+# e1/e2/e11 run in relay mode; xor2 has extracted sans-io cores and runs
+# in compute mode, so both session kinds land in the trace journals.
+target/release/spfe-client run --trace "$TRACE_CLIENT" --addr "$ADDR" e1 e2 e11 xor2
 # Mid-run scrapes over the same listener: spfe-metrics/v1 JSON and
 # Prometheus text exposition, both while sessions are being served.
 target/release/spfe-client stats --addr "$ADDR" > "$SNAP_MID"
@@ -145,6 +159,20 @@ echo quit >&9
 exec 9>&-
 wait "$SRV_PID"
 grep -q "failed=0" "$SRV_LOG"
+
+echo "==> distributed trace merge gate (spfe-tables net-trace)"
+# The two per-party journals from the smoke run must merge into one
+# causally consistent timeline: every receive Lamport-stamped strictly
+# after its matching send, per-session half-round depths equal on both
+# sides, per-direction counts/labels/bytes paired, and the server
+# journal's payload bytes reconciled against the metrics registry
+# (DESIGN.md §17). The checks read no wall clock, so this gate is
+# deterministic on any machine.
+test -s "$TRACE_CLIENT"
+test -s "$TRACE_SERVER"
+"$TABLES" net-trace e1 --merge "$TRACE_CLIENT" "$TRACE_SERVER" \
+  --metrics "$SNAP_FINAL" -o "$WORK/e1.net-trace.json"
+grep -q '"traceEvents"' "$WORK/e1.net-trace.json"
 
 echo "==> service health + drift gates (spfe-tables serve-report)"
 # The mid-run scrape must already attest a healthy service (zero failed

@@ -125,6 +125,10 @@ fn main() {
             serve_report_cmd(&args[1..]);
             return;
         }
+        Some("net-trace") => {
+            net_trace_cmd(&args[1..]);
+            return;
+        }
         _ => {}
     }
 
@@ -193,8 +197,10 @@ fn list_ids() {
     }
     eprintln!(
         "  (plus the `validate [paths...]`, `trace <id> [--weight <op>]`, `mem <id>`, \
-         `trend --baseline A --current B`, `audit [driver|eN|all]`, and \
-         `serve-report SNAPSHOT [--baseline EARLIER]` subcommands and the `--json` flag)"
+         `trend --baseline A --current B`, `audit [driver|eN|all]`, \
+         `serve-report SNAPSHOT [--baseline EARLIER]`, and \
+         `net-trace <id> --merge CLIENT SERVER [-o OUT] [--metrics SNAPSHOT]` \
+         subcommands and the `--json` flag)"
     );
 }
 
@@ -245,6 +251,105 @@ fn validate_cmd(args: &[String]) {
         );
     }
     if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `net-trace <id> --merge CLIENT SERVER [-o OUT] [--metrics SNAPSHOT]`:
+/// merges a client and a server `--trace` journal of the same networked
+/// run into one Perfetto timeline (DESIGN.md §17) and gates on causal
+/// consistency: every receive's Lamport stamp after its matching send,
+/// per-session pair counts and half-round depths equal on both sides,
+/// and — with `--metrics` — the server journal's byte totals equal to
+/// the metrics registry's. Exits nonzero on any violation; the merged
+/// timeline is still written so a failing run can be inspected.
+fn net_trace_cmd(args: &[String]) {
+    use spfe_bench::nettrace;
+    let usage = || -> ! {
+        eprintln!(
+            "usage: spfe-tables net-trace <id> --merge CLIENT SERVER [-o OUT] \
+             [--metrics SNAPSHOT]"
+        );
+        std::process::exit(2);
+    };
+    let mut id: Option<&str> = None;
+    let mut client_path: Option<&str> = None;
+    let mut server_path: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut metrics_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--merge" => {
+                client_path = it.next().map(String::as_str);
+                server_path = it.next().map(String::as_str);
+                if server_path.is_none() {
+                    eprintln!("error: --merge needs CLIENT and SERVER trace paths");
+                    usage();
+                }
+            }
+            "-o" | "--out" => {
+                out_path = it.next().map(String::as_str);
+                if out_path.is_none() {
+                    eprintln!("error: -o needs a path");
+                    usage();
+                }
+            }
+            "--metrics" => {
+                metrics_path = it.next().map(String::as_str);
+                if metrics_path.is_none() {
+                    eprintln!("error: --metrics needs a path");
+                    usage();
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown net-trace argument `{other}`");
+                usage();
+            }
+            other if id.is_none() => id = Some(other),
+            _ => usage(),
+        }
+    }
+    let (Some(id), Some(client_path), Some(server_path)) = (id, client_path, server_path) else {
+        usage();
+    };
+    let load_party = |path: &str| -> nettrace::PartyTrace {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        });
+        nettrace::parse_party(&src).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let client = load_party(client_path);
+    let server = load_party(server_path);
+    let (timeline, mut report) = nettrace::merge(id, &client, &server);
+    if let Some(path) = metrics_path {
+        let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        });
+        let snap = spfe_obs::metrics::parse_snapshot(&src).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        });
+        report
+            .violations
+            .extend(nettrace::check_against_metrics(&server, &snap));
+    }
+    let out_path = out_path.map_or_else(|| format!("{id}.net-trace.json"), str::to_owned);
+    if let Err(e) = std::fs::write(&out_path, &timeline) {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{}", report.summary());
+    println!("wrote {out_path}");
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
         std::process::exit(1);
     }
 }

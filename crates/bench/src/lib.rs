@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod nettrace;
 pub mod serve;
 pub mod trend;
 

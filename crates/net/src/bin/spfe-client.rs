@@ -1,7 +1,7 @@
 //! The SPFE network client binary.
 //!
 //! ```text
-//! spfe-client --addr HOST:PORT [--deadline-ms MS] TARGET...
+//! spfe-client [run] --addr HOST:PORT [--deadline-ms MS] [--trace PATH] TARGET...
 //! spfe-client stats --addr HOST:PORT [--prom] [--watch] [--interval-ms MS] [--count N]
 //! ```
 //!
@@ -13,13 +13,23 @@
 //! expected value. Exit status is 0 only if every run completed with the
 //! right digest; on failure the exit summary breaks the failures down by
 //! [`FailureKind`]. Set `SPFE_LOG=1` for per-run JSONL log lines on
-//! stderr, mirroring the server's session logs.
+//! stderr, mirroring the server's session logs. The leading `run`
+//! keyword is optional and names the default subcommand.
+//!
+//! `--trace PATH` turns the client's trace journal on for the whole run
+//! and writes it as a Perfetto JSON timeline on exit: per-session slices
+//! plus one Lamport-stamped instant per wire send/receive (DESIGN.md
+//! §17). Pair it with `spfe-server --trace` and merge the two files with
+//! `spfe-tables net-trace` for a cross-process timeline.
 //!
 //! The `stats` subcommand scrapes the live metrics endpoint of a running
 //! `spfe-server`: `spfe-metrics/v1` JSON by default, Prometheus text
 //! exposition with `--prom`. `--watch` keeps one connection open and
 //! re-fetches every `--interval-ms` (default 1000) until interrupted or
-//! `--count` snapshots have been printed.
+//! `--count` snapshots have been printed; when the server restarts
+//! between probes (uptime or session counters regress, or the held-open
+//! connection drops), the watcher prints a reset notice and reconnects
+//! instead of aborting the watch.
 
 use spfe::harness;
 use spfe_bench::audit::AUDIT_GROUPS;
@@ -29,9 +39,12 @@ use spfe_transport::SessionMode;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: spfe-client --addr HOST:PORT [--deadline-ms MS] TARGET...");
+    eprintln!(
+        "usage: spfe-client [run] --addr HOST:PORT [--deadline-ms MS] [--trace PATH] TARGET..."
+    );
     eprintln!("       spfe-client stats --addr HOST:PORT [--prom] [--watch] [--interval-ms MS] [--count N]");
     eprintln!("  TARGET: a driver name (xor2, hom_pir, ...) or an experiment id (e1, e2, ...)");
+    eprintln!("  --trace PATH: write the client trace journal as a Perfetto JSON timeline");
     std::process::exit(2);
 }
 
@@ -40,6 +53,27 @@ fn expand(target: &str) -> Vec<String> {
         return group.iter().map(|d| (*d).to_owned()).collect();
     }
     vec![target.to_owned()]
+}
+
+/// The restart-detection marks of one scrape: `(uptime_micros,
+/// sessions_opened)`. Both only ever grow within one server process, so
+/// either regressing between two probes means the process was replaced.
+fn watch_marks(body: &str, prom: bool) -> Option<(u64, u64)> {
+    if prom {
+        let mut uptime = None;
+        let mut opened = None;
+        for line in body.lines() {
+            if let Some(v) = line.strip_prefix("spfe_uptime_seconds ") {
+                uptime = v.trim().parse::<f64>().ok().map(|s| (s * 1e6) as u64);
+            } else if let Some(v) = line.strip_prefix("spfe_sessions_opened_total ") {
+                opened = v.trim().parse::<u64>().ok();
+            }
+        }
+        Some((uptime?, opened?))
+    } else {
+        let snap = spfe_obs::metrics::parse_snapshot(body).ok()?;
+        Some((snap.uptime_micros, snap.sessions_opened))
+    }
 }
 
 /// `spfe-client stats ...`: scrape the live metrics endpoint.
@@ -99,18 +133,54 @@ fn stats_main(args: &[String]) -> ! {
         }
     };
     let mut fetched = 0u64;
+    let mut last_marks: Option<(u64, u64)> = None;
     while fetched < limit {
         if fetched > 0 {
             std::thread::sleep(Duration::from_millis(interval_ms));
         }
         match conn.fetch(prom) {
             Ok(body) => {
+                // A server restart resets the registry: uptime or the
+                // opened counter stepping backwards between two probes is
+                // a new process, not drift — note it and keep watching.
+                if watch {
+                    if let Some(marks) = watch_marks(&body, prom) {
+                        if let Some((last_uptime, last_opened)) = last_marks {
+                            if marks.0 < last_uptime || marks.1 < last_opened {
+                                eprintln!(
+                                    "spfe-client: server restart detected \
+                                     (uptime or session counters regressed); counters reset"
+                                );
+                            }
+                        }
+                        last_marks = Some(marks);
+                    }
+                }
                 use std::io::Write;
                 let mut out = std::io::stdout().lock();
                 // A closed pipe (e.g. `... | head`) ends the scrape
                 // cleanly; println! would panic on it.
                 if writeln!(out, "{body}").and_then(|()| out.flush()).is_err() {
                     std::process::exit(0);
+                }
+            }
+            Err(e) if watch => {
+                // The held-open connection died — the usual sign the
+                // server went away mid-watch. Reconnect once; only a
+                // failed reconnect ends the watch.
+                match StatsConn::connect(&addr, deadline) {
+                    Ok(c) => {
+                        eprintln!(
+                            "spfe-client: stats connection dropped ({e}); \
+                             server restart detected, reconnected"
+                        );
+                        conn = c;
+                        continue;
+                    }
+                    Err(e2) => {
+                        eprintln!("spfe-client: stats fetch failed: {e}; reconnect failed: {e2}");
+                        std::process::exit(1);
+                    }
                 }
             }
             Err(e) => {
@@ -124,12 +194,17 @@ fn stats_main(args: &[String]) -> ! {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("stats") {
         stats_main(&args[1..]);
     }
+    // `run` is the default subcommand; the bare form stays valid.
+    if args.first().map(String::as_str) == Some("run") {
+        args.remove(0);
+    }
     let mut addr: Option<String> = None;
     let mut deadline_ms = 30_000u64;
+    let mut trace_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -143,6 +218,10 @@ fn main() {
                 deadline_ms = value(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--trace" => {
+                trace_path = Some(value(i));
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             other => {
                 targets.push(other.to_owned());
@@ -153,6 +232,9 @@ fn main() {
     let addr = addr.unwrap_or_else(|| usage());
     if targets.is_empty() {
         usage();
+    }
+    if trace_path.is_some() {
+        spfe_obs::trace::set_tracing(true);
     }
     let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
     let drivers = harness::drivers();
@@ -212,6 +294,7 @@ fn main() {
             };
             metrics.session_closed(&name, mode, outcome, usage);
             SessionLogRecord {
+                seq: spfe_obs::metrics::next_log_seq(),
                 ts_micros: epoch_micros(),
                 session: 0,
                 peer: &addr,
@@ -244,6 +327,15 @@ fn main() {
                     eprintln!("FAIL {name}: {e}");
                 }
             }
+        }
+    }
+    // Write the trace journal before settling the exit status so failed
+    // runs still leave a timeline to debug with.
+    if let Some(path) = &trace_path {
+        let trace = spfe_obs::trace::take();
+        if let Err(e) = std::fs::write(path, spfe_obs::export::perfetto_json(&trace)) {
+            eprintln!("spfe-client: could not write trace to {path}: {e}");
+            std::process::exit(1);
         }
     }
     let failed = metrics.sessions_failed();

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! spfe-server [--addr HOST] [--port PORT] [--read-deadline-ms MS]
-//!             [--metrics-json PATH]
+//!             [--metrics-json PATH] [--trace PATH]
 //! ```
 //!
 //! Binds `HOST:PORT` (default `127.0.0.1:0` — an ephemeral port), prints
@@ -14,6 +14,12 @@
 //! `spfe-metrics/v1` snapshot is also written to `PATH` — the artifact
 //! CI uploads. Set `SPFE_LOG=1` for per-session JSONL logs on stderr;
 //! a live snapshot is always scrapeable via `spfe-client stats`.
+//!
+//! `--trace PATH` turns the server's trace journal on for the process
+//! lifetime and writes it as a Perfetto JSON timeline at shutdown: one
+//! span per served session tagged `(session, driver, mode)` plus a
+//! Lamport-stamped instant per wire send/receive (DESIGN.md §17). Merge
+//! it with a client capture via `spfe-tables net-trace`.
 
 use spfe_net::{Server, ServerConfig};
 use spfe_obs::metrics::FailureKind;
@@ -23,7 +29,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: spfe-server [--addr HOST] [--port PORT] [--read-deadline-ms MS] \
-         [--metrics-json PATH]"
+         [--metrics-json PATH] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -33,6 +39,7 @@ fn main() {
     let mut port = 0u16;
     let mut deadline_ms = 30_000u64;
     let mut metrics_json: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -54,9 +61,16 @@ fn main() {
                 metrics_json = Some(value(i));
                 i += 2;
             }
+            "--trace" => {
+                trace_path = Some(value(i));
+                i += 2;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    if trace_path.is_some() {
+        spfe_obs::trace::set_tracing(true);
     }
     let config = ServerConfig {
         read_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
@@ -98,6 +112,15 @@ fn main() {
     }
     if let Some(path) = metrics_json {
         if let Err(e) = std::fs::write(&path, snapshot.to_json()) {
+            eprintln!("spfe-server: writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = trace_path {
+        // Session threads have exited by now (shutdown joins them), so
+        // their per-thread journals have all flushed to the sink.
+        let trace = spfe_obs::trace::take();
+        if let Err(e) = std::fs::write(&path, spfe_obs::export::perfetto_json(&trace)) {
             eprintln!("spfe-server: writing {path} failed: {e}");
             std::process::exit(1);
         }

@@ -16,10 +16,11 @@
 //! client-side transcript.
 
 use spfe::harness;
-use spfe_transport::frame::{read_frame, write_frame};
+use spfe_obs::trace as journal;
+use spfe_transport::frame::{read_frame, read_frame_traced, write_frame};
 use spfe_transport::{
-    Channel, ClientCore, Direction, Frame, FrameKind, ProtocolError, SessionMode, SessionState,
-    SocketChannel, Transcript,
+    Channel, ClientCore, Direction, Frame, FrameKind, Lamport, ProtocolError, SessionMode,
+    SessionState, SocketChannel, Transcript,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -87,7 +88,9 @@ pub fn run_core<S: Read + Write>(
             reason: "malformed hello acknowledgement",
         });
     }
+    spfe_obs::net_session_event(true, session, driver, SessionMode::Compute as u8);
     let mut transcript = Transcript::new(num_servers);
+    let mut clock = Lamport::new();
     let (mut state, mut outbox) = core.start()?;
     let mut expected = 0usize;
     while !(state == SessionState::Done && outbox.is_empty() && expected == 0) {
@@ -109,6 +112,18 @@ pub fn run_core<S: Read + Write>(
                 m.label,
                 m.payload,
             );
+            let stamp = clock.tick();
+            if journal::tracing() {
+                let ctx = Frame::trace_ctx(true, session, frame.half_round, stamp);
+                write_frame(&mut stream, &ctx, m.server, m.label)?;
+                spfe_obs::net_frame_event(
+                    true,
+                    m.label,
+                    frame.payload.len() as u64,
+                    frame.half_round,
+                    stamp,
+                );
+            }
             write_frame(&mut stream, &frame, m.server, m.label)?;
             expected += 1;
         }
@@ -119,7 +134,8 @@ pub fn run_core<S: Read + Write>(
             return Err(invalid("session stalled: no messages in flight"));
         }
         // One reply per delivered message in this protocol family.
-        let frame = read_frame(&mut stream, 0, "net-msg")?;
+        let (frame, carried) = read_frame_traced(&mut stream, 0, "net-msg")?;
+        let recv_stamp = clock.observe(carried.unwrap_or(0));
         expected -= 1;
         match frame.kind {
             FrameKind::Msg if frame.session == session => {
@@ -130,6 +146,13 @@ pub fn run_core<S: Read + Write>(
                 let label = core
                     .static_label(&frame.label)
                     .ok_or_else(|| invalid("reply label is foreign to this protocol"))?;
+                spfe_obs::net_frame_event(
+                    false,
+                    label,
+                    frame.payload.len() as u64,
+                    frame.half_round,
+                    recv_stamp,
+                );
                 transcript.record_raw(
                     Direction::ServerToClient(server),
                     label,
@@ -157,7 +180,14 @@ pub fn run_core<S: Read + Write>(
         label: String::new(),
         payload: Vec::new(),
     };
+    let stamp = clock.tick();
+    if journal::tracing() {
+        let ctx = Frame::trace_ctx(true, session, bye.half_round, stamp);
+        let _ = write_frame(&mut stream, &ctx, 0, "net-bye");
+        spfe_obs::net_frame_event(true, "net-bye", 0, bye.half_round, stamp);
+    }
     let _ = write_frame(&mut stream, &bye, 0, "net-bye");
+    spfe_obs::net_session_event(false, session, driver, SessionMode::Compute as u8);
     let digest = core
         .digest()
         .ok_or_else(|| invalid("client core finished without a digest"))?;

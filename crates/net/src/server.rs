@@ -25,8 +25,11 @@ use spfe::harness;
 use spfe_obs::metrics::{
     epoch_micros, FailureKind, Metrics, MetricsSnapshot, SessionLogRecord, SessionUsage,
 };
-use spfe_transport::frame::{read_frame_or_eof, write_frame};
-use spfe_transport::{FlowMeter, Frame, FrameKind, ProtocolError, SessionCore, SessionMode};
+use spfe_obs::trace as journal;
+use spfe_transport::frame::{read_frame_or_eof, read_frame_or_eof_traced, write_frame};
+use spfe_transport::{
+    FlowMeter, Frame, FrameKind, Lamport, ProtocolError, SessionCore, SessionMode,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -212,6 +215,9 @@ struct SessionCtx {
     session: u64,
     driver: String,
     mode: &'static str,
+    /// The Hello mode byte, re-emitted on the session's trace-journal
+    /// close event (0 = relay, 1 = compute).
+    mode_code: u8,
     opened: bool,
     flow: FlowMeter,
 }
@@ -288,7 +294,14 @@ fn run_session(mut stream: TcpStream, config: &ServerConfig, metrics: &Arc<Metri
         ctx.mode
     };
     metrics.session_closed(driver, mode, outcome, usage);
+    // Close the per-session span in this thread's trace journal; the
+    // settle path runs even when the session failed or panicked, so a
+    // captured server journal always balances its session slices.
+    if ctx.opened {
+        spfe_obs::net_session_event(false, ctx.session, driver, ctx.mode_code);
+    }
     SessionLogRecord {
+        seq: spfe_obs::metrics::next_log_seq(),
         ts_micros: epoch_micros(),
         session: ctx.session,
         peer: &peer,
@@ -384,10 +397,15 @@ fn serve_connection(
             ))
         }
     };
-    lock_ctx(ctx).mode = match mode {
-        SessionMode::Relay => "relay",
-        SessionMode::Compute => "compute",
-    };
+    {
+        let mut c = lock_ctx(ctx);
+        c.mode = match mode {
+            SessionMode::Relay => "relay",
+            SessionMode::Compute => "compute",
+        };
+        c.mode_code = mode as u8;
+    }
+    spfe_obs::net_session_event(true, session, &hello.label, mode as u8);
     if config.inject_panic_driver.as_deref() == Some(hello.label.as_str()) {
         panic!("injected session panic (ServerConfig::inject_panic_driver)");
     }
@@ -475,21 +493,47 @@ fn relay_session(
     metrics: &Metrics,
     ctx: &Mutex<SessionCtx>,
 ) -> Result<(), SessionFailure> {
+    let mut clock = Lamport::new();
     loop {
-        let frame = match read_frame_or_eof(stream, true, 0, "net-relay") {
+        let (frame, carried) = match read_frame_or_eof_traced(stream, true, 0, "net-relay") {
             Ok(None) => return Ok(()),
-            Ok(Some(f)) => f,
+            Ok(Some(got)) => got,
             Err(e) => return Err(fail(ctx, metrics, false, e)),
         };
+        let recv_stamp = clock.observe(carried.unwrap_or(0));
         match frame.kind {
             FrameKind::Msg if frame.session == session => {
+                spfe_obs::net_frame_event(
+                    false,
+                    &frame.label,
+                    frame.payload.len() as u64,
+                    frame.half_round,
+                    recv_stamp,
+                );
                 metrics.transfer(frame.client_to_server, frame.payload.len() as u64);
                 lock_ctx(ctx).flow.observe_msg(&frame);
+                let stamp = clock.tick();
+                if journal::tracing() {
+                    let ctx_frame = Frame::trace_ctx(false, session, frame.half_round, stamp);
+                    if let Err(e) =
+                        write_frame(stream, &ctx_frame, frame.server as usize, "net-relay")
+                    {
+                        return Err(fail(ctx, metrics, false, e));
+                    }
+                    spfe_obs::net_frame_event(
+                        true,
+                        &frame.label,
+                        frame.payload.len() as u64,
+                        frame.half_round,
+                        stamp,
+                    );
+                }
                 if let Err(e) = write_frame(stream, &frame, frame.server as usize, "net-relay") {
                     return Err(fail(ctx, metrics, false, e));
                 }
             }
             FrameKind::Bye => {
+                spfe_obs::net_frame_event(false, "net-bye", 0, frame.half_round, recv_stamp);
                 lock_ctx(ctx).flow.observe_bye(&frame);
                 return Ok(());
             }
@@ -534,18 +578,28 @@ fn compute_session(
             ));
         }
     }
+    let mut clock = Lamport::new();
     loop {
-        let frame = match read_frame_or_eof(stream, true, 0, "net-compute") {
+        let (frame, carried) = match read_frame_or_eof_traced(stream, true, 0, "net-compute") {
             Ok(None) => return Ok(()),
-            Ok(Some(f)) => f,
+            Ok(Some(got)) => got,
             Err(e) => return Err(proto(ctx, e)),
         };
+        let recv_stamp = clock.observe(carried.unwrap_or(0));
         match frame.kind {
             FrameKind::Bye => {
+                spfe_obs::net_frame_event(false, "net-bye", 0, frame.half_round, recv_stamp);
                 lock_ctx(ctx).flow.observe_bye(&frame);
                 return Ok(());
             }
             FrameKind::Msg if frame.session == session => {
+                spfe_obs::net_frame_event(
+                    false,
+                    &frame.label,
+                    frame.payload.len() as u64,
+                    frame.half_round,
+                    recv_stamp,
+                );
                 metrics.transfer(frame.client_to_server, frame.payload.len() as u64);
                 lock_ctx(ctx).flow.observe_msg(&frame);
                 let idx = frame.server as usize;
@@ -597,6 +651,20 @@ fn compute_session(
                     };
                     metrics.transfer(false, reply.payload.len() as u64);
                     lock_ctx(ctx).flow.observe_msg(&reply);
+                    let stamp = clock.tick();
+                    if journal::tracing() {
+                        let ctx_frame = Frame::trace_ctx(false, session, reply.half_round, stamp);
+                        if let Err(e) = write_frame(stream, &ctx_frame, m.server, m.label) {
+                            return Err(proto(ctx, e));
+                        }
+                        spfe_obs::net_frame_event(
+                            true,
+                            m.label,
+                            reply.payload.len() as u64,
+                            reply.half_round,
+                            stamp,
+                        );
+                    }
                     if let Err(e) = write_frame(stream, &reply, m.server, m.label) {
                         return Err(proto(ctx, e));
                     }

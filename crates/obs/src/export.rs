@@ -57,6 +57,7 @@ pub fn perfetto_json(trace: &Trace) -> String {
     for t in &trace.threads {
         let tid = t.thread;
         let mut open: Vec<&str> = Vec::new();
+        let mut open_sessions: Vec<&str> = Vec::new();
         let mut last_ns = 0u64;
         for e in &t.events {
             last_ns = last_ns.max(e.t_ns);
@@ -106,13 +107,44 @@ pub fn perfetto_json(trace: &Trace) -> String {
                     "{{\"name\":\"view:{}\",\"cat\":\"view\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"events\":{},\"server\":{}}}}}",
                     escape(e.label), e.a, e.b
                 )),
+                EventKind::NetSessionOpen => {
+                    open_sessions.push(e.label);
+                    emit(&mut out, format!(
+                        "{{\"name\":\"session:{}\",\"cat\":\"session\",\"ph\":\"B\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"session\":{},\"mode\":{}}}}}",
+                        escape(e.label), e.a, e.b
+                    ));
+                }
+                EventKind::NetSessionClose => {
+                    if open_sessions.pop().is_some() {
+                        emit(&mut out, format!(
+                            "{{\"name\":\"session:{}\",\"cat\":\"session\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}}}",
+                            escape(e.label)
+                        ));
+                    }
+                }
+                EventKind::NetSend | EventKind::NetRecv => {
+                    let dir = if e.kind == EventKind::NetSend { "send" } else { "recv" };
+                    let (half_round, lamport) = crate::trace::unpack_net_stamp(e.b);
+                    emit(&mut out, format!(
+                        "{{\"name\":\"{}\",\"cat\":\"net\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"dir\":\"{dir}\",\"bytes\":{},\"half_round\":{half_round},\"lamport\":{lamport}}}}}",
+                        escape(e.label), e.a
+                    ));
+                }
             }
         }
-        // Repair: close cap-truncated spans at the last seen timestamp.
+        // Repair: close cap-truncated spans (and session slices) at the
+        // last seen timestamp.
         while let Some(name) = open.pop() {
             let ts = micros(last_ns);
             emit(&mut out, format!(
                 "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}}}",
+                escape(name)
+            ));
+        }
+        while let Some(name) = open_sessions.pop() {
+            let ts = micros(last_ns);
+            emit(&mut out, format!(
+                "{{\"name\":\"session:{}\",\"cat\":\"session\",\"ph\":\"E\",\"ts\":{ts},\"pid\":1,\"tid\":{tid}}}",
                 escape(name)
             ));
         }
@@ -338,6 +370,50 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(7)
         );
+    }
+
+    #[test]
+    fn net_events_export_session_slices_and_stamped_instants() {
+        let stamp =
+            |half_round: u32, lamport: u32| (u64::from(half_round) << 32) | u64::from(lamport);
+        let trace = Trace {
+            threads: vec![ThreadTrace {
+                thread: 0,
+                events: vec![
+                    ev(EventKind::NetSessionOpen, 0, "xor2", 42, 1),
+                    ev(EventKind::NetSend, 100, "q", 64, stamp(1, 1)),
+                    ev(EventKind::NetRecv, 300, "a", 32, stamp(2, 3)),
+                    ev(EventKind::NetSessionClose, 400, "xor2", 42, 1),
+                    // A second session whose close was lost to the cap.
+                    ev(EventKind::NetSessionOpen, 500, "hom_pir", 43, 0),
+                ],
+                dropped: 0,
+            }],
+            cap: 16,
+        };
+        let doc = parse(&perfetto_json(&trace)).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let sessions: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("session"))
+            .collect();
+        assert_eq!(sessions.len(), 4, "2 opens + 1 close + 1 repaired close");
+        let open = sessions
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("session:xor2"))
+            .unwrap();
+        let args = open.get("args").unwrap();
+        assert_eq!(args.get("session").and_then(Json::as_u64), Some(42));
+        assert_eq!(args.get("mode").and_then(Json::as_u64), Some(1));
+        let send = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("net"))
+            .unwrap();
+        let args = send.get("args").unwrap();
+        assert_eq!(args.get("dir").and_then(Json::as_str), Some("send"));
+        assert_eq!(args.get("bytes").and_then(Json::as_u64), Some(64));
+        assert_eq!(args.get("half_round").and_then(Json::as_u64), Some(1));
+        assert_eq!(args.get("lamport").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -115,6 +115,15 @@ impl Histo {
     }
 }
 
+/// The full, stable ladder of bucket upper bounds, ascending: `2^b - 1`
+/// for every bucket index, ending at `u64::MAX`. Scrape pipelines that
+/// need a schedule-independent bucket schema (the Prometheus exposition
+/// emits one cumulative series per bound, occupied or not) iterate this
+/// instead of [`Histo::nonzero_buckets`].
+pub fn bucket_bounds() -> impl Iterator<Item = u64> {
+    (0..NUM_BUCKETS).map(bucket_max)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +212,24 @@ mod tests {
         assert_eq!(a.count(), 8);
         assert_eq!(a.p50(), bucket_max(bucket(10)));
         assert_eq!(a.p99(), bucket_max(bucket(1_000)));
+    }
+
+    #[test]
+    fn bucket_bounds_ladder_is_stable_and_ascending() {
+        let bounds: Vec<u64> = bucket_bounds().collect();
+        assert_eq!(bounds.len(), NUM_BUCKETS);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[1], 1);
+        assert_eq!(bounds[10], 1023);
+        assert_eq!(bounds[64], u64::MAX);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        // Every nonzero bucket bound is drawn from the ladder.
+        let mut h = Histo::new();
+        h.record(700);
+        h.record(0);
+        for (le, _) in h.nonzero_buckets() {
+            assert!(bounds.contains(&le));
+        }
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub use report::{
 };
 pub use span::{reset_spans, span, spans_snapshot, SpanGuard, SpanStat};
 pub use suite::{parse_suite, Suite};
-pub use trace::{fault_event, retry_event, view_event, wire_event};
+pub use trace::{
+    fault_event, net_frame_event, net_session_event, retry_event, unpack_net_stamp, view_event,
+    wire_event,
+};
 
 /// Whether the recording paths are compiled in (the `obs` feature).
 pub const fn enabled() -> bool {

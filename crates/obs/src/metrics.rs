@@ -613,9 +613,19 @@ impl MetricsSnapshot {
             );
             for d in &self.drivers {
                 let labels = driver_labels(d);
+                // Emit the full stable bound ladder, occupied or not, so a
+                // scrape pipeline sees the same bucket schema on every
+                // scrape (the JSON snapshot stays nonzero-only).
                 let mut cumulative = 0u64;
-                for &(le, n) in &d.buckets {
-                    cumulative = cumulative.saturating_add(n);
+                let mut occupied = d.buckets.iter().peekable();
+                for le in crate::histo::bucket_bounds() {
+                    while let Some(&&(bound, n)) = occupied.peek() {
+                        if bound > le {
+                            break;
+                        }
+                        cumulative = cumulative.saturating_add(n);
+                        occupied.next();
+                    }
                     out.push_str(&format!(
                         "spfe_session_wall_micros_bucket{{{labels},le=\"{le}\"}} {cumulative}\n"
                     ));
@@ -771,9 +781,22 @@ pub fn log_enabled() -> bool {
     })
 }
 
+/// The next per-process session-log sequence number (starting at 1).
+///
+/// Wall clocks can repeat or step backwards between two log lines; the
+/// sequence number is what gives a JSONL stream a total order a log
+/// collector can sort and gap-check on. Monotonic per process, shared
+/// across threads.
+pub fn next_log_seq() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// One structured session log line (JSONL on stderr, `SPFE_LOG`-gated).
 #[derive(Debug, Clone)]
 pub struct SessionLogRecord<'a> {
+    /// Per-process monotonic sequence number ([`next_log_seq`]).
+    pub seq: u64,
     /// Unix epoch microseconds when the session closed.
     pub ts_micros: u64,
     /// Session identifier from the Hello frame.
@@ -800,10 +823,11 @@ impl SessionLogRecord<'_> {
     /// Renders the record as one JSON object (no trailing newline).
     pub fn render(&self) -> String {
         format!(
-            "{{\"event\": \"session\", \"ts_micros\": {}, \"session\": {}, \
+            "{{\"event\": \"session\", \"seq\": {}, \"ts_micros\": {}, \"session\": {}, \
              \"peer\": \"{}\", \"driver\": \"{}\", \"mode\": \"{}\", \
              \"outcome\": \"{}\", \"wall_micros\": {}, \"bytes_in\": {}, \
              \"bytes_out\": {}, \"half_rounds\": {}}}",
+            self.seq,
             self.ts_micros,
             self.session,
             escape(self.peer),
@@ -987,6 +1011,32 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_histogram_emits_the_full_bucket_ladder() {
+        let snap = sample_registry().snapshot();
+        let prom = snap.prometheus();
+        // One cumulative series per stable bound, occupied or not, plus
+        // +Inf — the exposition schema does not depend on the samples.
+        for d in &snap.drivers {
+            let labels = format!("driver=\"{}\",mode=\"{}\"", d.driver, d.mode);
+            let buckets: Vec<&str> = prom
+                .lines()
+                .filter(|l| l.starts_with("spfe_session_wall_micros_bucket") && l.contains(&labels))
+                .collect();
+            assert_eq!(buckets.len(), crate::histo::NUM_BUCKETS + 1, "{labels}");
+            // Empty low buckets are present with a cumulative count of 0.
+            assert!(buckets[0].contains("le=\"0\"") && buckets[0].ends_with(" 0"));
+            // Cumulative counts are monotone and end at the sample count.
+            let counts: Vec<u64> = buckets
+                .iter()
+                .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+                .collect();
+            assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+            assert_eq!(*counts.last().unwrap(), d.wall_count);
+            assert!(buckets.last().unwrap().contains("le=\"+Inf\""));
+        }
+    }
+
+    #[test]
     fn prometheus_label_escaping() {
         assert_eq!(prom_escape("plain"), "plain");
         assert_eq!(prom_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
@@ -1037,6 +1087,7 @@ mod tests {
     #[test]
     fn session_log_line_is_valid_json() {
         let rec = SessionLogRecord {
+            seq: 7,
             ts_micros: 1_700_000_000_000_000,
             session: 42,
             peer: "127.0.0.1:5000",
@@ -1060,5 +1111,41 @@ mod tests {
             ..rec
         };
         assert!(json::parse(&hostile.render()).is_ok());
+    }
+
+    #[test]
+    fn session_log_seq_roundtrips_and_is_monotonic() {
+        // The seq field survives a render → parse roundtrip.
+        let rec = SessionLogRecord {
+            seq: next_log_seq(),
+            ts_micros: 123,
+            session: 1,
+            peer: "local",
+            driver: "d",
+            mode: "relay",
+            outcome: "ok",
+            wall_micros: 1,
+            bytes_in: 0,
+            bytes_out: 0,
+            half_rounds: 0,
+        };
+        let doc = json::parse(&rec.render()).expect("log line is JSON");
+        assert_eq!(doc.get("seq").and_then(Json::as_u64), Some(rec.seq));
+        // The allocator is monotonic (and strictly increasing) per
+        // process, even when other threads draw from it concurrently.
+        let a = next_log_seq();
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| (0..100).map(|_| next_log_seq()).collect::<Vec<_>>()))
+            .collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("seq thread"))
+            .collect();
+        let b = next_log_seq();
+        assert!(a >= 1 && b > a);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400, "no two lines share a sequence number");
+        assert!(all.iter().all(|&s| a < s && s < b));
     }
 }

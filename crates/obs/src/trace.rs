@@ -71,6 +71,23 @@ pub enum EventKind {
     /// layer; `label` is `"client"` or `"server"`, `a` the number of
     /// messages in the view, `b` the server index (0 for the client).
     ViewSeal,
+    /// A networked session span opened on this party; `label` is the
+    /// driver name (interned), `a` the session id, `b` the session mode
+    /// (0 = relay, 1 = compute). Frame events that follow on the same
+    /// thread belong to this session until the matching close.
+    NetSessionOpen,
+    /// The networked session span closed; fields as for
+    /// [`EventKind::NetSessionOpen`].
+    NetSessionClose,
+    /// A session frame left this party, stamped by its Lamport clock;
+    /// `label` is the frame label (interned), `a` the payload byte count,
+    /// `b` packs `half_round << 32 | lamport`.
+    NetSend,
+    /// A session frame arrived at this party; fields as for
+    /// [`EventKind::NetSend`], with `b` carrying the *receiver's* Lamport
+    /// stamp (strictly greater than the sender's, by the clock's merge
+    /// rule).
+    NetRecv,
 }
 
 /// One timestamped journal entry.
@@ -380,6 +397,22 @@ mod imp {
         SINK.lock().unwrap_or_else(|e| e.into_inner()).clear();
         GEN.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Interns a runtime string as a journal label. The networked paths
+    /// see driver names and wire labels as runtime strings (decoded from
+    /// frames), while the journal stores `&'static str`; each distinct
+    /// label is therefore leaked exactly once. The set is tiny — driver
+    /// names plus protocol labels — and only grows while tracing is on.
+    pub fn intern(s: &str) -> &'static str {
+        static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let mut set = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(hit) = set.iter().find(|k| **k == s) {
+            return hit;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        set.push(leaked);
+        leaked
+    }
 }
 
 #[cfg(not(feature = "obs"))]
@@ -407,6 +440,10 @@ mod imp {
     }
 
     pub fn reset() {}
+
+    pub fn intern(_s: &str) -> &'static str {
+        ""
+    }
 }
 
 #[cfg(feature = "obs")]
@@ -478,6 +515,50 @@ pub fn view_event(party_is_client: bool, server: usize, events: u64) {
     }
     let label = if party_is_client { "client" } else { "server" };
     imp::record(EventKind::ViewSeal, label, events, server as u64);
+}
+
+/// Records a networked session span opening or closing on this party.
+/// `mode` is the session-mode byte from the Hello frame (0 = relay,
+/// 1 = compute). Frame events recorded afterwards on the same thread
+/// belong to this session until the matching close, which is how the
+/// cross-process merge (`spfe-tables net-trace --merge`) attributes them.
+/// A no-op unless tracing is on.
+#[inline]
+pub fn net_session_event(open: bool, session: u64, driver: &str, mode: u8) {
+    if !imp::tracing() {
+        return;
+    }
+    let kind = if open {
+        EventKind::NetSessionOpen
+    } else {
+        EventKind::NetSessionClose
+    };
+    imp::record(kind, imp::intern(driver), session, u64::from(mode));
+}
+
+/// Records a stamped session-frame event: `send` for a frame leaving this
+/// party, receive otherwise. `lamport` is this party's Lamport stamp for
+/// the event (ticked on send, merged on receive, so a matched receive is
+/// always strictly greater than its send). A no-op unless tracing is on.
+#[inline]
+pub fn net_frame_event(send: bool, label: &str, bytes: u64, half_round: u32, lamport: u32) {
+    if !imp::tracing() {
+        return;
+    }
+    let kind = if send {
+        EventKind::NetSend
+    } else {
+        EventKind::NetRecv
+    };
+    let b = (u64::from(half_round) << 32) | u64::from(lamport);
+    imp::record(kind, imp::intern(label), bytes, b);
+}
+
+/// Unpacks the `b` word of a [`EventKind::NetSend`]/[`EventKind::NetRecv`]
+/// event into `(half_round, lamport)`.
+#[must_use]
+pub fn unpack_net_stamp(b: u64) -> (u32, u32) {
+    ((b >> 32) as u32, b as u32)
 }
 
 /// Drains everything recorded since the last [`take`]/[`reset`] (flushing
@@ -620,6 +701,35 @@ mod tests {
         assert_eq!((fault.label, fault.b), ("drop", 1));
         let retry = evs.iter().find(|e| e.kind == EventKind::Retry).unwrap();
         assert_eq!((retry.label, retry.a, retry.b), ("q", 1, 1));
+    }
+
+    #[test]
+    fn net_events_record_session_and_stamp_payloads() {
+        let trace = capture(|| {
+            net_session_event(true, 42, &String::from("toy-driver"), 1);
+            net_frame_event(true, &String::from("toy-q"), 128, 1, 7);
+            net_frame_event(false, "toy-a", 256, 2, 9);
+            net_session_event(false, 42, "toy-driver", 1);
+        });
+        let evs = my_events(&trace);
+        let open = evs
+            .iter()
+            .find(|e| e.kind == EventKind::NetSessionOpen)
+            .unwrap();
+        assert_eq!((open.label, open.a, open.b), ("toy-driver", 42, 1));
+        let close = evs
+            .iter()
+            .find(|e| e.kind == EventKind::NetSessionClose)
+            .unwrap();
+        // Interning is by content: the runtime String and the literal
+        // resolve to the same static label.
+        assert!(std::ptr::eq(open.label, close.label));
+        let send = evs.iter().find(|e| e.kind == EventKind::NetSend).unwrap();
+        assert_eq!((send.label, send.a), ("toy-q", 128));
+        assert_eq!(unpack_net_stamp(send.b), (1, 7));
+        let recv = evs.iter().find(|e| e.kind == EventKind::NetRecv).unwrap();
+        assert_eq!((recv.label, recv.a), ("toy-a", 256));
+        assert_eq!(unpack_net_stamp(recv.b), (2, 9));
     }
 
     #[test]

@@ -54,6 +54,15 @@ pub enum FrameKind {
     /// `spfe-metrics/v1` snapshot. Served on the same listener as
     /// sessions so operators need no second port.
     Stats = 4,
+    /// A causal-context carrier for distributed session tracing: the
+    /// `server` header field carries the sender's Lamport stamp
+    /// ([`crate::Lamport`]) and `half_round` its half-round counter, for
+    /// the next session frame on the stream. Label and payload are empty
+    /// (the 30-byte header has no reserved space). Only emitted while the
+    /// sender's trace journal is on; receivers absorb it transparently on
+    /// every read path, and it is never metered — transcripts, metrics,
+    /// and view fingerprints are byte-identical with tracing on or off.
+    TraceCtx = 5,
 }
 
 impl FrameKind {
@@ -64,6 +73,7 @@ impl FrameKind {
             2 => Some(FrameKind::Bye),
             3 => Some(FrameKind::Error),
             4 => Some(FrameKind::Stats),
+            5 => Some(FrameKind::TraceCtx),
             _ => None,
         }
     }
@@ -112,6 +122,20 @@ impl Frame {
             server: server as u32,
             label: label.to_owned(),
             payload,
+        }
+    }
+
+    /// Builds a `TraceCtx` frame carrying `lamport` (and the sender's
+    /// half-round counter) for the next session frame on the stream.
+    pub fn trace_ctx(client_to_server: bool, session: u64, half_round: u32, lamport: u32) -> Frame {
+        Frame {
+            kind: FrameKind::TraceCtx,
+            client_to_server,
+            session,
+            half_round,
+            server: lamport,
+            label: String::new(),
+            payload: Vec::new(),
         }
     }
 
@@ -314,6 +338,50 @@ pub fn read_frame_or_eof<R: Read>(
     Ok(Some(Frame::from_parts(&header, text, payload)))
 }
 
+/// Like [`read_frame`], but transparently absorbs any
+/// [`FrameKind::TraceCtx`] frames in front of the next session frame,
+/// returning the frame together with the carried Lamport stamp (if the
+/// peer is tracing). This is the read primitive every session loop uses,
+/// so a tracing peer interoperates with a non-tracing one.
+///
+/// # Errors
+///
+/// As for [`read_frame`].
+pub fn read_frame_traced<R: Read>(
+    r: &mut R,
+    server: usize,
+    label: &'static str,
+) -> Result<(Frame, Option<u32>), ProtocolError> {
+    match read_frame_or_eof_traced(r, false, server, label)? {
+        Some(got) => Ok(got),
+        None => Err(ProtocolError::ServerCrashed { server }),
+    }
+}
+
+/// Like [`read_frame_or_eof`], but absorbs [`FrameKind::TraceCtx`] frames
+/// as [`read_frame_traced`] does. A clean EOF between frames (including
+/// directly after a trace context, which a crashing peer can leave
+/// behind) yields `Ok(None)` when `eof_ok` is set.
+///
+/// # Errors
+///
+/// As for [`read_frame_or_eof`].
+pub fn read_frame_or_eof_traced<R: Read>(
+    r: &mut R,
+    eof_ok: bool,
+    server: usize,
+    label: &'static str,
+) -> Result<Option<(Frame, Option<u32>)>, ProtocolError> {
+    let mut carried: Option<u32> = None;
+    loop {
+        match read_frame_or_eof(r, eof_ok, server, label)? {
+            Some(f) if f.kind == FrameKind::TraceCtx => carried = Some(f.server),
+            Some(f) => return Ok(Some((f, carried))),
+            None => return Ok(None),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +466,44 @@ mod tests {
             read_frame(&mut cursor, 7, "t"),
             Err(ProtocolError::ServerCrashed { server: 7 })
         ));
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips_and_is_header_only() {
+        let f = Frame::trace_ctx(true, 77, 3, 41);
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), HEADER_LEN, "no label, no payload");
+        let (got, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(got, f);
+        assert_eq!(
+            (got.kind, got.server, got.half_round),
+            (FrameKind::TraceCtx, 41, 3)
+        );
+    }
+
+    #[test]
+    fn traced_reader_absorbs_trace_ctx_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::trace_ctx(true, 9, 1, 5), 0, "t").unwrap();
+        let msg = sample();
+        write_frame(&mut buf, &msg, 0, "t").unwrap();
+        // A bare frame with no context in front carries no stamp.
+        write_frame(&mut buf, &msg, 0, "t").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let (got, stamp) = read_frame_traced(&mut cursor, 0, "t").unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(stamp, Some(5));
+        let (got, stamp) = read_frame_traced(&mut cursor, 0, "t").unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(stamp, None);
+        // EOF directly after a trailing context is still a clean EOF.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::trace_ctx(true, 9, 2, 6), 0, "t").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame_or_eof_traced(&mut cursor, true, 0, "t")
+            .unwrap()
+            .is_none());
     }
 
     #[test]

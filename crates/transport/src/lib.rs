@@ -18,6 +18,7 @@ pub mod channel;
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod lamport;
 pub mod meter;
 pub mod report_wire;
 pub mod session;
@@ -28,6 +29,7 @@ pub use channel::{deliver_with_retry, Channel, ChannelExt, MAX_ATTEMPTS};
 pub use error::ProtocolError;
 pub use fault::{FaultAction, FaultPlan, FaultyChannel, TamperHook, DEFAULT_TIMEOUT_TICKS};
 pub use frame::{Frame, FrameKind, HEADER_LEN, MAGIC, MAX_LABEL_LEN, MAX_PAYLOAD_LEN, VERSION};
+pub use lamport::Lamport;
 pub use meter::{CommReport, Direction, FlowMeter, MessageRecord, Transcript};
 pub use session::{pump, ClientCore, OutMsg, SessionCore, SessionState};
 pub use socket::{SessionMode, SocketChannel};

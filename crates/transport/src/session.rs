@@ -19,6 +19,7 @@
 
 use crate::channel::{deliver_with_retry, Channel};
 use crate::error::ProtocolError;
+use crate::lamport::Lamport;
 use crate::meter::Direction;
 
 /// Where a session core stands after processing a message.
@@ -142,6 +143,11 @@ pub fn pump(
     }
     let (mut state, mut outbox) = client.start()?;
     let mut half_round = 0u32;
+    // Causal clocks for the trace journal: one per party, stamped once
+    // per *logical* delivery (a retried delivery reuses its stamp), so
+    // stamps stay strictly monotone per party under masked faults.
+    let mut client_clock = Lamport::new();
+    let mut server_clocks = vec![Lamport::new(); servers.len()];
     while !outbox.is_empty() {
         let mut replies: Vec<OutMsg> = Vec::new();
         half_round += 1;
@@ -152,8 +158,12 @@ pub fn pump(
                     reason: "client core emitted a misdirected message",
                 });
             }
+            let stamp = client_clock.tick();
+            spfe_obs::net_frame_event(true, m.label, m.payload.len() as u64, half_round, stamp);
             let delivered =
                 deliver_with_retry(ch, Direction::ClientToServer(m.server), m.label, &m.payload)?;
+            let recv = server_clocks[m.server].observe(stamp);
+            spfe_obs::net_frame_event(false, m.label, delivered.len() as u64, half_round, recv);
             let (_, outs) =
                 servers[m.server].on_message(half_round, m.server, m.label, &delivered)?;
             replies.extend(outs);
@@ -167,8 +177,12 @@ pub fn pump(
                     reason: "server core emitted a misdirected message",
                 });
             }
+            let stamp = server_clocks[m.server].tick();
+            spfe_obs::net_frame_event(true, m.label, m.payload.len() as u64, half_round, stamp);
             let delivered =
                 deliver_with_retry(ch, Direction::ServerToClient(m.server), m.label, &m.payload)?;
+            let recv = client_clock.observe(stamp);
+            spfe_obs::net_frame_event(false, m.label, delivered.len() as u64, half_round, recv);
             let (s, outs) = client.on_message(half_round, m.server, m.label, &delivered)?;
             state = s;
             next.extend(outs);

@@ -31,8 +31,10 @@
 
 use crate::channel::Channel;
 use crate::error::ProtocolError;
-use crate::frame::{read_frame, write_frame, Frame, FrameKind};
+use crate::frame::{read_frame, read_frame_traced, write_frame, Frame, FrameKind};
+use crate::lamport::Lamport;
 use crate::meter::{Direction, Transcript};
+use spfe_obs::trace as journal;
 use std::io::{Read, Write};
 
 /// How the peer should treat this session (the byte carried in Hello).
@@ -49,8 +51,13 @@ pub enum SessionMode {
 pub struct SocketChannel<S: Read + Write> {
     stream: S,
     session: u64,
+    driver: String,
+    mode: SessionMode,
     transcript: Transcript,
     poisoned: Option<ProtocolError>,
+    /// Per-session causal clock for distributed tracing: ticked once per
+    /// logical send, merged on every receive (DESIGN.md §17).
+    lamport: Lamport,
 }
 
 impl<S: Read + Write> SocketChannel<S> {
@@ -92,11 +99,15 @@ impl<S: Read + Write> SocketChannel<S> {
                 reason: "malformed hello acknowledgement",
             });
         }
+        spfe_obs::net_session_event(true, session, driver, mode as u8);
         Ok(SocketChannel {
             stream,
             session,
+            driver: driver.to_owned(),
+            mode,
             transcript: Transcript::new(num_servers),
             poisoned: None,
+            lamport: Lamport::new(),
         })
     }
 
@@ -117,7 +128,14 @@ impl<S: Read + Write> SocketChannel<S> {
             label: String::new(),
             payload: Vec::new(),
         };
+        let stamp = self.lamport.tick();
+        if journal::tracing() {
+            let ctx = Frame::trace_ctx(true, self.session, bye.half_round, stamp);
+            let _ = write_frame(&mut self.stream, &ctx, 0, "net-bye");
+            spfe_obs::net_frame_event(true, "net-bye", 0, bye.half_round, stamp);
+        }
         let _ = write_frame(&mut self.stream, &bye, 0, "net-bye");
+        spfe_obs::net_session_event(false, self.session, &self.driver, self.mode as u8);
     }
 
     fn poison(&mut self, e: ProtocolError) -> ProtocolError {
@@ -139,8 +157,27 @@ impl<S: Read + Write> SocketChannel<S> {
             label,
             bytes.to_vec(),
         );
+        let stamp = self.lamport.tick();
+        if journal::tracing() {
+            let ctx = Frame::trace_ctx(
+                frame.client_to_server,
+                self.session,
+                frame.half_round,
+                stamp,
+            );
+            write_frame(&mut self.stream, &ctx, dir.server(), label)?;
+            spfe_obs::net_frame_event(true, label, bytes.len() as u64, frame.half_round, stamp);
+        }
         write_frame(&mut self.stream, &frame, dir.server(), label)?;
-        let echo = read_frame(&mut self.stream, dir.server(), label)?;
+        let (echo, carried) = read_frame_traced(&mut self.stream, dir.server(), label)?;
+        let recv_stamp = self.lamport.observe(carried.unwrap_or(0));
+        spfe_obs::net_frame_event(
+            false,
+            label,
+            echo.payload.len() as u64,
+            echo.half_round,
+            recv_stamp,
+        );
         match echo.kind {
             FrameKind::Msg if echo.session == self.session && echo.label == label => {
                 Ok(echo.payload)

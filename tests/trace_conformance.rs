@@ -125,7 +125,15 @@ fn assert_well_formed(name: &str, ctx: &str, tr: &Trace) -> usize {
                     );
                     assert!(ev.a > 0, "[{name} × {ctx}] zero-valued mem delta");
                 }
-                EventKind::Fault | EventKind::Retry | EventKind::ViewSeal => {}
+                // Net-session events (DESIGN.md §17) are slices of their
+                // own, not spans: tests/net_trace.rs pins their shape.
+                EventKind::Fault
+                | EventKind::Retry
+                | EventKind::ViewSeal
+                | EventKind::NetSessionOpen
+                | EventKind::NetSessionClose
+                | EventKind::NetSend
+                | EventKind::NetRecv => {}
             }
         }
         assert!(
